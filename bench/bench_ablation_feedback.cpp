@@ -1,0 +1,69 @@
+// Ablation (paper Sec 5: DGC-style "error accumulation ... can also be
+// applied to improve ours"): wrap each sparsifier in the error-feedback
+// compressor and train. Error feedback should let an aggressive theta keep
+// near-SGD accuracy — the residual re-injects everything the codec drops.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "fftgrad/core/baseline_compressors.h"
+#include "fftgrad/core/error_feedback.h"
+#include "fftgrad/core/fft_compressor.h"
+#include "fftgrad/core/trainer.h"
+
+int main() {
+  using namespace fftgrad;
+
+  util::Rng rng(21);
+  core::TrainerConfig cfg;
+  cfg.ranks = 4;
+  cfg.batch_per_rank = 16;
+  cfg.epochs = 12;
+  cfg.iters_per_epoch = 25;
+  cfg.test_size = 512;
+  core::DistributedTrainer trainer(nn::models::make_mlp(32, 64, 3, 5, rng),
+                                   nn::SyntheticDataset({32}, 5, 22), cfg);
+  nn::StepLrSchedule lr({{0, 0.03f}, {8, 0.01f}});
+  const double theta = 0.95;  // aggressive: visibly hurts without feedback
+
+  struct Algo {
+    const char* label;
+    core::CompressorFactory factory;
+  };
+  const Algo algos[] = {
+      {"SGD (lossless)",
+       [](std::size_t) { return std::make_unique<core::NoopCompressor>(); }},
+      {"FFT t=0.95",
+       [&](std::size_t) {
+         return std::make_unique<core::FftCompressor>(
+             core::FftCompressorOptions{.theta = theta, .quantizer_bits = 10});
+       }},
+      {"FFT t=0.95 + error feedback",
+       [&](std::size_t) {
+         return std::make_unique<core::ErrorFeedbackCompressor>(
+             std::make_unique<core::FftCompressor>(
+                 core::FftCompressorOptions{.theta = theta, .quantizer_bits = 10}));
+       }},
+      {"Top-K t=0.95",
+       [&](std::size_t) { return std::make_unique<core::TopKCompressor>(theta); }},
+      {"Top-K t=0.95 + error feedback",
+       [&](std::size_t) {
+         return std::make_unique<core::ErrorFeedbackCompressor>(
+             std::make_unique<core::TopKCompressor>(theta));
+       }},
+  };
+
+  bench::print_header("Ablation: error feedback around the sparsifiers (theta=0.95)");
+  util::TableWriter table({"method", "final_acc", "mean_alpha", "mean_ratio"});
+  table.set_double_format("%.4f");
+  for (const Algo& algo : algos) {
+    const core::TrainResult result = trainer.train(algo.factory, core::FixedTheta(theta), lr);
+    table.add_row({std::string(algo.label), result.final_accuracy,
+                   result.epochs.back().mean_alpha, result.epochs.back().mean_ratio});
+  }
+  bench::print_table(table);
+  std::puts("\nExpected shape: at theta=0.95 both plain sparsifiers lag SGD; adding error\n"
+            "feedback closes most of the gap at the same wire ratio (the residual\n"
+            "re-injects dropped information on later iterations).");
+  return 0;
+}

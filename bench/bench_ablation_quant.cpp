@@ -1,0 +1,34 @@
+// Ablation: the range-based quantization stage of the FFT pipeline.
+// Sweeping the code width N from "off" (raw float32 coefficients) down to
+// 6 bits shows the ratio/error trade the paper's combined
+// sparsification+quantization design exploits: 10 bits buys a ~3x wire
+// reduction over raw coefficients at negligible added alpha.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fftgrad/core/compression_stats.h"
+#include "fftgrad/core/fft_compressor.h"
+
+int main() {
+  using namespace fftgrad;
+  const std::vector<float> grad = bench::trained_model_gradient(60, 13);
+
+  bench::print_header("Ablation: FFT pipeline with/without range quantization (theta=0.85)");
+  util::TableWriter table({"quant_bits", "ratio", "alpha", "rms_err", "wire_bytes"});
+  table.set_double_format("%.4f");
+  double raw_alpha = 0.0;
+  for (int bits : {0, 16, 12, 10, 8, 6}) {
+    core::FftCompressor codec({.theta = 0.85, .quantizer_bits = bits});
+    std::vector<float> recon;
+    const core::RoundTripStats stats = core::measure_round_trip(codec, grad, recon);
+    if (bits == 0) raw_alpha = stats.alpha;
+    table.add_row({static_cast<long long>(bits), stats.ratio, stats.alpha, stats.rms_error,
+                   static_cast<long long>(stats.wire_bytes)});
+  }
+  bench::print_table(table);
+  std::printf("\n(bits=0 means no quantization: raw fp32 coefficients; alpha there = %.4f is\n"
+              "the sparsification-only floor. The added error at 10 bits should be small\n"
+              "relative to that floor while the ratio roughly triples.)\n",
+              raw_alpha);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig 5 reproduction: FFT-domain top-k vs direct spatial top-k at the same
+// sparsification ratio. The paper reports err=0.0209 (FFT) vs err=0.0246
+// (top-k) — absolute values depend on the gradient, but FFT must preserve
+// more information (lower error) and retain the distribution shape where
+// top-k hollows out the near-zero peak.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fftgrad/core/baseline_compressors.h"
+#include "fftgrad/core/compression_stats.h"
+#include "fftgrad/core/fft_compressor.h"
+#include "fftgrad/util/stats.h"
+
+int main() {
+  using namespace fftgrad;
+  // Mid-training CNN gradient (the paper samples ResNet32 gradients during
+  // training). See EXPERIMENTS.md: FFT's advantage holds while gradient
+  // energy is spread (early/mid training); once late-training gradients
+  // concentrate onto few coordinates, spatial top-k closes the gap.
+  const std::vector<float> grad = bench::trained_model_gradient(10);
+  const double theta = 0.85;
+
+  core::FftCompressor fft_codec(
+      {.theta = theta, .quantizer_bits = 0, .use_fp16_stage = false});
+  core::TopKCompressor topk_codec(theta);
+
+  std::vector<float> fft_recon, topk_recon;
+  const core::RoundTripStats fft_stats = core::measure_round_trip(fft_codec, grad, fft_recon);
+  const core::RoundTripStats topk_stats = core::measure_round_trip(topk_codec, grad, topk_recon);
+
+  bench::print_header("Fig 5: FFT top-k vs direct top-k at theta=0.85");
+  util::TableWriter table({"method", "rms_err", "alpha", "max_err"});
+  table.set_double_format("%.5f");
+  table.add_row({std::string("fft-sparsify"), fft_stats.rms_error, fft_stats.alpha,
+                 fft_stats.max_error});
+  table.add_row({std::string("direct top-k"), topk_stats.rms_error, topk_stats.alpha,
+                 topk_stats.max_error});
+  bench::print_table(table);
+
+  const util::Summary s = util::summarize(grad);
+  const double span = 4.0 * s.stddev;
+  bench::print_header("reconstructed-gradient histograms (original | fft | top-k)");
+  for (const auto& [label, data] :
+       {std::pair<const char*, const std::vector<float>*>{"original", &grad},
+        {"fft", &fft_recon},
+        {"top-k", &topk_recon}}) {
+    std::printf("--- %s ---\n", label);
+    util::Histogram hist(-span, span, 15);
+    hist.add(*data);
+    std::fputs(hist.to_string(40).c_str(), stdout);
+  }
+
+  std::printf("\npaper: FFT err 0.0209 < top-k err 0.0246 at the same ratio\n");
+  std::printf("ours : FFT err %.4f %s top-k err %.4f  -> %s\n", fft_stats.rms_error,
+              fft_stats.rms_error < topk_stats.rms_error ? "<" : ">=", topk_stats.rms_error,
+              fft_stats.rms_error < topk_stats.rms_error ? "REPRODUCED" : "NOT reproduced");
+  return fft_stats.rms_error < topk_stats.rms_error ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Fig 7 reproduction: why neither uniform quantization nor a scaled-down
+// IEEE-754 format fits gradient data, and how the range-based float does.
+//
+// For each 10-bit scheme we report where its representable values sit
+// relative to the data, and the per-coordinate error quantiles on real DNN
+// gradients. The paper's efficiency argument is about matching the code
+// distribution to the data distribution: nearly all gradient coordinates
+// are small, so a scheme dense near zero gives most coordinates far lower
+// error. That shows up in the median/p90 error (and in Fig 15e's "lower
+// error for 99.7% of gradients"); uniform quantization keeps the smaller
+// worst-case error by construction, and IEEE's fixed window wastes almost
+// its whole range.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fftgrad/quant/range_float.h"
+#include "fftgrad/quant/simple_quantizers.h"
+#include "fftgrad/util/stats.h"
+
+int main() {
+  using namespace fftgrad;
+  const std::vector<float> grad = bench::trained_mlp_gradient(20);
+  const util::Summary s = util::summarize(grad);
+  const float bound = static_cast<float>(std::max(std::fabs(s.min), std::fabs(s.max)));
+  const int bits = 10;
+
+  quant::UniformQuantizer uniform(bits, -bound, bound);
+  quant::IeeeNbitQuantizer ieee(bits, 5);  // 1 sign + 5 exp + 4 mantissa
+  const quant::RangeFloat ranged = quant::RangeFloat::tune(bits, -bound, bound, grad);
+
+  struct Quantiles {
+    double median, p90, p99, rms;
+  };
+  auto quantiles = [&](auto&& round_trip) {
+    std::vector<double> errors;
+    errors.reserve(grad.size());
+    double sq = 0.0;
+    for (float g : grad) {
+      const double d = std::fabs(static_cast<double>(g) - round_trip(g));
+      errors.push_back(d);
+      sq += d * d;
+    }
+    std::sort(errors.begin(), errors.end());
+    const std::size_t n = errors.size();
+    return Quantiles{errors[n / 2], errors[n * 9 / 10], errors[n * 99 / 100],
+                     std::sqrt(sq / static_cast<double>(n))};
+  };
+
+  const Quantiles u = quantiles([&](float g) { return uniform.decode(uniform.encode(g)); });
+  const Quantiles i = quantiles([&](float g) { return ieee.round_trip(g); });
+  const Quantiles r = quantiles([&](float g) { return ranged.decode(ranged.encode(g)); });
+
+  bench::print_header("Fig 7: 10-bit quantization schemes on real gradients");
+  std::printf("gradient range: [%.4g, %.4g], stddev %.4g\n", s.min, s.max, s.stddev);
+
+  util::TableWriter table({"scheme", "median_err", "p90_err", "p99_err", "rms"});
+  table.set_double_format("%.3e");
+  table.add_row({std::string("uniform"), u.median, u.p90, u.p99, u.rms});
+  table.add_row({std::string("ieee-10bit(e5m4)"), i.median, i.p90, i.p99, i.rms});
+  table.add_row({std::string("range-based (ours)"), r.median, r.p90, r.p99, r.rms});
+  bench::print_table(table);
+
+  // How many representable values sit inside the actual data range.
+  auto count_in_range = [&](const std::vector<float>& values) {
+    long long in = 0;
+    for (float v : values) {
+      if (v >= s.min && v <= s.max) ++in;
+    }
+    return in;
+  };
+  std::printf("\nusable representable values inside the data range:\n");
+  std::printf("  uniform          : %lld / 1024\n",
+              count_in_range(uniform.representable_values()));
+  std::printf("  ieee-10bit(e5m4) : %lld / 1024 (window [%.2g, %.0f] mostly outside data)\n",
+              2 * count_in_range(ieee.representable_values()), ieee.min_normal(),
+              ieee.max_value());
+  std::printf("  range-based      : %u / 1024 (m=%d, eps=%.3g, tuned to the data)\n",
+              ranged.code_count(), ranged.params().mantissa_bits, ranged.params().eps);
+
+  const bool reproduced = r.median <= u.median && r.median <= i.median && r.rms <= i.rms;
+  std::printf("\nrange-based median error: %.2fx lower than uniform, %.2fx lower than IEEE\n",
+              u.median / r.median, i.median / r.median);
+  std::printf("(uniform keeps the best worst-case error by construction; the paper's\n"
+              " efficiency claim concerns the bulk of coordinates) -> %s\n",
+              reproduced ? "REPRODUCED" : "NOT reproduced");
+  return reproduced ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// Fig 10 reproduction: the minimal compression ratio k that yields a net
+// benefit (Eq. 4) as a function of network bandwidth, for several
+// selection/packing throughput combinations. Shapes to reproduce:
+//  * slow networks need only tiny ratios (k ~ 1 on 1GbE, k ~ 2 on 10GbE);
+//  * 56Gbps InfiniBand needs k around tens;
+//  * with a slow selection primitive, past some bandwidth no ratio helps.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fftgrad/perfmodel/cost_model.h"
+
+int main() {
+  using namespace fftgrad;
+  using perfmodel::PrimitiveThroughputs;
+
+  struct Combo {
+    const char* label;
+    double ts;  // selection B/s
+    double tp;  // packing B/s
+  };
+  const Combo combos[] = {
+      {"Ts=35GB/s Tp=34GB/s (calibrated defaults)", 35e9, 34e9},
+      {"Ts=12GB/s Tp=34GB/s (slow select, Fig 10a)", 12e9, 34e9},
+      {"Ts=12GB/s Tp=12GB/s (slow both)", 12e9, 12e9},
+      {"Ts=60GB/s Tp=60GB/s (fast primitives)", 60e9, 60e9},
+  };
+
+  bench::print_header("Fig 10: minimal beneficial compression ratio k vs network bandwidth");
+  util::TableWriter table({"bandwidth", "k(Ts35,Tp34)", "k(Ts12,Tp34)", "k(Ts12,Tp12)",
+                           "k(Ts60,Tp60)"});
+  table.set_double_format("%.2f");
+  for (double gbps : {1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 40.0, 56.0, 100.0}) {
+    std::vector<util::TableWriter::Cell> row;
+    row.emplace_back(std::to_string(static_cast<int>(gbps)) + " Gbps");
+    for (const Combo& combo : combos) {
+      PrimitiveThroughputs t{/*conversion=*/350e9, /*fft=*/180e9, combo.tp, combo.ts};
+      const auto k = perfmodel::min_beneficial_ratio(perfmodel::gbps_to_bytes(gbps), t);
+      if (k) {
+        row.emplace_back(*k);
+      } else {
+        row.emplace_back(std::string("no benefit"));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  bench::print_table(table);
+
+  const PrimitiveThroughputs paper{};  // calibrated defaults
+  const auto k10 = perfmodel::min_beneficial_ratio(perfmodel::gbps_to_bytes(10), paper);
+  const auto k56 = perfmodel::min_beneficial_ratio(perfmodel::gbps_to_bytes(56), paper);
+  std::printf("\npaper: k ~ 2 suffices on 10GbE; k ~ 30 needed on 56Gbps FDR; with\n"
+              "Ts = 12GB/s, no ratio helps past ~22Gbps (their Fig 10a observation)\n");
+  std::printf("ours : k = %.2f on 10GbE, k = %s on FDR56 (calibrated defaults);\n"
+              "the Ts=12GB/s column flips to 'no benefit' between 20 and 40 Gbps\n",
+              k10 ? *k10 : -1.0, k56 ? std::to_string(*k56).c_str() : "no benefit");
+  return 0;
+}

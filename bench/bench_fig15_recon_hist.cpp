@@ -1,0 +1,86 @@
+// Fig 15 reproduction: (a)-(d) histograms of reconstructed gradients per
+// compression method against the original, and (e) the cumulative
+// distribution of per-element reconstruction error |g_i - g_hat_i|.
+// Shapes to reproduce: only FFT retains the original near-zero peak
+// (top-k hollows it out; QSGD shows discrete clusters; TernGrad shows
+// three clusters), and FFT's error CDF dominates the others (lowest error
+// for ~99% of the gradients).
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "fftgrad/core/baseline_compressors.h"
+#include "fftgrad/core/compression_stats.h"
+#include "fftgrad/core/fft_compressor.h"
+#include "fftgrad/util/stats.h"
+
+int main() {
+  using namespace fftgrad;
+  const std::vector<float> grad = bench::trained_model_gradient(10, 9);
+  const util::Summary s = util::summarize(grad);
+  const double span = 4.0 * s.stddev;
+
+  struct Method {
+    const char* label;
+    std::unique_ptr<core::GradientCompressor> codec;
+    std::vector<float> recon;
+    core::RoundTripStats stats;
+  };
+  std::vector<Method> methods;
+  methods.push_back({"FFT (theta=0.85, 10bit)",
+                     std::make_unique<core::FftCompressor>(
+                         core::FftCompressorOptions{.theta = 0.85, .quantizer_bits = 10}),
+                     {},
+                     {}});
+  methods.push_back({"Top-k (theta=0.85)", std::make_unique<core::TopKCompressor>(0.85), {}, {}});
+  methods.push_back({"QSGD (8 bins)", std::make_unique<core::QsgdCompressor>(3), {}, {}});
+  methods.push_back({"TernGrad", std::make_unique<core::TernGradCompressor>(), {}, {}});
+
+  bench::print_header("Fig 15(a-d): reconstructed-gradient histograms");
+  {
+    util::Histogram hist(-span, span, 15);
+    hist.add(grad);
+    std::printf("--- original (FP32) ---\n%s", hist.to_string(40).c_str());
+  }
+  for (Method& m : methods) {
+    m.stats = core::measure_round_trip(*m.codec, grad, m.recon);
+    util::Histogram hist(-span, span, 15);
+    hist.add(m.recon);
+    std::printf("--- %s ---\n%s", m.label, hist.to_string(40).c_str());
+  }
+
+  bench::print_header("Fig 15(e): cumulative distribution of |g_i - g_hat_i|");
+  std::vector<util::EmpiricalCdf> cdfs;
+  for (const Method& m : methods) {
+    std::vector<double> errors(grad.size());
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      errors[i] = std::fabs(static_cast<double>(grad[i]) - m.recon[i]);
+    }
+    cdfs.emplace_back(std::move(errors));
+  }
+  util::TableWriter table({"error <=", "FFT", "Top-k", "QSGD", "TernGrad"});
+  table.set_double_format("%.4f");
+  for (double e : {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1}) {
+    table.add_row({e, cdfs[0].at(e), cdfs[1].at(e), cdfs[2].at(e), cdfs[3].at(e)});
+  }
+  bench::print_table(table);
+  std::puts("(reading: higher is better — the fraction of coordinates whose error is at\n"
+            " most the row's threshold. Top-k transmits 15% of coordinates exactly, so it\n"
+            " leads at tiny thresholds; FFT overtakes at moderate thresholds because its\n"
+            " error is spread thinly instead of concentrated on the dropped coordinates.)");
+
+  util::TableWriter summary({"method", "alpha", "rms_err", "ratio"});
+  summary.set_double_format("%.4f");
+  for (const Method& m : methods) {
+    summary.add_row({std::string(m.label), m.stats.alpha, m.stats.rms_error, m.stats.ratio});
+  }
+  bench::print_table(summary);
+
+  const bool fft_wins = methods[0].stats.rms_error <= methods[1].stats.rms_error &&
+                        methods[0].stats.rms_error <= methods[2].stats.rms_error &&
+                        methods[0].stats.rms_error <= methods[3].stats.rms_error;
+  std::printf("\nFFT has the lowest RMS reconstruction error: %s\n",
+              fft_wins ? "REPRODUCED" : "NOT reproduced");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Fig 16 reproduction: weak scaling of iteration throughput from 2 to 32
+// ranks (per-rank batch held constant), for every algorithm, in paper-scale
+// cost mode. Shapes to reproduce: AlexNet (250MB gradients) scales worse
+// than ResNet32 (6MB) without compression, and FFT sustains the highest
+// throughput at every scale thanks to the largest wire ratio.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "fftgrad/core/baseline_compressors.h"
+#include "fftgrad/core/fft_compressor.h"
+#include "fftgrad/core/trainer.h"
+
+namespace {
+
+using namespace fftgrad;
+
+double iteration_time(std::size_t ranks, double gradient_bytes, double compute_s,
+                      const core::CompressorFactory& factory) {
+  util::Rng rng(6);
+  core::TrainerConfig cfg;
+  cfg.ranks = ranks;
+  cfg.batch_per_rank = 8;  // weak scaling: fixed per-rank work
+  cfg.epochs = 1;
+  cfg.iters_per_epoch = 4;
+  cfg.test_size = 64;
+  cfg.record_alpha = false;
+  cfg.paper_scale =
+      core::PaperScale{.raw_gradient_bytes = gradient_bytes, .compute_seconds = compute_s};
+  core::DistributedTrainer trainer(nn::models::make_mlp(32, 48, 2, 5, rng),
+                                   nn::SyntheticDataset({32}, 5, 50), cfg);
+  nn::StepLrSchedule lr({{0, 0.02f}});
+  return trainer.train(factory, core::FixedTheta(0.85), lr).mean_iteration_time_s;
+}
+
+void run_workload(const char* title, double gradient_bytes, double compute_s) {
+  struct Algo {
+    const char* label;
+    core::CompressorFactory factory;
+  };
+  const Algo algos[] = {
+      {"SGD", [](std::size_t) { return std::make_unique<core::NoopCompressor>(); }},
+      {"FFT",
+       [](std::size_t) {
+         return std::make_unique<core::FftCompressor>(
+             core::FftCompressorOptions{.theta = 0.85, .quantizer_bits = 10});
+       }},
+      {"Top-K", [](std::size_t) { return std::make_unique<core::TopKCompressor>(0.85); }},
+      {"QSGD", [](std::size_t r) { return std::make_unique<core::QsgdCompressor>(3, 1 + r); }},
+      {"TernGrad",
+       [](std::size_t r) { return std::make_unique<core::TernGradCompressor>(9 + r); }},
+  };
+
+  bench::print_header(std::string("Fig 16: weak scaling, ") + title);
+  util::TableWriter table(
+      {"ranks", "SGD it/s", "FFT it/s", "TopK it/s", "QSGD it/s", "Tern it/s", "FFT speedup"});
+  table.set_double_format("%.2f");
+  for (std::size_t ranks : {2, 4, 8, 16, 32}) {
+    std::vector<double> throughput;
+    for (const Algo& algo : algos) {
+      throughput.push_back(1.0 / iteration_time(ranks, gradient_bytes, compute_s, algo.factory));
+    }
+    table.add_row({static_cast<long long>(ranks), throughput[0], throughput[1], throughput[2],
+                   throughput[3], throughput[4], throughput[1] / throughput[0]});
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+
+int main() {
+  run_workload("AlexNet-regime (250MB gradients, FDR56)", 250e6, 0.140);
+  run_workload("ResNet32-regime (6MB gradients, FDR56)", 6e6, 0.008);
+  std::puts("\nExpected shape: FFT sustains the highest iteration throughput as ranks grow;\n"
+            "the gap widens with rank count on the 250MB workload where communication\n"
+            "dominates (paper Fig 16).");
+  return 0;
+}

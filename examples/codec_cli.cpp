@@ -1,0 +1,80 @@
+// Command-line codec driver: build any compressor from a string spec, run
+// it over a gradient (from a raw float32 file, or a sampled DNN training
+// gradient when no file is given), and report ratio/error statistics.
+//
+//   ./build/examples/codec_cli "fft:theta=0.85,bits=10"
+//   ./build/examples/codec_cli "ef[topk:theta=0.95]" my_gradient.f32
+//   ./build/examples/codec_cli "chunked:65536[fft:theta=0.9,bits=8]"
+//
+// Spec grammar: see src/core/include/fftgrad/core/registry.h.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "fftgrad/core/compression_stats.h"
+#include "fftgrad/core/registry.h"
+#include "fftgrad/nn/gradient_sampler.h"
+#include "fftgrad/util/stats.h"
+
+namespace {
+
+std::vector<float> load_floats(const char* path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  const auto bytes = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<float> data(bytes / sizeof(float));
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  return data;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fftgrad;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <compressor-spec> [gradient.f32]\n", argv[0]);
+    std::fprintf(stderr, "known algorithms:");
+    for (const std::string& name : core::known_compressors()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\nexample: %s \"fft:theta=0.85,bits=10\"\n", argv[0]);
+    return 2;
+  }
+
+  try {
+    std::unique_ptr<core::GradientCompressor> codec = core::make_compressor(argv[1]);
+    std::vector<float> gradient;
+    if (argc >= 3) {
+      gradient = load_floats(argv[2]);
+      std::printf("gradient: %zu floats from %s\n", gradient.size(), argv[2]);
+    } else {
+      gradient = nn::sample_training_gradient(
+          {.source = nn::GradientSource::kConvNet, .warm_iters = 10});
+      std::printf("gradient: %zu floats sampled from a training conv net\n", gradient.size());
+    }
+    if (gradient.empty()) {
+      std::fprintf(stderr, "error: empty gradient\n");
+      return 1;
+    }
+
+    std::vector<float> reconstructed;
+    const core::RoundTripStats stats = core::measure_round_trip(*codec, gradient, reconstructed);
+    const util::Summary original = util::summarize(gradient);
+
+    std::printf("codec            : %s\n", codec->name().c_str());
+    std::printf("raw bytes        : %zu\n", gradient.size() * sizeof(float));
+    std::printf("wire bytes       : %zu\n", stats.wire_bytes);
+    std::printf("compression ratio: %.2fx\n", stats.ratio);
+    std::printf("alpha (rel. err) : %.4f\n", stats.alpha);
+    std::printf("rms error        : %.3e (gradient stddev %.3e)\n", stats.rms_error,
+                original.stddev);
+    std::printf("max error        : %.3e\n", stats.max_error);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,58 @@
+// Failure recovery (the paper's Sec 4.1 recipe): an over-aggressive
+// compression ratio (theta = 0.9) visibly stalls training; dropping theta
+// mid-run — as Theorem 3.5 prescribes — pulls accuracy back to the SGD
+// baseline within the same epoch budget. This example reproduces that
+// recovery on a small model and prints the three accuracy traces.
+//
+// Build & run:  ./build/examples/failure_recovery
+#include <cstdio>
+#include <memory>
+
+#include "fftgrad/core/baseline_compressors.h"
+#include "fftgrad/core/fft_compressor.h"
+#include "fftgrad/core/trainer.h"
+#include "fftgrad/nn/models.h"
+
+int main() {
+  using namespace fftgrad;
+
+  constexpr std::size_t kEpochs = 12;
+  constexpr std::size_t kDrop = 6;
+
+  util::Rng rng(11);
+  core::TrainerConfig cfg;
+  cfg.ranks = 4;
+  cfg.batch_per_rank = 16;
+  cfg.epochs = kEpochs;
+  cfg.iters_per_epoch = 25;
+  cfg.test_size = 512;
+  core::DistributedTrainer trainer(nn::models::make_mlp(32, 64, 3, 5, rng),
+                                   nn::SyntheticDataset({32}, 5, 12), cfg);
+  nn::StepLrSchedule lr({{0, 0.03f}, {kDrop, 0.01f}});
+
+  auto fft = [](std::size_t) {
+    return std::make_unique<core::FftCompressor>(
+        core::FftCompressorOptions{.theta = 0.9, .quantizer_bits = 0});
+  };
+
+  const core::TrainResult baseline = trainer.train(
+      [](std::size_t) { return std::make_unique<core::NoopCompressor>(); },
+      core::FixedTheta(0.0), lr);
+  const core::TrainResult failing = trainer.train(fft, core::FixedTheta(0.9), lr);
+  const core::TrainResult recovered =
+      trainer.train(fft, core::StepTheta(0.9, 0.0, kDrop), lr);
+
+  std::printf("%-6s %12s %16s %18s\n", "epoch", "SGD acc", "theta=0.9 acc",
+              "theta 0.9->0 acc");
+  for (std::size_t e = 0; e < kEpochs; ++e) {
+    std::printf("%-6zu %12.4f %16.4f %18.4f%s\n", e, baseline.epochs[e].test_accuracy,
+                failing.epochs[e].test_accuracy, recovered.epochs[e].test_accuracy,
+                e == kDrop ? "   <- theta dropped to 0 here" : "");
+  }
+  std::printf("\nfinal: SGD %.4f | stuck at theta=0.9 %.4f | recovered %.4f\n",
+              baseline.final_accuracy, failing.final_accuracy, recovered.final_accuracy);
+  std::printf("recovery closed %.0f%% of the gap to SGD.\n",
+              100.0 * (recovered.final_accuracy - failing.final_accuracy) /
+                  std::max(1e-9, baseline.final_accuracy - failing.final_accuracy));
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Two-level network model: fast intra-node links (PCIe between the 4 GPUs
+// of a Comet node) under a slower inter-node fabric (FDR InfiniBand).
+//
+// The paper's Fig 16 remark — "when GPUs <= 4, the speedup is similar as
+// communications are intra-node through PCI-E" — is exactly what this model
+// captures: collectives among ranks on one node never touch the fabric, and
+// beyond one node the collective decomposes into an intra-node phase, an
+// inter-node phase among node leaders (with node-aggregated blocks), and an
+// intra-node redistribution.
+#pragma once
+
+#include <cstddef>
+
+#include "fftgrad/comm/network_model.h"
+
+namespace fftgrad::comm {
+
+struct HierarchicalModel {
+  NetworkModel intra = NetworkModel::pcie_intranode();
+  NetworkModel inter = NetworkModel::infiniband_fdr56();
+  std::size_t gpus_per_node = 4;
+
+  std::size_t nodes(std::size_t ranks) const {
+    return (ranks + gpus_per_node - 1) / gpus_per_node;
+  }
+
+  /// Allgather of `block_bytes` per rank across `ranks` ranks:
+  /// intra-node allgather, then an inter-node allgather of node aggregates
+  /// (gpus_per_node * block each) among the leaders, then an intra-node
+  /// broadcast of the remote aggregate.
+  double allgather_time(double block_bytes, std::size_t ranks) const;
+
+  /// Ring allreduce decomposed the same way: intra reduce, inter allreduce
+  /// among leaders, intra broadcast.
+  double allreduce_time(double total_bytes, std::size_t ranks) const;
+};
+
+}  // namespace fftgrad::comm

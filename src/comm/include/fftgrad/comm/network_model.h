@@ -1,0 +1,61 @@
+// alpha-beta network cost model and collective-communication time formulas.
+//
+// This replaces the paper's physical interconnects (56Gbps FDR InfiniBand,
+// 1/10Gbps Ethernet, intra-node PCIe). A message of b bytes costs
+// alpha + b/beta seconds between any pair of ranks; collectives follow the
+// standard ring/tree schedules implemented by Open MPI / NCCL:
+//
+//   ring allgather   (p-1) steps, each forwarding one rank's block:
+//                    sum over steps of (alpha + block/beta)
+//   ring allreduce   reduce-scatter + allgather: 2(p-1) steps of m/p bytes
+//   tree broadcast   ceil(log2 p) steps of the full message
+//
+// These formulas reproduce the linear-in-p allgather growth of the paper's
+// Fig 11 and feed the end-to-end wall-clock accounting of Figs 14/16.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace fftgrad::comm {
+
+struct NetworkModel {
+  std::string name = "custom";
+  double latency_s = 1e-6;          ///< alpha: per-message latency (seconds)
+  double bandwidth_bytes_s = 1e9;   ///< beta: link bandwidth (bytes/second)
+
+  /// Point-to-point cost of one message of `bytes`.
+  double p2p_time(double bytes) const { return latency_s + bytes / bandwidth_bytes_s; }
+
+  /// Ring allgather of equal blocks: every rank contributes `block_bytes`
+  /// and ends with all p blocks. p == 1 costs nothing.
+  double allgather_time(double block_bytes, std::size_t ranks) const;
+
+  /// Ring allgather with per-rank block sizes (allgatherv). Each of the
+  /// p-1 ring steps is gated by the largest block in flight.
+  double allgatherv_time(std::span<const double> block_bytes) const;
+
+  /// Ring allreduce of a `total_bytes` vector (reduce-scatter + allgather).
+  double allreduce_time(double total_bytes, std::size_t ranks) const;
+
+  /// Binomial-tree broadcast of `bytes` from one root.
+  double broadcast_time(double bytes, std::size_t ranks) const;
+
+  /// Parameter-server push: every worker's gradient block funnels through
+  /// the server's single inbound link, serializing the transfers (the
+  /// congestion the paper's Fig 1a discussion highlights).
+  double ps_push_time(std::span<const double> block_bytes) const;
+
+  /// Parameter-server pull: the server sends the updated parameters to each
+  /// of `workers` over its single outbound link.
+  double ps_pull_time(double param_bytes, std::size_t workers) const;
+
+  // ---- canonical profiles (match the paper's testbeds) ----
+  static NetworkModel ethernet_1g();
+  static NetworkModel ethernet_10g();
+  static NetworkModel infiniband_fdr56();
+  static NetworkModel pcie_intranode();
+};
+
+}  // namespace fftgrad::comm

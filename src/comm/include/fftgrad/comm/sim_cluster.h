@@ -1,0 +1,116 @@
+// In-process multi-rank cluster: the MPI/NCCL substitute.
+//
+// SimCluster::run(p, fn) spawns p threads, one per logical rank, and hands
+// each a RankContext. Collectives exchange real bytes through shared
+// memory (so gradient math downstream of a collective is bit-exact with a
+// genuine distributed run), while a per-rank SimClock accrues the time the
+// configured NetworkModel says the same exchange would have cost on the
+// modelled interconnect. Compute time is charged explicitly by callers
+// (e.g. the trainer charges measured forward/backward wall time), keeping
+// the simulated timeline independent of host scheduling jitter.
+//
+// Synchronization uses a reusable two-phase barrier; collectives are
+// bulk-synchronous, matching the paper's BSP parallelization scheme.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "fftgrad/comm/network_model.h"
+
+namespace fftgrad::comm {
+
+/// Simulated per-rank clock (seconds).
+class SimClock {
+ public:
+  void advance(double seconds) { time_ += seconds; }
+  /// BSP synchronization: every rank's clock jumps to the barrier max.
+  void set_to(double seconds) { time_ = seconds; }
+  double time() const { return time_; }
+
+ private:
+  double time_ = 0.0;
+};
+
+class SimCluster;
+
+/// Per-rank handle passed to the rank function.
+class RankContext {
+ public:
+  std::size_t rank() const { return rank_; }
+  std::size_t size() const;
+  SimClock& clock() { return clock_; }
+  const NetworkModel& network() const;
+
+  /// Block until every rank arrives; aligns all clocks to the maximum
+  /// (BSP semantics).
+  void barrier();
+
+  /// Allgather of possibly differently-sized byte blocks. Returns all
+  /// ranks' contributions indexed by rank; charges allgatherv_time.
+  std::vector<std::vector<std::uint8_t>> allgather(std::span<const std::uint8_t> send);
+
+  /// Element-wise sum allreduce of float vectors (all ranks pass equal
+  /// sizes); result overwrites `data`. Charges allreduce_time.
+  void allreduce_sum(std::span<float> data);
+
+  /// Broadcast `data` from `root` to every rank (sizes must match).
+  void broadcast(std::span<float> data, std::size_t root);
+
+  /// Gather every rank's byte block at `root` (PS-style funnel: the root's
+  /// clock is charged the serialized inbound transfers, other ranks their
+  /// own send). Non-root ranks receive an empty vector.
+  std::vector<std::vector<std::uint8_t>> gather(std::span<const std::uint8_t> send,
+                                                std::size_t root);
+
+  /// Ring reduce-scatter of an equal-size float vector: returns this rank's
+  /// reduced chunk (chunk r covers indices [r*n/p, (r+1)*n/p) with the
+  /// remainder going to the last rank). All ranks must pass equal sizes.
+  std::vector<float> reduce_scatter_sum(std::span<const float> data);
+
+ private:
+  friend class SimCluster;
+  RankContext(SimCluster& cluster, std::size_t rank) : cluster_(&cluster), rank_(rank) {}
+
+  SimCluster* cluster_;
+  std::size_t rank_;
+  SimClock clock_;
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(NetworkModel network) : network_(std::move(network)) {}
+
+  /// Run `fn(ctx)` on `ranks` threads; returns the final per-rank clocks.
+  /// Exceptions thrown by any rank are rethrown (first one wins) after all
+  /// ranks have been joined.
+  std::vector<double> run(std::size_t ranks, const std::function<void(RankContext&)>& fn);
+
+  const NetworkModel& network() const { return network_; }
+
+ private:
+  friend class RankContext;
+
+  void barrier_wait();
+  void align_clocks_locked();
+
+  NetworkModel network_;
+  std::size_t ranks_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+
+  // Collective exchange slots, indexed by rank.
+  std::vector<std::span<const std::uint8_t>> byte_slots_;
+  std::vector<std::span<float>> float_slots_;
+  std::vector<RankContext*> contexts_;
+};
+
+}  // namespace fftgrad::comm

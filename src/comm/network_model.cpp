@@ -1,0 +1,67 @@
+#include "fftgrad/comm/network_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fftgrad::comm {
+
+double NetworkModel::allgather_time(double block_bytes, std::size_t ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double steps = static_cast<double>(ranks - 1);
+  return steps * p2p_time(block_bytes);
+}
+
+double NetworkModel::allgatherv_time(std::span<const double> block_bytes) const {
+  const std::size_t ranks = block_bytes.size();
+  if (ranks <= 1) return 0.0;
+  // In a ring allgather, at step s every rank forwards the block that
+  // originated s hops upstream; the step completes when the largest block
+  // of that step has been forwarded. Over p-1 steps every block is in
+  // flight exactly once at every step boundary, so each step is bounded by
+  // the global maximum block. (Exact per-step tracking would rotate the
+  // origin; the max bound is what limits the schedule in the worst rank.)
+  const double max_block = *std::max_element(block_bytes.begin(), block_bytes.end());
+  return static_cast<double>(ranks - 1) * p2p_time(max_block);
+}
+
+double NetworkModel::allreduce_time(double total_bytes, std::size_t ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double steps = 2.0 * static_cast<double>(ranks - 1);
+  const double chunk = total_bytes / static_cast<double>(ranks);
+  return steps * p2p_time(chunk);
+}
+
+double NetworkModel::broadcast_time(double bytes, std::size_t ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(ranks)));
+  return rounds * p2p_time(bytes);
+}
+
+double NetworkModel::ps_push_time(std::span<const double> block_bytes) const {
+  double total = 0.0;
+  for (double bytes : block_bytes) total += p2p_time(bytes);
+  return total;
+}
+
+double NetworkModel::ps_pull_time(double param_bytes, std::size_t workers) const {
+  return static_cast<double>(workers) * p2p_time(param_bytes);
+}
+
+NetworkModel NetworkModel::ethernet_1g() {
+  return {"ethernet-1G", 50e-6, 1e9 / 8.0};
+}
+
+NetworkModel NetworkModel::ethernet_10g() {
+  return {"ethernet-10G", 20e-6, 10e9 / 8.0};
+}
+
+NetworkModel NetworkModel::infiniband_fdr56() {
+  return {"infiniband-FDR56", 1e-6, 56e9 / 8.0};
+}
+
+NetworkModel NetworkModel::pcie_intranode() {
+  return {"pcie-intranode", 5e-7, 12e9};  // ~PCIe gen3 x16 effective
+}
+
+}  // namespace fftgrad::comm

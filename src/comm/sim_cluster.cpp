@@ -1,0 +1,192 @@
+#include "fftgrad/comm/sim_cluster.h"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace fftgrad::comm {
+
+namespace {
+
+/// Cluster-wide abort signal: raised when any rank throws, so ranks parked
+/// in a barrier fail fast instead of deadlocking.
+struct AbortedError : std::runtime_error {
+  AbortedError() : std::runtime_error("SimCluster: a peer rank failed") {}
+};
+
+}  // namespace
+
+std::size_t RankContext::size() const { return cluster_->ranks_; }
+
+const NetworkModel& RankContext::network() const { return cluster_->network_; }
+
+void RankContext::barrier() { cluster_->barrier_wait(); }
+
+void SimCluster::align_clocks_locked() {
+  double latest = 0.0;
+  for (RankContext* ctx : contexts_) latest = std::max(latest, ctx->clock().time());
+  for (RankContext* ctx : contexts_) ctx->clock().set_to(latest);
+}
+
+void SimCluster::barrier_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t my_generation = generation_;
+  if (++arrived_ == ranks_) {
+    // Last arrival: BSP semantics, every clock advances to the straggler.
+    align_clocks_locked();
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+}
+
+std::vector<std::vector<std::uint8_t>> RankContext::allgather(
+    std::span<const std::uint8_t> send) {
+  SimCluster& c = *cluster_;
+  c.byte_slots_[rank_] = send;
+  barrier();  // all contributions visible
+  std::vector<std::vector<std::uint8_t>> gathered(c.ranks_);
+  std::vector<double> sizes(c.ranks_);
+  for (std::size_t r = 0; r < c.ranks_; ++r) {
+    gathered[r].assign(c.byte_slots_[r].begin(), c.byte_slots_[r].end());
+    sizes[r] = static_cast<double>(c.byte_slots_[r].size());
+  }
+  clock_.advance(c.network_.allgatherv_time(sizes));
+  barrier();  // slots may be reused
+  return gathered;
+}
+
+void RankContext::allreduce_sum(std::span<float> data) {
+  SimCluster& c = *cluster_;
+  c.float_slots_[rank_] = data;
+  barrier();
+  // Every rank reduces redundantly into a private buffer; identical
+  // floating-point order on all ranks keeps replicas bit-identical.
+  std::vector<float> reduced(data.size(), 0.0f);
+  for (std::size_t r = 0; r < c.ranks_; ++r) {
+    auto peer = c.float_slots_[r];
+    if (peer.size() != data.size()) {
+      throw std::invalid_argument("allreduce_sum: mismatched sizes across ranks");
+    }
+    for (std::size_t i = 0; i < peer.size(); ++i) reduced[i] += peer[i];
+  }
+  clock_.advance(c.network_.allreduce_time(static_cast<double>(data.size() * sizeof(float)),
+                                           c.ranks_));
+  barrier();  // all ranks done reading before anyone writes
+  std::copy(reduced.begin(), reduced.end(), data.begin());
+  barrier();
+}
+
+void RankContext::broadcast(std::span<float> data, std::size_t root) {
+  SimCluster& c = *cluster_;
+  if (root >= c.ranks_) throw std::invalid_argument("broadcast: bad root");
+  c.float_slots_[rank_] = data;
+  barrier();
+  auto src = c.float_slots_[root];
+  if (src.size() != data.size()) {
+    throw std::invalid_argument("broadcast: mismatched sizes across ranks");
+  }
+  if (rank_ != root) std::copy(src.begin(), src.end(), data.begin());
+  clock_.advance(c.network_.broadcast_time(static_cast<double>(data.size() * sizeof(float)),
+                                           c.ranks_));
+  barrier();
+}
+
+std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::uint8_t> send,
+                                                           std::size_t root) {
+  SimCluster& c = *cluster_;
+  if (root >= c.ranks_) throw std::invalid_argument("gather: bad root");
+  c.byte_slots_[rank_] = send;
+  barrier();
+  std::vector<std::vector<std::uint8_t>> gathered;
+  if (rank_ == root) {
+    gathered.resize(c.ranks_);
+    double inbound = 0.0;
+    for (std::size_t r = 0; r < c.ranks_; ++r) {
+      gathered[r].assign(c.byte_slots_[r].begin(), c.byte_slots_[r].end());
+      if (r != root) inbound += c.network_.p2p_time(static_cast<double>(c.byte_slots_[r].size()));
+    }
+    clock_.advance(inbound);
+  } else {
+    clock_.advance(c.network_.p2p_time(static_cast<double>(send.size())));
+  }
+  barrier();
+  return gathered;
+}
+
+std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) {
+  SimCluster& c = *cluster_;
+  c.float_slots_[rank_] = {const_cast<float*>(data.data()), data.size()};
+  barrier();
+  const std::size_t n = data.size();
+  const std::size_t base = n / c.ranks_;
+  const std::size_t begin = rank_ * base;
+  const std::size_t end = rank_ + 1 == c.ranks_ ? n : begin + base;
+  std::vector<float> chunk(end - begin, 0.0f);
+  for (std::size_t r = 0; r < c.ranks_; ++r) {
+    auto peer = c.float_slots_[r];
+    if (peer.size() != n) {
+      throw std::invalid_argument("reduce_scatter_sum: mismatched sizes across ranks");
+    }
+    for (std::size_t i = begin; i < end; ++i) chunk[i - begin] += peer[i];
+  }
+  // Ring reduce-scatter: p-1 steps of one chunk each.
+  const double chunk_bytes = static_cast<double>(base * sizeof(float));
+  clock_.advance(static_cast<double>(c.ranks_ - 1) * c.network_.p2p_time(chunk_bytes));
+  barrier();
+  return chunk;
+}
+
+std::vector<double> SimCluster::run(std::size_t ranks,
+                                    const std::function<void(RankContext&)>& fn) {
+  if (ranks == 0) throw std::invalid_argument("SimCluster: ranks must be >= 1");
+  ranks_ = ranks;
+  arrived_ = 0;
+  generation_ = 0;
+  byte_slots_.assign(ranks, {});
+  float_slots_.assign(ranks, {});
+
+  std::vector<RankContext> contexts;
+  contexts.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) contexts.push_back(RankContext(*this, r));
+  contexts_.clear();
+  for (auto& ctx : contexts) contexts_.push_back(&ctx);
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto body = [&](std::size_t r) {
+    try {
+      fn(contexts[r]);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Release peers waiting in the barrier so the cluster drains instead
+      // of deadlocking; they will observe mismatched state and finish or
+      // fail on their own.
+      std::lock_guard<std::mutex> lock(mutex_);
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) threads.emplace_back(body, r);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  std::vector<double> clocks(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) clocks[r] = contexts[r].clock().time();
+  contexts_.clear();
+  return clocks;
+}
+
+}  // namespace fftgrad::comm

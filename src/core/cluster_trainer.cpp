@@ -1,0 +1,93 @@
+#include "fftgrad/core/cluster_trainer.h"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "fftgrad/nn/loss.h"
+
+namespace fftgrad::core {
+
+ClusterTrainResult cluster_train(
+    comm::SimCluster& cluster, const ClusterTrainConfig& config,
+    const std::function<nn::Network()>& model_factory,
+    const std::function<std::unique_ptr<GradientCompressor>(std::size_t)>& compressor_factory,
+    const nn::SyntheticDataset& dataset) {
+  if (config.ranks == 0) throw std::invalid_argument("cluster_train: ranks must be >= 1");
+
+  ClusterTrainResult result;
+  std::vector<std::vector<float>> final_params(config.ranks);
+  std::vector<double> final_losses(config.ranks, 0.0);
+  std::mutex result_mutex;
+
+  const auto clocks = cluster.run(config.ranks, [&](comm::RankContext& ctx) {
+    const std::size_t rank = ctx.rank();
+    nn::Network model = model_factory();
+    nn::SgdOptimizer optimizer(config.momentum);
+    nn::SoftmaxCrossEntropy criterion;
+    util::Rng batch_rng(config.seed * 7919 + rank);
+
+    const std::size_t grad_size = model.param_count();
+    std::vector<float> gradient(grad_size);
+    std::vector<float> reconstructed(grad_size);
+    std::vector<float> averaged(grad_size);
+    std::unique_ptr<GradientCompressor> codec = compressor_factory(rank);
+    if (!codec) throw std::logic_error("cluster_train: compressor factory returned null");
+
+    double last_loss = 0.0;
+    for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+      const nn::Batch batch = dataset.sample(config.batch_per_rank, batch_rng);
+      model.zero_grad();
+      last_loss = criterion.forward(model.forward(batch.inputs), batch.labels);
+      model.backward(criterion.backward());
+      model.copy_gradients(gradient);
+
+      // Compress, allgather packets, decompress every peer, average.
+      const Packet mine = codec->compress(gradient);
+      std::vector<std::uint8_t> wire;
+      wire::put<std::uint64_t>(wire, mine.elements);
+      wire::put_span<std::uint8_t>(wire, mine.bytes);
+      const auto gathered = ctx.allgather(wire);
+
+      std::fill(averaged.begin(), averaged.end(), 0.0f);
+      const float inv_ranks = 1.0f / static_cast<float>(ctx.size());
+      for (const auto& peer_bytes : gathered) {
+        wire::Reader reader(peer_bytes);
+        Packet peer;
+        peer.elements = static_cast<std::size_t>(reader.get<std::uint64_t>());
+        if (peer.elements != grad_size) {
+          throw std::runtime_error("cluster_train: peer gradient size mismatch");
+        }
+        peer.bytes.resize(reader.remaining());
+        reader.get_span<std::uint8_t>(peer.bytes);
+        codec->decompress(peer, reconstructed);
+        for (std::size_t i = 0; i < grad_size; ++i) {
+          averaged[i] += reconstructed[i] * inv_ranks;
+        }
+      }
+
+      model.set_gradients(averaged);
+      optimizer.step(model, config.learning_rate);
+    }
+
+    std::vector<float> params(grad_size);
+    model.copy_params(params);
+    {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      final_params[rank] = std::move(params);
+      final_losses[rank] = last_loss;
+    }
+  });
+
+  result.rank_sim_times = clocks;
+  result.final_params = final_params[0];
+  result.replicas_identical = true;
+  for (std::size_t r = 1; r < config.ranks; ++r) {
+    if (final_params[r] != final_params[0]) result.replicas_identical = false;
+  }
+  double loss = 0.0;
+  for (double l : final_losses) loss += l;
+  result.mean_loss_last_iteration = loss / static_cast<double>(config.ranks);
+  return result;
+}
+
+}  // namespace fftgrad::core

@@ -1,0 +1,41 @@
+#include "fftgrad/core/error_feedback.h"
+
+#include <stdexcept>
+
+namespace fftgrad::core {
+
+ErrorFeedbackCompressor::ErrorFeedbackCompressor(std::unique_ptr<GradientCompressor> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("ErrorFeedbackCompressor: null inner codec");
+}
+
+std::string ErrorFeedbackCompressor::name() const { return "ef[" + inner_->name() + "]"; }
+
+Packet ErrorFeedbackCompressor::compress(std::span<const float> gradient) {
+  if (residual_.size() != gradient.size()) {
+    // First call, or the gradient length changed (new model): start clean.
+    residual_.assign(gradient.size(), 0.0f);
+  }
+  corrected_.resize(gradient.size());
+  for (std::size_t i = 0; i < gradient.size(); ++i) {
+    corrected_[i] = gradient[i] + residual_[i];
+  }
+  Packet packet = inner_->compress(corrected_);
+  // Residual = what we wanted to send minus what the receiver will see.
+  std::vector<float> delivered(gradient.size());
+  inner_->decompress(packet, delivered);
+  for (std::size_t i = 0; i < gradient.size(); ++i) {
+    residual_[i] = corrected_[i] - delivered[i];
+  }
+  return packet;
+}
+
+void ErrorFeedbackCompressor::decompress(const Packet& packet, std::span<float> out) {
+  inner_->decompress(packet, out);
+}
+
+void ErrorFeedbackCompressor::reset() {
+  std::fill(residual_.begin(), residual_.end(), 0.0f);
+}
+
+}  // namespace fftgrad::core

@@ -1,0 +1,114 @@
+// GradientCompressor: the lossy gradient codec interface of the framework.
+//
+// compress() maps a flat float32 gradient to a self-describing wire packet;
+// decompress() reconstructs an approximation of the original vector. The
+// packet's byte size is what the communication layer charges for, so
+// wire_bytes()/ratio() are the quantities behind every wall-time result.
+//
+// Implementations: FftCompressor (the paper's method, Sec 3), and the
+// published baselines TopKCompressor, QsgdCompressor, TernGradCompressor,
+// NoopCompressor (lossless SGD).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fftgrad/perfmodel/cost_model.h"
+
+namespace fftgrad::core {
+
+/// Self-describing compressed gradient.
+struct Packet {
+  std::vector<std::uint8_t> bytes;  ///< wire payload, including metadata
+  std::size_t elements = 0;         ///< original gradient length
+
+  std::size_t wire_bytes() const { return bytes.size(); }
+  /// Achieved compression ratio vs. float32.
+  double ratio() const {
+    return bytes.empty() ? 0.0
+                         : static_cast<double>(elements * sizeof(float)) /
+                               static_cast<double>(bytes.size());
+  }
+};
+
+class GradientCompressor {
+ public:
+  virtual ~GradientCompressor() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual Packet compress(std::span<const float> gradient) = 0;
+
+  /// Reconstruct into `out` (must have packet.elements entries).
+  virtual void decompress(const Packet& packet, std::span<float> out) = 0;
+
+  /// Sparsification ratio theta in [0, 1) for tunable compressors (the
+  /// fraction of information dropped); no-ops for quantizers without one.
+  virtual void set_theta(double /*theta*/) {}
+  virtual double theta() const { return 0.0; }
+
+  /// Modelled one-sided codec cost per input byte on GPU-class hardware
+  /// (the Sec 3.3 cost model, specialized per algorithm's pipeline). Used
+  /// by the trainer's paper-scale timing mode; the default charges one
+  /// elementwise pass at the conversion throughput.
+  virtual double modeled_seconds_per_byte(
+      const perfmodel::PrimitiveThroughputs& t) const {
+    return 1.0 / t.conversion;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Wire-format helpers (append/consume PODs to a byte vector).
+
+namespace wire {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& bytes, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(&value);
+  bytes.insert(bytes.end(), raw, raw + sizeof(T));
+}
+
+template <typename T>
+void put_span(std::vector<std::uint8_t>& bytes, std::span<const T> values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(values.data());
+  bytes.insert(bytes.end(), raw, raw + values.size_bytes());
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (at_ + sizeof(T) > bytes_.size()) throw std::runtime_error("wire: truncated packet");
+    T value;
+    std::memcpy(&value, bytes_.data() + at_, sizeof(T));
+    at_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  void get_span(std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (at_ + out.size_bytes() > bytes_.size()) throw std::runtime_error("wire: truncated packet");
+    std::memcpy(out.data(), bytes_.data() + at_, out.size_bytes());
+    at_ += out.size_bytes();
+  }
+
+  std::size_t remaining() const { return bytes_.size() - at_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace wire
+}  // namespace fftgrad::core

@@ -1,0 +1,53 @@
+// Error-feedback (residual accumulation) wrapper around any compressor.
+//
+// The paper notes that the heuristics behind Deep Gradient Compression —
+// error accumulation and momentum correction — "are orthogonal to our
+// methods and can also be applied to improve ours". This wrapper implements
+// the error-accumulation part: the difference between what a rank wanted to
+// send and what the codec actually delivered is remembered and added to the
+// next iteration's gradient before compression, so no information is ever
+// permanently dropped, only delayed:
+//
+//     e_0 = 0
+//     send_t = compress(g_t + e_t)
+//     e_{t+1} = (g_t + e_t) - decompress(send_t)
+//
+// bench_ablation_feedback quantifies what it buys the FFT pipeline.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fftgrad/core/compressor.h"
+
+namespace fftgrad::core {
+
+class ErrorFeedbackCompressor : public GradientCompressor {
+ public:
+  explicit ErrorFeedbackCompressor(std::unique_ptr<GradientCompressor> inner);
+
+  std::string name() const override;
+  Packet compress(std::span<const float> gradient) override;
+  void decompress(const Packet& packet, std::span<float> out) override;
+  void set_theta(double theta) override { inner_->set_theta(theta); }
+  double theta() const override { return inner_->theta(); }
+  double modeled_seconds_per_byte(
+      const perfmodel::PrimitiveThroughputs& t) const override {
+    // One extra elementwise accumulate pass on top of the inner codec.
+    return inner_->modeled_seconds_per_byte(t) + 1.0 / t.conversion;
+  }
+
+  /// The residual currently carried forward (size of the last gradient).
+  std::span<const float> residual() const { return residual_; }
+  /// Drop the carried residual (e.g. at a learning-rate boundary).
+  void reset();
+
+  GradientCompressor& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<GradientCompressor> inner_;
+  std::vector<float> residual_;
+  std::vector<float> corrected_;
+};
+
+}  // namespace fftgrad::core

@@ -1,0 +1,38 @@
+// String-spec compressor factory: builds any codec in the framework from a
+// compact textual description, so examples, CLI tools, and sweep scripts
+// can select algorithms without recompiling.
+//
+// Grammar (case-sensitive, whitespace-free):
+//
+//   spec        := wrapped | base
+//   wrapped     := "ef[" spec "]"                      error feedback
+//                | "chunked:" uint "[" spec "]"        fixed-size chunks
+//   base        := "none"
+//                | "fft"      [ ":" kvlist ]           keys: theta, bits, fp16
+//                | "topk"     [ ":" kvlist ]           keys: theta
+//                | "qsgd"     [ ":" kvlist ]           keys: bits, seed
+//                | "terngrad" [ ":" kvlist ]           keys: seed
+//   kvlist      := key "=" value { "," key "=" value }
+//
+// Examples: "fft:theta=0.85,bits=10", "ef[topk:theta=0.95]",
+//           "chunked:65536[fft:theta=0.9,bits=8]".
+//
+// make_compressor throws std::invalid_argument with a message pointing at
+// the offending token for malformed specs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fftgrad/core/compressor.h"
+
+namespace fftgrad::core {
+
+std::unique_ptr<GradientCompressor> make_compressor(std::string_view spec);
+
+/// The base algorithm names make_compressor understands.
+std::vector<std::string> known_compressors();
+
+}  // namespace fftgrad::core

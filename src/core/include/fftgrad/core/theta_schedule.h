@@ -1,0 +1,66 @@
+// Sparsification-ratio schedules, the practical embodiment of the paper's
+// convergence theory (Sec 3.4):
+//
+//  * FixedTheta       — Theorem 3.4's setting: constant theta; a large
+//                       value loosens the gradient-norm bound by
+//                       theta^2 * 2*eta*sigma^2 / b and costs accuracy.
+//  * StepTheta        — the Fig 13 recovery experiment: hold theta, then
+//                       drop it (e.g. 0.9 -> 0) at a chosen epoch to pull
+//                       a failing run back to the SGD baseline.
+//  * DiminishingTheta — Theorem 3.5's rule theta_t^2 = L * eta_t: with a
+//                       diminishing step size the compressed SGD converges;
+//                       theta shrinks with the learning rate.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+
+namespace fftgrad::core {
+
+class ThetaSchedule {
+ public:
+  virtual ~ThetaSchedule() = default;
+  /// theta to use during `epoch`, given that epoch's learning rate.
+  virtual double at(std::size_t epoch, double learning_rate) const = 0;
+};
+
+class FixedTheta : public ThetaSchedule {
+ public:
+  explicit FixedTheta(double theta) : theta_(theta) {}
+  double at(std::size_t, double) const override { return theta_; }
+
+ private:
+  double theta_;
+};
+
+class StepTheta : public ThetaSchedule {
+ public:
+  StepTheta(double initial, double after, std::size_t drop_epoch)
+      : initial_(initial), after_(after), drop_epoch_(drop_epoch) {}
+  double at(std::size_t epoch, double) const override {
+    return epoch >= drop_epoch_ ? after_ : initial_;
+  }
+
+ private:
+  double initial_, after_;
+  std::size_t drop_epoch_;
+};
+
+class DiminishingTheta : public ThetaSchedule {
+ public:
+  /// theta_t = min(cap, sqrt(L * eta_t)); `lipschitz` is the (estimated)
+  /// smoothness constant L of the loss.
+  explicit DiminishingTheta(double lipschitz, double cap = 0.95)
+      : lipschitz_(lipschitz), cap_(cap) {}
+  double at(std::size_t, double learning_rate) const override {
+    return std::min(cap_, std::sqrt(lipschitz_ * learning_rate));
+  }
+
+ private:
+  double lipschitz_;
+  double cap_;
+};
+
+}  // namespace fftgrad::core

@@ -1,0 +1,170 @@
+#include "fftgrad/core/registry.h"
+
+#include <charconv>
+#include <map>
+#include <stdexcept>
+
+#include "fftgrad/core/baseline_compressors.h"
+#include "fftgrad/core/chunked_compressor.h"
+#include "fftgrad/core/error_feedback.h"
+#include "fftgrad/core/fft_compressor.h"
+
+namespace fftgrad::core {
+namespace {
+
+[[noreturn]] void fail(std::string_view spec, const std::string& why) {
+  throw std::invalid_argument("make_compressor(\"" + std::string(spec) + "\"): " + why);
+}
+
+std::map<std::string, std::string, std::less<>> parse_kvlist(std::string_view spec,
+                                                             std::string_view kvlist) {
+  std::map<std::string, std::string, std::less<>> out;
+  std::size_t at = 0;
+  while (at < kvlist.size()) {
+    const std::size_t comma = kvlist.find(',', at);
+    const std::string_view pair =
+        kvlist.substr(at, comma == std::string_view::npos ? std::string_view::npos : comma - at);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 >= pair.size()) {
+      fail(spec, "expected key=value, got '" + std::string(pair) + "'");
+    }
+    out.emplace(std::string(pair.substr(0, eq)), std::string(pair.substr(eq + 1)));
+    if (comma == std::string_view::npos) break;
+    at = comma + 1;
+  }
+  return out;
+}
+
+double parse_double(std::string_view spec, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument("trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    fail(spec, "bad numeric value '" + value + "'");
+  }
+}
+
+long parse_long(std::string_view spec, const std::string& value) {
+  long parsed = 0;
+  const auto* begin = value.data();
+  const auto* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc() || ptr != end) fail(spec, "bad integer value '" + value + "'");
+  return parsed;
+}
+
+template <typename Map>
+void reject_unknown_keys(std::string_view spec, const Map& kv,
+                         std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : kv) {
+    bool ok = false;
+    for (std::string_view a : allowed) {
+      if (key == a) ok = true;
+    }
+    if (!ok) fail(spec, "unknown option '" + key + "'");
+  }
+}
+
+std::unique_ptr<GradientCompressor> parse(std::string_view spec, std::string_view token);
+
+std::unique_ptr<GradientCompressor> parse_base(std::string_view spec, std::string_view token) {
+  std::string_view algo = token;
+  std::string_view kvlist;
+  const std::size_t colon = token.find(':');
+  if (colon != std::string_view::npos) {
+    algo = token.substr(0, colon);
+    kvlist = token.substr(colon + 1);
+  }
+  const auto kv = parse_kvlist(spec, kvlist);
+
+  if (algo == "none") {
+    reject_unknown_keys(spec, kv, {});
+    return std::make_unique<NoopCompressor>();
+  }
+  if (algo == "fp16") {
+    reject_unknown_keys(spec, kv, {});
+    return std::make_unique<HalfCompressor>();
+  }
+  if (algo == "onebit") {
+    reject_unknown_keys(spec, kv, {});
+    return std::make_unique<OneBitCompressor>();
+  }
+  if (algo == "fft") {
+    reject_unknown_keys(spec, kv, {"theta", "bits", "fp16"});
+    FftCompressorOptions options;
+    if (auto it = kv.find("theta"); it != kv.end()) options.theta = parse_double(spec, it->second);
+    if (auto it = kv.find("bits"); it != kv.end()) {
+      options.quantizer_bits = static_cast<int>(parse_long(spec, it->second));
+    }
+    if (auto it = kv.find("fp16"); it != kv.end()) {
+      options.use_fp16_stage = parse_long(spec, it->second) != 0;
+    }
+    return std::make_unique<FftCompressor>(options);
+  }
+  if (algo == "topk") {
+    reject_unknown_keys(spec, kv, {"theta"});
+    double theta = 0.85;
+    if (auto it = kv.find("theta"); it != kv.end()) theta = parse_double(spec, it->second);
+    return std::make_unique<TopKCompressor>(theta);
+  }
+  if (algo == "qsgd") {
+    reject_unknown_keys(spec, kv, {"bits", "seed"});
+    int bits = 3;
+    std::uint64_t seed = 0x95fd1e7u;
+    if (auto it = kv.find("bits"); it != kv.end()) {
+      bits = static_cast<int>(parse_long(spec, it->second));
+    }
+    if (auto it = kv.find("seed"); it != kv.end()) {
+      seed = static_cast<std::uint64_t>(parse_long(spec, it->second));
+    }
+    return std::make_unique<QsgdCompressor>(bits, seed);
+  }
+  if (algo == "terngrad") {
+    reject_unknown_keys(spec, kv, {"seed"});
+    std::uint64_t seed = 0x7e46c0deu;
+    if (auto it = kv.find("seed"); it != kv.end()) {
+      seed = static_cast<std::uint64_t>(parse_long(spec, it->second));
+    }
+    return std::make_unique<TernGradCompressor>(seed);
+  }
+  fail(spec, "unknown algorithm '" + std::string(algo) + "'");
+}
+
+std::unique_ptr<GradientCompressor> parse(std::string_view spec, std::string_view token) {
+  if (token.starts_with("ef[")) {
+    if (!token.ends_with(']')) fail(spec, "unbalanced brackets in '" + std::string(token) + "'");
+    return std::make_unique<ErrorFeedbackCompressor>(
+        parse(spec, token.substr(3, token.size() - 4)));
+  }
+  if (token.starts_with("chunked:")) {
+    const std::size_t open = token.find('[');
+    if (open == std::string_view::npos || !token.ends_with(']')) {
+      fail(spec, "chunked needs the form chunked:<elements>[<spec>]");
+    }
+    const long elements = parse_long(spec, std::string(token.substr(8, open - 8)));
+    if (elements <= 0) fail(spec, "chunk size must be positive");
+    const std::string inner(token.substr(open + 1, token.size() - open - 2));
+    return std::make_unique<ChunkedCompressor>(
+        [inner, spec_copy = std::string(spec)](std::size_t) {
+          return parse(spec_copy, inner);
+        },
+        static_cast<std::size_t>(elements));
+  }
+  return parse_base(spec, token);
+}
+
+}  // namespace
+
+std::unique_ptr<GradientCompressor> make_compressor(std::string_view spec) {
+  if (spec.empty()) fail(spec, "empty spec");
+  return parse(spec, spec);
+}
+
+std::vector<std::string> known_compressors() {
+  return {"none", "fp16", "onebit", "fft", "topk", "qsgd", "terngrad", "ef[...]",
+          "chunked:N[...]"};
+}
+
+}  // namespace fftgrad::core

@@ -1,0 +1,180 @@
+#include "fftgrad/core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fftgrad/nn/loss.h"
+#include "fftgrad/util/logging.h"
+#include "fftgrad/util/stats.h"
+#include "fftgrad/util/timer.h"
+
+namespace fftgrad::core {
+
+DistributedTrainer::DistributedTrainer(nn::Network model, nn::SyntheticDataset dataset,
+                                       TrainerConfig config)
+    : model_(std::move(model)), dataset_(std::move(dataset)), config_(config) {
+  if (config_.ranks == 0) throw std::invalid_argument("DistributedTrainer: ranks must be >= 1");
+  initial_params_.resize(model_.param_count());
+  model_.copy_params(initial_params_);
+}
+
+double DistributedTrainer::evaluate() {
+  const nn::Batch test = dataset_.test_set(config_.test_size);
+  nn::SoftmaxCrossEntropy criterion;
+  std::size_t hits = 0;
+  const std::size_t total = test.labels.size();
+  const std::size_t input_size = dataset_.input_size();
+  for (std::size_t at = 0; at < total; at += config_.eval_batch) {
+    const std::size_t count = std::min(config_.eval_batch, total - at);
+    std::vector<std::size_t> shape;
+    shape.push_back(count);
+    for (std::size_t d : dataset_.input_shape()) shape.push_back(d);
+    tensor::Tensor chunk(std::move(shape));
+    std::copy(test.inputs.data() + at * input_size,
+              test.inputs.data() + (at + count) * input_size, chunk.data());
+    const tensor::Tensor logits = model_.forward(chunk);
+    const std::span<const std::size_t> labels(test.labels.data() + at, count);
+    hits += static_cast<std::size_t>(
+        std::llround(nn::accuracy(logits, labels) * static_cast<double>(count)));
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+TrainResult DistributedTrainer::train(const CompressorFactory& factory,
+                                      const ThetaSchedule& theta_schedule,
+                                      const nn::StepLrSchedule& lr_schedule) {
+  // Reset to the shared initialization so algorithm comparisons are fair.
+  model_.set_params(initial_params_);
+  nn::SgdOptimizer optimizer(config_.momentum);
+  nn::SoftmaxCrossEntropy criterion;
+
+  const std::size_t grad_size = model_.param_count();
+  const double raw_bytes = static_cast<double>(grad_size) * sizeof(float);
+  // Wire-size rescale factor for paper-scale mode (1.0 in measured mode).
+  const double wire_scale =
+      config_.paper_scale ? config_.paper_scale->raw_gradient_bytes / raw_bytes : 1.0;
+
+  std::vector<std::unique_ptr<GradientCompressor>> compressors;
+  std::vector<util::Rng> rank_rngs;
+  for (std::size_t r = 0; r < config_.ranks; ++r) {
+    compressors.push_back(factory(r));
+    rank_rngs.emplace_back(config_.seed * 7919 + r);
+  }
+
+  std::vector<float> rank_grad(grad_size);
+  std::vector<float> rank_recon(grad_size);
+  std::vector<float> mean_true(grad_size);
+  std::vector<float> mean_recon(grad_size);
+  std::vector<double> block_bytes(config_.ranks);
+
+  TrainResult result;
+  double sim_time = 0.0;
+  double total_wire = 0.0;
+  std::size_t total_iters = 0;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const double lr = lr_schedule.at(epoch);
+    const double theta = theta_schedule.at(epoch, lr);
+    for (auto& compressor : compressors) compressor->set_theta(theta);
+
+    double loss_sum = 0.0;
+    double alpha_sum = 0.0;
+    double ratio_sum = 0.0;
+    std::size_t ratio_count = 0;
+
+    for (std::size_t iter = 0; iter < config_.iters_per_epoch; ++iter) {
+      std::fill(mean_true.begin(), mean_true.end(), 0.0f);
+      std::fill(mean_recon.begin(), mean_recon.end(), 0.0f);
+      double slowest_rank = 0.0;
+
+      for (std::size_t r = 0; r < config_.ranks; ++r) {
+        util::WallTimer compute_timer;
+        const nn::Batch batch = dataset_.sample(config_.batch_per_rank, rank_rngs[r]);
+        model_.zero_grad();
+        const tensor::Tensor logits = model_.forward(batch.inputs);
+        loss_sum += criterion.forward(logits, batch.labels) / static_cast<double>(config_.ranks);
+        model_.backward(criterion.backward());
+        model_.copy_gradients(rank_grad);
+        const double compute_s = compute_timer.seconds();
+
+        util::WallTimer codec_timer;
+        const Packet packet = compressors[r]->compress(rank_grad);
+        compressors[r]->decompress(packet, rank_recon);
+        const double codec_s = codec_timer.seconds();
+
+        const double wire = static_cast<double>(packet.wire_bytes()) * wire_scale;
+        block_bytes[r] = wire;
+        total_wire += wire;
+        ratio_sum += packet.ratio();
+        ++ratio_count;
+
+        const float inv_ranks = 1.0f / static_cast<float>(config_.ranks);
+        for (std::size_t i = 0; i < grad_size; ++i) {
+          mean_true[i] += rank_grad[i] * inv_ranks;
+          mean_recon[i] += rank_recon[i] * inv_ranks;
+        }
+
+        double rank_time;
+        if (config_.paper_scale) {
+          // Compression + decompression, each charged at the algorithm's
+          // own modelled per-byte cost on the paper-scale message.
+          const double codec_model =
+              2.0 * config_.paper_scale->raw_gradient_bytes *
+              compressors[r]->modeled_seconds_per_byte(config_.paper_scale->throughputs);
+          rank_time = config_.paper_scale->compute_seconds + codec_model;
+        } else {
+          rank_time = compute_s + codec_s;
+        }
+        slowest_rank = std::max(slowest_rank, rank_time);
+      }
+
+      if (config_.record_alpha) {
+        alpha_sum += util::relative_error_alpha(mean_true, mean_recon);
+      }
+
+      // Every replica applies the same averaged reconstructed gradient.
+      model_.set_gradients(mean_recon);
+      optimizer.step(model_, static_cast<float>(lr));
+
+      if (config_.scheme == CommScheme::kBspAllgather) {
+        sim_time += slowest_rank + config_.network.allgatherv_time(block_bytes);
+        if (config_.param_sync_every != 0 &&
+            (total_iters + 1) % config_.param_sync_every == 0) {
+          sim_time += config_.network.broadcast_time(raw_bytes * wire_scale, config_.ranks);
+        }
+      } else {
+        // Parameter server: workers push compressed gradients through the
+        // server's inbound link (serialized) and pull fresh parameters
+        // every iteration through its outbound link.
+        sim_time += slowest_rank + config_.network.ps_push_time(block_bytes) +
+                    config_.network.ps_pull_time(raw_bytes * wire_scale, config_.ranks);
+      }
+      ++total_iters;
+    }
+
+    EpochRecord record;
+    record.epoch = epoch;
+    record.train_loss = loss_sum / static_cast<double>(config_.iters_per_epoch);
+    record.test_accuracy = evaluate();
+    record.theta = theta;
+    record.lr = lr;
+    record.sim_time_s = sim_time;
+    record.mean_alpha =
+        config_.record_alpha ? alpha_sum / static_cast<double>(config_.iters_per_epoch) : 0.0;
+    record.mean_ratio = ratio_count == 0 ? 0.0 : ratio_sum / static_cast<double>(ratio_count);
+    result.epochs.push_back(record);
+    util::log_debug() << "epoch " << epoch << " loss=" << record.train_loss
+                      << " acc=" << record.test_accuracy << " theta=" << theta
+                      << " sim_t=" << sim_time;
+  }
+
+  result.final_accuracy = result.epochs.empty() ? 0.0 : result.epochs.back().test_accuracy;
+  result.total_sim_time_s = sim_time;
+  result.total_wire_bytes = total_wire;
+  result.mean_iteration_time_s =
+      total_iters == 0 ? 0.0 : sim_time / static_cast<double>(total_iters);
+  return result;
+}
+
+}  // namespace fftgrad::core

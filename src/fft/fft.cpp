@@ -1,0 +1,226 @@
+#include "fftgrad/fft/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fftgrad::fft {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Iterative radix-2 Cooley-Tukey over a power-of-two length. Twiddles are
+/// computed in double and stored as float; the per-stage tables are laid
+/// out so the inner loop walks them contiguously.
+class Radix2 {
+ public:
+  explicit Radix2(std::size_t n) : n_(n) {
+    if (!is_power_of_two(n)) throw std::logic_error("Radix2: n must be a power of two");
+    log2n_ = 0;
+    while ((std::size_t{1} << log2n_) < n) ++log2n_;
+
+    bitrev_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t rev = 0;
+      for (std::size_t b = 0; b < log2n_; ++b) {
+        if (i & (std::size_t{1} << b)) rev |= std::size_t{1} << (log2n_ - 1 - b);
+      }
+      bitrev_[i] = rev;
+    }
+
+    // Forward twiddles for each butterfly half-length: w_m^j = exp(-i*pi*j/half).
+    twiddles_.resize(n > 1 ? n - 1 : 0);
+    std::size_t at = 0;
+    for (std::size_t half = 1; half < n; half <<= 1) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const double angle = -kPi * static_cast<double>(j) / static_cast<double>(half);
+        twiddles_[at++] = cfloat(static_cast<float>(std::cos(angle)),
+                                 static_cast<float>(std::sin(angle)));
+      }
+    }
+  }
+
+  std::size_t size() const { return n_; }
+
+  /// In-place transform of `data` (length n_). `invert` conjugates the
+  /// twiddles; normalization is the caller's responsibility.
+  void transform(cfloat* data, bool invert) const {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const std::size_t j = bitrev_[i];
+      if (i < j) std::swap(data[i], data[j]);
+    }
+    std::size_t at = 0;
+    for (std::size_t half = 1; half < n_; half <<= 1) {
+      const cfloat* w = &twiddles_[at];
+      const std::size_t step = half << 1;
+      for (std::size_t base = 0; base < n_; base += step) {
+        for (std::size_t j = 0; j < half; ++j) {
+          const cfloat tw = invert ? std::conj(w[j]) : w[j];
+          cfloat& a = data[base + j];
+          cfloat& b = data[base + j + half];
+          const cfloat t = b * tw;
+          b = a - t;
+          a = a + t;
+        }
+      }
+      at += half;
+    }
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t log2n_ = 0;
+  std::vector<std::size_t> bitrev_;
+  std::vector<cfloat> twiddles_;
+};
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+struct FftPlan::Impl {
+  std::size_t n;
+  // Power-of-two path.
+  std::unique_ptr<Radix2> radix2;
+  // Bluestein path: chirp c[j] = exp(-i*pi*j^2/n), padded length m >= 2n-1,
+  // and the precomputed FFT of the (conjugate) chirp filter b.
+  std::unique_ptr<Radix2> padded;
+  std::vector<cfloat> chirp;       // length n
+  std::vector<cfloat> filter_fft;  // length m
+
+  explicit Impl(std::size_t size) : n(size) {
+    if (n == 0) throw std::invalid_argument("FftPlan: size must be >= 1");
+    if (is_power_of_two(n)) {
+      radix2 = std::make_unique<Radix2>(n);
+      return;
+    }
+    const std::size_t m = next_power_of_two(2 * n - 1);
+    padded = std::make_unique<Radix2>(m);
+    chirp.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      // j^2 mod 2n keeps the angle argument small for large n.
+      const std::size_t j2 = (static_cast<unsigned long long>(j) * j) % (2 * n);
+      const double angle = -kPi * static_cast<double>(j2) / static_cast<double>(n);
+      chirp[j] = cfloat(static_cast<float>(std::cos(angle)),
+                        static_cast<float>(std::sin(angle)));
+    }
+    std::vector<cfloat> filter(m, cfloat(0.0f, 0.0f));
+    filter[0] = std::conj(chirp[0]);
+    for (std::size_t j = 1; j < n; ++j) {
+      filter[j] = std::conj(chirp[j]);
+      filter[m - j] = std::conj(chirp[j]);
+    }
+    padded->transform(filter.data(), /*invert=*/false);
+    filter_fft = std::move(filter);
+  }
+
+  void execute(std::span<const cfloat> in, std::span<cfloat> out, bool invert) const {
+    if (in.size() != n || out.size() != n) throw std::invalid_argument("FftPlan: bad span length");
+    if (radix2) {
+      if (out.data() != in.data()) std::copy(in.begin(), in.end(), out.begin());
+      radix2->transform(out.data(), invert);
+    } else {
+      bluestein(in, out, invert);
+    }
+    if (invert) {
+      const float scale = 1.0f / static_cast<float>(n);
+      for (cfloat& v : out) v *= scale;
+    }
+  }
+
+  void bluestein(std::span<const cfloat> in, std::span<cfloat> out, bool invert) const {
+    const std::size_t m = padded->size();
+    std::vector<cfloat> a(m, cfloat(0.0f, 0.0f));
+    for (std::size_t j = 0; j < n; ++j) {
+      const cfloat c = invert ? std::conj(chirp[j]) : chirp[j];
+      a[j] = in[j] * c;
+    }
+    padded->transform(a.data(), /*invert=*/false);
+    if (!invert) {
+      for (std::size_t j = 0; j < m; ++j) a[j] *= filter_fft[j];
+    } else {
+      // The chirp filter kernel is an even sequence, so the FFT of its
+      // conjugate (the inverse-transform filter) equals conj(filter_fft).
+      for (std::size_t j = 0; j < m; ++j) a[j] *= std::conj(filter_fft[j]);
+    }
+    padded->transform(a.data(), /*invert=*/true);
+    const float scale = 1.0f / static_cast<float>(m);
+    for (std::size_t j = 0; j < n; ++j) {
+      const cfloat c = invert ? std::conj(chirp[j]) : chirp[j];
+      out[j] = a[j] * scale * c;
+    }
+  }
+};
+
+FftPlan::FftPlan(std::size_t n) : impl_(std::make_unique<Impl>(n)) {}
+FftPlan::~FftPlan() = default;
+FftPlan::FftPlan(FftPlan&&) noexcept = default;
+FftPlan& FftPlan::operator=(FftPlan&&) noexcept = default;
+
+std::size_t FftPlan::size() const { return impl_->n; }
+
+void FftPlan::forward(std::span<const cfloat> in, std::span<cfloat> out) const {
+  impl_->execute(in, out, /*invert=*/false);
+}
+
+void FftPlan::inverse(std::span<const cfloat> in, std::span<cfloat> out) const {
+  impl_->execute(in, out, /*invert=*/true);
+}
+
+void FftPlan::rfft(std::span<const float> in, std::span<cfloat> out) const {
+  const std::size_t n = impl_->n;
+  if (in.size() != n) throw std::invalid_argument("rfft: input length mismatch");
+  if (out.size() != real_bins()) throw std::invalid_argument("rfft: output length mismatch");
+  std::vector<cfloat> buf(n);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = cfloat(in[i], 0.0f);
+  impl_->execute(buf, buf, /*invert=*/false);
+  std::copy(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(real_bins()), out.begin());
+}
+
+void FftPlan::irfft(std::span<const cfloat> in, std::span<float> out) const {
+  const std::size_t n = impl_->n;
+  if (in.size() != real_bins()) throw std::invalid_argument("irfft: input length mismatch");
+  if (out.size() != n) throw std::invalid_argument("irfft: output length mismatch");
+  std::vector<cfloat> spectrum(n);
+  for (std::size_t k = 0; k < real_bins(); ++k) spectrum[k] = in[k];
+  // DC bin must be real for a real signal; same for the Nyquist bin when n
+  // is even. Rather than trusting the caller we project them.
+  spectrum[0] = cfloat(in[0].real(), 0.0f);
+  if (n % 2 == 0 && n >= 2) spectrum[n / 2] = cfloat(in[n / 2].real(), 0.0f);
+  for (std::size_t k = real_bins(); k < n; ++k) spectrum[k] = std::conj(spectrum[n - k]);
+  impl_->execute(spectrum, spectrum, /*invert=*/true);
+  for (std::size_t i = 0; i < n; ++i) out[i] = spectrum[i].real();
+}
+
+std::vector<cfloat> fft(std::span<const cfloat> in) {
+  std::vector<cfloat> out(in.size());
+  FftPlan(in.size()).forward(in, out);
+  return out;
+}
+
+std::vector<cfloat> ifft(std::span<const cfloat> in) {
+  std::vector<cfloat> out(in.size());
+  FftPlan(in.size()).inverse(in, out);
+  return out;
+}
+
+std::vector<cfloat> rfft(std::span<const float> in) {
+  FftPlan plan(in.size());
+  std::vector<cfloat> out(plan.real_bins());
+  plan.rfft(in, out);
+  return out;
+}
+
+std::vector<float> irfft(std::span<const cfloat> bins, std::size_t n) {
+  FftPlan plan(n);
+  std::vector<float> out(n);
+  plan.irfft(bins, out);
+  return out;
+}
+
+}  // namespace fftgrad::fft

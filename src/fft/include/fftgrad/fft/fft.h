@@ -1,0 +1,76 @@
+// From-scratch FFT library (the cuFFT substitute).
+//
+// FftPlan caches twiddle factors and bit-reversal tables for a fixed
+// transform size, mirroring cuFFT's plan-then-execute interface. Power-of-
+// two sizes run an iterative radix-2 Cooley-Tukey; every other size runs
+// Bluestein's chirp-z algorithm on top of a padded power-of-two plan, so
+// any gradient length is supported without copying into padded buffers at
+// the call site.
+//
+// Real transforms (what the compressor uses — gradients are real 1-D
+// signals) are exposed as rfft/irfft over the non-redundant half spectrum
+// of n/2 + 1 bins; irfft enforces the conjugate symmetry implicitly by
+// mirroring, so rfft followed by irfft reproduces the input to float
+// round-off.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace fftgrad::fft {
+
+using cfloat = std::complex<float>;
+
+class FftPlan {
+ public:
+  /// Plan for transforms of length n >= 1.
+  explicit FftPlan(std::size_t n);
+  ~FftPlan();
+  FftPlan(FftPlan&&) noexcept;
+  FftPlan& operator=(FftPlan&&) noexcept;
+  FftPlan(const FftPlan&) = delete;
+  FftPlan& operator=(const FftPlan&) = delete;
+
+  std::size_t size() const;
+
+  /// out[k] = sum_j in[j] * exp(-2*pi*i*j*k/n). in/out must have length n;
+  /// in-place (in.data() == out.data()) is allowed.
+  void forward(std::span<const cfloat> in, std::span<cfloat> out) const;
+
+  /// Inverse transform with 1/n normalization: inverse(forward(x)) == x.
+  void inverse(std::span<const cfloat> in, std::span<cfloat> out) const;
+
+  /// Number of non-redundant complex bins of a real transform: n/2 + 1.
+  std::size_t real_bins() const { return size() / 2 + 1; }
+
+  /// Real-to-complex forward transform. out must have real_bins() entries.
+  void rfft(std::span<const float> in, std::span<cfloat> out) const;
+
+  /// Complex-to-real inverse of rfft (1/n normalized). in must have
+  /// real_bins() entries, out length n. Bins are treated as a conjugate-
+  /// symmetric spectrum; any imaginary part in bin 0 (and bin n/2 for even
+  /// n) is ignored.
+  void irfft(std::span<const cfloat> in, std::span<float> out) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// True iff n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+/// One-shot convenience wrappers (construct a plan internally; prefer
+/// FftPlan for repeated transforms of the same size).
+std::vector<cfloat> fft(std::span<const cfloat> in);
+std::vector<cfloat> ifft(std::span<const cfloat> in);
+std::vector<cfloat> rfft(std::span<const float> in);
+std::vector<float> irfft(std::span<const cfloat> bins, std::size_t n);
+
+}  // namespace fftgrad::fft

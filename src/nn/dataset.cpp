@@ -1,0 +1,76 @@
+#include "fftgrad/nn/dataset.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fftgrad::nn {
+
+SyntheticDataset::SyntheticDataset(std::vector<std::size_t> input_shape, std::size_t classes,
+                                   std::uint64_t seed, std::size_t teacher_hidden,
+                                   double label_noise)
+    : input_shape_(std::move(input_shape)), classes_(classes), hidden_(teacher_hidden),
+      seed_(seed), label_noise_(label_noise) {
+  if (classes_ < 2) throw std::invalid_argument("SyntheticDataset: need >= 2 classes");
+  input_size_ = 1;
+  for (std::size_t d : input_shape_) input_size_ *= d;
+  if (input_size_ == 0) throw std::invalid_argument("SyntheticDataset: empty input shape");
+
+  util::Rng teacher_rng(seed ^ 0xfeedfacecafebeefull);
+  const float s1 = std::sqrt(1.0f / static_cast<float>(input_size_));
+  const float s2 = std::sqrt(1.0f / static_cast<float>(hidden_));
+  w1_.resize(hidden_ * input_size_);
+  b1_.resize(hidden_);
+  w2_.resize(classes_ * hidden_);
+  b2_.resize(classes_);
+  for (float& v : w1_) v = static_cast<float>(teacher_rng.normal(0.0, s1));
+  for (float& v : b1_) v = static_cast<float>(teacher_rng.normal(0.0, 0.1));
+  for (float& v : w2_) v = static_cast<float>(teacher_rng.normal(0.0, s2));
+  for (float& v : b2_) v = static_cast<float>(teacher_rng.normal(0.0, 0.1));
+}
+
+std::size_t SyntheticDataset::label_of(std::span<const float> x) const {
+  std::vector<float> hidden(hidden_);
+  for (std::size_t h = 0; h < hidden_; ++h) {
+    float acc = b1_[h];
+    const float* row = w1_.data() + h * input_size_;
+    for (std::size_t i = 0; i < input_size_; ++i) acc += row[i] * x[i];
+    hidden[h] = std::tanh(acc);
+  }
+  std::size_t best = 0;
+  float best_score = -std::numeric_limits<float>::infinity();
+  for (std::size_t c = 0; c < classes_; ++c) {
+    float acc = b2_[c];
+    const float* row = w2_.data() + c * hidden_;
+    for (std::size_t h = 0; h < hidden_; ++h) acc += row[h] * hidden[h];
+    if (acc > best_score) {
+      best_score = acc;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Batch SyntheticDataset::sample(std::size_t batch_size, util::Rng& rng) const {
+  std::vector<std::size_t> shape;
+  shape.push_back(batch_size);
+  for (std::size_t d : input_shape_) shape.push_back(d);
+  Batch batch{tensor::Tensor(std::move(shape)), std::vector<std::size_t>(batch_size)};
+  for (std::size_t n = 0; n < batch_size; ++n) {
+    float* x = batch.inputs.data() + n * input_size_;
+    for (std::size_t i = 0; i < input_size_; ++i) x[i] = static_cast<float>(rng.normal());
+    if (label_noise_ > 0.0 && rng.bernoulli(label_noise_)) {
+      batch.labels[n] = rng.uniform_index(classes_);
+    } else {
+      batch.labels[n] = label_of({x, input_size_});
+    }
+  }
+  return batch;
+}
+
+Batch SyntheticDataset::test_set(std::size_t size) const {
+  util::Rng test_rng(seed_ ^ 0x7e57da7a5e7c0de5ull);
+  return sample(size, test_rng);
+}
+
+}  // namespace fftgrad::nn

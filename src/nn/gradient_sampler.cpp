@@ -1,0 +1,44 @@
+#include "fftgrad/nn/gradient_sampler.h"
+
+#include "fftgrad/nn/dataset.h"
+#include "fftgrad/nn/loss.h"
+#include "fftgrad/nn/models.h"
+#include "fftgrad/nn/network.h"
+#include "fftgrad/nn/optimizer.h"
+
+namespace fftgrad::nn {
+
+std::vector<float> sample_training_gradient(const GradientSampleOptions& options) {
+  util::Rng rng(options.seed);
+  Network net;
+  SyntheticDataset data =
+      options.source == GradientSource::kConvNet
+          ? SyntheticDataset({3, 12, 12}, 8, options.seed + 1, 48, /*label_noise=*/0.15)
+          : SyntheticDataset({32}, 8, options.seed + 1, 48, /*label_noise=*/0.15);
+  if (options.source == GradientSource::kConvNet) {
+    net = models::make_resnet_mini(12, 2, 8, rng);
+  } else {
+    net = models::make_mlp(32, 96, 3, 8, rng);
+  }
+
+  SgdOptimizer opt(0.9f);
+  SoftmaxCrossEntropy criterion;
+  util::Rng batch_rng(options.seed + 2);
+  for (std::size_t i = 0; i < options.warm_iters; ++i) {
+    const Batch batch = data.sample(options.batch, batch_rng);
+    net.zero_grad();
+    criterion.forward(net.forward(batch.inputs), batch.labels);
+    net.backward(criterion.backward());
+    opt.step(net, options.lr);
+  }
+  // A fresh, unapplied mini-batch gradient at the sampled point.
+  const Batch batch = data.sample(options.batch, batch_rng);
+  net.zero_grad();
+  criterion.forward(net.forward(batch.inputs), batch.labels);
+  net.backward(criterion.backward());
+  std::vector<float> grad(net.param_count());
+  net.copy_gradients(grad);
+  return grad;
+}
+
+}  // namespace fftgrad::nn

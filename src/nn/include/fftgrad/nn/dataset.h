@@ -1,0 +1,64 @@
+// Synthetic teacher-labelled datasets (the ImageNet/CIFAR-10 substitute;
+// see DESIGN.md "Hardware / data substitutions").
+//
+// Inputs are i.i.d. standard normal; labels come from a fixed random
+// two-layer tanh "teacher" network, so the decision boundaries are smooth
+// but non-linear and a student of comparable capacity can genuinely learn
+// the task (accuracy rises well above chance and saturates below 100%).
+// Because the mapping is fixed by the seed, every rank and every algorithm
+// sees exactly the same distribution, and an i.i.d. test split is just a
+// disjoint stream from the same generator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fftgrad/tensor/tensor.h"
+#include "fftgrad/util/rng.h"
+
+namespace fftgrad::nn {
+
+struct Batch {
+  tensor::Tensor inputs;             ///< (N, ...input_shape)
+  std::vector<std::size_t> labels;   ///< N class indices
+};
+
+class SyntheticDataset {
+ public:
+  /// input_shape excludes the batch dimension (e.g. {3, 16, 16} for image
+  /// models, {64} for MLPs). `label_noise` is the probability a sample's
+  /// teacher label is replaced by a uniform random class — it puts a floor
+  /// under the achievable loss so gradients stay informative late in
+  /// training (real datasets have irreducible error; a noiseless teacher
+  /// task saturates and gradients collapse to zero).
+  SyntheticDataset(std::vector<std::size_t> input_shape, std::size_t classes,
+                   std::uint64_t seed, std::size_t teacher_hidden = 48,
+                   double label_noise = 0.1);
+
+  std::size_t classes() const { return classes_; }
+  const std::vector<std::size_t>& input_shape() const { return input_shape_; }
+  std::size_t input_size() const { return input_size_; }
+
+  /// Draw a fresh batch from `rng` (training stream).
+  Batch sample(std::size_t batch_size, util::Rng& rng) const;
+
+  /// Deterministic held-out set: same for every call with the same size.
+  Batch test_set(std::size_t size) const;
+
+ private:
+  std::size_t label_of(std::span<const float> x) const;
+
+  std::vector<std::size_t> input_shape_;
+  std::size_t input_size_;
+  std::size_t classes_;
+  std::size_t hidden_;
+  std::uint64_t seed_;
+  double label_noise_;
+  std::vector<float> w1_;  // hidden x input
+  std::vector<float> b1_;  // hidden
+  std::vector<float> w2_;  // classes x hidden
+  std::vector<float> b2_;  // classes
+};
+
+}  // namespace fftgrad::nn

@@ -1,0 +1,30 @@
+// Sample realistic DNN gradients: train a model for a configurable number
+// of iterations on the synthetic task and capture a fresh (unapplied)
+// mini-batch gradient. Used by the reconstruction-quality benches and
+// tests (Figs 4, 5, 15) — the paper samples gradients of ResNet32 during
+// training, and the FFT-vs-spatial comparison is only meaningful on
+// gradients with real spatial correlation, not i.i.d. noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fftgrad::nn {
+
+enum class GradientSource {
+  kConvNet,  ///< ResNet-style CNN: correlated conv-filter gradients
+  kMlp,      ///< dense layers: outer-product (low-rank) structure
+};
+
+struct GradientSampleOptions {
+  GradientSource source = GradientSource::kConvNet;
+  std::size_t warm_iters = 30;  ///< SGD iterations before sampling
+  std::size_t batch = 32;
+  float lr = 0.01f;
+  std::uint64_t seed = 7;
+};
+
+/// Returns the flat gradient of a model trained for `warm_iters` steps.
+std::vector<float> sample_training_gradient(const GradientSampleOptions& options = {});
+
+}  // namespace fftgrad::nn

@@ -1,0 +1,46 @@
+// Layer abstraction of the DNN substrate (the SuperNeurons stand-in).
+//
+// Layers are stateful: forward() caches whatever backward() needs, so one
+// Layer instance serves exactly one in-flight batch at a time. Parameters
+// and their gradients are owned by the layer and exposed through Param
+// views so the Network can flatten all gradients into the single 1-D
+// vector the compression pipeline consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fftgrad/tensor/tensor.h"
+
+namespace fftgrad::nn {
+
+/// Non-owning view of one trainable tensor and its gradient accumulator.
+struct Param {
+  tensor::Tensor* value = nullptr;
+  tensor::Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Human-readable layer tag for logging and the layer-wise benches.
+  virtual std::string name() const = 0;
+
+  /// x has leading batch dimension; returns the activation (also batched).
+  virtual tensor::Tensor forward(const tensor::Tensor& x) = 0;
+
+  /// grad_out is dL/d(output of forward); accumulates parameter gradients
+  /// (+=) and returns dL/d(input). Must be preceded by forward().
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_out) = 0;
+
+  /// Trainable parameters (empty for activations/pooling).
+  virtual std::vector<Param> params() { return {}; }
+
+  /// Zero all parameter gradients.
+  void zero_grad() {
+    for (Param p : params()) p.grad->fill(0.0f);
+  }
+};
+
+}  // namespace fftgrad::nn

@@ -1,0 +1,29 @@
+// Softmax cross-entropy loss with integer class labels; the training
+// criterion for every experiment (the paper trains classification nets).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "fftgrad/tensor/tensor.h"
+
+namespace fftgrad::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: (N x classes); labels: N class indices.
+  /// Returns mean loss over the batch; caches softmax for backward().
+  double forward(const tensor::Tensor& logits, std::span<const std::size_t> labels);
+
+  /// dL/dlogits of the cached forward pass (mean reduction).
+  tensor::Tensor backward() const;
+
+ private:
+  tensor::Tensor probs_;
+  std::vector<std::size_t> labels_;
+};
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const tensor::Tensor& logits, std::span<const std::size_t> labels);
+
+}  // namespace fftgrad::nn

@@ -1,0 +1,50 @@
+// Sequential network container with the flat-gradient interface the
+// compression pipeline needs: the paper's step 1 "linearize the gradients"
+// is copy_gradients(); the distributed trainer writes the averaged,
+// decompressed gradient back with set_gradients() before the SGD step.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fftgrad/nn/layer.h"
+
+namespace fftgrad::nn {
+
+class Network {
+ public:
+  Network() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Network& add(std::unique_ptr<Layer> layer);
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  tensor::Tensor forward(const tensor::Tensor& x);
+  /// Backward through all layers; accumulates parameter gradients.
+  void backward(const tensor::Tensor& grad_out);
+  void zero_grad();
+
+  /// All trainable parameters in layer order.
+  std::vector<Param> params();
+
+  /// Total number of trainable scalars (the gradient vector length).
+  std::size_t param_count();
+
+  /// Copy the concatenated parameter gradients into `out` (linearization).
+  void copy_gradients(std::span<float> out);
+  /// Overwrite the per-layer gradients from a flat vector.
+  void set_gradients(std::span<const float> flat);
+  /// Copy the concatenated parameter values into `out`.
+  void copy_params(std::span<float> out);
+  /// Overwrite parameters from a flat vector (used for rank sync).
+  void set_params(std::span<const float> flat);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace fftgrad::nn

@@ -1,0 +1,30 @@
+// Per-layer forward/backward wall-time profiling of a Network — the
+// measured counterpart of the paper's Fig 2 analysis. Combined with a
+// comm::NetworkModel and each layer's parameter count, this yields the
+// layer-wise comm-vs-comp picture for any model built in this framework.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fftgrad/nn/network.h"
+
+namespace fftgrad::nn {
+
+struct LayerProfile {
+  std::string name;
+  std::size_t param_count = 0;
+  double forward_s = 0.0;
+  double backward_s = 0.0;
+};
+
+/// Run `repeats` forward+backward passes of `input` through `net`, timing
+/// each layer individually; the upstream gradient for the backward pass is
+/// all-ones over the final activation. Returns per-layer mean times in
+/// layer order. Gradients are zeroed before and accumulated during the run
+/// (as in training); parameters are not updated.
+std::vector<LayerProfile> profile_network(Network& net, const tensor::Tensor& input,
+                                          std::size_t repeats = 3);
+
+}  // namespace fftgrad::nn

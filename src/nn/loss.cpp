@@ -1,0 +1,51 @@
+#include "fftgrad/nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fftgrad/tensor/ops.h"
+
+namespace fftgrad::nn {
+
+double SoftmaxCrossEntropy::forward(const tensor::Tensor& logits,
+                                    std::span<const std::size_t> labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: shape mismatch");
+  }
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+  probs_ = logits;
+  tensor::softmax_rows(probs_.flat(), batch, classes);
+  labels_.assign(labels.begin(), labels.end());
+  double loss = 0.0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    if (labels[n] >= classes) throw std::invalid_argument("SoftmaxCrossEntropy: bad label");
+    const double p = std::max<double>(probs_.at(n, labels[n]), 1e-12);
+    loss -= std::log(p);
+  }
+  return loss / static_cast<double>(batch);
+}
+
+tensor::Tensor SoftmaxCrossEntropy::backward() const {
+  const std::size_t batch = probs_.dim(0), classes = probs_.dim(1);
+  tensor::Tensor grad = probs_;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    grad.at(n, labels_[n]) -= 1.0f;
+    for (std::size_t c = 0; c < classes; ++c) grad.at(n, c) *= inv_batch;
+  }
+  return grad;
+}
+
+double accuracy(const tensor::Tensor& logits, std::span<const std::size_t> labels) {
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+  if (batch != labels.size()) throw std::invalid_argument("accuracy: shape mismatch");
+  std::vector<std::size_t> predicted(batch);
+  tensor::argmax_rows(logits.flat(), batch, classes, predicted);
+  std::size_t hits = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    if (predicted[n] == labels[n]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(batch);
+}
+
+}  // namespace fftgrad::nn

@@ -1,0 +1,88 @@
+#include "fftgrad/nn/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fftgrad::nn {
+
+Network& Network::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+tensor::Tensor Network::forward(const tensor::Tensor& x) {
+  tensor::Tensor activation = x;
+  for (auto& layer : layers_) activation = layer->forward(activation);
+  return activation;
+}
+
+void Network::backward(const tensor::Tensor& grad_out) {
+  tensor::Tensor grad = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) grad = (*it)->backward(grad);
+}
+
+void Network::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::vector<Param> Network::params() {
+  std::vector<Param> all;
+  for (auto& layer : layers_) {
+    for (Param p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::size_t Network::param_count() {
+  std::size_t total = 0;
+  for (Param p : params()) total += p.value->size();
+  return total;
+}
+
+void Network::copy_gradients(std::span<float> out) {
+  std::size_t at = 0;
+  for (Param p : params()) {
+    auto grad = p.grad->flat();
+    if (at + grad.size() > out.size()) throw std::invalid_argument("copy_gradients: out too small");
+    std::copy(grad.begin(), grad.end(), out.begin() + static_cast<std::ptrdiff_t>(at));
+    at += grad.size();
+  }
+  if (at != out.size()) throw std::invalid_argument("copy_gradients: out size mismatch");
+}
+
+void Network::set_gradients(std::span<const float> flat) {
+  std::size_t at = 0;
+  for (Param p : params()) {
+    auto grad = p.grad->flat();
+    if (at + grad.size() > flat.size()) throw std::invalid_argument("set_gradients: flat too small");
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(at),
+              flat.begin() + static_cast<std::ptrdiff_t>(at + grad.size()), grad.begin());
+    at += grad.size();
+  }
+  if (at != flat.size()) throw std::invalid_argument("set_gradients: flat size mismatch");
+}
+
+void Network::copy_params(std::span<float> out) {
+  std::size_t at = 0;
+  for (Param p : params()) {
+    auto value = p.value->flat();
+    if (at + value.size() > out.size()) throw std::invalid_argument("copy_params: out too small");
+    std::copy(value.begin(), value.end(), out.begin() + static_cast<std::ptrdiff_t>(at));
+    at += value.size();
+  }
+  if (at != out.size()) throw std::invalid_argument("copy_params: out size mismatch");
+}
+
+void Network::set_params(std::span<const float> flat) {
+  std::size_t at = 0;
+  for (Param p : params()) {
+    auto value = p.value->flat();
+    if (at + value.size() > flat.size()) throw std::invalid_argument("set_params: flat too small");
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(at),
+              flat.begin() + static_cast<std::ptrdiff_t>(at + value.size()), value.begin());
+    at += value.size();
+  }
+  if (at != flat.size()) throw std::invalid_argument("set_params: flat size mismatch");
+}
+
+}  // namespace fftgrad::nn

@@ -1,0 +1,41 @@
+#include "fftgrad/nn/profiler.h"
+
+#include <stdexcept>
+
+#include "fftgrad/util/timer.h"
+
+namespace fftgrad::nn {
+
+std::vector<LayerProfile> profile_network(Network& net, const tensor::Tensor& input,
+                                          std::size_t repeats) {
+  if (repeats == 0) throw std::invalid_argument("profile_network: repeats must be >= 1");
+  const std::size_t layers = net.layer_count();
+  std::vector<LayerProfile> profiles(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    profiles[l].name = net.layer(l).name();
+    for (Param p : net.layer(l).params()) profiles[l].param_count += p.value->size();
+  }
+
+  for (std::size_t r = 0; r < repeats; ++r) {
+    net.zero_grad();
+    // Forward, layer by layer, timed.
+    std::vector<tensor::Tensor> activations;
+    activations.reserve(layers + 1);
+    activations.push_back(input);
+    for (std::size_t l = 0; l < layers; ++l) {
+      util::WallTimer timer;
+      activations.push_back(net.layer(l).forward(activations.back()));
+      profiles[l].forward_s += timer.seconds() / static_cast<double>(repeats);
+    }
+    // Backward with an all-ones upstream gradient.
+    tensor::Tensor grad = tensor::Tensor::full(activations.back().shape(), 1.0f);
+    for (std::size_t l = layers; l-- > 0;) {
+      util::WallTimer timer;
+      grad = net.layer(l).backward(grad);
+      profiles[l].backward_s += timer.seconds() / static_cast<double>(repeats);
+    }
+  }
+  return profiles;
+}
+
+}  // namespace fftgrad::nn

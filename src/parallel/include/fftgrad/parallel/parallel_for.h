@@ -1,0 +1,144 @@
+// Data-parallel loop, reduction, and inclusive-scan primitives over index
+// ranges, scheduled on a ThreadPool. These mirror the GPU primitives the
+// paper relies on (Thrust's for_each / reduce / inclusive_scan): the packing
+// algorithm of Sec 3.2 is exactly mark + scan + scatter.
+//
+// Work is split into contiguous chunks, one per worker; each primitive
+// blocks until every chunk completes, and the first exception (if any)
+// is rethrown on the caller.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "fftgrad/parallel/thread_pool.h"
+
+namespace fftgrad::parallel {
+
+struct Range {
+  std::size_t begin;
+  std::size_t end;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Split [0, n) into at most `parts` non-empty contiguous ranges.
+inline std::vector<Range> split_range(std::size_t n, std::size_t parts) {
+  std::vector<Range> ranges;
+  if (n == 0 || parts == 0) return ranges;
+  parts = std::min(parts, n);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < parts; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    ranges.push_back({at, at + len});
+    at += len;
+  }
+  return ranges;
+}
+
+/// Run body(begin, end) over disjoint chunks covering [0, n).
+inline void parallel_for(ThreadPool& pool, std::size_t n,
+                         const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const auto ranges = split_range(n, pool.size());
+  if (ranges.size() == 1) {
+    body(0, n);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(ranges.size());
+  for (const Range& r : ranges) {
+    futures.push_back(pool.submit([&body, r] { body(r.begin, r.end); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+inline void parallel_for(std::size_t n,
+                         const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(ThreadPool::global(), n, body);
+}
+
+/// Tree reduction: combine per-chunk partials with `combine`.
+/// chunk_fn(begin, end) -> partial value for that chunk.
+template <typename T, typename ChunkFn, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::size_t n, T identity, ChunkFn chunk_fn,
+                  Combine combine) {
+  if (n == 0) return identity;
+  const auto ranges = split_range(n, pool.size());
+  if (ranges.size() == 1) return combine(identity, chunk_fn(std::size_t{0}, n));
+  std::vector<T> partials(ranges.size(), identity);
+  std::vector<std::future<void>> futures;
+  futures.reserve(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const Range r = ranges[i];
+    futures.push_back(
+        pool.submit([&partials, &chunk_fn, i, r] { partials[i] = chunk_fn(r.begin, r.end); }));
+  }
+  for (auto& f : futures) f.get();
+  T acc = identity;
+  for (const T& p : partials) acc = combine(acc, p);
+  return acc;
+}
+
+/// Parallel inclusive prefix sum (Blelloch two-pass over chunks):
+/// pass 1 computes each chunk's local inclusive scan and total,
+/// a serial exclusive scan over the (few) chunk totals yields offsets,
+/// pass 2 adds each chunk's offset. out[i] = in[0] + ... + in[i].
+template <typename TIn, typename TOut>
+void parallel_inclusive_scan(ThreadPool& pool, std::span<const TIn> in, std::span<TOut> out) {
+  if (in.size() != out.size()) throw std::invalid_argument("scan: size mismatch");
+  const std::size_t n = in.size();
+  if (n == 0) return;
+  const auto ranges = split_range(n, pool.size());
+  std::vector<TOut> totals(ranges.size(), TOut{});
+
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(ranges.size());
+    for (std::size_t c = 0; c < ranges.size(); ++c) {
+      const Range r = ranges[c];
+      futures.push_back(pool.submit([&, c, r] {
+        TOut acc{};
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          acc += static_cast<TOut>(in[i]);
+          out[i] = acc;
+        }
+        totals[c] = acc;
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  // Exclusive scan of chunk totals (serial; chunk count == thread count).
+  std::vector<TOut> offsets(ranges.size(), TOut{});
+  TOut running{};
+  for (std::size_t c = 0; c < ranges.size(); ++c) {
+    offsets[c] = running;
+    running += totals[c];
+  }
+
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(ranges.size());
+    for (std::size_t c = 1; c < ranges.size(); ++c) {
+      const Range r = ranges[c];
+      const TOut offset = offsets[c];
+      futures.push_back(pool.submit([&, offset, r] {
+        for (std::size_t i = r.begin; i < r.end; ++i) out[i] += offset;
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+}
+
+template <typename TIn, typename TOut>
+void parallel_inclusive_scan(std::span<const TIn> in, std::span<TOut> out) {
+  parallel_inclusive_scan(ThreadPool::global(), in, out);
+}
+
+}  // namespace fftgrad::parallel

@@ -1,0 +1,49 @@
+// Fixed-size worker pool with a blocking task queue.
+//
+// This is the CPU substitute for the paper's GPU execution substrate: the
+// packing, selection, and quantization primitives are expressed as
+// data-parallel loops over index ranges (see parallel_for.h) and scheduled
+// here. The pool is also used by comm::SimCluster to run one logical rank
+// per task.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fftgrad::parallel {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue `task`; the future resolves when it has run. Exceptions thrown
+  /// by the task propagate through the future.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Process-wide default pool, sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace fftgrad::parallel

@@ -1,0 +1,48 @@
+#include "fftgrad/perfmodel/cost_model.h"
+
+#include <stdexcept>
+
+namespace fftgrad::perfmodel {
+
+double seconds_per_byte(const PrimitiveThroughputs& t) {
+  if (t.conversion <= 0 || t.fft <= 0 || t.packing <= 0 || t.selection <= 0) {
+    throw std::invalid_argument("perfmodel: all primitive throughputs must be positive");
+  }
+  return 2.0 / t.conversion + 1.0 / t.fft + 1.0 / t.packing + 1.0 / t.selection;
+}
+
+double compression_cost(double bytes, const PrimitiveThroughputs& t) {
+  return bytes * seconds_per_byte(t);
+}
+
+double communication_cost(double bytes, double network_throughput, double ratio) {
+  if (network_throughput <= 0) throw std::invalid_argument("perfmodel: bad network throughput");
+  if (ratio <= 0) throw std::invalid_argument("perfmodel: ratio must be positive");
+  return bytes / network_throughput / ratio;
+}
+
+double saved_communication(double bytes, double network_throughput, double ratio) {
+  if (network_throughput <= 0) throw std::invalid_argument("perfmodel: bad network throughput");
+  if (ratio <= 0) throw std::invalid_argument("perfmodel: ratio must be positive");
+  return bytes / network_throughput * (1.0 - 1.0 / ratio);
+}
+
+std::optional<double> min_beneficial_ratio(double network_throughput,
+                                           const PrimitiveThroughputs& t) {
+  if (network_throughput <= 0) throw std::invalid_argument("perfmodel: bad network throughput");
+  const double denom = 1.0 - 2.0 * network_throughput * seconds_per_byte(t);
+  if (denom <= 0.0) return std::nullopt;
+  return 1.0 / denom;
+}
+
+double total_time_with_compression(double bytes, double network_throughput, double ratio,
+                                   const PrimitiveThroughputs& t) {
+  return 2.0 * compression_cost(bytes, t) + communication_cost(bytes, network_throughput, ratio);
+}
+
+double total_time_uncompressed(double bytes, double network_throughput) {
+  if (network_throughput <= 0) throw std::invalid_argument("perfmodel: bad network throughput");
+  return bytes / network_throughput;
+}
+
+}  // namespace fftgrad::perfmodel

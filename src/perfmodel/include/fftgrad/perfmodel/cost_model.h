@@ -1,0 +1,65 @@
+// The Sec 3.3 analytic performance model.
+//
+// Given the measured throughputs of the four compression primitives
+// (precision conversion Tm, FFT Tf, packing Tp, top-k selection Ts) and the
+// network throughput Tcomm, the model predicts
+//
+//   cost_comp  = M * (2/Tm + 1/Tf + 1/Tp + 1/Ts)               (Eq. 1)
+//   cost_comm  = (M / Tcomm) * (1/k)                           (Eq. 2)
+//   saved      = (M / Tcomm) * (1 - 1/k)                       (Eq. 3)
+//
+// and the minimal compression ratio with a net benefit,
+//
+//   k > 1 / (1 - 2*Tcomm*(2/Tm + 1/Tf + 1/Tp + 1/Ts))          (Eq. 4)
+//
+// (compression + decompression must cost less than the saved communication,
+// hence the factor 2). When the denominator is <= 0 no ratio helps — the
+// network outruns the compression primitives, the regime the paper flags
+// for fast InfiniBand with slow primitives.
+//
+// All throughputs are in bytes/second; message size M in bytes.
+#pragma once
+
+#include <optional>
+
+namespace fftgrad::perfmodel {
+
+struct PrimitiveThroughputs {
+  double conversion = 350e9;  ///< Tm: float<->half and range quantization
+  double fft = 180e9;         ///< Tf
+  double packing = 34e9;      ///< Tp (paper: 34 GB/s measured on a V100)
+  double selection = 35e9;    ///< Ts (bucket-select class kernels)
+  /// Throughput of stochastic quantization kernels (per-element RNG +
+  /// rounding), used by the QSGD/TernGrad baselines' cost models. Not part
+  /// of Eq. 1 (the paper's pipeline has no stochastic stage).
+  double stochastic = 10e9;
+};
+
+/// 1/Tm' aggregate of Eq. 1's parenthesised term (seconds per byte).
+double seconds_per_byte(const PrimitiveThroughputs& t);
+
+/// Eq. 1: one-sided compression cost for a message of `bytes`.
+double compression_cost(double bytes, const PrimitiveThroughputs& t);
+
+/// Eq. 2: post-compression communication cost.
+double communication_cost(double bytes, double network_throughput, double ratio);
+
+/// Eq. 3: communication saved relative to sending uncompressed.
+double saved_communication(double bytes, double network_throughput, double ratio);
+
+/// Eq. 4: minimal beneficial ratio, or nullopt when no finite ratio can
+/// compensate for the compression cost on this network.
+std::optional<double> min_beneficial_ratio(double network_throughput,
+                                           const PrimitiveThroughputs& t);
+
+/// End-to-end per-message time with compression (2x comp + compressed comm).
+double total_time_with_compression(double bytes, double network_throughput, double ratio,
+                                   const PrimitiveThroughputs& t);
+
+/// Per-message time without compression.
+double total_time_uncompressed(double bytes, double network_throughput);
+
+/// Convenience: convert link speed in Gbit/s to bytes/s.
+constexpr double gbps_to_bytes(double gbps) { return gbps * 1e9 / 8.0; }
+
+}  // namespace fftgrad::perfmodel

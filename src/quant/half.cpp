@@ -1,0 +1,121 @@
+#include "fftgrad/quant/half.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "fftgrad/parallel/parallel_for.h"
+
+namespace fftgrad::quant {
+namespace {
+
+// Spans shorter than this convert serially; the pool dispatch overhead
+// dominates below roughly this size.
+constexpr std::size_t kParallelThreshold = 1 << 16;
+
+std::uint16_t encode(float value) {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::uint32_t abs = f & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {
+    // Inf or NaN; preserve NaN-ness with a quiet mantissa bit.
+    const std::uint32_t mantissa = abs > 0x7f800000u ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | mantissa);
+  }
+  if (abs >= 0x47800000u) {
+    // Too large for half: saturate to infinity.
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs >= 0x38800000u) {
+    // Normal half. Rebias exponent (127 -> 15) and round mantissa 23 -> 10
+    // bits to nearest even.
+    const std::uint32_t rebased = abs - 0x38000000u;  // subtract (127-15)<<23
+    std::uint32_t half = rebased >> 13;
+    const std::uint32_t remainder = rebased & 0x1fffu;
+    if (remainder > 0x1000u || (remainder == 0x1000u && (half & 1u))) ++half;
+    return static_cast<std::uint16_t>(sign | half);
+  }
+  if (abs >= 0x33000000u) {
+    // Subnormal half: the result is round(|x| / 2^-24), i.e. the 24-bit
+    // significand shifted right by (126 - e) with round-to-nearest-even.
+    const std::uint32_t exponent = abs >> 23;
+    const std::uint32_t mantissa = (abs & 0x7fffffu) | 0x800000u;
+    const std::uint32_t shift = 126 - exponent;  // bits to discard, in [14, 24]
+    std::uint32_t half = mantissa >> shift;
+    const std::uint32_t mask = (1u << shift) - 1;
+    const std::uint32_t remainder = mantissa & mask;
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (remainder > halfway || (remainder == halfway && (half & 1u))) ++half;
+    return static_cast<std::uint16_t>(sign | half);
+  }
+  // Underflow to signed zero.
+  return static_cast<std::uint16_t>(sign);
+}
+
+float decode(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exponent = (h >> 10) & 0x1fu;
+  const std::uint32_t mantissa = h & 0x3ffu;
+
+  std::uint32_t f;
+  if (exponent == 0x1fu) {
+    f = sign | 0x7f800000u | (mantissa << 13);  // inf / nan
+  } else if (exponent != 0) {
+    f = sign | ((exponent + 112u) << 23) | (mantissa << 13);  // normal
+  } else if (mantissa != 0) {
+    // Subnormal half: normalize. A value m*2^-24 with bit 10 set after k
+    // shifts is 1.x * 2^(-15-k), i.e. float exponent field 113 - k.
+    std::uint32_t m = mantissa;
+    std::uint32_t e = 113;
+    while ((m & 0x400u) == 0) {
+      m <<= 1;
+      --e;
+    }
+    f = sign | (e << 23) | ((m & 0x3ffu) << 13);
+  } else {
+    f = sign;  // signed zero
+  }
+  return std::bit_cast<float>(f);
+}
+
+}  // namespace
+
+Half float_to_half(float value) { return Half{encode(value)}; }
+
+float half_to_float(Half value) { return decode(value.bits); }
+
+void float_to_half(std::span<const float> in, std::span<Half> out) {
+  if (in.size() != out.size()) throw std::invalid_argument("float_to_half: size mismatch");
+  if (in.size() < kParallelThreshold) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i].bits = encode(in[i]);
+    return;
+  }
+  parallel::parallel_for(in.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i].bits = encode(in[i]);
+  });
+}
+
+void half_to_float(std::span<const Half> in, std::span<float> out) {
+  if (in.size() != out.size()) throw std::invalid_argument("half_to_float: size mismatch");
+  if (in.size() < kParallelThreshold) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = decode(in[i].bits);
+    return;
+  }
+  parallel::parallel_for(in.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = decode(in[i].bits);
+  });
+}
+
+void half_round_trip(std::span<const float> in, std::span<float> out) {
+  if (in.size() != out.size()) throw std::invalid_argument("half_round_trip: size mismatch");
+  auto convert = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = decode(encode(in[i]));
+  };
+  if (in.size() < kParallelThreshold) {
+    convert(0, in.size());
+    return;
+  }
+  parallel::parallel_for(in.size(), convert);
+}
+
+}  // namespace fftgrad::quant

@@ -1,0 +1,56 @@
+// The two conventional N-bit quantization schemes the paper's Fig 7
+// compares against the range-based float: uniform bucketing of [min, max],
+// and an emulated N-bit IEEE-754-style format (1 sign bit, e exponent bits,
+// m mantissa bits with e + m = N - 1). Both are exposed as code/decode maps
+// so the Fig 7 bench can enumerate their representable values and measure
+// reconstruction error on gradient-like data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fftgrad::quant {
+
+/// Equal-width bins over [min, max]; each code decodes to its bin center.
+class UniformQuantizer {
+ public:
+  UniformQuantizer(int bits, float min, float max);
+
+  std::uint32_t encode(float value) const;
+  float decode(std::uint32_t code) const;
+  void round_trip(std::span<const float> in, std::span<float> out) const;
+  std::vector<float> representable_values() const;
+  std::uint32_t code_count() const { return count_; }
+
+ private:
+  float min_, max_, width_;
+  std::uint32_t count_;
+};
+
+/// N-bit IEEE-754-style float: 1 sign, `exponent_bits` exponent (standard
+/// bias 2^(e-1) - 1), `N - 1 - e` mantissa bits, with gradual underflow
+/// (subnormals) and saturation instead of infinities. Round-trips a float32
+/// through the emulated format.
+class IeeeNbitQuantizer {
+ public:
+  IeeeNbitQuantizer(int bits, int exponent_bits);
+
+  float round_trip(float value) const;
+  void round_trip(std::span<const float> in, std::span<float> out) const;
+  /// All non-negative representable values, ascending (for Fig 7).
+  std::vector<float> representable_values() const;
+  int bits() const { return bits_; }
+  int exponent_bits() const { return exponent_bits_; }
+  int mantissa_bits() const { return mantissa_bits_; }
+  /// Largest finite representable magnitude.
+  float max_value() const;
+  /// Smallest positive normal magnitude.
+  float min_normal() const;
+
+ private:
+  int bits_, exponent_bits_, mantissa_bits_;
+  int bias_;
+};
+
+}  // namespace fftgrad::quant

@@ -1,0 +1,107 @@
+#include "fftgrad/quant/simple_quantizers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fftgrad::quant {
+
+UniformQuantizer::UniformQuantizer(int bits, float min, float max)
+    : min_(min), max_(max) {
+  if (bits < 1 || bits > 24) throw std::invalid_argument("UniformQuantizer: bits in [1, 24]");
+  if (!(max > min)) throw std::invalid_argument("UniformQuantizer: max must exceed min");
+  count_ = std::uint32_t{1} << bits;
+  width_ = (max - min) / static_cast<float>(count_);
+}
+
+std::uint32_t UniformQuantizer::encode(float value) const {
+  const float clamped = std::clamp(value, min_, max_);
+  auto code = static_cast<std::int64_t>((clamped - min_) / width_);
+  code = std::clamp<std::int64_t>(code, 0, static_cast<std::int64_t>(count_) - 1);
+  return static_cast<std::uint32_t>(code);
+}
+
+float UniformQuantizer::decode(std::uint32_t code) const {
+  code = std::min(code, count_ - 1);
+  return min_ + (static_cast<float>(code) + 0.5f) * width_;
+}
+
+void UniformQuantizer::round_trip(std::span<const float> in, std::span<float> out) const {
+  if (in.size() != out.size()) throw std::invalid_argument("UniformQuantizer: size mismatch");
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = decode(encode(in[i]));
+}
+
+std::vector<float> UniformQuantizer::representable_values() const {
+  std::vector<float> values(count_);
+  for (std::uint32_t c = 0; c < count_; ++c) values[c] = decode(c);
+  return values;
+}
+
+IeeeNbitQuantizer::IeeeNbitQuantizer(int bits, int exponent_bits)
+    : bits_(bits), exponent_bits_(exponent_bits), mantissa_bits_(bits - 1 - exponent_bits) {
+  if (bits < 3 || bits > 32) throw std::invalid_argument("IeeeNbitQuantizer: bits in [3, 32]");
+  if (exponent_bits < 1 || mantissa_bits_ < 1) {
+    throw std::invalid_argument("IeeeNbitQuantizer: need >= 1 exponent and mantissa bit");
+  }
+  bias_ = (1 << (exponent_bits - 1)) - 1;
+}
+
+float IeeeNbitQuantizer::max_value() const {
+  // Largest finite: exponent = 2^e - 2 (top code is reserved, as in IEEE),
+  // mantissa all ones.
+  const int max_exp = (1 << exponent_bits_) - 2 - bias_;
+  const float mant = 2.0f - std::ldexp(1.0f, -mantissa_bits_);
+  return std::ldexp(mant, max_exp);
+}
+
+float IeeeNbitQuantizer::min_normal() const { return std::ldexp(1.0f, 1 - bias_); }
+
+float IeeeNbitQuantizer::round_trip(float value) const {
+  if (value == 0.0f || !(value == value)) return 0.0f;
+  const float sign = value < 0.0f ? -1.0f : 1.0f;
+  float mag = std::fabs(value);
+  const float max_v = max_value();
+  if (mag >= max_v) return sign * max_v;  // saturate
+
+  int exp = 0;
+  std::frexp(mag, &exp);  // mag = f * 2^exp, f in [0.5, 1)
+  --exp;                  // now mag = m * 2^exp with m in [1, 2)
+  const int min_exp = 1 - bias_;
+  if (exp < min_exp) {
+    // Subnormal region: fixed spacing of 2^(min_exp - mantissa_bits).
+    const float quantum = std::ldexp(1.0f, min_exp - mantissa_bits_);
+    const float quantized = std::nearbyint(mag / quantum) * quantum;
+    return sign * quantized;
+  }
+  // Normal: keep mantissa_bits fractional bits of the significand.
+  const float scale = std::ldexp(1.0f, mantissa_bits_ - exp);
+  const float quantized = std::nearbyint(mag * scale) / scale;
+  return sign * quantized;
+}
+
+void IeeeNbitQuantizer::round_trip(std::span<const float> in, std::span<float> out) const {
+  if (in.size() != out.size()) throw std::invalid_argument("IeeeNbitQuantizer: size mismatch");
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = round_trip(in[i]);
+}
+
+std::vector<float> IeeeNbitQuantizer::representable_values() const {
+  std::vector<float> values;
+  const int mant_count = 1 << mantissa_bits_;
+  const int min_exp = 1 - bias_;
+  values.push_back(0.0f);
+  // Subnormals.
+  for (int m = 1; m < mant_count; ++m) {
+    values.push_back(std::ldexp(static_cast<float>(m), min_exp - mantissa_bits_));
+  }
+  // Normals.
+  const int max_code = (1 << exponent_bits_) - 2;
+  for (int e = 1; e <= max_code; ++e) {
+    for (int m = 0; m < mant_count; ++m) {
+      const float significand = 1.0f + static_cast<float>(m) / static_cast<float>(mant_count);
+      values.push_back(std::ldexp(significand, e - bias_));
+    }
+  }
+  return values;
+}
+
+}  // namespace fftgrad::quant

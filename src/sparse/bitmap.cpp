@@ -1,0 +1,27 @@
+#include "fftgrad/sparse/bitmap.h"
+
+#include <bit>
+
+namespace fftgrad::sparse {
+
+std::size_t Bitmap::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t word : words_) total += static_cast<std::size_t>(std::popcount(word));
+  return total;
+}
+
+std::size_t Bitmap::rank(std::size_t i) const {
+  std::size_t total = 0;
+  const std::size_t full_words = i >> 6;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w]));
+  }
+  const std::size_t rem = i & 63;
+  if (rem != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << rem) - 1;
+    total += static_cast<std::size_t>(std::popcount(words_[full_words] & mask));
+  }
+  return total;
+}
+
+}  // namespace fftgrad::sparse

@@ -1,0 +1,45 @@
+// Status bitmap (Sec 3.2): one bit per gradient element marking whether it
+// survived sparsification. The bitmap travels with the packed values so the
+// receiver can scatter them back; its fixed n-bit cost is what caps the
+// useful compression ratio at ~20x in the paper's Fig 6.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fftgrad::sparse {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return bits_; }
+
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void clear(std::size_t i) { words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+  bool test(std::size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+
+  /// Number of set bits (popcount over words).
+  std::size_t count() const;
+
+  /// Number of set bits among positions [0, i) — the packed index of
+  /// position i when it is set.
+  std::size_t rank(std::size_t i) const;
+
+  std::span<const std::uint64_t> words() const { return words_; }
+  std::span<std::uint64_t> words() { return words_; }
+
+  /// Wire size in bytes.
+  std::size_t byte_size() const { return words_.size() * sizeof(std::uint64_t); }
+
+  bool operator==(const Bitmap& other) const = default;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fftgrad::sparse

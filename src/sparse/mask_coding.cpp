@@ -1,0 +1,123 @@
+#include "fftgrad/sparse/mask_coding.h"
+
+#include <bit>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+
+namespace fftgrad::sparse {
+namespace {
+
+/// Append `count` values of `bits` width each, little-endian bit order.
+void pack_indices(std::vector<std::uint8_t>& out, const std::vector<std::uint64_t>& values,
+                  int bits) {
+  const std::size_t start = out.size();
+  out.resize(start + (values.size() * static_cast<std::size_t>(bits) + 7) / 8, 0);
+  std::size_t bit_at = 0;
+  for (std::uint64_t value : values) {
+    std::size_t byte = start + (bit_at >> 3);
+    const std::size_t offset = bit_at & 7;
+    __uint128_t shifted = static_cast<__uint128_t>(value) << offset;
+    for (int remaining = bits + static_cast<int>(offset); remaining > 0;
+         remaining -= 8, shifted >>= 8, ++byte) {
+      out[byte] |= static_cast<std::uint8_t>(shifted & 0xffu);
+    }
+    bit_at += static_cast<std::size_t>(bits);
+  }
+}
+
+std::vector<std::uint64_t> unpack_indices(std::span<const std::uint8_t> bytes, int bits,
+                                          std::size_t count) {
+  if (bytes.size() * 8 < count * static_cast<std::size_t>(bits)) {
+    throw std::invalid_argument("decode_mask: truncated index payload");
+  }
+  std::vector<std::uint64_t> values(count);
+  const std::uint64_t mask =
+      bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+  std::size_t bit_at = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t byte = bit_at >> 3;
+    const std::size_t offset = bit_at & 7;
+    __uint128_t value = 0;
+    const std::size_t span_bytes = (offset + static_cast<std::size_t>(bits) + 7) / 8;
+    for (std::size_t b = 0; b < span_bytes; ++b) {
+      value |= static_cast<__uint128_t>(bytes[byte + b]) << (8 * b);
+    }
+    values[i] = static_cast<std::uint64_t>(value >> offset) & mask;
+    bit_at += static_cast<std::size_t>(bits);
+  }
+  return values;
+}
+
+}  // namespace
+
+int index_bits(std::size_t n) {
+  if (n <= 1) return 1;
+  return 64 - std::countl_zero(static_cast<std::uint64_t>(n - 1));
+}
+
+std::size_t bitmap_encoding_bytes(std::size_t n) { return ((n + 63) / 64) * 8; }
+
+std::size_t index_encoding_bytes(std::size_t n, std::size_t kept) {
+  // 8-byte survivor count + packed indices.
+  return 8 + (kept * static_cast<std::size_t>(index_bits(n)) + 7) / 8;
+}
+
+MaskEncoding choose_mask_encoding(std::size_t n, std::size_t kept) {
+  return index_encoding_bytes(n, kept) < bitmap_encoding_bytes(n) ? MaskEncoding::kIndexList
+                                                                  : MaskEncoding::kBitmap;
+}
+
+std::vector<std::uint8_t> encode_mask(const Bitmap& mask) {
+  const std::size_t n = mask.size();
+  const std::size_t kept = mask.count();
+  std::vector<std::uint8_t> out;
+  const MaskEncoding encoding = choose_mask_encoding(n, kept);
+  out.push_back(static_cast<std::uint8_t>(encoding));
+  if (encoding == MaskEncoding::kBitmap) {
+    const auto words = mask.words();
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(words.data());
+    out.insert(out.end(), raw, raw + words.size_bytes());
+    return out;
+  }
+  // Index list: survivor count then packed positions in ascending order.
+  const std::uint64_t count = kept;
+  const auto* count_raw = reinterpret_cast<const std::uint8_t*>(&count);
+  out.insert(out.end(), count_raw, count_raw + sizeof(count));
+  std::vector<std::uint64_t> positions;
+  positions.reserve(kept);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask.test(i)) positions.push_back(i);
+  }
+  pack_indices(out, positions, index_bits(n));
+  return out;
+}
+
+Bitmap decode_mask(std::span<const std::uint8_t> bytes, std::size_t n) {
+  if (bytes.empty()) throw std::invalid_argument("decode_mask: empty payload");
+  const auto encoding = static_cast<MaskEncoding>(bytes[0]);
+  Bitmap mask(n);
+  if (encoding == MaskEncoding::kBitmap) {
+    auto words = mask.words();
+    if (bytes.size() - 1 < words.size_bytes()) {
+      throw std::invalid_argument("decode_mask: truncated bitmap payload");
+    }
+    std::memcpy(words.data(), bytes.data() + 1, words.size_bytes());
+    return mask;
+  }
+  if (encoding != MaskEncoding::kIndexList) {
+    throw std::invalid_argument("decode_mask: unknown encoding tag");
+  }
+  if (bytes.size() < 9) throw std::invalid_argument("decode_mask: truncated index header");
+  std::uint64_t count = 0;
+  std::memcpy(&count, bytes.data() + 1, sizeof(count));
+  const auto positions =
+      unpack_indices(bytes.subspan(9), index_bits(n), static_cast<std::size_t>(count));
+  for (std::uint64_t p : positions) {
+    if (p >= n) throw std::invalid_argument("decode_mask: index out of range");
+    mask.set(static_cast<std::size_t>(p));
+  }
+  return mask;
+}
+
+}  // namespace fftgrad::sparse

@@ -1,0 +1,34 @@
+// Tensor kernels used by the NN layers: GEMM (the workhorse of Dense and
+// im2col-based Conv2d), axpy-style elementwise updates, and softmax.
+// GEMM is blocked for cache reuse and parallelized across row panels.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "fftgrad/tensor/tensor.h"
+
+namespace fftgrad::tensor {
+
+/// C(m x n) = alpha * op(A) * op(B) + beta * C, row-major.
+/// op(A) is A (m x k) or A^T when transpose_a (A stored k x m); same for B.
+void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+          bool transpose_a, const float* b, bool transpose_b, float beta, float* c);
+
+/// y += alpha * x (sizes must match).
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// y = y * scale.
+void scale(std::span<float> y, float factor);
+
+/// In-place row-wise softmax of a (rows x cols) matrix.
+void softmax_rows(std::span<float> logits, std::size_t rows, std::size_t cols);
+
+/// Sum of all elements.
+double sum(std::span<const float> x);
+
+/// Index of the max element of each row; out must have `rows` entries.
+void argmax_rows(std::span<const float> values, std::size_t rows, std::size_t cols,
+                 std::span<std::size_t> out);
+
+}  // namespace fftgrad::tensor

@@ -1,0 +1,68 @@
+// Dense float32 tensor: the storage type of the DNN substrate.
+//
+// Deliberately simple — owning, contiguous, row-major — because the paper's
+// compression pipeline treats every gradient as a flat 1-D signal anyway
+// (pipeline step 1 "linearize the gradients"). Shape is kept only for the
+// NN layers' convenience; `flat()` exposes the linearized view the
+// compressors consume.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "fftgrad/util/rng.h"
+
+namespace fftgrad::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  static Tensor zeros(std::vector<std::size_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<std::size_t> shape, float value);
+  /// I.i.d. normal entries (used by layer initializers).
+  static Tensor randn(std::vector<std::size_t> shape, util::Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t axis) const { return shape_[axis]; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Element access for ranks 2/3/4 (row-major).
+  float& at(std::size_t i, std::size_t j) { return data_[i * shape_[1] + j]; }
+  float at(std::size_t i, std::size_t j) const { return data_[i * shape_[1] + j]; }
+  float& at(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  float& at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) {
+    return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+  }
+  float at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const {
+    return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+  }
+
+  void fill(float value);
+  /// Reinterpret with a new shape of identical element count.
+  void reshape(std::vector<std::size_t> shape);
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fftgrad::tensor

@@ -1,0 +1,138 @@
+#include "fftgrad/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "fftgrad/parallel/parallel_for.h"
+
+namespace fftgrad::tensor {
+namespace {
+
+// Row-panel height per task; chosen so a panel of A plus a block of B fits
+// comfortably in L2.
+constexpr std::size_t kRowBlock = 64;
+constexpr std::size_t kColBlock = 256;
+constexpr std::size_t kDepthBlock = 256;
+
+inline const float* element_ptr(const float* base, bool transposed, std::size_t rows,
+                                std::size_t cols, std::size_t r, std::size_t c) {
+  (void)rows;
+  return transposed ? base + c * rows + r : base + r * cols + c;
+}
+
+}  // namespace
+
+void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+          bool transpose_a, const float* b, bool transpose_b, float beta, float* c) {
+  if (m == 0 || n == 0) return;
+
+  auto run_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    // Pack the needed stripe of A once per row block to make the inner loop
+    // a unit-stride dot product regardless of transposition.
+    std::vector<float> a_panel(kRowBlock * kDepthBlock);
+    for (std::size_t i0 = row_begin; i0 < row_end; i0 += kRowBlock) {
+      const std::size_t i_lim = std::min(i0 + kRowBlock, row_end);
+      // beta pass over this row stripe.
+      for (std::size_t i = i0; i < i_lim; ++i) {
+        float* row = c + i * n;
+        if (beta == 0.0f) {
+          std::fill(row, row + n, 0.0f);
+        } else if (beta != 1.0f) {
+          for (std::size_t j = 0; j < n; ++j) row[j] *= beta;
+        }
+      }
+      for (std::size_t p0 = 0; p0 < k; p0 += kDepthBlock) {
+        const std::size_t p_lim = std::min(p0 + kDepthBlock, k);
+        const std::size_t depth = p_lim - p0;
+        for (std::size_t i = i0; i < i_lim; ++i) {
+          float* dst = a_panel.data() + (i - i0) * kDepthBlock;
+          for (std::size_t p = p0; p < p_lim; ++p) {
+            dst[p - p0] = *element_ptr(a, transpose_a, m, k, i, p);
+          }
+        }
+        for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+          const std::size_t j_lim = std::min(j0 + kColBlock, n);
+          for (std::size_t i = i0; i < i_lim; ++i) {
+            const float* a_row = a_panel.data() + (i - i0) * kDepthBlock;
+            float* c_row = c + i * n;
+            if (!transpose_b) {
+              // B row-major (k x n): accumulate rank-1 style over p for
+              // unit-stride access to both B and C.
+              for (std::size_t p = 0; p < depth; ++p) {
+                const float av = alpha * a_row[p];
+                if (av == 0.0f) continue;
+                const float* b_row = b + (p0 + p) * n;
+                for (std::size_t j = j0; j < j_lim; ++j) c_row[j] += av * b_row[j];
+              }
+            } else {
+              // B^T stored (n x k): dot products over unit-stride B rows.
+              for (std::size_t j = j0; j < j_lim; ++j) {
+                const float* b_row = b + j * k + p0;
+                float acc = 0.0f;
+                for (std::size_t p = 0; p < depth; ++p) acc += a_row[p] * b_row[p];
+                c_row[j] += alpha * acc;
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+
+  auto& pool = parallel::ThreadPool::global();
+  if (m * n * k < (std::size_t{1} << 18) || pool.size() == 1) {
+    run_rows(0, m);
+    return;
+  }
+  parallel::parallel_for(pool, m, run_rows);
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> y, float factor) {
+  for (float& v : y) v *= factor;
+}
+
+void softmax_rows(std::span<float> logits, std::size_t rows, std::size_t cols) {
+  if (logits.size() != rows * cols) throw std::invalid_argument("softmax_rows: size mismatch");
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = logits.data() + r * cols;
+    float peak = row[0];
+    for (std::size_t j = 1; j < cols; ++j) peak = std::max(peak, row[j]);
+    float total = 0.0f;
+    for (std::size_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - peak);
+      total += row[j];
+    }
+    const float inv = 1.0f / total;
+    for (std::size_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
+
+double sum(std::span<const float> x) {
+  double total = 0.0;
+  for (float v : x) total += v;
+  return total;
+}
+
+void argmax_rows(std::span<const float> values, std::size_t rows, std::size_t cols,
+                 std::span<std::size_t> out) {
+  if (values.size() != rows * cols || out.size() != rows) {
+    throw std::invalid_argument("argmax_rows: size mismatch");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = values.data() + r * cols;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < cols; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[r] = best;
+  }
+}
+
+}  // namespace fftgrad::tensor

@@ -1,0 +1,40 @@
+#include "fftgrad/tensor/tensor.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace fftgrad::tensor {
+
+namespace {
+std::size_t element_count(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(element_count(shape_), 0.0f) {}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, util::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::reshape(std::vector<std::size_t> shape) {
+  if (element_count(shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch");
+  }
+  shape_ = std::move(shape);
+}
+
+}  // namespace fftgrad::tensor

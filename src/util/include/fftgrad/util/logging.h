@@ -1,0 +1,46 @@
+// Minimal leveled logger. Thread-safe: each Log() call emits one complete
+// line under a global mutex. Intended for coarse progress/diagnostic output
+// from benches and examples, not for per-element hot loops.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fftgrad::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` with a level tag and monotonic timestamp.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+class LineLogger {
+ public:
+  explicit LineLogger(LogLevel level) : level_(level) {}
+  ~LineLogger() { log_line(level_, stream_.str()); }
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LineLogger log_debug() { return detail::LineLogger(LogLevel::kDebug); }
+inline detail::LineLogger log_info() { return detail::LineLogger(LogLevel::kInfo); }
+inline detail::LineLogger log_warn() { return detail::LineLogger(LogLevel::kWarn); }
+inline detail::LineLogger log_error() { return detail::LineLogger(LogLevel::kError); }
+
+}  // namespace fftgrad::util

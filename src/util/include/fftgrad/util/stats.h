@@ -1,0 +1,84 @@
+// Descriptive statistics used throughout the evaluation benches:
+// histograms (Figs 4, 9, 15), empirical CDFs (Fig 15e), and summary
+// moments / error norms (Fig 5, Assumption 3.2's alpha).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fftgrad::util {
+
+/// Summary moments of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const float> values);
+
+/// ||a - b||_2 (Euclidean norm of the difference). Sizes must match.
+double l2_diff(std::span<const float> a, std::span<const float> b);
+
+/// ||a||_2.
+double l2_norm(std::span<const float> a);
+
+/// Root-mean-square of (a - b); the "err" reported in the paper's Fig 5.
+double rms_error(std::span<const float> a, std::span<const float> b);
+
+/// Assumption 3.2's relative compression error alpha = ||v - v_hat|| / ||v||.
+/// Returns 0 when ||v|| == 0 and v == v_hat, and +inf when ||v|| == 0 but
+/// v != v_hat (the degenerate case the paper discusses).
+double relative_error_alpha(std::span<const float> v, std::span<const float> v_hat);
+
+/// Fixed-width histogram over [lo, hi]; values outside are clamped into the
+/// boundary bins so mass is conserved (matches how the paper's histograms
+/// are plotted over a fixed gradient range).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add(std::span<const float> values);
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  std::size_t total() const { return total_; }
+  /// Center of bin i.
+  double center(std::size_t bin) const;
+  /// Fraction of mass in bin i (0 if empty histogram).
+  double fraction(std::size_t bin) const;
+
+  /// Render as rows of "center count fraction" plus an ASCII bar, suitable
+  /// for bench output.
+  std::string to_string(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Empirical CDF of a sample; used for the cumulative reconstruction-error
+/// distribution in Fig 15e.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// P(X <= x).
+  double at(double x) const;
+  /// Smallest x with P(X <= x) >= q, q in [0,1].
+  double quantile(double q) const;
+  std::size_t size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace fftgrad::util

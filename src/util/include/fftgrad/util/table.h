@@ -1,0 +1,41 @@
+// Aligned text tables + CSV output. Every bench prints its figure/table
+// reproduction through TableWriter so the rows are easy to diff against the
+// paper and to post-process (EXPERIMENTS.md records them).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fftgrad::util {
+
+class TableWriter {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> cells);
+
+  /// Number formatting for double cells (printf-style, default "%.4g").
+  void set_double_format(std::string fmt) { double_format_ = std::move(fmt); }
+
+  /// Render as an aligned, pipe-separated table.
+  std::string to_string() const;
+
+  /// Render as CSV (no alignment padding).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string render_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  std::string double_format_ = "%.4g";
+};
+
+}  // namespace fftgrad::util

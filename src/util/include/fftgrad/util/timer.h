@@ -1,0 +1,28 @@
+// Wall-clock timing helpers for benches and the trainer's compute-time
+// accounting. WallTimer measures real elapsed time; use comm::SimClock for
+// the simulated network time (the two are added in the trainer).
+#pragma once
+
+#include <chrono>
+
+namespace fftgrad::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fftgrad::util

@@ -1,0 +1,124 @@
+#include "fftgrad/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace fftgrad::util {
+
+Summary summarize(std::span<const float> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  for (float v : values) {
+    sum += v;
+    s.min = std::min(s.min, static_cast<double>(v));
+    s.max = std::max(s.max, static_cast<double>(v));
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double sq = 0.0;
+  for (float v : values) {
+    const double d = v - s.mean;
+    sq += d * d;
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+  return s;
+}
+
+double l2_diff(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("l2_diff: size mismatch");
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+double l2_norm(std::span<const float> a) {
+  double sq = 0.0;
+  for (float v : a) sq += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(sq);
+}
+
+double rms_error(std::span<const float> a, std::span<const float> b) {
+  if (a.empty()) return 0.0;
+  const double d = l2_diff(a, b);
+  return d / std::sqrt(static_cast<double>(a.size()));
+}
+
+double relative_error_alpha(std::span<const float> v, std::span<const float> v_hat) {
+  const double norm = l2_norm(v);
+  const double diff = l2_diff(v, v_hat);
+  if (norm == 0.0) {
+    return diff == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return diff / norm;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+}
+
+void Histogram::add(double value) {
+  auto bin = static_cast<std::ptrdiff_t>((value - lo_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add(std::span<const float> values) {
+  for (float v : values) add(v);
+}
+
+double Histogram::center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_string(std::size_t max_bar_width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * max_bar_width / peak;
+    out << (center(i) < 0 ? "" : " ");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.4f %10zu %.4f ", center(i), counts_[i], fraction(i));
+    out << buf << std::string(bar, '#') << '\n';
+  }
+  return out.str();
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (sorted_.empty()) throw std::logic_error("EmpiricalCdf::quantile on empty sample");
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(std::ceil(q * static_cast<double>(sorted_.size())) - 1.0,
+                       static_cast<double>(sorted_.size() - 1)));
+  return sorted_[std::max<std::size_t>(idx, 0)];
+}
+
+}  // namespace fftgrad::util

@@ -1,0 +1,78 @@
+#include "fftgrad/util/table.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace fftgrad::util {
+
+TableWriter::TableWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TableWriter: need at least one column");
+}
+
+void TableWriter::add_row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TableWriter: row width does not match header count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::render_cell(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  char buf[64];
+  if (const auto* d = std::get_if<double>(&cell)) {
+    std::snprintf(buf, sizeof(buf), double_format_.c_str(), *d);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%lld", std::get<long long>(cell));
+  return buf;
+}
+
+std::string TableWriter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "|" : "-|") << std::string(widths[c] + 2, '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rendered) emit_row(row);
+  return out.str();
+}
+
+std::string TableWriter::to_csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c ? "," : "") << headers_[c];
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << render_cell(row[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fftgrad::util

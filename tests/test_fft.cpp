@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "fftgrad/fft/fft.h"
+#include "fftgrad/util/rng.h"
+
+namespace fftgrad::fft {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// O(n^2) reference DFT in double precision.
+std::vector<std::complex<double>> reference_dft(std::span<const cfloat> in) {
+  const std::size_t n = in.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * kPi * static_cast<double>(j * k % n) / static_cast<double>(n);
+      acc += std::complex<double>(in[j].real(), in[j].imag()) *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<cfloat> random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<cfloat> signal(n);
+  for (auto& v : signal) {
+    v = cfloat(static_cast<float>(rng.normal()), static_cast<float>(rng.normal()));
+  }
+  return signal;
+}
+
+TEST(FftHelpers, PowerOfTwoPredicate) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1000));
+}
+
+TEST(FftHelpers, NextPowerOfTwo) {
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(1000), 1024u);
+}
+
+TEST(FftPlan, RejectsZeroSize) { EXPECT_THROW(FftPlan(0), std::invalid_argument); }
+
+TEST(FftPlan, SizeOneIsIdentity) {
+  FftPlan plan(1);
+  std::vector<cfloat> in = {cfloat(3.5f, -1.0f)};
+  std::vector<cfloat> out(1);
+  plan.forward(in, out);
+  EXPECT_FLOAT_EQ(out[0].real(), 3.5f);
+  EXPECT_FLOAT_EQ(out[0].imag(), -1.0f);
+}
+
+TEST(FftPlan, KnownFourPointTransform) {
+  // FFT of [1, 0, 0, 0] is all-ones.
+  FftPlan plan(4);
+  std::vector<cfloat> in = {cfloat(1, 0), cfloat(0, 0), cfloat(0, 0), cfloat(0, 0)};
+  std::vector<cfloat> out(4);
+  plan.forward(in, out);
+  for (const cfloat& v : out) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-6f);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-6f);
+  }
+}
+
+class FftAgainstReference : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftAgainstReference, ForwardMatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const auto signal = random_signal(n, 17 + n);
+  FftPlan plan(n);
+  std::vector<cfloat> out(n);
+  plan.forward(signal, out);
+  const auto expected = reference_dft(signal);
+  // Error grows ~log n; scale tolerance with sqrt(n).
+  const double tol = 1e-4 * std::sqrt(static_cast<double>(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(out[k].real(), expected[k].real(), tol) << "bin " << k << " n=" << n;
+    EXPECT_NEAR(out[k].imag(), expected[k].imag(), tol) << "bin " << k << " n=" << n;
+  }
+}
+
+TEST_P(FftAgainstReference, InverseRecoversSignal) {
+  const std::size_t n = GetParam();
+  const auto signal = random_signal(n, 99 + n);
+  FftPlan plan(n);
+  std::vector<cfloat> spectrum(n), recovered(n);
+  plan.forward(signal, spectrum);
+  plan.inverse(spectrum, recovered);
+  const double tol = 1e-4 * std::sqrt(static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(recovered[i].real(), signal[i].real(), tol);
+    EXPECT_NEAR(recovered[i].imag(), signal[i].imag(), tol);
+  }
+}
+
+// Mix of power-of-two (radix-2 path) and arbitrary sizes (Bluestein path),
+// including primes.
+INSTANTIATE_TEST_SUITE_P(Sizes, FftAgainstReference,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 31, 64, 100, 127, 128,
+                                           240, 255, 256));
+
+class RealFftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RealFftRoundTrip, IrfftInvertsRfft) {
+  const std::size_t n = GetParam();
+  util::Rng rng(3 * n + 1);
+  std::vector<float> signal(n);
+  for (float& v : signal) v = static_cast<float>(rng.normal(0.0, 0.1));
+  FftPlan plan(n);
+  std::vector<cfloat> bins(plan.real_bins());
+  plan.rfft(signal, bins);
+  std::vector<float> recovered(n);
+  plan.irfft(bins, recovered);
+  const double tol = 1e-5 * std::sqrt(static_cast<double>(n)) + 1e-6;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(recovered[i], signal[i], tol) << "i=" << i << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RealFftRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 9, 17, 64, 100, 255, 256, 1000,
+                                           4096, 10007));
+
+TEST(RealFft, BinCountIsHalfSpectrumPlusDc) {
+  EXPECT_EQ(FftPlan(8).real_bins(), 5u);
+  EXPECT_EQ(FftPlan(7).real_bins(), 4u);
+  EXPECT_EQ(FftPlan(1).real_bins(), 1u);
+}
+
+TEST(RealFft, DcBinEqualsSum) {
+  std::vector<float> signal = {1.0f, 2.0f, 3.0f, 4.0f};
+  const auto bins = rfft(signal);
+  EXPECT_NEAR(bins[0].real(), 10.0f, 1e-5f);
+  EXPECT_NEAR(bins[0].imag(), 0.0f, 1e-5f);
+}
+
+TEST(RealFft, PureToneConcentratesInOneBin) {
+  const std::size_t n = 64;
+  std::vector<float> signal(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    signal[i] = std::cos(2.0 * kPi * 5.0 * static_cast<double>(i) / static_cast<double>(n));
+  }
+  const auto bins = rfft(signal);
+  for (std::size_t k = 0; k < bins.size(); ++k) {
+    const float mag = std::abs(bins[k]);
+    if (k == 5) {
+      EXPECT_NEAR(mag, n / 2.0f, 1e-3f);
+    } else {
+      EXPECT_NEAR(mag, 0.0f, 1e-3f);
+    }
+  }
+}
+
+TEST(RealFft, ParsevalEnergyIsConserved) {
+  const std::size_t n = 128;
+  util::Rng rng(5);
+  std::vector<float> signal(n);
+  double time_energy = 0.0;
+  for (float& v : signal) {
+    v = static_cast<float>(rng.normal());
+    time_energy += static_cast<double>(v) * v;
+  }
+  const auto bins = rfft(signal);
+  double freq_energy = std::norm(bins[0]);
+  for (std::size_t k = 1; k + 1 < bins.size(); ++k) freq_energy += 2.0 * std::norm(bins[k]);
+  freq_energy += std::norm(bins.back());  // Nyquist (n even)
+  freq_energy /= static_cast<double>(n);
+  EXPECT_NEAR(freq_energy, time_energy, 1e-3 * time_energy);
+}
+
+TEST(FftPlan, InPlaceForwardMatchesOutOfPlace) {
+  const std::size_t n = 256;
+  auto signal = random_signal(n, 4);
+  std::vector<cfloat> expected(n);
+  FftPlan plan(n);
+  plan.forward(signal, expected);
+  plan.forward(signal, signal);  // in-place
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(signal[i].real(), expected[i].real());
+    EXPECT_FLOAT_EQ(signal[i].imag(), expected[i].imag());
+  }
+}
+
+TEST(FftPlan, LinearityHolds) {
+  const std::size_t n = 100;  // Bluestein path
+  const auto a = random_signal(n, 6);
+  const auto b = random_signal(n, 7);
+  std::vector<cfloat> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0f * a[i] + 3.0f * b[i];
+  const auto fa = fft(a);
+  const auto fb = fft(b);
+  const auto fsum = fft(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    const cfloat expected = 2.0f * fa[k] + 3.0f * fb[k];
+    EXPECT_NEAR(fsum[k].real(), expected.real(), 1e-3f);
+    EXPECT_NEAR(fsum[k].imag(), expected.imag(), 1e-3f);
+  }
+}
+
+TEST(FftPlan, RejectsWrongSpanLengths) {
+  FftPlan plan(8);
+  std::vector<cfloat> bad(7), out(8);
+  EXPECT_THROW(plan.forward(bad, out), std::invalid_argument);
+  std::vector<float> real_in(8);
+  std::vector<cfloat> bad_bins(4);
+  EXPECT_THROW(plan.rfft(real_in, bad_bins), std::invalid_argument);
+}
+
+TEST(FftPlan, IrfftProjectsNonHermitianDcToReal) {
+  // A deliberately inconsistent DC bin (imaginary part) must not corrupt
+  // the output: irfft projects DC/Nyquist to real, as a real signal needs.
+  FftPlan plan(4);
+  std::vector<cfloat> bins = {cfloat(4, 99), cfloat(0, 0), cfloat(0, 99)};
+  std::vector<float> out(4);
+  plan.irfft(bins, out);
+  for (float v : out) EXPECT_NEAR(v, 1.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace fftgrad::fft

@@ -1,0 +1,217 @@
+// Cross-module integration tests: compressed gradients flowing through the
+// SimCluster's real collectives, end-to-end parity between the sequential
+// trainer and an explicit multi-threaded BSP run, and full-pipeline
+// invariants that span fft + quant + sparse + core.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "fftgrad/comm/sim_cluster.h"
+#include "fftgrad/core/baseline_compressors.h"
+#include "fftgrad/core/compression_stats.h"
+#include "fftgrad/core/fft_compressor.h"
+#include "fftgrad/core/trainer.h"
+#include "fftgrad/nn/loss.h"
+#include "fftgrad/nn/models.h"
+#include "fftgrad/util/stats.h"
+
+namespace fftgrad::core {
+namespace {
+
+std::vector<float> gradient_like(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> g(n);
+  for (float& v : g) v = static_cast<float>(rng.normal(0.0, 0.02));
+  return g;
+}
+
+TEST(Integration, CompressedAllgatherAveragesAcrossRealRanks) {
+  // Each rank compresses its own gradient, allgathers the packets through
+  // the SimCluster, decompresses all peers' packets and averages — the
+  // paper's exact BSP exchange. Every rank must land on the same average,
+  // close to the true one.
+  const std::size_t kRanks = 4;
+  const std::size_t n = 2048;
+  std::vector<std::vector<float>> gradients(kRanks);
+  std::vector<float> true_mean(n, 0.0f);
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    gradients[r] = gradient_like(n, 100 + r);
+    for (std::size_t i = 0; i < n; ++i) true_mean[i] += gradients[r][i] / kRanks;
+  }
+
+  comm::SimCluster cluster(comm::NetworkModel::infiniband_fdr56());
+  std::vector<std::vector<float>> averaged(kRanks);
+  cluster.run(kRanks, [&](comm::RankContext& ctx) {
+    FftCompressor codec({.theta = 0.5, .quantizer_bits = 10});
+    const Packet packet = codec.compress(gradients[ctx.rank()]);
+
+    // Serialize: element count + payload (the packet is self-describing).
+    std::vector<std::uint8_t> wire;
+    wire::put<std::uint64_t>(wire, packet.elements);
+    wire::put_span<std::uint8_t>(wire, packet.bytes);
+    const auto gathered = ctx.allgather(wire);
+
+    std::vector<float> mean(n, 0.0f);
+    std::vector<float> recon(n);
+    for (const auto& peer_bytes : gathered) {
+      wire::Reader reader(peer_bytes);
+      Packet peer;
+      peer.elements = static_cast<std::size_t>(reader.get<std::uint64_t>());
+      peer.bytes.resize(reader.remaining());
+      reader.get_span<std::uint8_t>(peer.bytes);
+      codec.decompress(peer, recon);
+      for (std::size_t i = 0; i < n; ++i) mean[i] += recon[i] / kRanks;
+    }
+    averaged[ctx.rank()] = std::move(mean);
+  });
+
+  // All ranks agree bit-exactly (identical reduction order)...
+  for (std::size_t r = 1; r < kRanks; ++r) EXPECT_EQ(averaged[r], averaged[0]);
+  // ...and the compressed average approximates the true average.
+  EXPECT_LT(util::relative_error_alpha(true_mean, averaged[0]), 0.8);
+}
+
+TEST(Integration, SimClusterTimeMatchesNetworkModelFormulaForPackets) {
+  const std::size_t kRanks = 3;
+  comm::NetworkModel net{"test", 0.0, 1e6};
+  comm::SimCluster cluster(net);
+  std::vector<std::size_t> packet_sizes(kRanks);
+  const auto clocks = cluster.run(kRanks, [&](comm::RankContext& ctx) {
+    TopKCompressor codec(0.9);
+    const auto g = gradient_like(1000, 7 + ctx.rank());
+    const Packet packet = codec.compress(g);
+    packet_sizes[ctx.rank()] = packet.wire_bytes();
+    (void)ctx.allgather(packet.bytes);
+  });
+  std::vector<double> sizes;
+  for (std::size_t s : packet_sizes) sizes.push_back(static_cast<double>(s));
+  const double expected = net.allgatherv_time(sizes);
+  for (double t : clocks) EXPECT_NEAR(t, expected, 1e-12);
+}
+
+TEST(Integration, SequentialTrainerMatchesExplicitMultiRankRun) {
+  // The DistributedTrainer runs ranks sequentially over one replica; this
+  // test re-implements one BSP iteration with genuinely separate replicas
+  // exchanging lossless gradients through the SimCluster and checks the
+  // resulting parameters coincide.
+  const std::size_t kRanks = 3;
+  const std::uint64_t kSeed = 5;
+  nn::SyntheticDataset data({8}, 2, 77);
+
+  // --- explicit replicas through the cluster ---
+  std::vector<std::vector<float>> rank_params(kRanks);
+  comm::SimCluster cluster(comm::NetworkModel::infiniband_fdr56());
+  cluster.run(kRanks, [&](comm::RankContext& ctx) {
+    util::Rng init_rng(999);  // same init on every rank
+    nn::Network net = nn::models::make_mlp(8, 8, 2, 2, init_rng);
+    nn::SoftmaxCrossEntropy criterion;
+    util::Rng batch_rng(kSeed * 7919 + ctx.rank());  // trainer's per-rank stream
+    const nn::Batch batch = data.sample(16, batch_rng);
+    net.zero_grad();
+    criterion.forward(net.forward(batch.inputs), batch.labels);
+    net.backward(criterion.backward());
+    std::vector<float> grad(net.param_count());
+    net.copy_gradients(grad);
+    ctx.allreduce_sum(grad);
+    for (float& v : grad) v /= static_cast<float>(kRanks);
+    net.set_gradients(grad);
+    nn::SgdOptimizer opt(0.9f);
+    opt.step(net, 0.05f);
+    rank_params[ctx.rank()].resize(net.param_count());
+    net.copy_params(rank_params[ctx.rank()]);
+  });
+  for (std::size_t r = 1; r < kRanks; ++r) EXPECT_EQ(rank_params[r], rank_params[0]);
+
+  // --- sequential trainer, one iteration, lossless ---
+  util::Rng init_rng(999);
+  nn::Network net = nn::models::make_mlp(8, 8, 2, 2, init_rng);
+  TrainerConfig cfg;
+  cfg.ranks = kRanks;
+  cfg.batch_per_rank = 16;
+  cfg.epochs = 1;
+  cfg.iters_per_epoch = 1;
+  cfg.test_size = 16;
+  cfg.seed = kSeed;
+  DistributedTrainer trainer(std::move(net), nn::SyntheticDataset({8}, 2, 77), cfg);
+  nn::StepLrSchedule lr({{0, 0.05f}});
+  trainer.train([](std::size_t) { return std::make_unique<NoopCompressor>(); },
+                FixedTheta(0.0), lr);
+  std::vector<float> trainer_params(trainer.model().param_count());
+  trainer.model().copy_params(trainer_params);
+
+  ASSERT_EQ(trainer_params.size(), rank_params[0].size());
+  for (std::size_t i = 0; i < trainer_params.size(); ++i) {
+    // allreduce-sum-then-divide vs scaled accumulation: identical op order
+    // inside the trainer keeps these within float round-off.
+    EXPECT_NEAR(trainer_params[i], rank_params[0][i], 1e-5f) << i;
+  }
+}
+
+TEST(Integration, FullPipelineRatioAccountsForEveryStage) {
+  // theta=0.85, 10-bit quantization: ratio must exceed plain top-k's 6.67x
+  // value bound (quantization buys 32/10) but respect the status-vector
+  // floor described in Fig 6.
+  FftCompressor codec({.theta = 0.85, .quantizer_bits = 10});
+  const auto g = gradient_like(1 << 18, 42);
+  const Packet p = codec.compress(g);
+  EXPECT_GT(p.ratio(), 8.0);
+  EXPECT_LT(p.ratio(), 32.0);
+}
+
+TEST(Integration, DecompressionIsDeterministic) {
+  FftCompressor codec({.theta = 0.85, .quantizer_bits = 10});
+  const auto g = gradient_like(4096, 43);
+  const Packet p = codec.compress(g);
+  std::vector<float> a(g.size()), b(g.size());
+  codec.decompress(p, a);
+  codec.decompress(p, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Integration, AllCompressorsSatisfyAlphaBoundOnRealGradients) {
+  // Assumption 3.2 (alpha in [0,1]) verified on a real model gradient for
+  // the paper's own pipeline (FFT), top-k, and the lossless baseline. The
+  // stochastic quantizers are unbiased but high-variance — QSGD's error
+  // bound is min(n/s^2, sqrt(n)/s)*||v||^2, which exceeds ||v||^2 at these
+  // dimensions — so for them alpha need only be finite.
+  util::Rng rng(44);
+  nn::Network net = nn::models::make_resnet_mini(8, 1, 4, rng);
+  nn::SyntheticDataset data({3, 8, 8}, 4, 5);
+  nn::SoftmaxCrossEntropy criterion;
+  util::Rng batch_rng(6);
+  const nn::Batch batch = data.sample(8, batch_rng);
+  net.zero_grad();
+  criterion.forward(net.forward(batch.inputs), batch.labels);
+  net.backward(criterion.backward());
+  std::vector<float> grad(net.param_count());
+  net.copy_gradients(grad);
+
+  struct Case {
+    std::unique_ptr<GradientCompressor> codec;
+    bool alpha_below_one;
+  };
+  std::vector<Case> cases;
+  cases.push_back({std::make_unique<FftCompressor>(
+                       FftCompressorOptions{.theta = 0.85, .quantizer_bits = 10}),
+                   true});
+  cases.push_back({std::make_unique<TopKCompressor>(0.85), true});
+  cases.push_back({std::make_unique<NoopCompressor>(), true});
+  cases.push_back({std::make_unique<QsgdCompressor>(3), false});
+  cases.push_back({std::make_unique<TernGradCompressor>(), false});
+  for (auto& c : cases) {
+    std::vector<float> recon;
+    const RoundTripStats stats = measure_round_trip(*c.codec, grad, recon);
+    EXPECT_GE(stats.alpha, 0.0) << c.codec->name();
+    EXPECT_TRUE(std::isfinite(stats.alpha)) << c.codec->name();
+    if (c.alpha_below_one) {
+      EXPECT_LE(stats.alpha, 1.0) << c.codec->name();
+    }
+    EXPECT_GE(stats.ratio, 0.99) << c.codec->name();
+  }
+}
+
+}  // namespace
+}  // namespace fftgrad::core

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "fftgrad/parallel/parallel_for.h"
+#include "fftgrad/parallel/thread_pool.h"
+
+namespace fftgrad::parallel {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(SplitRange, CoversWholeDomainWithoutGaps) {
+  const auto ranges = split_range(103, 4);
+  ASSERT_FALSE(ranges.empty());
+  EXPECT_EQ(ranges.front().begin, 0u);
+  EXPECT_EQ(ranges.back().end, 103u);
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+    EXPECT_GT(ranges[i].size(), 0u);
+  }
+}
+
+TEST(SplitRange, NeverProducesMorePartsThanElements) {
+  const auto ranges = split_range(3, 16);
+  EXPECT_EQ(ranges.size(), 3u);
+}
+
+TEST(SplitRange, EmptyDomainYieldsNoRanges) {
+  EXPECT_TRUE(split_range(0, 4).empty());
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(pool, visits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, HandlesEmptyDomain) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(pool, 0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelReduce, SumsMatchSerialReference) {
+  ThreadPool pool(4);
+  std::vector<int> values(5000);
+  std::iota(values.begin(), values.end(), 1);
+  const long long expected = std::accumulate(values.begin(), values.end(), 0ll);
+  const long long total = parallel_reduce<long long>(
+      pool, values.size(), 0ll,
+      [&](std::size_t begin, std::size_t end) {
+        long long acc = 0;
+        for (std::size_t i = begin; i < end; ++i) acc += values[i];
+        return acc;
+      },
+      [](long long a, long long b) { return a + b; });
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ParallelReduce, IdentityForEmptyDomain) {
+  ThreadPool pool(2);
+  const int total = parallel_reduce<int>(
+      pool, 0, 7, [](std::size_t, std::size_t) { return 100; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(total, 7);
+}
+
+class ScanTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanTest, InclusiveScanMatchesSerialReference) {
+  ThreadPool pool(4);
+  const std::size_t n = GetParam();
+  std::vector<std::uint32_t> in(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = static_cast<std::uint32_t>(i % 3 == 0);
+  std::vector<std::uint32_t> out(n);
+  parallel_inclusive_scan<std::uint32_t, std::uint32_t>(pool, in, out);
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += in[i];
+    ASSERT_EQ(out[i], acc) << "at index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanTest,
+                         ::testing::Values(1, 2, 3, 63, 64, 65, 1000, 4096, 100000));
+
+TEST(Scan, RejectsMismatchedSpans) {
+  ThreadPool pool(2);
+  std::vector<std::uint32_t> in(4), out(5);
+  EXPECT_THROW((parallel_inclusive_scan<std::uint32_t, std::uint32_t>(pool, in, out)),
+               std::invalid_argument);
+}
+
+TEST(Scan, WorksWithWideningOutputType) {
+  ThreadPool pool(4);
+  std::vector<std::uint32_t> in(100, 0xffffffffu);
+  std::vector<std::uint64_t> out(100);
+  parallel_inclusive_scan<std::uint32_t, std::uint64_t>(pool, in, out);
+  EXPECT_EQ(out.back(), 100ull * 0xffffffffull);
+}
+
+}  // namespace
+}  // namespace fftgrad::parallel

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "fftgrad/nn/models.h"
+#include "fftgrad/nn/profiler.h"
+
+namespace fftgrad::nn {
+namespace {
+
+TEST(Profiler, ReportsEveryLayerInOrder) {
+  util::Rng rng(1);
+  Network net = models::make_mlp(8, 16, 3, 4, rng);
+  tensor::Tensor x = tensor::Tensor::randn({4, 8}, rng);
+  const auto profiles = profile_network(net, x, 1);
+  ASSERT_EQ(profiles.size(), net.layer_count());
+  for (std::size_t l = 0; l < profiles.size(); ++l) {
+    EXPECT_EQ(profiles[l].name, net.layer(l).name());
+    EXPECT_GE(profiles[l].forward_s, 0.0);
+    EXPECT_GE(profiles[l].backward_s, 0.0);
+  }
+}
+
+TEST(Profiler, ParamCountsMatchNetworkTotal) {
+  util::Rng rng(2);
+  Network net = models::make_resnet_mini(8, 1, 3, rng);
+  tensor::Tensor x = tensor::Tensor::randn({2, 3, 8, 8}, rng);
+  const auto profiles = profile_network(net, x, 1);
+  std::size_t total = 0;
+  for (const LayerProfile& p : profiles) total += p.param_count;
+  EXPECT_EQ(total, net.param_count());
+}
+
+TEST(Profiler, ConvLayersDominateDenseHeadCompute) {
+  // The Fig 2 structural fact on our own substrate: convolution layers
+  // cost far more compute per parameter than the dense head.
+  util::Rng rng(3);
+  Network net = models::make_alexnet_mini(16, 5, rng);
+  tensor::Tensor x = tensor::Tensor::randn({8, 3, 16, 16}, rng);
+  const auto profiles = profile_network(net, x, 2);
+  double conv_time = 0.0, dense_time = 0.0;
+  std::size_t conv_params = 0, dense_params = 0;
+  for (const LayerProfile& p : profiles) {
+    if (p.name.rfind("conv", 0) == 0) {
+      conv_time += p.forward_s + p.backward_s;
+      conv_params += p.param_count;
+    } else if (p.name.rfind("dense", 0) == 0) {
+      dense_time += p.forward_s + p.backward_s;
+      dense_params += p.param_count;
+    }
+  }
+  ASSERT_GT(conv_params, 0u);
+  ASSERT_GT(dense_params, 0u);
+  const double conv_time_per_param = conv_time / static_cast<double>(conv_params);
+  const double dense_time_per_param = dense_time / static_cast<double>(dense_params);
+  EXPECT_GT(conv_time_per_param, 3.0 * dense_time_per_param);
+}
+
+TEST(Profiler, RejectsZeroRepeats) {
+  util::Rng rng(4);
+  Network net = models::make_mlp(4, 4, 1, 2, rng);
+  tensor::Tensor x = tensor::Tensor::randn({1, 4}, rng);
+  EXPECT_THROW(profile_network(net, x, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fftgrad::nn

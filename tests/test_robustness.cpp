@@ -1,0 +1,269 @@
+// Robustness suite: corrupt, truncated, and adversarial wire data must
+// raise exceptions (never crash or read out of bounds), and every codec
+// must behave across degenerate gradients (empty, all-zero, single
+// element, NaN/inf contamination, extreme scales). Also covers the fp16
+// and 1-bit SGD baselines added beyond the paper's comparison set.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "fftgrad/core/baseline_compressors.h"
+#include "fftgrad/core/chunked_compressor.h"
+#include "fftgrad/core/compression_stats.h"
+#include "fftgrad/core/error_feedback.h"
+#include "fftgrad/core/fft_compressor.h"
+#include "fftgrad/core/registry.h"
+#include "fftgrad/util/rng.h"
+#include "fftgrad/util/stats.h"
+
+namespace fftgrad::core {
+namespace {
+
+std::vector<float> gradient_like(std::size_t n, std::uint64_t seed, double stddev = 0.02) {
+  util::Rng rng(seed);
+  std::vector<float> g(n);
+  for (float& v : g) v = static_cast<float>(rng.normal(0.0, stddev));
+  return g;
+}
+
+std::vector<std::unique_ptr<GradientCompressor>> all_codecs() {
+  std::vector<std::unique_ptr<GradientCompressor>> codecs;
+  for (const char* spec :
+       {"none", "fp16", "onebit", "fft:theta=0.85,bits=10", "fft:theta=0.5,bits=0",
+        "topk:theta=0.85", "qsgd:bits=3", "terngrad", "ef[topk:theta=0.9]",
+        "chunked:256[fft:theta=0.85,bits=10]"}) {
+    codecs.push_back(make_compressor(spec));
+  }
+  return codecs;
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate gradients
+
+TEST(Robustness, EveryCodecHandlesEmptyGradient) {
+  for (auto& codec : all_codecs()) {
+    std::vector<float> empty;
+    const Packet p = codec->compress(empty);
+    EXPECT_EQ(p.elements, 0u) << codec->name();
+    std::vector<float> out;
+    codec->decompress(p, out);
+  }
+}
+
+TEST(Robustness, EveryCodecHandlesSingleElement) {
+  for (auto& codec : all_codecs()) {
+    std::vector<float> one = {0.25f};
+    std::vector<float> out(1);
+    codec->decompress(codec->compress(one), out);
+    EXPECT_TRUE(std::isfinite(out[0])) << codec->name();
+  }
+}
+
+TEST(Robustness, EveryCodecHandlesAllZeroGradient) {
+  for (auto& codec : all_codecs()) {
+    std::vector<float> zeros(777, 0.0f);
+    std::vector<float> out(777, 1.0f);
+    codec->decompress(codec->compress(zeros), out);
+    for (float v : out) {
+      ASSERT_TRUE(std::isfinite(v)) << codec->name();
+      ASSERT_NEAR(v, 0.0f, 1e-6f) << codec->name();
+    }
+  }
+}
+
+TEST(Robustness, EveryCodecHandlesTinyAndHugeScales) {
+  for (double scale : {1e-8, 1e+4}) {
+    for (auto& codec : all_codecs()) {
+      const auto g = gradient_like(512, 97, scale);
+      std::vector<float> out(512);
+      codec->decompress(codec->compress(g), out);
+      for (float v : out) ASSERT_TRUE(std::isfinite(v)) << codec->name() << " scale " << scale;
+    }
+  }
+}
+
+TEST(Robustness, SizeMismatchOnDecompressThrowsEverywhere) {
+  for (auto& codec : all_codecs()) {
+    const auto g = gradient_like(256, 98);
+    const Packet p = codec->compress(g);
+    std::vector<float> wrong(255);
+    EXPECT_THROW(codec->decompress(p, wrong), std::invalid_argument) << codec->name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt wire data
+
+TEST(Robustness, TruncatedPacketsThrowNotCrash) {
+  for (auto& codec : all_codecs()) {
+    const auto g = gradient_like(512, 99);
+    Packet p = codec->compress(g);
+    if (p.bytes.size() < 4) continue;
+    // Chop the payload at several points; each must throw cleanly.
+    for (std::size_t keep : {std::size_t{0}, std::size_t{3}, p.bytes.size() / 2}) {
+      Packet truncated;
+      truncated.elements = p.elements;
+      truncated.bytes.assign(p.bytes.begin(),
+                             p.bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+      std::vector<float> out(g.size());
+      EXPECT_THROW(codec->decompress(truncated, out), std::exception)
+          << codec->name() << " keep=" << keep;
+    }
+  }
+}
+
+TEST(Robustness, HeaderElementCountMismatchThrows) {
+  FftCompressor codec({.theta = 0.85, .quantizer_bits = 10});
+  const auto g = gradient_like(512, 100);
+  Packet p = codec.compress(g);
+  p.elements = 400;  // lie about the length
+  std::vector<float> out(400);
+  EXPECT_THROW(codec.decompress(p, out), std::exception);
+}
+
+TEST(Robustness, BitFlippedFftPacketsNeverCrash) {
+  // Flip bytes across the packet (header, codec params, mask, payload):
+  // decompression must either throw or produce finite garbage, never
+  // crash. Flips that land in float fields may legitimately decode.
+  FftCompressor codec({.theta = 0.85, .quantizer_bits = 10});
+  const auto g = gradient_like(1024, 101);
+  const Packet original = codec.compress(g);
+  util::Rng rng(102);
+  for (int trial = 0; trial < 200; ++trial) {
+    Packet mutated = original;
+    const std::size_t at = rng.uniform_index(mutated.bytes.size());
+    mutated.bytes[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    std::vector<float> out(g.size());
+    try {
+      codec.decompress(mutated, out);
+      // Accept any outcome that is not a crash; NaN can only come from a
+      // corrupted float field, which is tolerable garbage-in-garbage-out.
+    } catch (const std::exception&) {
+      // expected for most structural corruptions
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, BitFlippedTopKPacketsNeverCrash) {
+  TopKCompressor codec(0.85);
+  const auto g = gradient_like(1024, 103);
+  const Packet original = codec.compress(g);
+  util::Rng rng(104);
+  for (int trial = 0; trial < 200; ++trial) {
+    Packet mutated = original;
+    const std::size_t at = rng.uniform_index(mutated.bytes.size());
+    mutated.bytes[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    std::vector<float> out(g.size());
+    try {
+      codec.decompress(mutated, out);
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// fp16 baseline
+
+TEST(HalfCodec, RatioIsExactlyTwoAsymptotically) {
+  HalfCompressor codec;
+  const auto g = gradient_like(100000, 105);
+  EXPECT_NEAR(codec.compress(g).ratio(), 2.0, 0.01);
+}
+
+TEST(HalfCodec, ErrorBoundedByHalfPrecision) {
+  HalfCompressor codec;
+  const auto g = gradient_like(4096, 106);
+  std::vector<float> recon;
+  const RoundTripStats stats = measure_round_trip(codec, g, recon);
+  EXPECT_LT(stats.alpha, 1e-3);  // ~11 significand bits
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (std::fabs(g[i]) > 1e-4f) {
+      ASSERT_LT(std::fabs(recon[i] - g[i]) / std::fabs(g[i]), 1.0f / 1024.0f) << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 1-bit SGD baseline
+
+TEST(OneBit, RatioApproachesThirtyTwo) {
+  OneBitCompressor codec;
+  const auto g = gradient_like(100000, 107);
+  EXPECT_GT(codec.compress(g).ratio(), 30.0);
+}
+
+TEST(OneBit, ReconstructionUsesTwoScales) {
+  OneBitCompressor codec;
+  const auto g = gradient_like(1000, 108);
+  std::vector<float> recon(g.size());
+  codec.decompress(codec.compress(g), recon);
+  float pos = 0.0f, neg = 0.0f;
+  for (float v : recon) {
+    if (v > 0) pos = v;
+    if (v < 0) neg = v;
+  }
+  for (float v : recon) EXPECT_TRUE(v == pos || v == neg) << v;
+  EXPECT_GT(pos, 0.0f);
+  EXPECT_LT(neg, 0.0f);
+}
+
+TEST(OneBit, GroupMeansPreserveGroupSums) {
+  // By construction the delivered positives sum to the corrected
+  // positives' sum (same for negatives) — the property that makes the
+  // group-mean scale the L2-optimal 1-bit representative.
+  OneBitCompressor codec;
+  const auto g = gradient_like(2000, 109);
+  std::vector<float> recon(g.size());
+  codec.decompress(codec.compress(g), recon);  // residual starts at zero
+  double g_sum = 0.0, r_sum = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g_sum += g[i];
+    r_sum += recon[i];
+  }
+  EXPECT_NEAR(g_sum, r_sum, 1e-3);
+}
+
+TEST(OneBit, BuiltInErrorFeedbackConverges) {
+  OneBitCompressor codec;
+  const auto g = gradient_like(500, 110);
+  std::vector<float> sum(g.size(), 0.0f), recon(g.size());
+  const int steps = 200;
+  for (int t = 0; t < steps; ++t) {
+    codec.decompress(codec.compress(g), recon);
+    for (std::size_t i = 0; i < g.size(); ++i) sum[i] += recon[i] / steps;
+  }
+  const double alpha = util::relative_error_alpha(g, sum);
+  EXPECT_LT(alpha, 0.2);  // long-run mean approaches the true gradient
+}
+
+TEST(OneBit, AllPositiveGradientHasZeroNegativeScale) {
+  OneBitCompressor codec;
+  std::vector<float> g(64, 0.5f);
+  std::vector<float> recon(64);
+  codec.decompress(codec.compress(g), recon);
+  for (float v : recon) EXPECT_FLOAT_EQ(v, 0.5f);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-instance decompression (wire format is self-contained)
+
+TEST(Robustness, PacketsDecompressOnFreshInstances) {
+  for (const char* spec : {"fp16", "onebit", "fft:theta=0.85,bits=10", "topk:theta=0.85",
+                           "qsgd:bits=3", "terngrad", "chunked:256[fft:theta=0.85,bits=10]"}) {
+    auto sender = make_compressor(spec);
+    auto receiver = make_compressor(spec);
+    const auto g = gradient_like(700, 111);
+    const Packet p = sender->compress(g);
+    std::vector<float> out(g.size());
+    receiver->decompress(p, out);
+    EXPECT_TRUE(std::isfinite(util::l2_norm(out))) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace fftgrad::core
