@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chunking.dir/bench_ablation_chunking.cpp.o"
+  "CMakeFiles/bench_ablation_chunking.dir/bench_ablation_chunking.cpp.o.d"
+  "bench_ablation_chunking"
+  "bench_ablation_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

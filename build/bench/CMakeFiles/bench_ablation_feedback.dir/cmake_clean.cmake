@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_feedback.dir/bench_ablation_feedback.cpp.o"
+  "CMakeFiles/bench_ablation_feedback.dir/bench_ablation_feedback.cpp.o.d"
+  "bench_ablation_feedback"
+  "bench_ablation_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_lowpass.cpp" "bench/CMakeFiles/bench_ablation_lowpass.dir/bench_ablation_lowpass.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_lowpass.dir/bench_ablation_lowpass.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fftgrad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/fftgrad_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/fftgrad_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/fftgrad_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fftgrad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fftgrad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fftgrad_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/fftgrad_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fftgrad_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fftgrad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

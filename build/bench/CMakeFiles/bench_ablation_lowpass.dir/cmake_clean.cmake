@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lowpass.dir/bench_ablation_lowpass.cpp.o"
+  "CMakeFiles/bench_ablation_lowpass.dir/bench_ablation_lowpass.cpp.o.d"
+  "bench_ablation_lowpass"
+  "bench_ablation_lowpass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lowpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quant.dir/bench_ablation_quant.cpp.o"
+  "CMakeFiles/bench_ablation_quant.dir/bench_ablation_quant.cpp.o.d"
+  "bench_ablation_quant"
+  "bench_ablation_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_layerwise.dir/bench_fig02_layerwise.cpp.o"
+  "CMakeFiles/bench_fig02_layerwise.dir/bench_fig02_layerwise.cpp.o.d"
+  "bench_fig02_layerwise"
+  "bench_fig02_layerwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_layerwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

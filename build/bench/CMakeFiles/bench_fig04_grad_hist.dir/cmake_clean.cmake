@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_grad_hist.dir/bench_fig04_grad_hist.cpp.o"
+  "CMakeFiles/bench_fig04_grad_hist.dir/bench_fig04_grad_hist.cpp.o.d"
+  "bench_fig04_grad_hist"
+  "bench_fig04_grad_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_grad_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

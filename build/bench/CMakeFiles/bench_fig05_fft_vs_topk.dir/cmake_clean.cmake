@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_fft_vs_topk.dir/bench_fig05_fft_vs_topk.cpp.o"
+  "CMakeFiles/bench_fig05_fft_vs_topk.dir/bench_fig05_fft_vs_topk.cpp.o.d"
+  "bench_fig05_fft_vs_topk"
+  "bench_fig05_fft_vs_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_fft_vs_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig05_fft_vs_topk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_status_overhead.dir/bench_fig06_status_overhead.cpp.o"
+  "CMakeFiles/bench_fig06_status_overhead.dir/bench_fig06_status_overhead.cpp.o.d"
+  "bench_fig06_status_overhead"
+  "bench_fig06_status_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_status_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

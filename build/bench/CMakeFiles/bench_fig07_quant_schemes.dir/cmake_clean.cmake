@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_quant_schemes.dir/bench_fig07_quant_schemes.cpp.o"
+  "CMakeFiles/bench_fig07_quant_schemes.dir/bench_fig07_quant_schemes.cpp.o.d"
+  "bench_fig07_quant_schemes"
+  "bench_fig07_quant_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_quant_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

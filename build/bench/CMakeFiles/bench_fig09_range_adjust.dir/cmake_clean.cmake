@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_range_adjust.dir/bench_fig09_range_adjust.cpp.o"
+  "CMakeFiles/bench_fig09_range_adjust.dir/bench_fig09_range_adjust.cpp.o.d"
+  "bench_fig09_range_adjust"
+  "bench_fig09_range_adjust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_range_adjust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

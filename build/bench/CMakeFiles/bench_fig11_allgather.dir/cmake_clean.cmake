@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_allgather.dir/bench_fig11_allgather.cpp.o"
+  "CMakeFiles/bench_fig11_allgather.dir/bench_fig11_allgather.cpp.o.d"
+  "bench_fig11_allgather"
+  "bench_fig11_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_theorem.dir/bench_fig13_theorem.cpp.o"
+  "CMakeFiles/bench_fig13_theorem.dir/bench_fig13_theorem.cpp.o.d"
+  "bench_fig13_theorem"
+  "bench_fig13_theorem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_theorem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

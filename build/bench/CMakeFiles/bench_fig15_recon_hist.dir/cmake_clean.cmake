@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_recon_hist.dir/bench_fig15_recon_hist.cpp.o"
+  "CMakeFiles/bench_fig15_recon_hist.dir/bench_fig15_recon_hist.cpp.o.d"
+  "bench_fig15_recon_hist"
+  "bench_fig15_recon_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_recon_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

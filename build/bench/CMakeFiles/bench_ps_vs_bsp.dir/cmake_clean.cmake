@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ps_vs_bsp.dir/bench_ps_vs_bsp.cpp.o"
+  "CMakeFiles/bench_ps_vs_bsp.dir/bench_ps_vs_bsp.cpp.o.d"
+  "bench_ps_vs_bsp"
+  "bench_ps_vs_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ps_vs_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

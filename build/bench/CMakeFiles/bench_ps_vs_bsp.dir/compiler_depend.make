@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ps_vs_bsp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ps_vs_bsp.
+# This may be replaced when dependencies are built.

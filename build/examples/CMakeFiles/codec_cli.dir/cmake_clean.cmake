@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_cli.dir/codec_cli.cpp.o"
+  "CMakeFiles/codec_cli.dir/codec_cli.cpp.o.d"
+  "codec_cli"
+  "codec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_recovery.dir/failure_recovery.cpp.o"
+  "CMakeFiles/failure_recovery.dir/failure_recovery.cpp.o.d"
+  "failure_recovery"
+  "failure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/hierarchical_model.cpp" "src/comm/CMakeFiles/fftgrad_comm.dir/hierarchical_model.cpp.o" "gcc" "src/comm/CMakeFiles/fftgrad_comm.dir/hierarchical_model.cpp.o.d"
+  "/root/repo/src/comm/network_model.cpp" "src/comm/CMakeFiles/fftgrad_comm.dir/network_model.cpp.o" "gcc" "src/comm/CMakeFiles/fftgrad_comm.dir/network_model.cpp.o.d"
+  "/root/repo/src/comm/sim_cluster.cpp" "src/comm/CMakeFiles/fftgrad_comm.dir/sim_cluster.cpp.o" "gcc" "src/comm/CMakeFiles/fftgrad_comm.dir/sim_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fftgrad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

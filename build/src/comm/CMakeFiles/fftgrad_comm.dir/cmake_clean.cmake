@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fftgrad_comm.dir/hierarchical_model.cpp.o"
+  "CMakeFiles/fftgrad_comm.dir/hierarchical_model.cpp.o.d"
+  "CMakeFiles/fftgrad_comm.dir/network_model.cpp.o"
+  "CMakeFiles/fftgrad_comm.dir/network_model.cpp.o.d"
+  "CMakeFiles/fftgrad_comm.dir/sim_cluster.cpp.o"
+  "CMakeFiles/fftgrad_comm.dir/sim_cluster.cpp.o.d"
+  "libfftgrad_comm.a"
+  "libfftgrad_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fftgrad_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

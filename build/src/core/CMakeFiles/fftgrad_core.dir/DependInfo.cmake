@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_compressors.cpp" "src/core/CMakeFiles/fftgrad_core.dir/baseline_compressors.cpp.o" "gcc" "src/core/CMakeFiles/fftgrad_core.dir/baseline_compressors.cpp.o.d"
+  "/root/repo/src/core/chunked_compressor.cpp" "src/core/CMakeFiles/fftgrad_core.dir/chunked_compressor.cpp.o" "gcc" "src/core/CMakeFiles/fftgrad_core.dir/chunked_compressor.cpp.o.d"
+  "/root/repo/src/core/cluster_trainer.cpp" "src/core/CMakeFiles/fftgrad_core.dir/cluster_trainer.cpp.o" "gcc" "src/core/CMakeFiles/fftgrad_core.dir/cluster_trainer.cpp.o.d"
+  "/root/repo/src/core/compression_stats.cpp" "src/core/CMakeFiles/fftgrad_core.dir/compression_stats.cpp.o" "gcc" "src/core/CMakeFiles/fftgrad_core.dir/compression_stats.cpp.o.d"
+  "/root/repo/src/core/error_feedback.cpp" "src/core/CMakeFiles/fftgrad_core.dir/error_feedback.cpp.o" "gcc" "src/core/CMakeFiles/fftgrad_core.dir/error_feedback.cpp.o.d"
+  "/root/repo/src/core/fft_compressor.cpp" "src/core/CMakeFiles/fftgrad_core.dir/fft_compressor.cpp.o" "gcc" "src/core/CMakeFiles/fftgrad_core.dir/fft_compressor.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/fftgrad_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/fftgrad_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/fftgrad_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/fftgrad_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/fftgrad_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/fftgrad_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/fftgrad_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fftgrad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fftgrad_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/fftgrad_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fftgrad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fftgrad_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fftgrad_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

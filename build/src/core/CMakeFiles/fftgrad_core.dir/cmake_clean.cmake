@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fftgrad_core.dir/baseline_compressors.cpp.o"
+  "CMakeFiles/fftgrad_core.dir/baseline_compressors.cpp.o.d"
+  "CMakeFiles/fftgrad_core.dir/chunked_compressor.cpp.o"
+  "CMakeFiles/fftgrad_core.dir/chunked_compressor.cpp.o.d"
+  "CMakeFiles/fftgrad_core.dir/cluster_trainer.cpp.o"
+  "CMakeFiles/fftgrad_core.dir/cluster_trainer.cpp.o.d"
+  "CMakeFiles/fftgrad_core.dir/compression_stats.cpp.o"
+  "CMakeFiles/fftgrad_core.dir/compression_stats.cpp.o.d"
+  "CMakeFiles/fftgrad_core.dir/error_feedback.cpp.o"
+  "CMakeFiles/fftgrad_core.dir/error_feedback.cpp.o.d"
+  "CMakeFiles/fftgrad_core.dir/fft_compressor.cpp.o"
+  "CMakeFiles/fftgrad_core.dir/fft_compressor.cpp.o.d"
+  "CMakeFiles/fftgrad_core.dir/registry.cpp.o"
+  "CMakeFiles/fftgrad_core.dir/registry.cpp.o.d"
+  "CMakeFiles/fftgrad_core.dir/trainer.cpp.o"
+  "CMakeFiles/fftgrad_core.dir/trainer.cpp.o.d"
+  "libfftgrad_core.a"
+  "libfftgrad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fftgrad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fftgrad_fft.dir/fft.cpp.o"
+  "CMakeFiles/fftgrad_fft.dir/fft.cpp.o.d"
+  "libfftgrad_fft.a"
+  "libfftgrad_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fftgrad_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

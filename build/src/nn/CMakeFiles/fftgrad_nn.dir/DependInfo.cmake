@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/dataset.cpp" "src/nn/CMakeFiles/fftgrad_nn.dir/dataset.cpp.o" "gcc" "src/nn/CMakeFiles/fftgrad_nn.dir/dataset.cpp.o.d"
+  "/root/repo/src/nn/gradient_sampler.cpp" "src/nn/CMakeFiles/fftgrad_nn.dir/gradient_sampler.cpp.o" "gcc" "src/nn/CMakeFiles/fftgrad_nn.dir/gradient_sampler.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/fftgrad_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/fftgrad_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/fftgrad_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/fftgrad_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/fftgrad_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/fftgrad_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/fftgrad_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/fftgrad_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/fftgrad_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/fftgrad_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/profiler.cpp" "src/nn/CMakeFiles/fftgrad_nn.dir/profiler.cpp.o" "gcc" "src/nn/CMakeFiles/fftgrad_nn.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fftgrad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fftgrad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fftgrad_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fftgrad_nn.dir/dataset.cpp.o"
+  "CMakeFiles/fftgrad_nn.dir/dataset.cpp.o.d"
+  "CMakeFiles/fftgrad_nn.dir/gradient_sampler.cpp.o"
+  "CMakeFiles/fftgrad_nn.dir/gradient_sampler.cpp.o.d"
+  "CMakeFiles/fftgrad_nn.dir/layers.cpp.o"
+  "CMakeFiles/fftgrad_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/fftgrad_nn.dir/loss.cpp.o"
+  "CMakeFiles/fftgrad_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fftgrad_nn.dir/models.cpp.o"
+  "CMakeFiles/fftgrad_nn.dir/models.cpp.o.d"
+  "CMakeFiles/fftgrad_nn.dir/network.cpp.o"
+  "CMakeFiles/fftgrad_nn.dir/network.cpp.o.d"
+  "CMakeFiles/fftgrad_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/fftgrad_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fftgrad_nn.dir/profiler.cpp.o"
+  "CMakeFiles/fftgrad_nn.dir/profiler.cpp.o.d"
+  "libfftgrad_nn.a"
+  "libfftgrad_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fftgrad_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

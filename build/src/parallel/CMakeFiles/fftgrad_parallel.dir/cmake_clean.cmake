@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fftgrad_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/fftgrad_parallel.dir/thread_pool.cpp.o.d"
+  "libfftgrad_parallel.a"
+  "libfftgrad_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fftgrad_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fftgrad_perfmodel.dir/cost_model.cpp.o"
+  "CMakeFiles/fftgrad_perfmodel.dir/cost_model.cpp.o.d"
+  "libfftgrad_perfmodel.a"
+  "libfftgrad_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fftgrad_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

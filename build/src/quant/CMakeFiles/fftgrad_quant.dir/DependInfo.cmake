@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/half.cpp" "src/quant/CMakeFiles/fftgrad_quant.dir/half.cpp.o" "gcc" "src/quant/CMakeFiles/fftgrad_quant.dir/half.cpp.o.d"
+  "/root/repo/src/quant/range_float.cpp" "src/quant/CMakeFiles/fftgrad_quant.dir/range_float.cpp.o" "gcc" "src/quant/CMakeFiles/fftgrad_quant.dir/range_float.cpp.o.d"
+  "/root/repo/src/quant/simple_quantizers.cpp" "src/quant/CMakeFiles/fftgrad_quant.dir/simple_quantizers.cpp.o" "gcc" "src/quant/CMakeFiles/fftgrad_quant.dir/simple_quantizers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fftgrad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fftgrad_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

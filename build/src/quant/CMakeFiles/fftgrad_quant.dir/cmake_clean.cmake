@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fftgrad_quant.dir/half.cpp.o"
+  "CMakeFiles/fftgrad_quant.dir/half.cpp.o.d"
+  "CMakeFiles/fftgrad_quant.dir/range_float.cpp.o"
+  "CMakeFiles/fftgrad_quant.dir/range_float.cpp.o.d"
+  "CMakeFiles/fftgrad_quant.dir/simple_quantizers.cpp.o"
+  "CMakeFiles/fftgrad_quant.dir/simple_quantizers.cpp.o.d"
+  "libfftgrad_quant.a"
+  "libfftgrad_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fftgrad_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fftgrad_quant.
+# This may be replaced when dependencies are built.

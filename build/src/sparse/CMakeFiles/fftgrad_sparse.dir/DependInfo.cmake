@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/bitmap.cpp" "src/sparse/CMakeFiles/fftgrad_sparse.dir/bitmap.cpp.o" "gcc" "src/sparse/CMakeFiles/fftgrad_sparse.dir/bitmap.cpp.o.d"
+  "/root/repo/src/sparse/mask_coding.cpp" "src/sparse/CMakeFiles/fftgrad_sparse.dir/mask_coding.cpp.o" "gcc" "src/sparse/CMakeFiles/fftgrad_sparse.dir/mask_coding.cpp.o.d"
+  "/root/repo/src/sparse/topk.cpp" "src/sparse/CMakeFiles/fftgrad_sparse.dir/topk.cpp.o" "gcc" "src/sparse/CMakeFiles/fftgrad_sparse.dir/topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fftgrad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fftgrad_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fftgrad_sparse.dir/bitmap.cpp.o"
+  "CMakeFiles/fftgrad_sparse.dir/bitmap.cpp.o.d"
+  "CMakeFiles/fftgrad_sparse.dir/mask_coding.cpp.o"
+  "CMakeFiles/fftgrad_sparse.dir/mask_coding.cpp.o.d"
+  "CMakeFiles/fftgrad_sparse.dir/topk.cpp.o"
+  "CMakeFiles/fftgrad_sparse.dir/topk.cpp.o.d"
+  "libfftgrad_sparse.a"
+  "libfftgrad_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fftgrad_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fftgrad_tensor.dir/ops.cpp.o"
+  "CMakeFiles/fftgrad_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/fftgrad_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/fftgrad_tensor.dir/tensor.cpp.o.d"
+  "libfftgrad_tensor.a"
+  "libfftgrad_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fftgrad_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fftgrad_util.dir/logging.cpp.o"
+  "CMakeFiles/fftgrad_util.dir/logging.cpp.o.d"
+  "CMakeFiles/fftgrad_util.dir/stats.cpp.o"
+  "CMakeFiles/fftgrad_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fftgrad_util.dir/table.cpp.o"
+  "CMakeFiles/fftgrad_util.dir/table.cpp.o.d"
+  "libfftgrad_util.a"
+  "libfftgrad_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fftgrad_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

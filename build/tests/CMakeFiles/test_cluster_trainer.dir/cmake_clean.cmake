@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_trainer.dir/test_cluster_trainer.cpp.o"
+  "CMakeFiles/test_cluster_trainer.dir/test_cluster_trainer.cpp.o.d"
+  "test_cluster_trainer"
+  "test_cluster_trainer.pdb"
+  "test_cluster_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

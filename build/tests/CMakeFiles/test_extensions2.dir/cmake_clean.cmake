@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensions2.dir/test_extensions2.cpp.o"
+  "CMakeFiles/test_extensions2.dir/test_extensions2.cpp.o.d"
+  "test_extensions2"
+  "test_extensions2.pdb"
+  "test_extensions2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensions2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

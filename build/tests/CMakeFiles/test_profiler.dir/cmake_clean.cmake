@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiler.dir/test_profiler.cpp.o"
+  "CMakeFiles/test_profiler.dir/test_profiler.cpp.o.d"
+  "test_profiler"
+  "test_profiler.pdb"
+  "test_profiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quant.dir/test_quant.cpp.o"
+  "CMakeFiles/test_quant.dir/test_quant.cpp.o.d"
+  "test_quant"
+  "test_quant.pdb"
+  "test_quant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

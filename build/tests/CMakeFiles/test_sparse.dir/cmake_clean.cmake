@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse.dir/test_sparse.cpp.o"
+  "CMakeFiles/test_sparse.dir/test_sparse.cpp.o.d"
+  "test_sparse"
+  "test_sparse.pdb"
+  "test_sparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trainer_accounting.dir/test_trainer_accounting.cpp.o"
+  "CMakeFiles/test_trainer_accounting.dir/test_trainer_accounting.cpp.o.d"
+  "test_trainer_accounting"
+  "test_trainer_accounting.pdb"
+  "test_trainer_accounting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trainer_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
