@@ -5,7 +5,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fftgrad/nn/dataset.h"
@@ -42,6 +45,29 @@ inline void print_header(const std::string& title) {
 
 inline void print_table(const util::TableWriter& table) {
   std::fputs(table.to_string().c_str(), stdout);
+}
+
+/// Machine-readable bench output: writes `BENCH_<name>.json` holding the
+/// given scalar metrics into the directory named by FFTGRAD_BENCH_JSON
+/// (e.g. `FFTGRAD_BENCH_JSON=. ./bench_fig14_table2_e2e`). No-op when the
+/// variable is unset, so interactive runs stay file-free.
+inline void emit_json(const std::string& name,
+                      const std::vector<std::pair<std::string, double>>& metrics) {
+  const char* dir = std::getenv("FFTGRAD_BENCH_JSON");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"" << name << "\",\n  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.17g", metrics[i].second);
+    out << (i == 0 ? "" : ",") << "\n    \"" << metrics[i].first << "\": " << value;
+  }
+  out << "\n  }\n}\n";
 }
 
 }  // namespace fftgrad::bench

@@ -95,6 +95,10 @@ void report(const char* title, const std::vector<LayerSpec>& layers) {
   fftgrad::bench::print_table(table);
   std::printf("communication share of iteration: %.1f%%\n",
               100.0 * comm_total / (comm_total + comp_total));
+  fftgrad::bench::emit_json(std::string("fig02_") + title,
+                            {{"comm_ms", comm_total},
+                             {"comp_ms", comp_total},
+                             {"comm_share", comm_total / (comm_total + comp_total)}});
 }
 
 }  // namespace
@@ -108,17 +112,21 @@ void report_measured(const char* title, fftgrad::nn::Network net,
   using fftgrad::util::TableWriter;
   fftgrad::util::Rng rng(77);
   fftgrad::tensor::Tensor x = fftgrad::tensor::Tensor::randn(input_shape, rng);
-  const auto profiles = fftgrad::nn::profile_network(net, x, 2);
-  // Normalize comm to the same substrate by pricing a per-parameter budget
-  // that sets the model-wide comm/comp ratio to 1; layer-level deviations
+  // The profiler now prices each layer's allreduce on the Fig 2 fabric
+  // itself, so this bench no longer recomputes comm by hand.
+  fftgrad::comm::NetworkModel fabric = fftgrad::comm::NetworkModel::infiniband_fdr56();
+  fabric.latency_s = 20e-6;
+  const auto profiles = fftgrad::nn::profile_network(net, x, fabric, 16, 2);
+  // Normalize the two substrates (CPU wall-clock compute vs modelled
+  // fabric) so the model-wide comm/comp ratio is 1; layer-level deviations
   // from 1 then show which layers are comm- or compute-dominated.
-  double total_time = 0.0;
-  std::size_t total_params = 0;
+  double total_comp = 0.0;
+  double total_comm = 0.0;
   for (const auto& p : profiles) {
-    total_time += p.forward_s + p.backward_s;
-    total_params += p.param_count;
+    total_comp += p.forward_s + p.backward_s;
+    total_comm += p.comm_s;
   }
-  const double per_param_comm = total_time / static_cast<double>(total_params);
+  const double scale = total_comm == 0.0 ? 1.0 : total_comp / total_comm;
 
   fftgrad::bench::print_header(std::string("Fig 2 (measured on this substrate): ") + title);
   TableWriter table({"layer", "params", "comp_ms", "relative comm/comp"});
@@ -126,7 +134,7 @@ void report_measured(const char* title, fftgrad::nn::Network net,
   for (const auto& p : profiles) {
     if (p.param_count == 0) continue;  // activations/pools exchange nothing
     const double comp = p.forward_s + p.backward_s;
-    const double comm = per_param_comm * static_cast<double>(p.param_count);
+    const double comm = p.comm_s * scale;
     table.add_row({p.name, static_cast<long long>(p.param_count), comp * 1e3, comm / comp});
   }
   fftgrad::bench::print_table(table);

@@ -16,6 +16,7 @@
 #include "fftgrad/core/registry.h"
 #include "fftgrad/nn/gradient_sampler.h"
 #include "fftgrad/util/stats.h"
+#include "fftgrad/telemetry/telemetry.h"
 
 namespace {
 
@@ -33,6 +34,7 @@ std::vector<float> load_floats(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  fftgrad::telemetry::init_from_env();
   using namespace fftgrad;
   if (argc < 2) {
     std::fprintf(stderr, "usage: %s <compressor-spec> [gradient.f32]\n", argv[0]);

@@ -16,8 +16,10 @@
 #include "fftgrad/nn/models.h"
 #include "fftgrad/nn/optimizer.h"
 #include "fftgrad/util/table.h"
+#include "fftgrad/telemetry/telemetry.h"
 
 int main(int argc, char** argv) {
+  fftgrad::telemetry::init_from_env();
   using namespace fftgrad;
   (void)argc;
   (void)argv;

@@ -12,8 +12,10 @@
 #include "fftgrad/core/fft_compressor.h"
 #include "fftgrad/core/trainer.h"
 #include "fftgrad/nn/models.h"
+#include "fftgrad/telemetry/telemetry.h"
 
 int main() {
+  fftgrad::telemetry::init_from_env();
   using namespace fftgrad;
 
   util::Rng rng(7);

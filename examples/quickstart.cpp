@@ -12,8 +12,10 @@
 #include "fftgrad/core/compression_stats.h"
 #include "fftgrad/core/fft_compressor.h"
 #include "fftgrad/util/rng.h"
+#include "fftgrad/telemetry/telemetry.h"
 
 int main() {
+  fftgrad::telemetry::init_from_env();
   using namespace fftgrad;
 
   // A synthetic "gradient": zero-mean, sharply peaked — like real DNN

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Build every CMake preset and run the full test suite under each.
+# Usage: scripts/check.sh [jobs]   (default: all cores)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-$(nproc)}"
+
+for preset in default asan; do
+  echo "==> configure ($preset)"
+  cmake --preset "$preset"
+  echo "==> build ($preset, -j$jobs)"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> test ($preset)"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "All presets build and test clean."

@@ -32,6 +32,9 @@ class SimClock {
   /// BSP synchronization: every rank's clock jumps to the barrier max.
   void set_to(double seconds) { time_ = seconds; }
   double time() const { return time_; }
+  /// Stable address of the clock value, for binding the simulated timeline
+  /// into telemetry (telemetry::ScopedRank) without a dependency cycle.
+  const double* time_ptr() const { return &time_; }
 
  private:
   double time_ = 0.0;

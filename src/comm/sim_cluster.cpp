@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "fftgrad/telemetry/metrics.h"
+#include "fftgrad/telemetry/trace.h"
+
 namespace fftgrad::comm {
 
 namespace {
@@ -16,13 +19,29 @@ struct AbortedError : std::runtime_error {
   AbortedError() : std::runtime_error("SimCluster: a peer rank failed") {}
 };
 
+/// One call-count bump plus the payload bytes this rank feeds into a
+/// collective. References are cached across calls (registry objects are
+/// immortal), so the disabled path is two relaxed loads.
+void note_collective(telemetry::Counter& calls, double payload_bytes) {
+  static telemetry::Counter& bytes_sent =
+      telemetry::MetricsRegistry::global().counter("comm.bytes_sent");
+  calls.add(1.0);
+  bytes_sent.add(payload_bytes);
+}
+
 }  // namespace
 
 std::size_t RankContext::size() const { return cluster_->ranks_; }
 
 const NetworkModel& RankContext::network() const { return cluster_->network_; }
 
-void RankContext::barrier() { cluster_->barrier_wait(); }
+void RankContext::barrier() {
+  static telemetry::Counter& calls =
+      telemetry::MetricsRegistry::global().counter("comm.barrier.calls");
+  calls.add(1.0);
+  telemetry::TraceSpan span("barrier", "comm");
+  cluster_->barrier_wait();
+}
 
 void SimCluster::align_clocks_locked() {
   double latest = 0.0;
@@ -46,9 +65,13 @@ void SimCluster::barrier_wait() {
 
 std::vector<std::vector<std::uint8_t>> RankContext::allgather(
     std::span<const std::uint8_t> send) {
+  static telemetry::Counter& calls =
+      telemetry::MetricsRegistry::global().counter("comm.allgather.calls");
+  note_collective(calls, static_cast<double>(send.size()));
+  telemetry::TraceSpan span("allgather", "comm");
   SimCluster& c = *cluster_;
   c.byte_slots_[rank_] = send;
-  barrier();  // all contributions visible
+  c.barrier_wait();  // all contributions visible
   std::vector<std::vector<std::uint8_t>> gathered(c.ranks_);
   std::vector<double> sizes(c.ranks_);
   for (std::size_t r = 0; r < c.ranks_; ++r) {
@@ -56,14 +79,18 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
     sizes[r] = static_cast<double>(c.byte_slots_[r].size());
   }
   clock_.advance(c.network_.allgatherv_time(sizes));
-  barrier();  // slots may be reused
+  c.barrier_wait();  // slots may be reused
   return gathered;
 }
 
 void RankContext::allreduce_sum(std::span<float> data) {
+  static telemetry::Counter& calls =
+      telemetry::MetricsRegistry::global().counter("comm.allreduce.calls");
+  note_collective(calls, static_cast<double>(data.size_bytes()));
+  telemetry::TraceSpan span("allreduce", "comm");
   SimCluster& c = *cluster_;
   c.float_slots_[rank_] = data;
-  barrier();
+  c.barrier_wait();
   // Every rank reduces redundantly into a private buffer; identical
   // floating-point order on all ranks keeps replicas bit-identical.
   std::vector<float> reduced(data.size(), 0.0f);
@@ -76,16 +103,20 @@ void RankContext::allreduce_sum(std::span<float> data) {
   }
   clock_.advance(c.network_.allreduce_time(static_cast<double>(data.size() * sizeof(float)),
                                            c.ranks_));
-  barrier();  // all ranks done reading before anyone writes
+  c.barrier_wait();  // all ranks done reading before anyone writes
   std::copy(reduced.begin(), reduced.end(), data.begin());
-  barrier();
+  c.barrier_wait();
 }
 
 void RankContext::broadcast(std::span<float> data, std::size_t root) {
+  static telemetry::Counter& calls =
+      telemetry::MetricsRegistry::global().counter("comm.broadcast.calls");
+  note_collective(calls, rank_ == root ? static_cast<double>(data.size_bytes()) : 0.0);
+  telemetry::TraceSpan span("broadcast", "comm");
   SimCluster& c = *cluster_;
   if (root >= c.ranks_) throw std::invalid_argument("broadcast: bad root");
   c.float_slots_[rank_] = data;
-  barrier();
+  c.barrier_wait();
   auto src = c.float_slots_[root];
   if (src.size() != data.size()) {
     throw std::invalid_argument("broadcast: mismatched sizes across ranks");
@@ -93,15 +124,19 @@ void RankContext::broadcast(std::span<float> data, std::size_t root) {
   if (rank_ != root) std::copy(src.begin(), src.end(), data.begin());
   clock_.advance(c.network_.broadcast_time(static_cast<double>(data.size() * sizeof(float)),
                                            c.ranks_));
-  barrier();
+  c.barrier_wait();
 }
 
 std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::uint8_t> send,
                                                            std::size_t root) {
+  static telemetry::Counter& calls =
+      telemetry::MetricsRegistry::global().counter("comm.gather.calls");
+  note_collective(calls, static_cast<double>(send.size()));
+  telemetry::TraceSpan span("gather", "comm");
   SimCluster& c = *cluster_;
   if (root >= c.ranks_) throw std::invalid_argument("gather: bad root");
   c.byte_slots_[rank_] = send;
-  barrier();
+  c.barrier_wait();
   std::vector<std::vector<std::uint8_t>> gathered;
   if (rank_ == root) {
     gathered.resize(c.ranks_);
@@ -114,14 +149,18 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
   } else {
     clock_.advance(c.network_.p2p_time(static_cast<double>(send.size())));
   }
-  barrier();
+  c.barrier_wait();
   return gathered;
 }
 
 std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) {
+  static telemetry::Counter& calls =
+      telemetry::MetricsRegistry::global().counter("comm.reduce_scatter.calls");
+  note_collective(calls, static_cast<double>(data.size_bytes()));
+  telemetry::TraceSpan span("reduce_scatter", "comm");
   SimCluster& c = *cluster_;
   c.float_slots_[rank_] = {const_cast<float*>(data.data()), data.size()};
-  barrier();
+  c.barrier_wait();
   const std::size_t n = data.size();
   const std::size_t base = n / c.ranks_;
   const std::size_t begin = rank_ * base;
@@ -137,13 +176,16 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
   // Ring reduce-scatter: p-1 steps of one chunk each.
   const double chunk_bytes = static_cast<double>(base * sizeof(float));
   clock_.advance(static_cast<double>(c.ranks_ - 1) * c.network_.p2p_time(chunk_bytes));
-  barrier();
+  c.barrier_wait();
   return chunk;
 }
 
 std::vector<double> SimCluster::run(std::size_t ranks,
                                     const std::function<void(RankContext&)>& fn) {
   if (ranks == 0) throw std::invalid_argument("SimCluster: ranks must be >= 1");
+  // Each run is a fresh simulation (clocks restart at zero) and therefore a
+  // fresh trace process.
+  if (telemetry::Tracer::global().enabled()) telemetry::Tracer::global().begin_sim_session();
   ranks_ = ranks;
   arrived_ = 0;
   generation_ = 0;
@@ -161,6 +203,8 @@ std::vector<double> SimCluster::run(std::size_t ranks,
 
   auto body = [&](std::size_t r) {
     try {
+      telemetry::ScopedRank bind(static_cast<std::int32_t>(r),
+                                 contexts[r].clock().time_ptr());
       fn(contexts[r]);
     } catch (...) {
       {

@@ -9,6 +9,7 @@
 #include "fftgrad/quant/range_float.h"
 #include "fftgrad/sparse/mask_coding.h"
 #include "fftgrad/sparse/pack.h"
+#include "fftgrad/telemetry/trace.h"
 #include "fftgrad/util/stats.h"
 
 namespace fftgrad::core {
@@ -17,13 +18,16 @@ namespace fftgrad::core {
 // NoopCompressor
 
 Packet NoopCompressor::compress(std::span<const float> gradient) {
+  telemetry::TraceSpan trace_span("noop.compress", "codec");
   Packet packet;
   packet.elements = gradient.size();
   wire::put_span<float>(packet.bytes, gradient);
+  record_codec_packet(packet.elements, packet);
   return packet;
 }
 
 void NoopCompressor::decompress(const Packet& packet, std::span<float> out) {
+  telemetry::TraceSpan trace_span("noop.decompress", "codec");
   if (out.size() != packet.elements) {
     throw std::invalid_argument("NoopCompressor: output size mismatch");
   }
@@ -51,6 +55,7 @@ void TopKCompressor::set_theta(double theta) {
 }
 
 Packet TopKCompressor::compress(std::span<const float> gradient) {
+  telemetry::TraceSpan trace_span("topk.compress", "codec");
   Packet packet;
   packet.elements = gradient.size();
   const std::size_t n = gradient.size();
@@ -84,10 +89,12 @@ Packet TopKCompressor::compress(std::span<const float> gradient) {
   wire::put<std::uint64_t>(packet.bytes, mask_bytes.size());
   wire::put_span<std::uint8_t>(packet.bytes, mask_bytes);
   wire::put_span<float>(packet.bytes, kept);
+  record_codec_packet(packet.elements, packet);
   return packet;
 }
 
 void TopKCompressor::decompress(const Packet& packet, std::span<float> out) {
+  telemetry::TraceSpan trace_span("topk.decompress", "codec");
   if (out.size() != packet.elements) {
     throw std::invalid_argument("TopKCompressor: output size mismatch");
   }
@@ -96,7 +103,8 @@ void TopKCompressor::decompress(const Packet& packet, std::span<float> out) {
   const auto n = static_cast<std::size_t>(reader.get<std::uint64_t>());
   if (n != packet.elements) throw std::runtime_error("TopKCompressor: corrupt packet");
   const auto kept_count = static_cast<std::size_t>(reader.get<std::uint64_t>());
-  const auto mask_size = static_cast<std::size_t>(reader.get<std::uint64_t>());
+  if (kept_count > n) throw std::runtime_error("TopKCompressor: corrupt kept count");
+  const std::size_t mask_size = reader.get_count(sizeof(std::uint8_t));
   std::vector<std::uint8_t> mask_bytes(mask_size);
   reader.get_span<std::uint8_t>(mask_bytes);
   const sparse::Bitmap mask = sparse::decode_mask(mask_bytes, n);
@@ -117,6 +125,7 @@ QsgdCompressor::QsgdCompressor(int bits, std::uint64_t seed) : bits_(bits), rng_
 std::string QsgdCompressor::name() const { return "qsgd(" + std::to_string(bits_) + "bit)"; }
 
 Packet QsgdCompressor::compress(std::span<const float> gradient) {
+  telemetry::TraceSpan trace_span("qsgd.compress", "codec");
   Packet packet;
   packet.elements = gradient.size();
   const std::size_t n = gradient.size();
@@ -142,10 +151,12 @@ Packet QsgdCompressor::compress(std::span<const float> gradient) {
   wire::put<float>(packet.bytes, norm);
   const std::vector<std::uint8_t> packed = quant::pack_codes(codes, bits_);
   wire::put_span<std::uint8_t>(packet.bytes, packed);
+  record_codec_packet(packet.elements, packet);
   return packet;
 }
 
 void QsgdCompressor::decompress(const Packet& packet, std::span<float> out) {
+  telemetry::TraceSpan trace_span("qsgd.decompress", "codec");
   if (out.size() != packet.elements) {
     throw std::invalid_argument("QsgdCompressor: output size mismatch");
   }
@@ -171,6 +182,7 @@ void QsgdCompressor::decompress(const Packet& packet, std::span<float> out) {
 // HalfCompressor
 
 Packet HalfCompressor::compress(std::span<const float> gradient) {
+  telemetry::TraceSpan trace_span("fp16.compress", "codec");
   Packet packet;
   packet.elements = gradient.size();
   if (gradient.empty()) return packet;
@@ -178,10 +190,12 @@ Packet HalfCompressor::compress(std::span<const float> gradient) {
   quant::float_to_half(gradient, halves);
   wire::put<std::uint64_t>(packet.bytes, gradient.size());
   wire::put_span<quant::Half>(packet.bytes, halves);
+  record_codec_packet(packet.elements, packet);
   return packet;
 }
 
 void HalfCompressor::decompress(const Packet& packet, std::span<float> out) {
+  telemetry::TraceSpan trace_span("fp16.decompress", "codec");
   if (out.size() != packet.elements) {
     throw std::invalid_argument("HalfCompressor: output size mismatch");
   }
@@ -198,6 +212,7 @@ void HalfCompressor::decompress(const Packet& packet, std::span<float> out) {
 // OneBitCompressor
 
 Packet OneBitCompressor::compress(std::span<const float> gradient) {
+  telemetry::TraceSpan trace_span("onebit.compress", "codec");
   Packet packet;
   packet.elements = gradient.size();
   const std::size_t n = gradient.size();
@@ -241,10 +256,12 @@ Packet OneBitCompressor::compress(std::span<const float> gradient) {
   wire::put<float>(packet.bytes, negative_scale);
   const std::vector<std::uint8_t> packed = quant::pack_codes(signs, 1);
   wire::put_span<std::uint8_t>(packet.bytes, packed);
+  record_codec_packet(packet.elements, packet);
   return packet;
 }
 
 void OneBitCompressor::decompress(const Packet& packet, std::span<float> out) {
+  telemetry::TraceSpan trace_span("onebit.decompress", "codec");
   if (out.size() != packet.elements) {
     throw std::invalid_argument("OneBitCompressor: output size mismatch");
   }
@@ -268,6 +285,7 @@ void OneBitCompressor::decompress(const Packet& packet, std::span<float> out) {
 TernGradCompressor::TernGradCompressor(std::uint64_t seed) : rng_(seed) {}
 
 Packet TernGradCompressor::compress(std::span<const float> gradient) {
+  telemetry::TraceSpan trace_span("terngrad.compress", "codec");
   Packet packet;
   packet.elements = gradient.size();
   const std::size_t n = gradient.size();
@@ -287,10 +305,12 @@ Packet TernGradCompressor::compress(std::span<const float> gradient) {
   wire::put<float>(packet.bytes, scale);
   const std::vector<std::uint8_t> packed = quant::pack_codes(codes, 2);
   wire::put_span<std::uint8_t>(packet.bytes, packed);
+  record_codec_packet(packet.elements, packet);
   return packet;
 }
 
 void TernGradCompressor::decompress(const Packet& packet, std::span<float> out) {
+  telemetry::TraceSpan trace_span("terngrad.decompress", "codec");
   if (out.size() != packet.elements) {
     throw std::invalid_argument("TernGradCompressor: output size mismatch");
   }

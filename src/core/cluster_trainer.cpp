@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fftgrad/nn/loss.h"
+#include "fftgrad/telemetry/trace.h"
 
 namespace fftgrad::core {
 
@@ -35,36 +36,52 @@ ClusterTrainResult cluster_train(
 
     double last_loss = 0.0;
     for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+      // SimCluster::run bound this thread to its rank track, so these
+      // spans land per rank on the wall timeline (and the collective's
+      // span inside allgather also lands on the simulated timeline).
       const nn::Batch batch = dataset.sample(config.batch_per_rank, batch_rng);
       model.zero_grad();
-      last_loss = criterion.forward(model.forward(batch.inputs), batch.labels);
-      model.backward(criterion.backward());
-      model.copy_gradients(gradient);
+      {
+        telemetry::TraceSpan span("forward", "trainer");
+        last_loss = criterion.forward(model.forward(batch.inputs), batch.labels);
+      }
+      {
+        telemetry::TraceSpan span("backward", "trainer");
+        model.backward(criterion.backward());
+        model.copy_gradients(gradient);
+      }
 
       // Compress, allgather packets, decompress every peer, average.
-      const Packet mine = codec->compress(gradient);
       std::vector<std::uint8_t> wire;
-      wire::put<std::uint64_t>(wire, mine.elements);
-      wire::put_span<std::uint8_t>(wire, mine.bytes);
+      {
+        telemetry::TraceSpan span("compress", "trainer");
+        const Packet mine = codec->compress(gradient);
+        wire::put<std::uint64_t>(wire, mine.elements);
+        wire::put_span<std::uint8_t>(wire, mine.bytes);
+      }
       const auto gathered = ctx.allgather(wire);
 
       std::fill(averaged.begin(), averaged.end(), 0.0f);
       const float inv_ranks = 1.0f / static_cast<float>(ctx.size());
-      for (const auto& peer_bytes : gathered) {
-        wire::Reader reader(peer_bytes);
-        Packet peer;
-        peer.elements = static_cast<std::size_t>(reader.get<std::uint64_t>());
-        if (peer.elements != grad_size) {
-          throw std::runtime_error("cluster_train: peer gradient size mismatch");
-        }
-        peer.bytes.resize(reader.remaining());
-        reader.get_span<std::uint8_t>(peer.bytes);
-        codec->decompress(peer, reconstructed);
-        for (std::size_t i = 0; i < grad_size; ++i) {
-          averaged[i] += reconstructed[i] * inv_ranks;
+      {
+        telemetry::TraceSpan span("decompress", "trainer");
+        for (const auto& peer_bytes : gathered) {
+          wire::Reader reader(peer_bytes);
+          Packet peer;
+          peer.elements = static_cast<std::size_t>(reader.get<std::uint64_t>());
+          if (peer.elements != grad_size) {
+            throw std::runtime_error("cluster_train: peer gradient size mismatch");
+          }
+          peer.bytes.resize(reader.remaining());
+          reader.get_span<std::uint8_t>(peer.bytes);
+          codec->decompress(peer, reconstructed);
+          for (std::size_t i = 0; i < grad_size; ++i) {
+            averaged[i] += reconstructed[i] * inv_ranks;
+          }
         }
       }
 
+      telemetry::TraceSpan apply_span("apply", "trainer");
       model.set_gradients(averaged);
       optimizer.step(model, config.learning_rate);
     }

@@ -9,6 +9,7 @@
 #include "fftgrad/quant/half.h"
 #include "fftgrad/sparse/mask_coding.h"
 #include "fftgrad/sparse/pack.h"
+#include "fftgrad/telemetry/trace.h"
 
 namespace fftgrad::core {
 namespace {
@@ -90,46 +91,64 @@ Packet FftCompressor::compress(std::span<const float> gradient) {
 
   // Stage 2: fp16 conversion.
   std::vector<float> signal(n);
-  if (options_.use_fp16_stage) {
-    quant::half_round_trip(gradient, signal);
-  } else {
-    std::copy(gradient.begin(), gradient.end(), signal.begin());
+  {
+    telemetry::TraceSpan span("fft.fp16", "codec");
+    if (options_.use_fp16_stage) {
+      quant::half_round_trip(gradient, signal);
+    } else {
+      std::copy(gradient.begin(), gradient.end(), signal.begin());
+    }
   }
 
   // Stage 3: real FFT.
   const fft::FftPlan& plan = plan_for(n);
   const std::size_t bins = plan.real_bins();
   std::vector<fft::cfloat> spectrum(bins);
-  plan.rfft(signal, spectrum);
+  {
+    telemetry::TraceSpan span("fft.rfft", "codec");
+    plan.rfft(signal, spectrum);
+  }
 
   // Stage 4: top-k truncation over bin moduli.
   const std::size_t kept_target = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::llround((1.0 - options_.theta) *
                                                static_cast<double>(bins))));
   std::vector<float> magnitudes(bins);
-  for (std::size_t i = 0; i < bins; ++i) magnitudes[i] = std::abs(spectrum[i]);
-  const sparse::Bitmap mask = keep_mask(magnitudes, kept_target, options_.topk_method);
+  sparse::Bitmap mask;
+  {
+    telemetry::TraceSpan span("fft.lowpass", "codec");
+    for (std::size_t i = 0; i < bins; ++i) magnitudes[i] = std::abs(spectrum[i]);
+    mask = keep_mask(magnitudes, kept_target, options_.topk_method);
+  }
 
   // Stage 6 (gather part): pack surviving bins densely, in bin order.
   auto& pool = parallel::ThreadPool::global();
-  std::vector<fft::cfloat> kept =
-      sparse::pack_bitmap<fft::cfloat>(pool, spectrum, mask);
+  std::vector<fft::cfloat> kept;
+  {
+    telemetry::TraceSpan span("fft.pack", "codec");
+    kept = sparse::pack_bitmap<fft::cfloat>(pool, spectrum, mask);
+  }
   // View the kept coefficients as interleaved re/im floats for stage 5.
   std::span<const float> parts(reinterpret_cast<const float*>(kept.data()), kept.size() * 2);
 
   // Stage 5: range-based quantization of the peak-normalized coefficients.
   float peak = 0.0f;
-  for (float v : parts) peak = std::max(peak, std::fabs(v));
-  bool quantized = options_.quantizer_bits != 0 && peak > 0.0f;
+  bool quantized = false;
   std::vector<float> normalized;
-  if (quantized) {
-    normalized.resize(parts.size());
-    const float inv_peak = 1.0f / peak;
-    for (std::size_t i = 0; i < parts.size(); ++i) normalized[i] = parts[i] * inv_peak;
-    if (!quantizer_ || !options_.freeze_quantizer) calibrate_quantizer(normalized);
+  {
+    telemetry::TraceSpan span("fft.quantize", "codec");
+    for (float v : parts) peak = std::max(peak, std::fabs(v));
+    quantized = options_.quantizer_bits != 0 && peak > 0.0f;
+    if (quantized) {
+      normalized.resize(parts.size());
+      const float inv_peak = 1.0f / peak;
+      for (std::size_t i = 0; i < parts.size(); ++i) normalized[i] = parts[i] * inv_peak;
+      if (!quantizer_ || !options_.freeze_quantizer) calibrate_quantizer(normalized);
+    }
   }
 
   // Wire format: header, bitmap words, then coefficient payload.
+  telemetry::TraceSpan encode_span("fft.encode", "codec");
   wire::put<std::uint64_t>(packet.bytes, n);
   wire::put<std::uint64_t>(packet.bytes, kept.size());
   std::uint8_t flags = quantized ? kFlagQuantized : 0;
@@ -155,6 +174,7 @@ Packet FftCompressor::compress(std::span<const float> gradient) {
   } else {
     wire::put_span<float>(packet.bytes, parts);
   }
+  record_codec_packet(n, packet);
   return packet;
 }
 
@@ -184,27 +204,35 @@ void FftCompressor::decompress(const Packet& packet, std::span<float> out) {
 
   const fft::FftPlan& plan = plan_for(n);
   const std::size_t bins = plan.real_bins();
-  const auto mask_size = static_cast<std::size_t>(reader.get<std::uint64_t>());
+  if (kept_count > bins) throw std::runtime_error("FftCompressor: corrupt kept count");
+  const std::size_t mask_size = reader.get_count(sizeof(std::uint8_t));
   std::vector<std::uint8_t> mask_bytes(mask_size);
   reader.get_span<std::uint8_t>(mask_bytes);
   const sparse::Bitmap mask = sparse::decode_mask(mask_bytes, bins);
 
   std::vector<fft::cfloat> kept(kept_count);
   std::span<float> parts(reinterpret_cast<float*>(kept.data()), kept_count * 2);
-  if (codec) {
-    std::vector<std::uint8_t> packed(reader.remaining());
-    reader.get_span<std::uint8_t>(packed);
-    const std::vector<std::uint32_t> codes =
-        quant::unpack_codes(packed, codec->params().bits, parts.size());
-    codec->decode(codes, parts);
-    for (float& v : parts) v *= peak;
-  } else {
-    reader.get_span<float>(parts);
+  {
+    telemetry::TraceSpan span("fft.dequantize", "codec");
+    if (codec) {
+      std::vector<std::uint8_t> packed(reader.remaining());
+      reader.get_span<std::uint8_t>(packed);
+      const std::vector<std::uint32_t> codes =
+          quant::unpack_codes(packed, codec->params().bits, parts.size());
+      codec->decode(codes, parts);
+      for (float& v : parts) v *= peak;
+    } else {
+      reader.get_span<float>(parts);
+    }
   }
 
   std::vector<fft::cfloat> spectrum(bins);
   auto& pool = parallel::ThreadPool::global();
-  sparse::unpack_bitmap<fft::cfloat>(pool, kept, mask, spectrum);
+  {
+    telemetry::TraceSpan span("fft.unpack", "codec");
+    sparse::unpack_bitmap<fft::cfloat>(pool, kept, mask, spectrum);
+  }
+  telemetry::TraceSpan span("fft.irfft", "codec");
   plan.irfft(spectrum, out);
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "fftgrad/perfmodel/cost_model.h"
+#include "fftgrad/telemetry/metrics.h"
 
 namespace fftgrad::core {
 
@@ -35,6 +36,21 @@ struct Packet {
                                static_cast<double>(bytes.size());
   }
 };
+
+/// Telemetry hook called by every *leaf* codec as its compress() returns
+/// (wrappers like ErrorFeedback/Chunked must not call it again, or bytes
+/// would double-count): accumulates raw vs wire byte totals and the
+/// per-packet ratio histogram. No-op unless metrics collection is enabled.
+inline void record_codec_packet(std::size_t gradient_elements, const Packet& packet) {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  if (!registry.enabled()) return;
+  static telemetry::Counter& raw_bytes = registry.counter("codec.raw_bytes");
+  static telemetry::Counter& wire_bytes = registry.counter("codec.wire_bytes");
+  static telemetry::Histogram& ratio = registry.histogram("codec.ratio");
+  raw_bytes.add(static_cast<double>(gradient_elements * sizeof(float)));
+  wire_bytes.add(static_cast<double>(packet.wire_bytes()));
+  ratio.observe(packet.ratio());
+}
 
 class GradientCompressor {
  public:
@@ -104,6 +120,18 @@ class Reader {
   }
 
   std::size_t remaining() const { return bytes_.size() - at_; }
+
+  /// Read a u64 element count whose `elem_size`-byte payload must still fit
+  /// in the packet. Rejecting oversized counts here keeps a corrupted size
+  /// field from driving a huge allocation before the payload read would
+  /// have failed anyway.
+  std::size_t get_count(std::size_t elem_size) {
+    const auto count = static_cast<std::size_t>(get<std::uint64_t>());
+    if (elem_size != 0 && count > remaining() / elem_size) {
+      throw std::runtime_error("wire: corrupt size field");
+    }
+    return count;
+  }
 
  private:
   std::span<const std::uint8_t> bytes_;

@@ -5,11 +5,27 @@
 #include <stdexcept>
 
 #include "fftgrad/nn/loss.h"
+#include "fftgrad/telemetry/metrics.h"
+#include "fftgrad/telemetry/trace.h"
 #include "fftgrad/util/logging.h"
 #include "fftgrad/util/stats.h"
 #include "fftgrad/util/timer.h"
 
 namespace fftgrad::core {
+namespace {
+
+/// Per-rank phase durations of one simulated iteration, used to lay the
+/// Fig 2-style spans onto each rank's simulated track. The phase order
+/// mirrors the trainer's cost accounting (decompress is part of the
+/// per-rank codec time charged before the exchange).
+struct RankPhaseTimes {
+  double forward = 0.0;
+  double backward = 0.0;
+  double compress = 0.0;
+  double decompress = 0.0;
+};
+
+}  // namespace
 
 DistributedTrainer::DistributedTrainer(nn::Network model, nn::SyntheticDataset dataset,
                                        TrainerConfig config)
@@ -45,6 +61,9 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
                                       const ThetaSchedule& theta_schedule,
                                       const nn::StepLrSchedule& lr_schedule) {
   // Reset to the shared initialization so algorithm comparisons are fair.
+  // Each train() is its own simulation (sim_time restarts at zero), so it
+  // gets its own trace process.
+  if (telemetry::Tracer::global().enabled()) telemetry::Tracer::global().begin_sim_session();
   model_.set_params(initial_params_);
   nn::SgdOptimizer optimizer(config_.momentum);
   nn::SoftmaxCrossEntropy criterion;
@@ -73,6 +92,11 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
   double total_wire = 0.0;
   std::size_t total_iters = 0;
 
+  telemetry::MetricsRegistry& metrics = telemetry::MetricsRegistry::global();
+  telemetry::Counter& trainer_iterations = metrics.counter("trainer.iterations");
+  telemetry::Counter& trainer_wire_bytes = metrics.counter("trainer.wire_bytes");
+  telemetry::Histogram& trainer_alpha = metrics.histogram("trainer.alpha");
+
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     const double lr = lr_schedule.at(epoch);
     const double theta = theta_schedule.at(epoch, lr);
@@ -88,20 +112,34 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
       std::fill(mean_recon.begin(), mean_recon.end(), 0.0f);
       double slowest_rank = 0.0;
 
+      // Only pay for the per-rank phase bookkeeping when a trace is being
+      // collected; the sim-time accounting itself is unchanged either way.
+      telemetry::Tracer& tracer = telemetry::Tracer::global();
+      const bool tracing = tracer.enabled();
+      std::vector<RankPhaseTimes> phases(tracing ? config_.ranks : 0);
+      const double iter_start_sim = sim_time;
+
       for (std::size_t r = 0; r < config_.ranks; ++r) {
         util::WallTimer compute_timer;
         const nn::Batch batch = dataset_.sample(config_.batch_per_rank, rank_rngs[r]);
         model_.zero_grad();
+        util::WallTimer forward_timer;
         const tensor::Tensor logits = model_.forward(batch.inputs);
         loss_sum += criterion.forward(logits, batch.labels) / static_cast<double>(config_.ranks);
+        const double forward_s = forward_timer.seconds();
+        util::WallTimer backward_timer;
         model_.backward(criterion.backward());
         model_.copy_gradients(rank_grad);
+        const double backward_s = backward_timer.seconds();
         const double compute_s = compute_timer.seconds();
 
-        util::WallTimer codec_timer;
+        util::WallTimer compress_timer;
         const Packet packet = compressors[r]->compress(rank_grad);
+        const double compress_s = compress_timer.seconds();
+        util::WallTimer decompress_timer;
         compressors[r]->decompress(packet, rank_recon);
-        const double codec_s = codec_timer.seconds();
+        const double decompress_s = decompress_timer.seconds();
+        const double codec_s = compress_s + decompress_s;
 
         const double wire = static_cast<double>(packet.wire_bytes()) * wire_scale;
         block_bytes[r] = wire;
@@ -123,34 +161,74 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
               2.0 * config_.paper_scale->raw_gradient_bytes *
               compressors[r]->modeled_seconds_per_byte(config_.paper_scale->throughputs);
           rank_time = config_.paper_scale->compute_seconds + codec_model;
+          if (tracing) {
+            // fwd+bwd ~ 3x fwd on GPU-class substrates; split the paper's
+            // combined compute figure accordingly.
+            phases[r] = {config_.paper_scale->compute_seconds / 3.0,
+                         config_.paper_scale->compute_seconds * 2.0 / 3.0, codec_model / 2.0,
+                         codec_model / 2.0};
+          }
         } else {
           rank_time = compute_s + codec_s;
+          if (tracing) phases[r] = {forward_s, backward_s, compress_s, decompress_s};
         }
         slowest_rank = std::max(slowest_rank, rank_time);
       }
 
       if (config_.record_alpha) {
-        alpha_sum += util::relative_error_alpha(mean_true, mean_recon);
+        const double alpha = util::relative_error_alpha(mean_true, mean_recon);
+        alpha_sum += alpha;
+        trainer_alpha.observe(alpha);
       }
 
       // Every replica applies the same averaged reconstructed gradient.
       model_.set_gradients(mean_recon);
       optimizer.step(model_, static_cast<float>(lr));
 
+      double comm_s = 0.0;
+      double sync_s = 0.0;
       if (config_.scheme == CommScheme::kBspAllgather) {
-        sim_time += slowest_rank + config_.network.allgatherv_time(block_bytes);
+        comm_s = config_.network.allgatherv_time(block_bytes);
         if (config_.param_sync_every != 0 &&
             (total_iters + 1) % config_.param_sync_every == 0) {
-          sim_time += config_.network.broadcast_time(raw_bytes * wire_scale, config_.ranks);
+          sync_s = config_.network.broadcast_time(raw_bytes * wire_scale, config_.ranks);
         }
       } else {
         // Parameter server: workers push compressed gradients through the
         // server's inbound link (serialized) and pull fresh parameters
         // every iteration through its outbound link.
-        sim_time += slowest_rank + config_.network.ps_push_time(block_bytes) +
-                    config_.network.ps_pull_time(raw_bytes * wire_scale, config_.ranks);
+        comm_s = config_.network.ps_push_time(block_bytes) +
+                 config_.network.ps_pull_time(raw_bytes * wire_scale, config_.ranks);
       }
+      sim_time += slowest_rank + comm_s + sync_s;
       ++total_iters;
+      trainer_iterations.add(1.0);
+      for (double bytes : block_bytes) trainer_wire_bytes.add(bytes);
+
+      if (tracing) {
+        // Lay one BSP iteration onto each rank's simulated track, exactly
+        // as the accounting charged it: compute and codec phases back to
+        // back, then the bulk-synchronous exchange ending at the barrier.
+        const char* exchange_name =
+            config_.scheme == CommScheme::kBspAllgather ? "allgather" : "ps_exchange";
+        const double comm_start = iter_start_sim + slowest_rank;
+        for (std::size_t r = 0; r < config_.ranks; ++r) {
+          const std::int32_t rank = static_cast<std::int32_t>(r);
+          double t = iter_start_sim;
+          tracer.record_sim_span(rank, "forward", "trainer", t, t + phases[r].forward);
+          t += phases[r].forward;
+          tracer.record_sim_span(rank, "backward", "trainer", t, t + phases[r].backward);
+          t += phases[r].backward;
+          tracer.record_sim_span(rank, "compress", "trainer", t, t + phases[r].compress);
+          t += phases[r].compress;
+          tracer.record_sim_span(rank, "decompress", "trainer", t, t + phases[r].decompress);
+          tracer.record_sim_span(rank, exchange_name, "comm", comm_start, comm_start + comm_s);
+          if (sync_s > 0.0) {
+            tracer.record_sim_span(rank, "param_broadcast", "comm", comm_start + comm_s,
+                                   comm_start + comm_s + sync_s);
+          }
+        }
+      }
     }
 
     EpochRecord record;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "fftgrad/comm/network_model.h"
 #include "fftgrad/nn/network.h"
 
 namespace fftgrad::nn {
@@ -17,6 +18,10 @@ struct LayerProfile {
   std::size_t param_count = 0;
   double forward_s = 0.0;
   double backward_s = 0.0;
+  /// Simulated allreduce time of this layer's fp32 gradient on the network
+  /// model passed to profile_network; 0 when profiled without one (or for
+  /// parameter-free layers, which exchange nothing).
+  double comm_s = 0.0;
 };
 
 /// Run `repeats` forward+backward passes of `input` through `net`, timing
@@ -25,6 +30,14 @@ struct LayerProfile {
 /// layer order. Gradients are zeroed before and accumulated during the run
 /// (as in training); parameters are not updated.
 std::vector<LayerProfile> profile_network(Network& net, const tensor::Tensor& input,
+                                          std::size_t repeats = 3);
+
+/// Same measurement, but additionally fills each layer's comm_s with the
+/// modelled ring-allreduce time of its gradient (param_count * 4 bytes) on
+/// `network` across `ranks` ranks — the layer-wise comm-vs-comp picture of
+/// the paper's Fig 2 for any model built in this framework.
+std::vector<LayerProfile> profile_network(Network& net, const tensor::Tensor& input,
+                                          const comm::NetworkModel& network, std::size_t ranks,
                                           std::size_t repeats = 3);
 
 }  // namespace fftgrad::nn

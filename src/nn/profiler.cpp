@@ -38,4 +38,15 @@ std::vector<LayerProfile> profile_network(Network& net, const tensor::Tensor& in
   return profiles;
 }
 
+std::vector<LayerProfile> profile_network(Network& net, const tensor::Tensor& input,
+                                          const comm::NetworkModel& network, std::size_t ranks,
+                                          std::size_t repeats) {
+  std::vector<LayerProfile> profiles = profile_network(net, input, repeats);
+  for (LayerProfile& p : profiles) {
+    if (p.param_count == 0) continue;  // nothing to exchange
+    p.comm_s = network.allreduce_time(static_cast<double>(p.param_count) * sizeof(float), ranks);
+  }
+  return profiles;
+}
+
 }  // namespace fftgrad::nn

@@ -1,8 +1,28 @@
 #include "fftgrad/parallel/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "fftgrad/telemetry/metrics.h"
 
 namespace fftgrad::parallel {
+namespace {
+
+/// Pool metric handles; immortal registry objects, safe to cache.
+struct PoolMetrics {
+  telemetry::Counter& tasks;
+  telemetry::Gauge& queue_depth;
+  telemetry::Histogram& task_latency_us;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{telemetry::MetricsRegistry::global().counter("pool.tasks"),
+                         telemetry::MetricsRegistry::global().gauge("pool.queue_depth"),
+                         telemetry::MetricsRegistry::global().histogram("pool.task_latency_us")};
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -24,11 +44,26 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
+  // Per-task accounting only when metrics collection is switched on; the
+  // extra wrapper (one clock read at enqueue, one at start) must not tax
+  // the packing primitives' hot loop in normal runs.
+  if (telemetry::MetricsRegistry::global().enabled()) {
+    PoolMetrics& m = PoolMetrics::get();
+    m.tasks.add(1.0);
+    const auto enqueued = std::chrono::steady_clock::now();
+    task = [inner = std::move(task), enqueued] {
+      PoolMetrics::get().task_latency_us.observe(
+          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - enqueued)
+              .count());
+      inner();
+    };
+  }
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push(std::move(packaged));
+    PoolMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return future;

@@ -1,0 +1,28 @@
+// Process-level telemetry switchboard.
+//
+// init_from_env() is the one call examples and benches make at startup:
+//   FFTGRAD_TRACE=<path>    enable tracing + metrics; write Chrome trace
+//                           JSON to <path> at exit (open it in Perfetto or
+//                           chrome://tracing), and metrics JSON alongside
+//                           to <path>.metrics.json unless overridden.
+//   FFTGRAD_METRICS=<path>  enable metrics; write the registry's JSON to
+//                           <path> at exit.
+// With neither variable set, telemetry stays disabled and every TraceSpan /
+// metric update is a single relaxed atomic check.
+#pragma once
+
+#include "fftgrad/telemetry/metrics.h"
+#include "fftgrad/telemetry/trace.h"
+
+namespace fftgrad::telemetry {
+
+/// Read FFTGRAD_TRACE / FFTGRAD_METRICS, enable the tracer/registry
+/// accordingly, and register an atexit hook that writes the configured
+/// files. Idempotent; safe to call from multiple binaries' main().
+void init_from_env();
+
+/// Write the configured trace/metrics files now (also runs at exit).
+/// No-op when init_from_env() found neither variable.
+void export_configured();
+
+}  // namespace fftgrad::telemetry

@@ -1,0 +1,131 @@
+// Dual-clock span tracer.
+//
+// TraceSpan is an RAII scope marker recording a named span's wall time and,
+// when the calling thread has a simulated clock bound (see ScopedRank), its
+// simulated time on the logical rank's track. Records land in per-thread
+// buffers: the owning thread appends without taking any lock (a mutex is
+// touched only when a new 4096-record chunk is allocated), and a publisher
+// atomic lets the exporter read a consistent prefix while ranks are still
+// running. Tracer::export_chrome_json() writes the Chrome trace-event
+// format, loadable in Perfetto / chrome://tracing, with one track per
+// logical rank on the simulated timeline (the paper's Fig 2 view) and one
+// track per OS thread on the wall timeline.
+//
+// Cost model: when tracing is disabled (the default) a TraceSpan costs one
+// relaxed atomic load and performs no clock reads and no allocation, so
+// instrumentation can stay compiled into every hot path.
+//
+// Span names and categories must be string literals (or otherwise outlive
+// the tracer): records store the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fftgrad::telemetry {
+
+/// One completed span. sim_* < 0 means "no simulated timestamp"; a zero
+/// wall_end_ns means the record is simulated-timeline-only (emitted via
+/// Tracer::record_sim_span).
+struct SpanRecord {
+  const char* name = nullptr;      ///< static storage required
+  const char* category = nullptr;  ///< static storage required
+  std::uint64_t wall_start_ns = 0;
+  std::uint64_t wall_end_ns = 0;
+  double sim_start_s = -1.0;
+  double sim_end_s = -1.0;
+  std::int32_t rank = -1;       ///< logical rank (simulated track); -1 = none
+  std::uint32_t thread = 0;     ///< per-process thread registration index
+  std::uint32_t sim_session = 0;  ///< simulated run this span belongs to
+};
+
+class Tracer {
+ public:
+  /// Process-wide tracer. Thread buffers registered with it outlive their
+  /// threads, so export after a SimCluster run sees every rank's spans.
+  static Tracer& global();
+
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Append a finished span to the calling thread's buffer.
+  void record(const SpanRecord& record);
+
+  /// Append a simulated-timeline-only span with explicit timestamps, for
+  /// callers (the sequential DistributedTrainer) that model many logical
+  /// ranks from one thread. No-op when disabled.
+  void record_sim_span(std::int32_t rank, const char* name, const char* category,
+                       double sim_start_s, double sim_end_s);
+
+  /// Start a new simulated run. Every simulation begins its clocks at zero,
+  /// so spans from consecutive runs (e.g. training each algorithm in turn)
+  /// would overlap if laid on one timeline; each session is exported as its
+  /// own trace process instead. Returns the new session id.
+  std::uint32_t begin_sim_session() {
+    return sim_session_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  std::uint32_t current_sim_session() const {
+    return sim_session_.load(std::memory_order_relaxed);
+  }
+
+  /// Write everything recorded so far as Chrome trace-event JSON. Returns
+  /// false (and logs a warning) if the file cannot be written.
+  bool export_chrome_json(const std::string& path);
+
+  /// Drop all recorded spans (buffers are kept for their threads).
+  void clear();
+
+  struct Stats {
+    std::size_t threads = 0;  ///< thread buffers ever registered
+    std::size_t spans = 0;    ///< spans currently recorded
+  };
+  Stats stats() const;
+
+  /// Nanoseconds since the tracer's epoch (first use in the process).
+  std::uint64_t wall_now_ns() const;
+
+ private:
+  Tracer();
+  friend class ScopedRank;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> sim_session_{0};
+};
+
+/// RAII span: opens at construction, records at destruction.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::uint64_t wall_start_ns_ = 0;
+  double sim_start_s_ = -1.0;
+  bool armed_ = false;
+};
+
+/// Binds the calling thread to a logical rank and (optionally) a simulated
+/// clock for the scope's lifetime: spans opened while bound carry the rank
+/// and sample *sim_time_s at open/close. Pass nullptr to bind a rank with
+/// no simulated clock. The pointed-to double must outlive the scope.
+class ScopedRank {
+ public:
+  ScopedRank(std::int32_t rank, const double* sim_time_s);
+  ~ScopedRank();
+
+  ScopedRank(const ScopedRank&) = delete;
+  ScopedRank& operator=(const ScopedRank&) = delete;
+
+ private:
+  std::int32_t previous_rank_;
+  const double* previous_sim_time_;
+};
+
+}  // namespace fftgrad::telemetry

@@ -1,0 +1,185 @@
+#include "fftgrad/telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "fftgrad/util/logging.h"
+
+namespace fftgrad::telemetry {
+namespace {
+
+/// Doubles render with enough digits to round-trip; integral values stay
+/// integral-looking for readability.
+std::string number(double v) {
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Counter::add(double delta) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::set(double value) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  value_.store(value, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(value);
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+}
+
+std::size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+std::vector<double> Histogram::sorted_samples() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sorted = samples_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<double> sorted = sorted_samples();
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Smallest x with P(X <= x) >= q (the inverse empirical CDF, matching
+  // util::EmpiricalCdf::quantile).
+  const double target = q * static_cast<double>(sorted.size());
+  std::size_t index =
+      target <= 0.0 ? 0 : static_cast<std::size_t>(std::ceil(target)) - 1;
+  index = std::min(index, sorted.size() - 1);
+  return sorted[index];
+}
+
+Histogram::Summary Histogram::summarize() const {
+  const std::vector<double> sorted = sorted_samples();
+  Summary s;
+  s.count = sorted.size();
+  if (sorted.empty()) return s;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  for (double v : sorted) s.sum += v;
+  s.mean = s.sum / static_cast<double>(sorted.size());
+  auto at_quantile = [&](double q) {
+    const double target = q * static_cast<double>(sorted.size());
+    std::size_t index =
+        target <= 0.0 ? 0 : static_cast<std::size_t>(std::ceil(target)) - 1;
+    return sorted[std::min(index, sorted.size() - 1)];
+  };
+  s.p50 = at_quantile(0.50);
+  s.p90 = at_quantile(0.90);
+  s.p99 = at_quantile(0.99);
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Counter*& slot = counters_[name];
+  if (slot == nullptr) slot = new Counter(enabled_);  // lives forever
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Gauge*& slot = gauges_[name];
+  if (slot == nullptr) slot = new Gauge(enabled_);  // lives forever
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Histogram*& slot = histograms_[name];
+  if (slot == nullptr) slot = new Histogram(enabled_);  // lives forever
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "    " << quoted(name) << ": " << number(c->value());
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    " << quoted(name) << ": " << number(g->value());
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Summary s = h->summarize();
+    out << (first ? "\n" : ",\n") << "    " << quoted(name) << ": {\"count\": " << s.count
+        << ", \"sum\": " << number(s.sum) << ", \"min\": " << number(s.min)
+        << ", \"max\": " << number(s.max) << ", \"mean\": " << number(s.mean)
+        << ", \"p50\": " << number(s.p50) << ", \"p90\": " << number(s.p90)
+        << ", \"p99\": " << number(s.p99) << "}";
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+bool MetricsRegistry::export_json(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    util::log_warn() << "telemetry: cannot write metrics to '" << path << "'; metrics dropped";
+    return false;
+  }
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool ok = std::fclose(f) == 0 && wrote;
+  if (!ok) util::log_warn() << "telemetry: error writing metrics file '" << path << "'";
+  return ok;
+}
+
+}  // namespace fftgrad::telemetry

@@ -1,0 +1,53 @@
+#include "fftgrad/telemetry/telemetry.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "fftgrad/util/logging.h"
+
+namespace fftgrad::telemetry {
+namespace {
+
+std::string& trace_path() {
+  static std::string path;
+  return path;
+}
+
+std::string& metrics_path() {
+  static std::string path;
+  return path;
+}
+
+}  // namespace
+
+void export_configured() {
+  if (!trace_path().empty()) Tracer::global().export_chrome_json(trace_path());
+  if (!metrics_path().empty()) MetricsRegistry::global().export_json(metrics_path());
+}
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* trace = std::getenv("FFTGRAD_TRACE");
+    const char* metrics = std::getenv("FFTGRAD_METRICS");
+    if (trace == nullptr && metrics == nullptr) return;
+    if (trace != nullptr && *trace != '\0') {
+      trace_path() = trace;
+      Tracer::global().set_enabled(true);
+      util::log_info() << "telemetry: tracing to " << trace_path();
+    }
+    MetricsRegistry::global().set_enabled(true);
+    if (metrics != nullptr && *metrics != '\0') {
+      metrics_path() = metrics;
+    } else if (!trace_path().empty()) {
+      metrics_path() = trace_path() + ".metrics.json";
+    }
+    if (!metrics_path().empty()) {
+      util::log_info() << "telemetry: metrics to " << metrics_path();
+    }
+    std::atexit([] { export_configured(); });
+  });
+}
+
+}  // namespace fftgrad::telemetry

@@ -1,0 +1,302 @@
+#include "fftgrad/telemetry/trace.h"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fftgrad/util/logging.h"
+
+namespace fftgrad::telemetry {
+namespace {
+
+constexpr std::size_t kChunkSize = 4096;
+
+/// Append-only per-thread span storage. Only the owning thread writes; the
+/// exporter reads the first `count` records (acquire on the publisher
+/// atomic), taking `chunks_mutex` just long enough to snapshot the chunk
+/// pointers — chunks themselves are never moved or freed before clear().
+struct ThreadBuffer {
+  struct Chunk {
+    std::array<SpanRecord, kChunkSize> records;
+  };
+
+  std::uint32_t index = 0;
+  std::vector<std::unique_ptr<Chunk>> chunks;
+  std::mutex chunks_mutex;
+  std::atomic<std::size_t> count{0};
+
+  void push(const SpanRecord& record) {
+    const std::size_t at = count.load(std::memory_order_relaxed);
+    const std::size_t chunk = at / kChunkSize;
+    if (chunk >= chunks.size()) {
+      std::lock_guard<std::mutex> lock(chunks_mutex);
+      chunks.push_back(std::make_unique<Chunk>());
+    }
+    chunks[chunk]->records[at % kChunkSize] = record;
+    count.store(at + 1, std::memory_order_release);
+  }
+
+  /// Copy the published prefix; safe while the owner keeps appending.
+  std::vector<SpanRecord> snapshot() {
+    const std::size_t n = count.load(std::memory_order_acquire);
+    std::vector<std::unique_ptr<Chunk>*> chunk_ptrs;
+    {
+      std::lock_guard<std::mutex> lock(chunks_mutex);
+      for (auto& c : chunks) chunk_ptrs.push_back(&c);
+    }
+    std::vector<SpanRecord> records;
+    records.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      records.push_back((*chunk_ptrs[i / kChunkSize])->records[i % kChunkSize]);
+    }
+    return records;
+  }
+};
+
+struct ThreadState {
+  ThreadBuffer* buffer = nullptr;  ///< owned by the tracer's registry
+  std::int32_t rank = -1;
+  const double* sim_time_s = nullptr;
+};
+
+thread_local ThreadState t_state;
+
+/// Registry of every thread buffer ever created. Buffers are never
+/// destroyed (threads may die while their spans are still unexported), so
+/// cached thread_local pointers and exporter snapshots stay valid for the
+/// process lifetime.
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+
+  ThreadBuffer& buffer_for_current_thread() {
+    if (t_state.buffer == nullptr) {
+      std::lock_guard<std::mutex> lock(mutex);
+      buffers.push_back(std::make_unique<ThreadBuffer>());
+      buffers.back()->index = static_cast<std::uint32_t>(buffers.size() - 1);
+      t_state.buffer = buffers.back().get();
+    }
+    return *t_state.buffer;
+  }
+
+  std::vector<ThreadBuffer*> all() {
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<ThreadBuffer*> out;
+    for (auto& b : buffers) out.push_back(b.get());
+    return out;
+  }
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* r = new BufferRegistry();  // never destroyed
+  return *r;
+}
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Minimal JSON string escaping (span names are static literals, but keep
+/// the output valid for any input).
+void write_escaped(std::FILE* f, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", c);
+    } else {
+      std::fputc(c, f);
+    }
+  }
+}
+
+// Each simulated run (sim session) exports as its own trace process so
+// that consecutive runs, whose clocks all start at zero, do not overlap on
+// one another's rank tracks. Wall-clock spans share one process.
+constexpr int kWallPid = 1;
+constexpr int kSimPidBase = 100;
+
+void write_event(std::FILE* f, bool& first, const char* name, const char* category, int pid,
+                 std::int64_t tid, double ts_us, double dur_us) {
+  if (!first) std::fputs(",\n", f);
+  first = false;
+  std::fputs("{\"name\":\"", f);
+  write_escaped(f, name);
+  std::fputs("\",\"cat\":\"", f);
+  write_escaped(f, category != nullptr ? category : "span");
+  std::fprintf(f, "\",\"ph\":\"X\",\"pid\":%d,\"tid\":%lld,\"ts\":%.3f,\"dur\":%.3f}", pid,
+               static_cast<long long>(tid), ts_us, dur_us);
+}
+
+void write_metadata(std::FILE* f, bool& first, const char* kind, int pid, std::int64_t tid,
+                    bool has_tid, const std::string& label) {
+  if (!first) std::fputs(",\n", f);
+  first = false;
+  std::fprintf(f, "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d", kind, pid);
+  if (has_tid) std::fprintf(f, ",\"tid\":%lld", static_cast<long long>(tid));
+  std::fputs(",\"args\":{\"name\":\"", f);
+  write_escaped(f, label.c_str());
+  std::fputs("\"}}", f);
+}
+
+}  // namespace
+
+Tracer::Tracer() { (void)process_epoch(); }
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // never destroyed: threads may record at exit
+  return *tracer;
+}
+
+std::uint64_t Tracer::wall_now_ns() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - process_epoch())
+                                        .count());
+}
+
+void Tracer::record(const SpanRecord& record) {
+  ThreadBuffer& buffer = registry().buffer_for_current_thread();
+  SpanRecord r = record;
+  r.thread = buffer.index;
+  buffer.push(r);
+}
+
+void Tracer::record_sim_span(std::int32_t rank, const char* name, const char* category,
+                             double sim_start_s, double sim_end_s) {
+  if (!enabled()) return;
+  SpanRecord r;
+  r.name = name;
+  r.category = category;
+  r.rank = rank;
+  r.sim_start_s = sim_start_s;
+  r.sim_end_s = sim_end_s;
+  r.sim_session = current_sim_session();
+  record(r);
+}
+
+void Tracer::clear() {
+  for (ThreadBuffer* buffer : registry().all()) {
+    std::lock_guard<std::mutex> lock(buffer->chunks_mutex);
+    buffer->count.store(0, std::memory_order_release);
+    buffer->chunks.clear();
+  }
+}
+
+Tracer::Stats Tracer::stats() const {
+  Stats stats;
+  for (ThreadBuffer* buffer : registry().all()) {
+    ++stats.threads;
+    stats.spans += buffer->count.load(std::memory_order_acquire);
+  }
+  return stats;
+}
+
+bool Tracer::export_chrome_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    util::log_warn() << "telemetry: cannot write trace to '" << path << "'; trace dropped";
+    return false;
+  }
+
+  std::vector<SpanRecord> records;
+  for (ThreadBuffer* buffer : registry().all()) {
+    const std::vector<SpanRecord> spans = buffer->snapshot();
+    records.insert(records.end(), spans.begin(), spans.end());
+  }
+
+  std::fputs("{\"traceEvents\":[\n", f);
+  bool first = true;
+  write_metadata(f, first, "process_name", kWallPid, 0, false, "wall clock (per thread)");
+
+  // One process per simulated run; within it, one track (tid) per rank.
+  std::map<std::uint32_t, std::int32_t> session_max_rank;
+  std::uint32_t max_thread = 0;
+  bool any_wall = false;
+  for (const SpanRecord& r : records) {
+    if (r.rank >= 0 && r.sim_start_s >= 0.0) {
+      auto [it, inserted] = session_max_rank.emplace(r.sim_session, r.rank);
+      if (!inserted && r.rank > it->second) it->second = r.rank;
+    }
+    if (r.thread > max_thread) max_thread = r.thread;
+    if (r.wall_end_ns != 0) any_wall = true;
+  }
+  for (const auto& [session, max_rank] : session_max_rank) {
+    const int pid = kSimPidBase + static_cast<int>(session);
+    write_metadata(f, first, "process_name", pid, 0, false,
+                   "simulated run " + std::to_string(session) + " (per rank)");
+    for (std::int32_t rank = 0; rank <= max_rank; ++rank) {
+      write_metadata(f, first, "thread_name", pid, rank, true, "rank " + std::to_string(rank));
+    }
+  }
+  if (any_wall) {
+    for (std::uint32_t t = 0; t <= max_thread; ++t) {
+      write_metadata(f, first, "thread_name", kWallPid, t, true,
+                     "thread " + std::to_string(t));
+    }
+  }
+
+  for (const SpanRecord& r : records) {
+    if (r.name == nullptr) continue;
+    // Simulated timeline: one track per logical rank, timestamps from the
+    // rank's SimClock (seconds -> microseconds).
+    if (r.rank >= 0 && r.sim_start_s >= 0.0 && r.sim_end_s >= r.sim_start_s) {
+      write_event(f, first, r.name, r.category, kSimPidBase + static_cast<int>(r.sim_session),
+                  r.rank, r.sim_start_s * 1e6, (r.sim_end_s - r.sim_start_s) * 1e6);
+    }
+    // Wall timeline: one track per OS thread.
+    if (r.wall_end_ns != 0 && r.wall_end_ns >= r.wall_start_ns) {
+      write_event(f, first, r.name, r.category, kWallPid, r.thread,
+                  static_cast<double>(r.wall_start_ns) * 1e-3,
+                  static_cast<double>(r.wall_end_ns - r.wall_start_ns) * 1e-3);
+    }
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  if (!ok) util::log_warn() << "telemetry: error closing trace file '" << path << "'";
+  return ok;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : name_(name), category_(category) {
+  Tracer& tracer = Tracer::global();
+  armed_ = tracer.enabled();
+  if (!armed_) return;
+  wall_start_ns_ = tracer.wall_now_ns();
+  if (t_state.sim_time_s != nullptr) sim_start_s_ = *t_state.sim_time_s;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  Tracer& tracer = Tracer::global();
+  SpanRecord r;
+  r.name = name_;
+  r.category = category_;
+  r.wall_start_ns = wall_start_ns_;
+  r.wall_end_ns = tracer.wall_now_ns();
+  if (r.wall_end_ns == 0) r.wall_end_ns = 1;  // 0 is the "no wall span" sentinel
+  r.rank = t_state.rank;
+  r.sim_start_s = sim_start_s_;
+  r.sim_end_s = t_state.sim_time_s != nullptr ? *t_state.sim_time_s : -1.0;
+  r.sim_session = tracer.current_sim_session();
+  tracer.record(r);
+}
+
+ScopedRank::ScopedRank(std::int32_t rank, const double* sim_time_s)
+    : previous_rank_(t_state.rank), previous_sim_time_(t_state.sim_time_s) {
+  t_state.rank = rank;
+  t_state.sim_time_s = sim_time_s;
+}
+
+ScopedRank::~ScopedRank() {
+  t_state.rank = previous_rank_;
+  t_state.sim_time_s = previous_sim_time_;
+}
+
+}  // namespace fftgrad::telemetry

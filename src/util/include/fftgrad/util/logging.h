@@ -11,11 +11,12 @@ namespace fftgrad::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global threshold; messages below it are dropped. Defaults to kInfo.
+/// Global threshold; messages below it are dropped. Initialized from
+/// FFTGRAD_LOG_LEVEL (debug|info|warn|error) on first use, kInfo otherwise.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one line at `level` with a level tag and monotonic timestamp.
+/// Emit one line at `level` with a UTC wall-clock timestamp and level tag.
 void log_line(LogLevel level, std::string_view message);
 
 namespace detail {

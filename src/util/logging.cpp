@@ -1,14 +1,37 @@
 #include "fftgrad/util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 namespace fftgrad::util {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+/// Reads FFTGRAD_LOG_LEVEL (debug|info|warn|error, case-insensitive; numeric
+/// 0-3 also accepted). Unset or unrecognized values fall back to kInfo.
+LogLevel level_from_env() {
+  const char* env = std::getenv("FFTGRAD_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  std::string value;
+  for (const char* p = env; *p != '\0'; ++p) {
+    value.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (value == "debug" || value == "0") return LogLevel::kDebug;
+  if (value == "info" || value == "1") return LogLevel::kInfo;
+  if (value == "warn" || value == "warning" || value == "2") return LogLevel::kWarn;
+  if (value == "error" || value == "3") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_atomic() {
+  static std::atomic<LogLevel> level{level_from_env()};
+  return level;
+}
+
 std::mutex g_io_mutex;
 
 const char* level_tag(LogLevel level) {
@@ -21,22 +44,28 @@ const char* level_tag(LogLevel level) {
   return "?????";
 }
 
-double seconds_since_start() {
-  using Clock = std::chrono::steady_clock;
-  static const Clock::time_point start = Clock::now();
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { level_atomic().store(level, std::memory_order_relaxed); }
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() { return level_atomic().load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_utc{};
+  gmtime_r(&seconds, &tm_utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%S", &tm_utc);
+
   std::lock_guard<std::mutex> lock(g_io_mutex);
-  std::fprintf(stderr, "[%9.3f] %s %.*s\n", seconds_since_start(), level_tag(level),
+  std::fprintf(stderr, "[%s.%03dZ] %s %.*s\n", stamp, static_cast<int>(millis), level_tag(level),
                static_cast<int>(message.size()), message.data());
 }
 

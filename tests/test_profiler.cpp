@@ -54,6 +54,31 @@ TEST(Profiler, ConvLayersDominateDenseHeadCompute) {
   EXPECT_GT(conv_time_per_param, 3.0 * dense_time_per_param);
 }
 
+TEST(Profiler, CommTimeMatchesNetworkModelPerLayer) {
+  util::Rng rng(5);
+  Network net = models::make_mlp(8, 16, 2, 4, rng);
+  tensor::Tensor x = tensor::Tensor::randn({4, 8}, rng);
+  const comm::NetworkModel fabric = comm::NetworkModel::infiniband_fdr56();
+  const std::size_t ranks = 16;
+  const auto profiles = profile_network(net, x, fabric, ranks, 1);
+  ASSERT_EQ(profiles.size(), net.layer_count());
+  bool any_comm = false;
+  for (const LayerProfile& p : profiles) {
+    if (p.param_count == 0) {
+      EXPECT_EQ(p.comm_s, 0.0) << p.name;
+    } else {
+      any_comm = true;
+      EXPECT_DOUBLE_EQ(
+          p.comm_s,
+          fabric.allreduce_time(static_cast<double>(p.param_count) * sizeof(float), ranks))
+          << p.name;
+    }
+  }
+  EXPECT_TRUE(any_comm);
+  // The overload without a model leaves comm_s at zero.
+  for (const LayerProfile& p : profile_network(net, x, 1)) EXPECT_EQ(p.comm_s, 0.0);
+}
+
 TEST(Profiler, RejectsZeroRepeats) {
   util::Rng rng(4);
   Network net = models::make_mlp(4, 4, 1, 2, rng);

@@ -1,0 +1,497 @@
+// Telemetry subsystem tests: Chrome-JSON export of concurrently recorded
+// SimCluster spans, histogram quantile correctness against a reference
+// computation, the disabled fast path, and codec metric consistency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fftgrad/comm/network_model.h"
+#include "fftgrad/comm/sim_cluster.h"
+#include "fftgrad/parallel/thread_pool.h"
+#include "fftgrad/telemetry/metrics.h"
+#include "fftgrad/telemetry/trace.h"
+
+namespace {
+
+using namespace fftgrad;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — enough of RFC 8259 to validate the exporters' output
+// without external dependencies. Throws std::runtime_error on malformed input.
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  const Json& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) != 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("json parse error at " + std::to_string(pos_) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    Json value;
+    value.type = Json::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (consume('}')) return value;
+    while (true) {
+      skip_ws();
+      Json key = parse_string();
+      skip_ws();
+      expect(':');
+      value.object[key.str] = parse_value();
+      skip_ws();
+      if (consume('}')) return value;
+      expect(',');
+    }
+  }
+
+  Json parse_array() {
+    Json value;
+    value.type = Json::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (consume(']')) return value;
+    while (true) {
+      value.array.push_back(parse_value());
+      skip_ws();
+      if (consume(']')) return value;
+      expect(',');
+    }
+  }
+
+  Json parse_string() {
+    Json value;
+    value.type = Json::Type::kString;
+    expect('"');
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': value.str.push_back('"'); break;
+          case '\\': value.str.push_back('\\'); break;
+          case '/': value.str.push_back('/'); break;
+          case 'b': value.str.push_back('\b'); break;
+          case 'f': value.str.push_back('\f'); break;
+          case 'n': value.str.push_back('\n'); break;
+          case 'r': value.str.push_back('\r'); break;
+          case 't': value.str.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            value.str.append(text_, pos_ - 2, 6);  // keep raw; content-agnostic
+            pos_ += 4;
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        value.str.push_back(c);
+      }
+    }
+  }
+
+  Json parse_bool() {
+    Json value;
+    value.type = Json::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return value;
+  }
+
+  Json parse_null() {
+    Json value;
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return value;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    Json value;
+    value.type = Json::Type::kNumber;
+    value.number = std::stod(text_.substr(start, pos_ - start));
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string temp_path(const char* stem) {
+  return testing::TempDir() + "/" + stem;
+}
+
+/// Fixture that guarantees telemetry globals are reset around each test, so
+/// test order cannot leak spans or metric values across cases.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::Tracer::global().set_enabled(false);
+    telemetry::Tracer::global().clear();
+    telemetry::MetricsRegistry::global().set_enabled(false);
+    telemetry::MetricsRegistry::global().reset();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST_F(TelemetryTest, DisabledTracerRecordsNothing) {
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  const telemetry::Tracer::Stats before = tracer.stats();
+  for (int i = 0; i < 1000; ++i) {
+    telemetry::TraceSpan span("noise", "test");
+    tracer.record_sim_span(0, "noise", "test", 0.0, 1.0);
+  }
+  const telemetry::Tracer::Stats after = tracer.stats();
+  EXPECT_EQ(after.spans, 0u);
+  // No per-thread buffer may be registered by the disabled path (the buffer
+  // allocation happens on first *recorded* span only).
+  EXPECT_EQ(after.threads, before.threads);
+}
+
+TEST_F(TelemetryTest, SpanRecordsWallAndSimTime) {
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  tracer.set_enabled(true);
+  double sim_clock = 1.5;
+  {
+    telemetry::ScopedRank bind(3, &sim_clock);
+    telemetry::TraceSpan span("work", "test");
+    sim_clock = 2.5;  // clock advances while the span is open
+  }
+  tracer.set_enabled(false);
+  EXPECT_EQ(tracer.stats().spans, 1u);
+
+  const std::string path = temp_path("span_dual_clock.json");
+  ASSERT_TRUE(tracer.export_chrome_json(path));
+  const Json root = JsonParser(read_file(path)).parse();
+  // One sim-track event (a sim-run pid, tid 3) and one wall-track event,
+  // plus metadata records.
+  bool found_sim = false;
+  for (const Json& event : root.at("traceEvents").array) {
+    if (event.at("ph").str != "X") continue;
+    if (event.at("pid").number >= 100.0) {  // simulated-run processes
+      found_sim = true;
+      EXPECT_EQ(event.at("name").str, "work");
+      EXPECT_EQ(event.at("tid").number, 3.0);
+      EXPECT_NEAR(event.at("ts").number, 1.5e6, 1.0);   // seconds -> us
+      EXPECT_NEAR(event.at("dur").number, 1.0e6, 1.0);  // 2.5 - 1.5 s
+    }
+  }
+  EXPECT_TRUE(found_sim);
+}
+
+TEST_F(TelemetryTest, ConcurrentClusterSpansExportValidChromeJson) {
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  tracer.set_enabled(true);
+
+  const std::size_t ranks = 4;
+  comm::SimCluster cluster(comm::NetworkModel::infiniband_fdr56());
+  cluster.run(ranks, [&](comm::RankContext& ctx) {
+    std::vector<std::uint8_t> wire(256, static_cast<std::uint8_t>(ctx.rank()));
+    std::vector<float> grads(256, static_cast<float>(ctx.rank()));
+    for (int round = 0; round < 8; ++round) {
+      (void)ctx.allgather(wire);
+      ctx.allreduce_sum(grads);
+      ctx.barrier();
+    }
+  });
+  tracer.set_enabled(false);
+
+  const std::string path = temp_path("cluster_trace.json");
+  ASSERT_TRUE(tracer.export_chrome_json(path));
+  const Json root = JsonParser(read_file(path)).parse();
+  ASSERT_EQ(root.at("traceEvents").type, Json::Type::kArray);
+
+  // Collect the simulated-timeline (pid >= 100) complete events per rank
+  // track. A single cluster.run() is a single sim session, so all events
+  // share one pid and the tid is the rank.
+  struct Event {
+    double ts, dur;
+    std::string name;
+  };
+  std::map<int, std::vector<Event>> tracks;
+  std::set<double> sim_pids;
+  for (const Json& event : root.at("traceEvents").array) {
+    if (event.at("ph").str != "X") continue;
+    ASSERT_TRUE(event.has("name"));
+    ASSERT_TRUE(event.has("ts"));
+    ASSERT_TRUE(event.has("dur"));
+    ASSERT_GE(event.at("dur").number, 0.0);
+    if (event.at("pid").number < 100.0) continue;
+    sim_pids.insert(event.at("pid").number);
+    tracks[static_cast<int>(event.at("tid").number)].push_back(
+        {event.at("ts").number, event.at("dur").number, event.at("name").str});
+  }
+  EXPECT_EQ(sim_pids.size(), 1u) << "one cluster.run() = one simulated process";
+
+  ASSERT_EQ(tracks.size(), ranks) << "one simulated track per rank";
+  for (auto& [rank, events] : tracks) {
+    // 8 rounds x (allgather + allreduce + barrier).
+    EXPECT_EQ(events.size(), 24u) << "rank " << rank;
+    // Tie-break equal starts by duration so a zero-length barrier span
+    // sorts before the next collective opening at the same instant.
+    std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+      return a.ts != b.ts ? a.ts < b.ts : a.dur < b.dur;
+    });
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      // Monotone, non-overlapping on each rank's track (1us slack for the
+      // seconds->microseconds rounding in the exporter).
+      EXPECT_GE(events[i].ts + 1.0, events[i - 1].ts + events[i - 1].dur)
+          << "rank " << rank << " span " << events[i].name << " overlaps "
+          << events[i - 1].name;
+    }
+    const auto count = [&](const char* name) {
+      return std::count_if(events.begin(), events.end(),
+                           [&](const Event& e) { return e.name == name; });
+    };
+    EXPECT_EQ(count("allgather"), 8);
+    EXPECT_EQ(count("allreduce"), 8);
+    EXPECT_EQ(count("barrier"), 8);
+  }
+}
+
+TEST_F(TelemetryTest, ClearDropsSpans) {
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  tracer.set_enabled(true);
+  { telemetry::TraceSpan span("x", "test"); }
+  tracer.set_enabled(false);
+  EXPECT_GE(tracer.stats().spans, 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.stats().spans, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST_F(TelemetryTest, DisabledMetricsAreNoOps) {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  telemetry::Counter& counter = registry.counter("test.disabled.counter");
+  telemetry::Gauge& gauge = registry.gauge("test.disabled.gauge");
+  telemetry::Histogram& histogram = registry.histogram("test.disabled.histogram");
+  counter.add(5.0);
+  gauge.set(7.0);
+  histogram.observe(1.0);
+  EXPECT_EQ(counter.value(), 0.0);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST_F(TelemetryTest, CounterAccumulatesConcurrently) {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  registry.set_enabled(true);
+  telemetry::Counter& counter = registry.counter("test.concurrent.counter");
+  comm::SimCluster cluster(comm::NetworkModel::ethernet_10g());
+  cluster.run(4, [&](comm::RankContext&) {
+    for (int i = 0; i < 1000; ++i) counter.add(1.0);
+  });
+  EXPECT_EQ(counter.value(), 4000.0);
+}
+
+TEST_F(TelemetryTest, HistogramQuantilesMatchReference) {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  registry.set_enabled(true);
+  telemetry::Histogram& histogram = registry.histogram("test.quantiles");
+
+  // Deterministic pseudo-random sample set (no ties, unsorted insertion).
+  std::vector<double> reference;
+  std::uint64_t state = 88172645463325252ull;
+  for (int i = 0; i < 997; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const double value = static_cast<double>(state % 1000003) / 1000.0;
+    reference.push_back(value);
+    histogram.observe(value);
+  }
+  std::sort(reference.begin(), reference.end());
+
+  // Reference: smallest x with rank/count >= q, i.e. index ceil(q*n)-1.
+  const auto ref_quantile = [&](double q) {
+    const std::size_t n = reference.size();
+    std::size_t idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (idx > 0) --idx;
+    if (idx >= n) idx = n - 1;
+    return reference[idx];
+  };
+
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.quantile(q), ref_quantile(q)) << "q=" << q;
+  }
+  const telemetry::Histogram::Summary summary = histogram.summarize();
+  EXPECT_EQ(summary.count, reference.size());
+  EXPECT_DOUBLE_EQ(summary.min, reference.front());
+  EXPECT_DOUBLE_EQ(summary.max, reference.back());
+  EXPECT_DOUBLE_EQ(summary.p50, ref_quantile(0.5));
+  EXPECT_DOUBLE_EQ(summary.p90, ref_quantile(0.9));
+  EXPECT_DOUBLE_EQ(summary.p99, ref_quantile(0.99));
+  double sum = 0.0;
+  for (double v : reference) sum += v;
+  EXPECT_NEAR(summary.mean, sum / static_cast<double>(reference.size()), 1e-9);
+}
+
+TEST_F(TelemetryTest, MetricsJsonExportParses) {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  registry.set_enabled(true);
+  registry.counter("test.json.counter").add(42.0);
+  registry.gauge("test.json.gauge").set(-1.5);
+  telemetry::Histogram& histogram = registry.histogram("test.json.histogram");
+  for (int i = 1; i <= 10; ++i) histogram.observe(static_cast<double>(i));
+
+  const std::string path = temp_path("metrics.json");
+  ASSERT_TRUE(registry.export_json(path));
+  const Json root = JsonParser(read_file(path)).parse();
+  EXPECT_EQ(root.at("counters").at("test.json.counter").number, 42.0);
+  EXPECT_EQ(root.at("gauges").at("test.json.gauge").number, -1.5);
+  const Json& summary = root.at("histograms").at("test.json.histogram");
+  EXPECT_EQ(summary.at("count").number, 10.0);
+  EXPECT_EQ(summary.at("p50").number, 5.0);
+  EXPECT_EQ(summary.at("max").number, 10.0);
+}
+
+TEST_F(TelemetryTest, ResetZeroesValuesButKeepsReferences) {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  registry.set_enabled(true);
+  telemetry::Counter& counter = registry.counter("test.reset.counter");
+  counter.add(3.0);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0.0);
+  counter.add(2.0);  // cached reference still live after reset
+  EXPECT_EQ(counter.value(), 2.0);
+  EXPECT_EQ(&counter, &registry.counter("test.reset.counter"));
+}
+
+TEST_F(TelemetryTest, ThreadPoolRecordsTaskMetrics) {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  registry.set_enabled(true);
+  const double tasks_before = registry.counter("pool.tasks").value();
+  const std::size_t latency_before = registry.histogram("pool.task_latency_us").count();
+
+  parallel::ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+
+  EXPECT_EQ(ran.load(), 32);
+  EXPECT_EQ(registry.counter("pool.tasks").value() - tasks_before, 32.0);
+  EXPECT_EQ(registry.histogram("pool.task_latency_us").count() - latency_before, 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-subsystem consistency: collective byte accounting.
+
+TEST_F(TelemetryTest, ClusterCollectiveMetricsCountCallsAndBytes) {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  registry.set_enabled(true);
+  const double calls_before = registry.counter("comm.allgather.calls").value();
+  const double bytes_before = registry.counter("comm.bytes_sent").value();
+
+  const std::size_t ranks = 3;
+  const std::size_t payload = 128;  // bytes contributed per rank
+  comm::SimCluster cluster(comm::NetworkModel::infiniband_fdr56());
+  cluster.run(ranks, [&](comm::RankContext& ctx) {
+    std::vector<std::uint8_t> mine(payload, static_cast<std::uint8_t>(ctx.rank()));
+    (void)ctx.allgather(mine);
+  });
+
+  EXPECT_EQ(registry.counter("comm.allgather.calls").value() - calls_before,
+            static_cast<double>(ranks));
+  EXPECT_EQ(registry.counter("comm.bytes_sent").value() - bytes_before,
+            static_cast<double>(ranks * payload));
+}
+
+}  // namespace
