@@ -1,18 +1,89 @@
 #!/usr/bin/env bash
-# Build every CMake preset and run the full test suite under each.
-# Usage: scripts/check.sh [jobs]   (default: all cores)
-set -euo pipefail
+# Build the CMake preset matrix and run the full test suite under each.
+#
+#   scripts/check.sh [options] [jobs]
+#
+#   --preset NAME   check only NAME (default | asan | tsan); repeatable
+#   --fuzz          additionally run the wire-format fuzz targets (-L fuzz)
+#                   as their own reported step under every checked preset
+#   jobs            parallel build/test jobs (default: all cores)
+#
+# Without options, one invocation covers the whole matrix: the Release
+# build, the address/UB-sanitized build, and the thread-sanitized build
+# with the correctness-analysis instrumentation compiled in. Ends with a
+# one-line-per-step pass/fail table; exit status is non-zero if any step
+# failed (every step still runs, so one broken preset does not hide
+# another).
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-jobs="${1:-$(nproc)}"
+presets=()
+run_fuzz=0
+jobs=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --preset)
+      [[ $# -ge 2 ]] || { echo "error: --preset needs an argument" >&2; exit 2; }
+      presets+=("$2")
+      shift 2
+      ;;
+    --fuzz)
+      run_fuzz=1
+      shift
+      ;;
+    -h|--help)
+      sed -n '2,17p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      jobs="$1"
+      shift
+      ;;
+  esac
+done
+[[ ${#presets[@]} -gt 0 ]] || presets=(default asan tsan)
+[[ -n "$jobs" ]] || jobs="$(nproc)"
 
-for preset in default asan; do
-  echo "==> configure ($preset)"
-  cmake --preset "$preset"
-  echo "==> build ($preset, -j$jobs)"
-  cmake --build --preset "$preset" -j "$jobs"
-  echo "==> test ($preset)"
-  ctest --preset "$preset" -j "$jobs"
+results=()   # "preset<TAB>step<TAB>status" rows for the summary table
+failed=0
+
+note() {
+  local preset="$1" step="$2" status="$3"
+  results+=("${preset}	${step}	${status}")
+  [[ "$status" == PASS ]] || failed=1
+}
+
+run_step() {
+  local preset="$1" step="$2"
+  shift 2
+  echo "==> ${preset}: ${step}"
+  if "$@"; then
+    note "$preset" "$step" PASS
+  else
+    note "$preset" "$step" FAIL
+    return 1
+  fi
+}
+
+for preset in "${presets[@]}"; do
+  run_step "$preset" configure cmake --preset "$preset" || continue
+  run_step "$preset" build cmake --build --preset "$preset" -j "$jobs" || continue
+  run_step "$preset" test ctest --preset "$preset" -j "$jobs"
+  if [[ "$run_fuzz" == 1 ]]; then
+    run_step "$preset" fuzz ctest --preset "$preset" -j "$jobs" -L fuzz
+  fi
 done
 
-echo "All presets build and test clean."
+echo
+echo "== check.sh summary =="
+printf '%-10s %-10s %s\n' PRESET STEP RESULT
+while IFS=$'\t' read -r preset step status; do
+  printf '%-10s %-10s %s\n' "$preset" "$step" "$status"
+done < <(printf '%s\n' "${results[@]}")
+
+if [[ "$failed" == 0 ]]; then
+  echo "All checked presets build and test clean."
+else
+  echo "FAILURES above." >&2
+fi
+exit "$failed"

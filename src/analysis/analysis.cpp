@@ -1,0 +1,233 @@
+#include "fftgrad/analysis/check.h"
+#include "fftgrad/analysis/checked_mutex.h"
+#include "fftgrad/analysis/schedule_stress.h"
+
+#if FFTGRAD_ANALYSIS
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+namespace fftgrad::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Violation reporting
+
+std::atomic<ViolationHandler> g_handler{nullptr};
+std::atomic<std::size_t> g_violations{0};
+
+void default_handler(const char* kind, const std::string& message) {
+  std::fprintf(stderr, "fftgrad-analysis: [%s] %s\n", kind, message.c_str());
+  std::abort();
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order graph
+//
+// Nodes are CheckedMutex order ids, an edge a->b means "a was held while b
+// was acquired". A cycle means two call paths acquire the same mutexes in
+// opposite orders — a deadlock waiting for the right interleaving. The
+// graph is process-global and append-only (edges are never unlearned
+// except by reset_lock_order_graph), so an inversion is caught even when
+// the two paths never run concurrently.
+
+struct LockOrderGraph {
+  std::mutex mutex;  // plain: the graph must not instrument itself
+  std::map<std::uint32_t, std::set<std::uint32_t>> edges;
+
+  bool reachable(std::uint32_t from, std::uint32_t to) const {
+    std::vector<std::uint32_t> stack{from};
+    std::set<std::uint32_t> seen;
+    while (!stack.empty()) {
+      const std::uint32_t at = stack.back();
+      stack.pop_back();
+      if (at == to) return true;
+      if (!seen.insert(at).second) continue;
+      const auto it = edges.find(at);
+      if (it == edges.end()) continue;
+      for (std::uint32_t next : it->second) stack.push_back(next);
+    }
+    return false;
+  }
+};
+
+LockOrderGraph& lock_order_graph() {
+  static LockOrderGraph* g = new LockOrderGraph();  // never destroyed
+  return *g;
+}
+
+/// Mutexes the calling thread currently holds, in acquisition order.
+///
+/// Deliberately a trivially-destructible POD, not a std::vector: process
+/// teardown runs TLS destructors before atexit handlers, and a static
+/// object (e.g. ThreadPool::global()) locking a CheckedMutex from its
+/// destructor would then touch a destroyed vector. A plain array has no
+/// TLS destructor, so the stack stays valid for the whole thread lifetime.
+/// Depth is bounded by real nesting (the deepest path in the tree holds 2);
+/// past the cap, locks go untracked rather than aborting.
+struct HeldStack {
+  static constexpr std::size_t kCapacity = 64;
+  const CheckedMutex* items[kCapacity];
+  std::size_t count;
+
+  void push(const CheckedMutex* mutex) {
+    if (count < kCapacity) items[count] = mutex;
+    ++count;
+  }
+
+  void remove(const CheckedMutex* mutex) {
+    const std::size_t tracked = count < kCapacity ? count : kCapacity;
+    for (std::size_t i = tracked; i-- > 0;) {
+      if (items[i] != mutex) continue;
+      for (std::size_t j = i + 1; j < tracked; ++j) items[j - 1] = items[j];
+      --count;
+      return;
+    }
+    if (count > kCapacity) --count;  // it was one of the untracked overflow locks
+  }
+
+  std::span<const CheckedMutex* const> held() const {
+    return {items, count < kCapacity ? count : kCapacity};
+  }
+};
+
+thread_local HeldStack t_held{};
+
+std::atomic<std::uint32_t> g_next_mutex_id{1};
+
+// ---------------------------------------------------------------------------
+// Schedule stress
+
+std::atomic<std::uint64_t> g_stress_seed{0};
+thread_local std::uint64_t t_stress_decisions = 0;
+
+}  // namespace
+
+void set_violation_handler(ViolationHandler handler) {
+  g_handler.store(handler, std::memory_order_relaxed);
+}
+
+std::size_t violation_count() { return g_violations.load(std::memory_order_relaxed); }
+
+void reset_violation_count() { g_violations.store(0, std::memory_order_relaxed); }
+
+void report_violation(const char* kind, const std::string& message) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  ViolationHandler handler = g_handler.load(std::memory_order_relaxed);
+  if (handler == nullptr) handler = default_handler;
+  handler(kind, message);
+}
+
+// ---------------------------------------------------------------------------
+// CheckedMutex
+
+CheckedMutex::CheckedMutex(const char* name)
+    : name_(name), id_(g_next_mutex_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+CheckedMutex::~CheckedMutex() = default;
+
+void CheckedMutex::note_acquired() {
+  owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  t_held.push(this);
+}
+
+void CheckedMutex::lock() {
+  // Register order edges before blocking, so a genuine deadlock is still
+  // reported (by whichever thread closed the cycle) instead of hanging
+  // silently.
+  if (t_held.count != 0) {
+    LockOrderGraph& graph = lock_order_graph();
+    std::lock_guard<std::mutex> guard(graph.mutex);
+    for (const CheckedMutex* held : t_held.held()) {
+      if (held == this) continue;  // recursive lock: reported as deadlock by the OS
+      if (graph.reachable(id_, held->order_id())) {
+        report_violation("lock-order",
+                         std::string("acquiring '") + name_ + "' while holding '" +
+                             held->name() +
+                             "' inverts an established lock order (latent deadlock)");
+      }
+      graph.edges[held->order_id()].insert(id_);
+    }
+  }
+  mutex_.lock();
+  note_acquired();
+}
+
+bool CheckedMutex::try_lock() {
+  // try_lock cannot deadlock, so no order edge is recorded — a failed
+  // speculative probe under an inverted order is legal.
+  if (!mutex_.try_lock()) return false;
+  note_acquired();
+  return true;
+}
+
+void CheckedMutex::unlock() {
+  if (!held_by_current_thread()) {
+    report_violation("mutex-misuse",
+                     std::string("unlock of '") + name_ + "' by a thread that does not hold it");
+  }
+  owner_.store(std::thread::id(), std::memory_order_relaxed);
+  t_held.remove(this);
+  mutex_.unlock();
+}
+
+namespace detail {
+
+void assert_held(const CheckedMutex& mutex, const char* expr, const char* file, int line) {
+  if (mutex.held_by_current_thread()) return;
+  report_violation("assert-held", std::string(file) + ":" + std::to_string(line) +
+                                      ": FFTGRAD_ASSERT_HELD(" + expr +
+                                      ") failed: calling thread does not hold '" +
+                                      mutex.name() + "'");
+}
+
+}  // namespace detail
+
+void reset_lock_order_graph() {
+  LockOrderGraph& graph = lock_order_graph();
+  std::lock_guard<std::mutex> guard(graph.mutex);
+  graph.edges.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Schedule stress
+
+std::uint64_t schedule_stress_seed() {
+  return g_stress_seed.load(std::memory_order_relaxed);
+}
+
+void set_schedule_stress_seed(std::uint64_t seed) {
+  g_stress_seed.store(seed, std::memory_order_relaxed);
+}
+
+std::uint64_t stress_pick(std::uint64_t salt, std::uint64_t bound) {
+  const std::uint64_t seed = schedule_stress_seed();
+  return mix64(seed ^ mix64(salt) ^ ++t_stress_decisions) % bound;
+}
+
+ScheduleStressScope::ScheduleStressScope(std::uint64_t seed)
+    : previous_(schedule_stress_seed()) {
+  set_schedule_stress_seed(seed);
+}
+
+ScheduleStressScope::~ScheduleStressScope() { set_schedule_stress_seed(previous_); }
+
+}  // namespace fftgrad::analysis
+
+#else  // !FFTGRAD_ANALYSIS
+
+// Keep the archive non-empty in Release builds.
+namespace fftgrad::analysis {
+namespace {
+const int kAnalysisCompiledOut = 0;
+}
+const int* analysis_compiled_out_marker() { return &kAnalysisCompiledOut; }
+}  // namespace fftgrad::analysis
+
+#endif  // FFTGRAD_ANALYSIS

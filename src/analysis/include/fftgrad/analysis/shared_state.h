@@ -1,0 +1,125 @@
+// SharedState<T>: a wrapper that records which threads touch a value and
+// flags unsynchronized cross-thread access at runtime.
+//
+// The protocol mirrors the happens-before reasoning a reviewer does by
+// hand: between two synchronization points, either a single thread may
+// access the value freely, or any number of threads may read it — but a
+// write concurrent with any other thread's access is a violation. Code
+// that establishes a real happens-before edge by other means (joining the
+// accessor threads, passing a barrier, handing off under a mutex) declares
+// it by calling sync(), which resets the accessor history.
+//
+// This is a cheap, always-on-in-debug complement to TSan: it has no
+// shadow-memory cost, so it can run in every asan/tsan/debug test, and its
+// reports name the wrapped state rather than raw addresses. In Release
+// builds the wrapper is a bare T: read()/write() are inline pass-throughs
+// and sync() is a no-op.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fftgrad/analysis/check.h"
+#include "fftgrad/analysis/config.h"
+
+namespace fftgrad::analysis {
+
+#if FFTGRAD_ANALYSIS
+
+template <typename T>
+class SharedState {
+ public:
+  /// `name` must have static storage; it labels violation diagnostics.
+  explicit SharedState(const char* name = "shared-state") : name_(name) {}
+  SharedState(T value, const char* name) : value_(std::move(value)), name_(name) {}
+
+  SharedState(const SharedState&) = delete;
+  SharedState& operator=(const SharedState&) = delete;
+
+  /// Record a read by the calling thread; flags a read concurrent with
+  /// another thread's un-synchronized write.
+  const T& read() const {
+    note_access(false);
+    return value_;
+  }
+
+  /// Record a write by the calling thread; flags a write concurrent with
+  /// any other thread's un-synchronized access.
+  T& write() {
+    note_access(true);
+    return value_;
+  }
+
+  /// Declare a synchronization point (threads joined, barrier passed,
+  /// ownership handed off): accessor history restarts from here.
+  void sync() {
+    std::lock_guard<std::mutex> lock(track_mutex_);
+    accessors_.clear();
+  }
+
+  /// Escape hatch for access already proven safe by construction; records
+  /// nothing.
+  T& unchecked() { return value_; }
+  const T& unchecked() const { return value_; }
+
+ private:
+  struct Accessor {
+    std::thread::id thread;
+    bool wrote;
+  };
+
+  void note_access(bool write) const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::lock_guard<std::mutex> lock(track_mutex_);
+    bool seen_self = false;
+    for (Accessor& a : accessors_) {
+      if (a.thread == self) {
+        a.wrote = a.wrote || write;
+        seen_self = true;
+        continue;
+      }
+      if (write || a.wrote) {
+        report_violation(
+            "shared-state",
+            std::string(name_) + ": unsynchronized cross-thread " +
+                (write ? "write" : "read of another thread's write") +
+                " (call sync() where the real happens-before edge is established)");
+        accessors_.clear();
+        break;
+      }
+    }
+    if (!seen_self) accessors_.push_back({self, write});
+  }
+
+  T value_{};
+  const char* name_;
+  mutable std::mutex track_mutex_;
+  mutable std::vector<Accessor> accessors_;
+};
+
+#else  // !FFTGRAD_ANALYSIS
+
+template <typename T>
+class SharedState {
+ public:
+  explicit SharedState(const char* = "shared-state") {}
+  SharedState(T value, const char*) : value_(std::move(value)) {}
+
+  SharedState(const SharedState&) = delete;
+  SharedState& operator=(const SharedState&) = delete;
+
+  const T& read() const { return value_; }
+  T& write() { return value_; }
+  void sync() {}
+  T& unchecked() { return value_; }
+  const T& unchecked() const { return value_; }
+
+ private:
+  T value_{};
+};
+
+#endif
+
+}  // namespace fftgrad::analysis

@@ -11,16 +11,24 @@
 //
 // Synchronization uses a reusable two-phase barrier; collectives are
 // bulk-synchronous, matching the paper's BSP parallelization scheme.
+//
+// Concurrency analysis: the barrier mutex is an analysis::CheckedMutex
+// (owner + lock-order tracked in debug/sanitizer builds), and under the
+// deterministic-schedule stress mode (fftgrad/analysis/schedule_stress.h)
+// every rank spins through a seeded number of yields before arriving at a
+// barrier, perturbing arrival order per seed. Collective results must be
+// bit-identical across seeds — each rank reduces in rank order from the
+// shared slots, independent of arrival order.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "fftgrad/analysis/checked_mutex.h"
 #include "fftgrad/comm/network_model.h"
 
 namespace fftgrad::comm {
@@ -99,14 +107,17 @@ class SimCluster {
  private:
   friend class RankContext;
 
-  void barrier_wait();
+  /// `rank` identifies the arriving rank; it seeds the stress-mode arrival
+  /// jitter and is otherwise unused.
+  void barrier_wait(std::size_t rank);
   void align_clocks_locked();
 
   NetworkModel network_;
   std::size_t ranks_ = 0;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  analysis::CheckedMutex mutex_{"SimCluster.barrier_mutex"};
+  // condition_variable_any: CheckedMutex is Lockable but not std::mutex.
+  std::condition_variable_any cv_;
   std::size_t arrived_ = 0;
   std::uint64_t generation_ = 0;
 

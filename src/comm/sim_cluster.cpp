@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "fftgrad/analysis/schedule_stress.h"
 #include "fftgrad/telemetry/metrics.h"
 #include "fftgrad/telemetry/trace.h"
 
@@ -40,17 +42,25 @@ void RankContext::barrier() {
       telemetry::MetricsRegistry::global().counter("comm.barrier.calls");
   calls.add(1.0);
   telemetry::TraceSpan span("barrier", "comm");
-  cluster_->barrier_wait();
+  cluster_->barrier_wait(rank_);
 }
 
 void SimCluster::align_clocks_locked() {
+  FFTGRAD_ASSERT_HELD(mutex_);
   double latest = 0.0;
   for (RankContext* ctx : contexts_) latest = std::max(latest, ctx->clock().time());
   for (RankContext* ctx : contexts_) ctx->clock().set_to(latest);
 }
 
-void SimCluster::barrier_wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
+void SimCluster::barrier_wait(std::size_t rank) {
+  // Schedule-stress arrival jitter: a seeded number of yields before this
+  // rank takes the barrier mutex, so different seeds explore different
+  // arrival orders (and thus different "last arrival" ranks).
+  if (analysis::schedule_stress_seed() != 0) {
+    const std::uint64_t yields = analysis::stress_pick(rank * 0x9e3779b9u, 8);
+    for (std::uint64_t i = 0; i < yields; ++i) std::this_thread::yield();
+  }
+  std::unique_lock<analysis::CheckedMutex> lock(mutex_);
   const std::uint64_t my_generation = generation_;
   if (++arrived_ == ranks_) {
     // Last arrival: BSP semantics, every clock advances to the straggler.
@@ -71,7 +81,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
   telemetry::TraceSpan span("allgather", "comm");
   SimCluster& c = *cluster_;
   c.byte_slots_[rank_] = send;
-  c.barrier_wait();  // all contributions visible
+  c.barrier_wait(rank_);  // all contributions visible
   std::vector<std::vector<std::uint8_t>> gathered(c.ranks_);
   std::vector<double> sizes(c.ranks_);
   for (std::size_t r = 0; r < c.ranks_; ++r) {
@@ -79,7 +89,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
     sizes[r] = static_cast<double>(c.byte_slots_[r].size());
   }
   clock_.advance(c.network_.allgatherv_time(sizes));
-  c.barrier_wait();  // slots may be reused
+  c.barrier_wait(rank_);  // slots may be reused
   return gathered;
 }
 
@@ -90,7 +100,7 @@ void RankContext::allreduce_sum(std::span<float> data) {
   telemetry::TraceSpan span("allreduce", "comm");
   SimCluster& c = *cluster_;
   c.float_slots_[rank_] = data;
-  c.barrier_wait();
+  c.barrier_wait(rank_);
   // Every rank reduces redundantly into a private buffer; identical
   // floating-point order on all ranks keeps replicas bit-identical.
   std::vector<float> reduced(data.size(), 0.0f);
@@ -103,9 +113,9 @@ void RankContext::allreduce_sum(std::span<float> data) {
   }
   clock_.advance(c.network_.allreduce_time(static_cast<double>(data.size() * sizeof(float)),
                                            c.ranks_));
-  c.barrier_wait();  // all ranks done reading before anyone writes
+  c.barrier_wait(rank_);  // all ranks done reading before anyone writes
   std::copy(reduced.begin(), reduced.end(), data.begin());
-  c.barrier_wait();
+  c.barrier_wait(rank_);
 }
 
 void RankContext::broadcast(std::span<float> data, std::size_t root) {
@@ -116,7 +126,7 @@ void RankContext::broadcast(std::span<float> data, std::size_t root) {
   SimCluster& c = *cluster_;
   if (root >= c.ranks_) throw std::invalid_argument("broadcast: bad root");
   c.float_slots_[rank_] = data;
-  c.barrier_wait();
+  c.barrier_wait(rank_);
   auto src = c.float_slots_[root];
   if (src.size() != data.size()) {
     throw std::invalid_argument("broadcast: mismatched sizes across ranks");
@@ -124,7 +134,7 @@ void RankContext::broadcast(std::span<float> data, std::size_t root) {
   if (rank_ != root) std::copy(src.begin(), src.end(), data.begin());
   clock_.advance(c.network_.broadcast_time(static_cast<double>(data.size() * sizeof(float)),
                                            c.ranks_));
-  c.barrier_wait();
+  c.barrier_wait(rank_);
 }
 
 std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::uint8_t> send,
@@ -136,7 +146,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
   SimCluster& c = *cluster_;
   if (root >= c.ranks_) throw std::invalid_argument("gather: bad root");
   c.byte_slots_[rank_] = send;
-  c.barrier_wait();
+  c.barrier_wait(rank_);
   std::vector<std::vector<std::uint8_t>> gathered;
   if (rank_ == root) {
     gathered.resize(c.ranks_);
@@ -149,7 +159,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
   } else {
     clock_.advance(c.network_.p2p_time(static_cast<double>(send.size())));
   }
-  c.barrier_wait();
+  c.barrier_wait(rank_);
   return gathered;
 }
 
@@ -160,7 +170,7 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
   telemetry::TraceSpan span("reduce_scatter", "comm");
   SimCluster& c = *cluster_;
   c.float_slots_[rank_] = {const_cast<float*>(data.data()), data.size()};
-  c.barrier_wait();
+  c.barrier_wait(rank_);
   const std::size_t n = data.size();
   const std::size_t base = n / c.ranks_;
   const std::size_t begin = rank_ * base;
@@ -176,7 +186,7 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
   // Ring reduce-scatter: p-1 steps of one chunk each.
   const double chunk_bytes = static_cast<double>(base * sizeof(float));
   clock_.advance(static_cast<double>(c.ranks_ - 1) * c.network_.p2p_time(chunk_bytes));
-  c.barrier_wait();
+  c.barrier_wait(rank_);
   return chunk;
 }
 
@@ -214,7 +224,7 @@ std::vector<double> SimCluster::run(std::size_t ranks,
       // Release peers waiting in the barrier so the cluster drains instead
       // of deadlocking; they will observe mismatched state and finish or
       // fail on their own.
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<analysis::CheckedMutex> lock(mutex_);
       arrived_ = 0;
       ++generation_;
       cv_.notify_all();

@@ -72,12 +72,20 @@ void ChunkedCompressor::decompress(const Packet& packet, std::span<float> out) {
   const auto total = static_cast<std::size_t>(reader.get<std::uint64_t>());
   if (total != packet.elements) throw std::runtime_error("ChunkedCompressor: corrupt packet");
   const auto chunks = static_cast<std::size_t>(reader.get<std::uint64_t>());
+  // The chunk count is implied by (total, chunk_elements_); a wire value
+  // that disagrees would drive begin past `total` (underflowing `len`) and
+  // spin up one codec instance per claimed chunk.
+  if (chunks != (total + chunk_elements_ - 1) / chunk_elements_) {
+    throw std::runtime_error("ChunkedCompressor: corrupt chunk count");
+  }
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * chunk_elements_;
     const std::size_t len = std::min(chunk_elements_, total - begin);
     Packet inner;
     inner.elements = len;
-    inner.bytes.resize(static_cast<std::size_t>(reader.get<std::uint64_t>()));
+    // get_count: reject per-chunk sizes larger than the bytes actually
+    // present instead of allocating a corrupt 64-bit length.
+    inner.bytes.resize(reader.get_count(1));
     reader.get_span<std::uint8_t>(inner.bytes);
     codec_for(c).decompress(inner, out.subspan(begin, len));
   }

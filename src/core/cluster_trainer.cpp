@@ -55,9 +55,7 @@ ClusterTrainResult cluster_train(
       std::vector<std::uint8_t> wire;
       {
         telemetry::TraceSpan span("compress", "trainer");
-        const Packet mine = codec->compress(gradient);
-        wire::put<std::uint64_t>(wire, mine.elements);
-        wire::put_span<std::uint8_t>(wire, mine.bytes);
+        wire = wire::frame_packet(codec->compress(gradient));
       }
       const auto gathered = ctx.allgather(wire);
 
@@ -66,14 +64,7 @@ ClusterTrainResult cluster_train(
       {
         telemetry::TraceSpan span("decompress", "trainer");
         for (const auto& peer_bytes : gathered) {
-          wire::Reader reader(peer_bytes);
-          Packet peer;
-          peer.elements = static_cast<std::size_t>(reader.get<std::uint64_t>());
-          if (peer.elements != grad_size) {
-            throw std::runtime_error("cluster_train: peer gradient size mismatch");
-          }
-          peer.bytes.resize(reader.remaining());
-          reader.get_span<std::uint8_t>(peer.bytes);
+          const Packet peer = wire::unframe_packet(peer_bytes, grad_size);
           codec->decompress(peer, reconstructed);
           for (std::size_t i = 0; i < grad_size; ++i) {
             averaged[i] += reconstructed[i] * inv_ranks;

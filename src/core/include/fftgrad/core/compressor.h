@@ -138,5 +138,36 @@ class Reader {
   std::size_t at_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Packet framing: the on-the-wire shape of one compressed gradient as it
+// travels through a collective — a u64 element count followed by the codec
+// payload. Every cross-rank packet exchange must use this pair so the
+// framing has exactly one definition (and one fuzz target).
+
+/// Serialize `packet` into its collective wire frame.
+inline std::vector<std::uint8_t> frame_packet(const Packet& packet) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(sizeof(std::uint64_t) + packet.bytes.size());
+  put<std::uint64_t>(frame, packet.elements);
+  put_span<std::uint8_t>(frame, packet.bytes);
+  return frame;
+}
+
+/// Parse a frame produced by frame_packet(). Throws std::runtime_error on a
+/// truncated frame or when the element count disagrees with
+/// `expected_elements` (pass 0 to accept any count).
+inline Packet unframe_packet(std::span<const std::uint8_t> frame,
+                             std::size_t expected_elements = 0) {
+  Reader reader(frame);
+  Packet packet;
+  packet.elements = static_cast<std::size_t>(reader.get<std::uint64_t>());
+  if (expected_elements != 0 && packet.elements != expected_elements) {
+    throw std::runtime_error("wire: peer gradient size mismatch");
+  }
+  packet.bytes.resize(reader.remaining());
+  reader.get_span<std::uint8_t>(packet.bytes);
+  return packet;
+}
+
 }  // namespace wire
 }  // namespace fftgrad::core

@@ -5,16 +5,25 @@
 // data-parallel loops over index ranges (see parallel_for.h) and scheduled
 // here. The pool is also used by comm::SimCluster to run one logical rank
 // per task.
+//
+// Concurrency analysis: the queue mutex is an analysis::CheckedMutex, so
+// debug/sanitizer builds track its owner and lock order (see
+// fftgrad/analysis/checked_mutex.h). Under the deterministic-schedule
+// stress mode (fftgrad/analysis/schedule_stress.h) workers dequeue a
+// seeded-pseudorandom element instead of the FIFO front, turning task
+// execution order into a per-seed permutation; correct callers must be
+// insensitive to the permutation.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
+
+#include "fftgrad/analysis/checked_mutex.h"
 
 namespace fftgrad::parallel {
 
@@ -38,11 +47,15 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Remove and return the next task. FIFO normally; a seeded permutation
+  /// pick under schedule stress. Requires queue_mutex_ held.
+  std::packaged_task<void()> take_task_locked();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  analysis::CheckedMutex queue_mutex_{"ThreadPool.queue_mutex"};
+  // condition_variable_any: CheckedMutex is Lockable but not std::mutex.
+  std::condition_variable_any cv_;
   bool stopping_ = false;
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 
+#include "fftgrad/analysis/schedule_stress.h"
 #include "fftgrad/telemetry/metrics.h"
 
 namespace fftgrad::parallel {
@@ -36,7 +38,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<analysis::CheckedMutex> lock(queue_mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -61,8 +63,8 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(std::move(packaged));
+    std::lock_guard<analysis::CheckedMutex> lock(queue_mutex_);
+    queue_.push_back(std::move(packaged));
     PoolMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
@@ -74,15 +76,29 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+std::packaged_task<void()> ThreadPool::take_task_locked() {
+  FFTGRAD_ASSERT_HELD(queue_mutex_);
+  const std::uint64_t stress = analysis::schedule_stress_seed();
+  if (stress != 0 && queue_.size() > 1) {
+    const std::size_t at = static_cast<std::size_t>(
+        analysis::stress_pick(reinterpret_cast<std::uintptr_t>(this), queue_.size()));
+    std::packaged_task<void()> task = std::move(queue_[at]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
+    return task;
+  }
+  std::packaged_task<void()> task = std::move(queue_.front());
+  queue_.pop_front();
+  return task;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<analysis::CheckedMutex> lock(queue_mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop();
+      task = take_task_locked();
     }
     task();
   }

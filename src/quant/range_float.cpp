@@ -243,7 +243,9 @@ std::vector<std::uint8_t> pack_codes(std::span<const std::uint32_t> codes, int b
 std::vector<std::uint32_t> unpack_codes(std::span<const std::uint8_t> bytes, int bits,
                                         std::size_t count) {
   if (bits < 1 || bits > 32) throw std::invalid_argument("unpack_codes: bits must be in [1, 32]");
-  if (bytes.size() * 8 < count * static_cast<std::size_t>(bits)) {
+  // Division form: `count * bits` can wrap for a wire-supplied count, which
+  // would let a corrupt header pass the length check and read out of bounds.
+  if (count > bytes.size() * 8 / static_cast<std::size_t>(bits)) {
     throw std::invalid_argument("unpack_codes: byte stream too short");
   }
   std::vector<std::uint32_t> codes(count);

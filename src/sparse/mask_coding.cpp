@@ -28,7 +28,9 @@ void pack_indices(std::vector<std::uint8_t>& out, const std::vector<std::uint64_
 
 std::vector<std::uint64_t> unpack_indices(std::span<const std::uint8_t> bytes, int bits,
                                           std::size_t count) {
-  if (bytes.size() * 8 < count * static_cast<std::size_t>(bits)) {
+  // Division form: `count * bits` can wrap for a wire-supplied count, which
+  // would let a corrupt header pass the length check and read out of bounds.
+  if (count > bytes.size() * 8 / static_cast<std::size_t>(bits)) {
     throw std::invalid_argument("decode_mask: truncated index payload");
   }
   std::vector<std::uint64_t> values(count);
@@ -111,6 +113,7 @@ Bitmap decode_mask(std::span<const std::uint8_t> bytes, std::size_t n) {
   if (bytes.size() < 9) throw std::invalid_argument("decode_mask: truncated index header");
   std::uint64_t count = 0;
   std::memcpy(&count, bytes.data() + 1, sizeof(count));
+  if (count > n) throw std::invalid_argument("decode_mask: survivor count exceeds length");
   const auto positions =
       unpack_indices(bytes.subspan(9), index_bits(n), static_cast<std::size_t>(count));
   for (std::uint64_t p : positions) {

@@ -43,15 +43,19 @@ struct ThreadBuffer {
   /// Copy the published prefix; safe while the owner keeps appending.
   std::vector<SpanRecord> snapshot() {
     const std::size_t n = count.load(std::memory_order_acquire);
-    std::vector<std::unique_ptr<Chunk>*> chunk_ptrs;
+    // Snapshot the Chunk addresses, not addresses of the vector's elements:
+    // the owner's push_back may reallocate `chunks` the moment the mutex is
+    // released, but the Chunk objects themselves stay put until clear().
+    std::vector<Chunk*> chunk_ptrs;
     {
       std::lock_guard<std::mutex> lock(chunks_mutex);
-      for (auto& c : chunks) chunk_ptrs.push_back(&c);
+      chunk_ptrs.reserve(chunks.size());
+      for (auto& c : chunks) chunk_ptrs.push_back(c.get());
     }
     std::vector<SpanRecord> records;
     records.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      records.push_back((*chunk_ptrs[i / kChunkSize])->records[i % kChunkSize]);
+      records.push_back(chunk_ptrs[i / kChunkSize]->records[i % kChunkSize]);
     }
     return records;
   }

@@ -1,0 +1,161 @@
+// Shared driver for the deterministic wire-format fuzzers.
+//
+// Philosophy: no coverage feedback, no corpus evolution, no libFuzzer — a
+// seeded xorshift PRNG drives a fixed set of structure-aware mutators over
+// an in-code seed corpus of *valid* encodings. Determinism is the point:
+// a failure reproduces from (seed, iteration) alone, on any machine, under
+// any preset. The decoder under test must, for every mutated input, either
+// produce a value or throw std::exception; an escape of any other kind
+// (segfault, sanitizer report, uncaught non-std exception) fails the run.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+namespace fftgrad::fuzz {
+
+/// xorshift64* — tiny, seeded, and fully deterministic across platforms.
+class Xorshift {
+ public:
+  explicit Xorshift(std::uint64_t seed) : state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform-ish draw in [0, bound); bound == 0 yields 0.
+  std::uint64_t below(std::uint64_t bound) { return bound == 0 ? 0 : next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Header-field values that historically break length checks: zeros, ones,
+/// off-by-one powers of two, and counts chosen to overflow `count * bits`.
+inline std::uint64_t interesting_u64(Xorshift& rng) {
+  static constexpr std::uint64_t kValues[] = {
+      0,
+      1,
+      2,
+      7,
+      8,
+      63,
+      64,
+      127,
+      255,
+      4096,
+      0x7fffffffull,
+      0x80000000ull,
+      0xffffffffull,
+      0x100000000ull,
+      0x2000000000000000ull,  // * 8 wraps a 64-bit bit count
+      0x7fffffffffffffffull,
+      0xfffffffffffffffeull,
+      0xffffffffffffffffull,
+  };
+  return kValues[rng.below(sizeof(kValues) / sizeof(kValues[0]))];
+}
+
+/// One structure-aware mutation pass: 1-3 of {bit flip, byte smash, header
+/// smash with an interesting u64, truncate, extend, splice}.
+inline std::vector<std::uint8_t> mutate(std::vector<std::uint8_t> bytes, Xorshift& rng) {
+  const std::uint64_t rounds = 1 + rng.below(3);
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    switch (rng.below(6)) {
+      case 0:  // flip one bit
+        if (!bytes.empty()) {
+          bytes[rng.below(bytes.size())] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+        break;
+      case 1:  // smash one byte
+        if (!bytes.empty()) {
+          bytes[rng.below(bytes.size())] = static_cast<std::uint8_t>(rng.next());
+        }
+        break;
+      case 2:  // overwrite an aligned-ish 8-byte window with a boundary value
+        if (bytes.size() >= 8) {
+          const std::uint64_t value = interesting_u64(rng);
+          const std::size_t at = static_cast<std::size_t>(rng.below(bytes.size() - 7));
+          std::memcpy(bytes.data() + at, &value, sizeof(value));
+        }
+        break;
+      case 3:  // truncate the tail
+        if (!bytes.empty()) {
+          bytes.resize(static_cast<std::size_t>(rng.below(bytes.size() + 1)));
+        }
+        break;
+      case 4: {  // extend with random bytes
+        const std::uint64_t extra = rng.below(24);
+        for (std::uint64_t i = 0; i < extra; ++i) {
+          bytes.push_back(static_cast<std::uint8_t>(rng.next()));
+        }
+        break;
+      }
+      case 5:  // splice: copy one window over another (duplicated structure)
+        if (bytes.size() >= 2) {
+          const std::size_t len = 1 + static_cast<std::size_t>(rng.below(bytes.size() / 2));
+          const std::size_t src = static_cast<std::size_t>(rng.below(bytes.size() - len + 1));
+          const std::size_t dst = static_cast<std::size_t>(rng.below(bytes.size() - len + 1));
+          std::memmove(bytes.data() + dst, bytes.data() + src, len);
+        }
+        break;
+    }
+  }
+  return bytes;
+}
+
+/// Per-case iteration count: >= 10k by default (the acceptance floor);
+/// FFTGRAD_FUZZ_ITERS overrides for longer soaks.
+inline std::size_t iterations() {
+  if (const char* env = std::getenv("FFTGRAD_FUZZ_ITERS")) {
+    const long value = std::atol(env);
+    if (value > 0) return static_cast<std::size_t>(value);
+  }
+  return 10000;
+}
+
+struct Stats {
+  std::size_t decoded = 0;   ///< mutated input decoded without throwing
+  std::size_t rejected = 0;  ///< decoder threw std::exception (valid outcome)
+};
+
+/// Drive `decode` (callable taking std::vector<std::uint8_t>) with mutated
+/// corpus entries. Every pristine corpus entry must decode; every mutated
+/// entry must decode or throw std::exception.
+template <typename Decode>
+Stats drive(const std::vector<std::vector<std::uint8_t>>& corpus, std::uint64_t seed,
+            Decode&& decode) {
+  EXPECT_FALSE(corpus.empty());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_NO_THROW(decode(corpus[i])) << "pristine corpus entry " << i << " must decode";
+  }
+  Xorshift rng(seed);
+  Stats stats;
+  const std::size_t iters = iterations();
+  for (std::size_t i = 0; i < iters; ++i) {
+    const auto& base = corpus[rng.below(corpus.size())];
+    const std::vector<std::uint8_t> input = mutate(base, rng);
+    try {
+      decode(input);
+      ++stats.decoded;
+    } catch (const std::exception&) {
+      ++stats.rejected;  // structured rejection: the contract
+    }
+    // Anything else propagates and fails the test (or trips a sanitizer).
+  }
+  EXPECT_EQ(stats.decoded + stats.rejected, iters);
+  return stats;
+}
+
+}  // namespace fftgrad::fuzz

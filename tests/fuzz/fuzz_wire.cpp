@@ -1,0 +1,142 @@
+// Structure-aware fuzzing of the standalone wire-parsing primitives: the
+// collective packet framing that SimCluster moves between ranks, the mask
+// codec, the packed-code reader, and wire::Reader itself. These are the
+// layers a corrupt length field reaches first — each must reject with an
+// exception before any length-derived read or allocation happens.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fftgrad/core/compressor.h"
+#include "fftgrad/quant/range_float.h"
+#include "fftgrad/sparse/mask_coding.h"
+
+#include "fuzz_common.h"
+
+namespace {
+
+using fftgrad::core::Packet;
+namespace wire = fftgrad::core::wire;
+
+TEST(FuzzWire, PacketFramingNeverCrashes) {
+  // The frames SimCluster's allgather actually carries: u64 element count +
+  // opaque codec payload, parsed on receipt with the sender's count checked
+  // against the local gradient size.
+  constexpr std::size_t kElements = 128;
+  fftgrad::fuzz::Xorshift payload_rng(0x5eedf00d);
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (std::size_t payload_bytes : {0u, 17u, 300u}) {
+    Packet packet;
+    packet.elements = kElements;
+    packet.bytes.resize(payload_bytes);
+    for (auto& b : packet.bytes) b = static_cast<std::uint8_t>(payload_rng.next());
+    corpus.push_back(wire::frame_packet(packet));
+  }
+
+  std::size_t mismatches = 0;
+  const auto stats =
+      fftgrad::fuzz::drive(corpus, 0xf4a3e5, [&](const std::vector<std::uint8_t>& bytes) {
+        try {
+          const Packet packet = wire::unframe_packet(bytes, kElements);
+          // A decoded frame must be internally consistent.
+          ASSERT_EQ(packet.elements, kElements);
+          ASSERT_EQ(packet.bytes.size(), bytes.size() - sizeof(std::uint64_t));
+        } catch (...) {
+          ++mismatches;
+          throw;
+        }
+      });
+  EXPECT_GT(stats.decoded, 0u);
+  EXPECT_EQ(stats.rejected, mismatches);
+}
+
+TEST(FuzzWire, MaskDecodingNeverCrashes) {
+  // Both encodings in the corpus: a dense mask serializes as a bitmap, a
+  // sparse one as tag + u64 survivor count + packed indices. The count
+  // field is the classic `count * bits` overflow vector.
+  constexpr std::size_t kBits = 500;
+  fftgrad::sparse::Bitmap dense(kBits);
+  for (std::size_t i = 0; i < kBits; i += 2) dense.set(i);
+  fftgrad::sparse::Bitmap sparse_mask(kBits);
+  for (std::size_t i = 0; i < kBits; i += 97) sparse_mask.set(i);
+  std::vector<std::vector<std::uint8_t>> corpus = {
+      fftgrad::sparse::encode_mask(dense),
+      fftgrad::sparse::encode_mask(sparse_mask),
+  };
+  ASSERT_EQ(corpus[0][0], static_cast<std::uint8_t>(fftgrad::sparse::MaskEncoding::kBitmap));
+  ASSERT_EQ(corpus[1][0], static_cast<std::uint8_t>(fftgrad::sparse::MaskEncoding::kIndexList));
+
+  const auto stats =
+      fftgrad::fuzz::drive(corpus, 0xb17a945, [&](const std::vector<std::uint8_t>& bytes) {
+        const fftgrad::sparse::Bitmap mask = fftgrad::sparse::decode_mask(bytes, kBits);
+        ASSERT_EQ(mask.size(), kBits);
+        ASSERT_LE(mask.count(), kBits);
+      });
+  EXPECT_GT(stats.decoded, 0u);
+  EXPECT_GT(stats.rejected, 0u);
+}
+
+TEST(FuzzWire, PackedCodeStreamNeverCrashes) {
+  // The quantized-coefficient stream as FftCompressor writes it: u64 code
+  // count + bit-packed codes. unpack_codes must reject any count whose
+  // payload cannot fit — including counts where `count * bits` wraps.
+  constexpr int kBitsPerCode = 10;
+  std::vector<std::vector<std::uint8_t>> corpus;
+  fftgrad::fuzz::Xorshift code_rng(0xc0de5eed);
+  for (std::size_t count : {1u, 37u, 200u}) {
+    std::vector<std::uint32_t> codes(count);
+    for (auto& c : codes) c = static_cast<std::uint32_t>(code_rng.below(1u << kBitsPerCode));
+    std::vector<std::uint8_t> bytes;
+    wire::put<std::uint64_t>(bytes, count);
+    const std::vector<std::uint8_t> packed = fftgrad::quant::pack_codes(codes, kBitsPerCode);
+    wire::put_span<std::uint8_t>(bytes, packed);
+    corpus.push_back(std::move(bytes));
+  }
+
+  const auto stats =
+      fftgrad::fuzz::drive(corpus, 0x9ac4ed, [&](const std::vector<std::uint8_t>& bytes) {
+        wire::Reader reader(bytes);
+        const auto count = static_cast<std::size_t>(reader.get<std::uint64_t>());
+        std::vector<std::uint8_t> payload(reader.remaining());
+        reader.get_span<std::uint8_t>(payload);
+        const std::vector<std::uint32_t> codes =
+            fftgrad::quant::unpack_codes(payload, kBitsPerCode, count);
+        ASSERT_EQ(codes.size(), count);
+        for (std::uint32_t c : codes) ASSERT_LT(c, 1u << kBitsPerCode);
+      });
+  EXPECT_GT(stats.decoded, 0u);
+  EXPECT_GT(stats.rejected, 0u);
+}
+
+TEST(FuzzWire, ReaderFieldSequenceNeverCrashes) {
+  // Generic Reader torture: a fixed field script (scalars, counted span,
+  // trailing span) over mutated buffers. get_count's division guard is the
+  // piece that turns a smashed u64 into an exception instead of an OOM.
+  std::vector<std::uint8_t> valid;
+  // Reserve the exact frame size up front (also sidesteps a GCC 12
+  // -Wstringop-overflow false positive on the growing inserts).
+  valid.reserve(sizeof(std::uint32_t) + sizeof(std::uint64_t) + 24 * sizeof(float) +
+                sizeof(std::uint16_t));
+  wire::put<std::uint32_t>(valid, 0xfeedbeef);
+  wire::put<std::uint64_t>(valid, 24);  // element count for the f32 span
+  std::vector<float> floats(24, 1.5f);
+  wire::put_span<const float>(valid, floats);
+  wire::put<std::uint16_t>(valid, 7);
+  std::vector<std::vector<std::uint8_t>> corpus = {valid};
+
+  const auto stats =
+      fftgrad::fuzz::drive(corpus, 0x4ead5eed, [&](const std::vector<std::uint8_t>& bytes) {
+        wire::Reader reader(bytes);
+        (void)reader.get<std::uint32_t>();
+        const std::size_t count = reader.get_count(sizeof(float));
+        std::vector<float> values(count);
+        reader.get_span<float>(values);
+        (void)reader.get<std::uint16_t>();
+      });
+  EXPECT_GT(stats.decoded, 0u);
+  EXPECT_GT(stats.rejected, 0u);
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -12,6 +13,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fftgrad/comm/network_model.h"
@@ -492,6 +494,58 @@ TEST_F(TelemetryTest, ClusterCollectiveMetricsCountCallsAndBytes) {
             static_cast<double>(ranks));
   EXPECT_EQ(registry.counter("comm.bytes_sent").value() - bytes_before,
             static_cast<double>(ranks * payload));
+}
+
+// ---------------------------------------------------------------------------
+// Span-buffer draining race (regression): exporting while a recorder thread
+// keeps appending must be safe even as the recorder's chunk vector grows
+// (reallocation). Run under the tsan preset this is a true race detector;
+// under default/asan it still checks every exported snapshot is a coherent
+// prefix of fully-written spans.
+
+TEST_F(TelemetryTest, ExportWhileRecordingAcrossChunkGrowthIsSafe) {
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  tracer.set_enabled(true);
+
+  // >4096 spans per burst forces at least one chunk append (vector
+  // reallocation) in the recorder while the exporter is mid-snapshot.
+  constexpr int kSpansPerBurst = 6000;
+  constexpr int kBursts = 4;
+
+  std::atomic<bool> stop{false};
+  std::thread recorder([&] {
+    for (int burst = 0; burst < kBursts && !stop.load(); ++burst) {
+      for (int i = 0; i < kSpansPerBurst; ++i) {
+        tracer.record_sim_span(0, "race", "test", 0.0, 1.0);
+      }
+    }
+  });
+
+  std::size_t last_spans = 0;
+  for (int round = 0; round < 50; ++round) {
+    const std::string path = temp_path("race_export.json");
+    ASSERT_TRUE(tracer.export_chrome_json(path));
+    const std::size_t spans = tracer.stats().spans;
+    EXPECT_GE(spans, last_spans);  // published count is monotone
+    last_spans = spans;
+  }
+  stop.store(true);
+  recorder.join();
+
+  tracer.set_enabled(false);
+  EXPECT_EQ(tracer.stats().spans, static_cast<std::size_t>(kSpansPerBurst) * kBursts);
+  // The final export must see every published span as well-formed JSON.
+  const std::string path = temp_path("race_export_final.json");
+  ASSERT_TRUE(tracer.export_chrome_json(path));
+  const Json root = JsonParser(read_file(path)).parse();
+  std::size_t events = 0;
+  for (const Json& event : root.at("traceEvents").array) {
+    if (event.at("ph").str == "X") {
+      EXPECT_EQ(event.at("name").str, "race");
+      ++events;
+    }
+  }
+  EXPECT_EQ(events, static_cast<std::size_t>(kSpansPerBurst) * kBursts);
 }
 
 }  // namespace
