@@ -69,6 +69,10 @@ for preset in "${presets[@]}"; do
   run_step "$preset" configure cmake --preset "$preset" || continue
   run_step "$preset" build cmake --build --preset "$preset" -j "$jobs" || continue
   run_step "$preset" test ctest --preset "$preset" -j "$jobs"
+  # The chaos label (seeded fault-injection plans) gets its own reported
+  # row: a hang or schedule divergence under a sanitizer should be visible
+  # as a chaos failure, not buried in the full-suite step.
+  run_step "$preset" chaos ctest --preset "$preset" -j "$jobs" -L chaos
   if [[ "$run_fuzz" == 1 ]]; then
     run_step "$preset" fuzz ctest --preset "$preset" -j "$jobs" -L fuzz
   fi

@@ -1,0 +1,114 @@
+#include "fftgrad/comm/fault_injection.h"
+
+#include "fftgrad/util/rng.h"
+
+namespace fftgrad::comm {
+namespace {
+
+/// Mix the decision coordinates into one 64-bit stream seed. splitmix64
+/// (via util::Rng's seeding) on top of this mix gives independent uniform
+/// draws per (seed, sender, op, attempt, salt) tuple.
+std::uint64_t mix_key(std::uint64_t seed, std::size_t sender, std::size_t op,
+                      std::size_t attempt, std::uint64_t salt) {
+  std::uint64_t h = seed ^ 0x9e3779b97f4a7c15ull;
+  const auto fold = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  fold(static_cast<std::uint64_t>(sender));
+  fold(static_cast<std::uint64_t>(op));
+  fold(static_cast<std::uint64_t>(attempt));
+  fold(salt);
+  return h;
+}
+
+}  // namespace
+
+bool FaultPlan::has_transport_faults() const {
+  return drop_prob > 0.0 || corrupt_prob > 0.0 || duplicate_prob > 0.0 || delay_prob > 0.0;
+}
+
+bool FaultPlan::empty() const {
+  return !has_transport_faults() && straggler_timeout_s <= 0.0 && stragglers.empty() &&
+         crashes.empty();
+}
+
+FaultEvents FaultPlan::events(std::size_t sender, std::size_t op, std::size_t attempt) const {
+  FaultEvents ev;
+  if (!has_transport_faults()) return ev;
+  util::Rng rng(mix_key(seed, sender, op, attempt, 0x7472616e73ull));  // "trans"
+  // Fixed draw order keeps the schedule stable when individual
+  // probabilities change between experiments.
+  ev.drop = rng.bernoulli(drop_prob);
+  ev.corrupt = rng.bernoulli(corrupt_prob);
+  ev.duplicate = rng.bernoulli(duplicate_prob);
+  ev.delay = rng.bernoulli(delay_prob);
+  return ev;
+}
+
+double FaultPlan::straggle_s(std::size_t rank, std::size_t op) const {
+  double total = 0.0;
+  for (const StragglerSpec& spec : stragglers) {
+    if (spec.rank == rank && op >= spec.from_op && op < spec.until_op) {
+      total += spec.slowdown_s;
+    }
+  }
+  return total;
+}
+
+bool FaultPlan::crashes_at(std::size_t rank, std::size_t op) const {
+  for (const CrashSpec& spec : crashes) {
+    if (spec.rank == rank && op >= spec.at_op) return true;
+  }
+  return false;
+}
+
+void FaultPlan::corrupt_payload(std::span<std::uint8_t> payload, std::size_t sender,
+                                std::size_t op, std::size_t attempt) const {
+  if (payload.empty()) return;
+  util::Rng rng(mix_key(seed, sender, op, attempt, 0x666c6970ull));  // "flip"
+  const std::size_t flips = 1 + rng.uniform_index(4);
+  for (std::size_t f = 0; f < flips; ++f) {
+    const std::size_t byte = rng.uniform_index(payload.size());
+    const auto bit = static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    payload[byte] ^= bit;
+  }
+}
+
+DeliveryOutcome resolve_delivery(const FaultPlan& plan, const NetworkModel& network,
+                                 std::size_t sender, std::size_t op, double bytes) {
+  DeliveryOutcome outcome;
+  if (!plan.has_transport_faults()) return outcome;
+  const std::size_t max_attempts = 1 + network.retry.max_retries;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    outcome.attempts = attempt + 1;
+    const FaultEvents ev = plan.events(sender, op, attempt);
+    if (ev.delay) outcome.recovery_seconds += plan.delay_s;
+    if (ev.duplicate) {
+      // The spurious copy occupies the link and is discarded on receipt.
+      outcome.recovery_seconds += network.p2p_base_time(bytes);
+      outcome.extra_bytes += bytes;
+    }
+    const bool failed = ev.drop || ev.corrupt;
+    if (!failed) {
+      outcome.delivered = true;
+      outcome.corrupted = false;
+      return outcome;
+    }
+    if (attempt + 1 < max_attempts) {
+      // Receiver-driven retransmit: back off, then pay for one more
+      // transmission of the block.
+      outcome.recovery_seconds += network.retry.backoff_s(attempt);
+      outcome.recovery_seconds += network.p2p_base_time(bytes);
+      outcome.extra_bytes += bytes;
+      continue;
+    }
+    // Retries exhausted. A corrupt final attempt still hands the receiver
+    // damaged bytes (its checksum layer will reject them); a drop leaves
+    // nothing to deliver, corrupted or not.
+    outcome.delivered = !ev.drop && ev.corrupt;
+    outcome.corrupted = outcome.delivered;
+  }
+  return outcome;
+}
+
+}  // namespace fftgrad::comm

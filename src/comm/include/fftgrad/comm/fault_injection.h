@@ -1,0 +1,129 @@
+// Seeded, schedule-deterministic fault injection for the simulated cluster.
+//
+// A FaultPlan describes how the substrate misbehaves: per-packet transport
+// faults (drop, bit corruption, duplication, delay), per-rank straggler
+// slowdowns over an op window, and permanent rank crashes. Every decision
+// is a pure function of (plan seed, sender rank, collective op index,
+// attempt) — never of thread scheduling — so the same plan replays the
+// identical fault schedule on every run, under every sanitizer, at any
+// host load. That determinism is what makes the chaos test suite able to
+// assert bit-identical final weights per seed.
+//
+// Faults are keyed by *sender*: a packet corrupted on the wire is observed
+// identically by every receiver (as if damaged once at the source link).
+// This keeps BSP replicas bit-identical even under heavy fault load — all
+// ranks agree on which contributions survived — which is both the testable
+// invariant and the semantics a real reliable-multicast fabric converges
+// to after its own recovery layer.
+//
+// resolve_delivery() is the FaultyTransport kernel SimCluster runs for
+// each peer block it pulls out of an exchange: it replays the bounded
+// receiver-driven retry loop (every failed attempt charges one
+// retransmission at NetworkModel cost plus exponential backoff from the
+// model's RetryPolicy) and reports what was ultimately delivered plus the
+// simulated seconds and bytes the recovery consumed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "fftgrad/comm/network_model.h"
+
+namespace fftgrad::comm {
+
+/// Extra simulated slowdown for one rank over a half-open op window.
+struct StragglerSpec {
+  std::size_t rank = 0;
+  double slowdown_s = 0.0;  ///< added to the rank's clock at each op entry
+  std::size_t from_op = 0;
+  std::size_t until_op = std::numeric_limits<std::size_t>::max();
+};
+
+/// Permanent rank failure: the rank dies when it reaches collective
+/// `at_op` and never participates again.
+struct CrashSpec {
+  std::size_t rank = 0;
+  std::size_t at_op = 0;
+};
+
+/// Transport-level fate of one packet transmission attempt.
+struct FaultEvents {
+  bool drop = false;
+  bool corrupt = false;
+  bool duplicate = false;
+  bool delay = false;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;        ///< root of every sampled decision
+  double drop_prob = 0.0;        ///< per-attempt packet loss
+  double corrupt_prob = 0.0;     ///< per-attempt payload bit flips
+  double duplicate_prob = 0.0;   ///< spurious duplicate delivery
+  double delay_prob = 0.0;       ///< per-attempt extra latency
+  double delay_s = 0.0;          ///< latency added when a delay fires
+
+  /// When > 0, collectives stop waiting for a straggling rank after this
+  /// many simulated seconds past the earliest arrival: the late rank's
+  /// contribution is excluded everywhere and the survivors proceed.
+  /// 0 waits forever (plain BSP).
+  double straggler_timeout_s = 0.0;
+
+  std::vector<StragglerSpec> stragglers;
+  std::vector<CrashSpec> crashes;
+
+  /// True when no fault source is configured; SimCluster uses this to keep
+  /// the fault-free exchange path bit-identical to the historical one.
+  bool empty() const;
+
+  /// True when any per-packet fault (drop/corrupt/duplicate/delay) can fire.
+  bool has_transport_faults() const;
+
+  /// Sampled fate of transmission `attempt` of the packet `sender`
+  /// contributed to collective `op`. Pure: identical on every call.
+  FaultEvents events(std::size_t sender, std::size_t op, std::size_t attempt) const;
+
+  /// Straggler slowdown charged to `rank` at the entry of collective `op`.
+  double straggle_s(std::size_t rank, std::size_t op) const;
+
+  /// True once `rank` has reached its configured crash op.
+  bool crashes_at(std::size_t rank, std::size_t op) const;
+
+  /// Deterministically damage `payload` in place (1-4 bit flips keyed on
+  /// (seed, sender, op, attempt)). No-op on an empty payload.
+  void corrupt_payload(std::span<std::uint8_t> payload, std::size_t sender, std::size_t op,
+                       std::size_t attempt) const;
+};
+
+/// What the transport ultimately handed the receiver for one peer block,
+/// plus the recovery cost to charge against the receiver's simulated clock
+/// and the network byte counters.
+struct DeliveryOutcome {
+  bool delivered = true;        ///< false: retries exhausted on drops
+  bool corrupted = false;       ///< delivered, but payload is damaged
+  std::size_t attempts = 1;     ///< total transmissions, including the first
+  double recovery_seconds = 0;  ///< retransmit + backoff + delay time
+  double extra_bytes = 0;       ///< retransmitted + duplicated payload bytes
+};
+
+/// Replay the bounded receiver-driven retry loop for one `bytes`-sized
+/// block from `sender` at collective `op`. Failed attempts (drop or
+/// detected corruption) are retried up to network.retry.max_retries times,
+/// each charging one p2p_base_time plus exponential backoff; a final
+/// corrupt attempt is delivered damaged (the caller's checksum layer turns
+/// it into a skipped contribution), a final drop is not delivered at all.
+DeliveryOutcome resolve_delivery(const FaultPlan& plan, const NetworkModel& network,
+                                 std::size_t sender, std::size_t op, double bytes);
+
+/// Thrown (and caught by SimCluster::run) when a rank reaches its
+/// scheduled crash: deliberately not derived from std::exception so rank
+/// functions that guard their own logic with catch (std::exception&)
+/// cannot swallow a planned crash.
+struct RankCrashed {
+  std::size_t rank = 0;
+  std::size_t op = 0;
+};
+
+}  // namespace fftgrad::comm

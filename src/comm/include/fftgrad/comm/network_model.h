@@ -20,13 +20,50 @@
 
 namespace fftgrad::comm {
 
+/// Bounded-retry retransmission policy with exponential backoff. Shared by
+/// the analytic lossy-link accounting below and by the sampled per-packet
+/// recovery in SimCluster's fault-injecting transport, so both charge
+/// recovery through the same formula.
+struct RetryPolicy {
+  std::size_t max_retries = 3;     ///< retransmissions after the first send
+  double backoff_base_s = 20e-6;   ///< wait before the first retransmission
+  double backoff_factor = 2.0;     ///< multiplier per further retransmission
+
+  /// Backoff paid before retransmission `retry` (0-based):
+  /// backoff_base_s * backoff_factor^retry.
+  double backoff_s(std::size_t retry) const;
+};
+
 struct NetworkModel {
   std::string name = "custom";
   double latency_s = 1e-6;          ///< alpha: per-message latency (seconds)
   double bandwidth_bytes_s = 1e9;   ///< beta: link bandwidth (bytes/second)
 
-  /// Point-to-point cost of one message of `bytes`.
-  double p2p_time(double bytes) const { return latency_s + bytes / bandwidth_bytes_s; }
+  /// Per-message loss probability (drop or detected corruption). When
+  /// non-zero, every p2p_time — and therefore every collective formula
+  /// built on it — is inflated by the expected number of transmissions plus
+  /// the expected backoff under `retry`, so benchmark wall-clock totals
+  /// honestly include recovery cost. Zero keeps the lossless formulas
+  /// bit-identical to the historical model.
+  double loss_rate = 0.0;
+  RetryPolicy retry;
+
+  /// Fault-free cost of one message of `bytes`: alpha + bytes/beta.
+  double p2p_base_time(double bytes) const { return latency_s + bytes / bandwidth_bytes_s; }
+
+  /// Expected transmissions per delivered message under `loss_rate`,
+  /// capped at 1 + retry.max_retries (bounded geometric series).
+  double expected_sends() const;
+
+  /// Expected backoff seconds accrued per message under `loss_rate`.
+  double expected_backoff_s() const;
+
+  /// Point-to-point cost of one message of `bytes`, including expected
+  /// retransmissions and backoff on a lossy link.
+  double p2p_time(double bytes) const {
+    if (loss_rate <= 0.0) return p2p_base_time(bytes);
+    return expected_sends() * p2p_base_time(bytes) + expected_backoff_s();
+  }
 
   /// Ring allgather of equal blocks: every rank contributes `block_bytes`
   /// and ends with all p blocks. p == 1 costs nothing.

@@ -12,13 +12,30 @@
 // Synchronization uses a reusable two-phase barrier; collectives are
 // bulk-synchronous, matching the paper's BSP parallelization scheme.
 //
+// Fault tolerance: a SimCluster may carry a FaultPlan (fault_injection.h).
+// Each collective then counts as one "op" per rank; at op entry the plan
+// may crash the rank (it leaves the cluster permanently; survivors'
+// barriers re-target the remaining rank count and its contributions read
+// as absent) or straggle it (extra simulated delay; with a straggler
+// timeout configured, the late rank's contribution is excluded everywhere
+// and survivors proceed after the timeout instead of absorbing the full
+// delay). Inside allgather — the gradient-exchange path — every peer
+// block additionally passes through the fault-injecting transport: packet
+// drop/corruption triggers bounded receiver-driven retransmission whose
+// backoff and bytes are charged to the receiver's clock through the
+// NetworkModel, and a delivery that stays broken after the retry budget is
+// returned as an empty (dropped) or damaged (corrupt) block for the
+// caller's checksum layer to reject. An empty FaultPlan leaves every code
+// path and every charged time bit-identical to the fault-free cluster.
+//
 // Concurrency analysis: the barrier mutex is an analysis::CheckedMutex
 // (owner + lock-order tracked in debug/sanitizer builds), and under the
 // deterministic-schedule stress mode (fftgrad/analysis/schedule_stress.h)
 // every rank spins through a seeded number of yields before arriving at a
 // barrier, perturbing arrival order per seed. Collective results must be
 // bit-identical across seeds — each rank reduces in rank order from the
-// shared slots, independent of arrival order.
+// shared slots, independent of arrival order. Fault decisions are keyed on
+// (seed, sender, op), never on arrival order, so they share the guarantee.
 #pragma once
 
 #include <cstddef>
@@ -29,6 +46,7 @@
 #include <vector>
 
 #include "fftgrad/analysis/checked_mutex.h"
+#include "fftgrad/comm/fault_injection.h"
 #include "fftgrad/comm/network_model.h"
 
 namespace fftgrad::comm {
@@ -58,16 +76,23 @@ class RankContext {
   SimClock& clock() { return clock_; }
   const NetworkModel& network() const;
 
+  /// Collectives completed by this rank (the FaultPlan's op coordinate).
+  std::size_t op_index() const { return op_index_; }
+
   /// Block until every rank arrives; aligns all clocks to the maximum
   /// (BSP semantics).
   void barrier();
 
   /// Allgather of possibly differently-sized byte blocks. Returns all
-  /// ranks' contributions indexed by rank; charges allgatherv_time.
+  /// ranks' contributions indexed by rank; charges allgatherv_time. Under
+  /// a FaultPlan, a crashed, timed-out, or undeliverable peer's entry is
+  /// an empty vector — identical on every rank — and recovery time for
+  /// retransmitted blocks is charged on top.
   std::vector<std::vector<std::uint8_t>> allgather(std::span<const std::uint8_t> send);
 
   /// Element-wise sum allreduce of float vectors (all ranks pass equal
-  /// sizes); result overwrites `data`. Charges allreduce_time.
+  /// sizes); result overwrites `data`. Charges allreduce_time. Crashed
+  /// ranks drop out of the sum.
   void allreduce_sum(std::span<float> data);
 
   /// Broadcast `data` from `root` to every rank (sizes must match).
@@ -88,21 +113,35 @@ class RankContext {
   friend class SimCluster;
   RankContext(SimCluster& cluster, std::size_t rank) : cluster_(&cluster), rank_(rank) {}
 
+  /// Per-collective fault hook: bumps the op counter, fires a scheduled
+  /// crash (throws RankCrashed), and charges straggler slowdown. Returns
+  /// the op index of the collective being entered.
+  std::size_t begin_collective();
+
   SimCluster* cluster_;
   std::size_t rank_;
+  std::size_t op_index_ = 0;
   SimClock clock_;
 };
 
 class SimCluster {
  public:
-  explicit SimCluster(NetworkModel network) : network_(std::move(network)) {}
+  explicit SimCluster(NetworkModel network, FaultPlan faults = {})
+      : network_(std::move(network)), faults_(std::move(faults)) {}
 
   /// Run `fn(ctx)` on `ranks` threads; returns the final per-rank clocks.
   /// Exceptions thrown by any rank are rethrown (first one wins) after all
-  /// ranks have been joined.
+  /// ranks have been joined — except RankCrashed, which marks the rank
+  /// dead (query rank_crashed() afterwards) and lets survivors finish.
   std::vector<double> run(std::size_t ranks, const std::function<void(RankContext&)>& fn);
 
   const NetworkModel& network() const { return network_; }
+  const FaultPlan& faults() const { return faults_; }
+
+  /// Whether `rank` died (via its FaultPlan crash) during the last run().
+  bool rank_crashed(std::size_t rank) const;
+  /// Ranks that survived the last run().
+  std::size_t survivors() const;
 
  private:
   friend class RankContext;
@@ -111,19 +150,31 @@ class SimCluster {
   /// jitter and is otherwise unused.
   void barrier_wait(std::size_t rank);
   void align_clocks_locked();
+  /// Permanently remove `rank` from the cluster: clears its slots, shrinks
+  /// the barrier quorum, and releases peers already waiting on it.
+  void mark_crashed(std::size_t rank);
 
   NetworkModel network_;
+  FaultPlan faults_;
   std::size_t ranks_ = 0;
 
   analysis::CheckedMutex mutex_{"SimCluster.barrier_mutex"};
   // condition_variable_any: CheckedMutex is Lockable but not std::mutex.
   std::condition_variable_any cv_;
   std::size_t arrived_ = 0;
+  std::size_t alive_ = 0;
   std::uint64_t generation_ = 0;
 
   // Collective exchange slots, indexed by rank.
   std::vector<std::span<const std::uint8_t>> byte_slots_;
   std::vector<std::span<float>> float_slots_;
+  // Entry-time clocks published before a collective's first barrier, for
+  // the straggler-timeout deadline; dead/late flags for the current op.
+  // All are written before a barrier and read after one (or under the
+  // barrier mutex), which is what makes the plain vectors race-free.
+  std::vector<double> clock_slots_;
+  std::vector<char> dead_;
+  std::vector<char> late_;
   std::vector<RankContext*> contexts_;
 };
 

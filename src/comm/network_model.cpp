@@ -6,6 +6,37 @@
 
 namespace fftgrad::comm {
 
+double RetryPolicy::backoff_s(std::size_t retry) const {
+  return backoff_base_s * std::pow(backoff_factor, static_cast<double>(retry));
+}
+
+double NetworkModel::expected_sends() const {
+  if (loss_rate <= 0.0) return 1.0;
+  const double p = std::min(loss_rate, 1.0);
+  // E[sends] = sum_{k=0}^{max_retries} P(send k+1 happens) = sum p^k.
+  double sends = 0.0;
+  double pk = 1.0;
+  for (std::size_t k = 0; k <= retry.max_retries; ++k) {
+    sends += pk;
+    pk *= p;
+  }
+  return sends;
+}
+
+double NetworkModel::expected_backoff_s() const {
+  if (loss_rate <= 0.0) return 0.0;
+  const double p = std::min(loss_rate, 1.0);
+  // Retransmission i (1-based) happens with probability p^i and waits
+  // backoff_s(i-1) first.
+  double total = 0.0;
+  double pi = p;
+  for (std::size_t i = 1; i <= retry.max_retries; ++i) {
+    total += pi * retry.backoff_s(i - 1);
+    pi *= p;
+  }
+  return total;
+}
+
 double NetworkModel::allgather_time(double block_bytes, std::size_t ranks) const {
   if (ranks <= 1) return 0.0;
   const double steps = static_cast<double>(ranks - 1);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -31,11 +32,54 @@ void note_collective(telemetry::Counter& calls, double payload_bytes) {
   bytes_sent.add(payload_bytes);
 }
 
+/// Fault-event counters, registered once. Transport counters are bumped by
+/// exactly one designated receiver per delivery (the lowest-ranked live
+/// peer), so a p-rank exchange does not multiply the counts p-fold.
+struct FaultMetrics {
+  telemetry::Counter& rank_crashes;
+  telemetry::Counter& straggle_seconds;
+  telemetry::Counter& late_contributions;
+  telemetry::Counter& retransmits;
+  telemetry::Counter& retransmit_bytes;
+  telemetry::Counter& recovery_seconds;
+  telemetry::Counter& deliveries_failed;
+
+  static FaultMetrics& get() {
+    static FaultMetrics metrics = [] {
+      telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+      return FaultMetrics{reg.counter("fault.rank_crashes"),
+                          reg.counter("fault.straggle_seconds"),
+                          reg.counter("fault.late_contributions"),
+                          reg.counter("fault.retransmits"),
+                          reg.counter("fault.retransmit_bytes"),
+                          reg.counter("fault.recovery_seconds"),
+                          reg.counter("fault.deliveries_failed")};
+    }();
+    return metrics;
+  }
+};
+
 }  // namespace
 
 std::size_t RankContext::size() const { return cluster_->ranks_; }
 
 const NetworkModel& RankContext::network() const { return cluster_->network_; }
+
+std::size_t RankContext::begin_collective() {
+  const std::size_t op = op_index_++;
+  SimCluster& c = *cluster_;
+  if (c.faults_.empty()) return op;
+  if (c.faults_.crashes_at(rank_, op)) {
+    c.mark_crashed(rank_);
+    throw RankCrashed{rank_, op};
+  }
+  const double straggle = c.faults_.straggle_s(rank_, op);
+  if (straggle > 0.0) {
+    clock_.advance(straggle);
+    FaultMetrics::get().straggle_seconds.add(straggle);
+  }
+  return op;
+}
 
 void RankContext::barrier() {
   static telemetry::Counter& calls =
@@ -48,8 +92,24 @@ void RankContext::barrier() {
 void SimCluster::align_clocks_locked() {
   FFTGRAD_ASSERT_HELD(mutex_);
   double latest = 0.0;
-  for (RankContext* ctx : contexts_) latest = std::max(latest, ctx->clock().time());
-  for (RankContext* ctx : contexts_) ctx->clock().set_to(latest);
+  double earliest = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (RankContext* ctx : contexts_) {
+    if (dead_[ctx->rank()] != 0) continue;
+    latest = std::max(latest, ctx->clock().time());
+    earliest = std::min(earliest, ctx->clock().time());
+    any = true;
+  }
+  if (!any) return;
+  // Straggler-aware BSP: with a timeout configured, the cluster never
+  // waits more than `timeout` past the earliest arrival — a later rank's
+  // work for this op is abandoned (its contribution was excluded by the
+  // collective) and its timeline snaps back to the group.
+  const double timeout = faults_.straggler_timeout_s;
+  if (timeout > 0.0 && latest > earliest + timeout) latest = earliest + timeout;
+  for (RankContext* ctx : contexts_) {
+    if (dead_[ctx->rank()] == 0) ctx->clock().set_to(latest);
+  }
 }
 
 void SimCluster::barrier_wait(std::size_t rank) {
@@ -62,8 +122,9 @@ void SimCluster::barrier_wait(std::size_t rank) {
   }
   std::unique_lock<analysis::CheckedMutex> lock(mutex_);
   const std::uint64_t my_generation = generation_;
-  if (++arrived_ == ranks_) {
-    // Last arrival: BSP semantics, every clock advances to the straggler.
+  if (++arrived_ == alive_) {
+    // Last arrival: BSP semantics, every clock advances to the straggler
+    // (bounded by the straggler timeout when one is configured).
     align_clocks_locked();
     arrived_ = 0;
     ++generation_;
@@ -73,22 +134,121 @@ void SimCluster::barrier_wait(std::size_t rank) {
   cv_.wait(lock, [&] { return generation_ != my_generation; });
 }
 
+void SimCluster::mark_crashed(std::size_t rank) {
+  std::lock_guard<analysis::CheckedMutex> lock(mutex_);
+  if (dead_[rank] != 0) return;
+  dead_[rank] = 1;
+  --alive_;
+  // The dying rank's stack (and thus anything its slots point into) is
+  // about to unwind: drop the references while peers are still parked.
+  byte_slots_[rank] = {};
+  float_slots_[rank] = {};
+  FaultMetrics::get().rank_crashes.add(1.0);
+  // Peers may already be waiting on a quorum that included this rank.
+  if (alive_ > 0 && arrived_ == alive_) {
+    align_clocks_locked();
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  }
+}
+
+bool SimCluster::rank_crashed(std::size_t rank) const {
+  return rank < dead_.size() && dead_[rank] != 0;
+}
+
+std::size_t SimCluster::survivors() const {
+  std::size_t count = 0;
+  for (char d : dead_) count += d == 0 ? 1 : 0;
+  return count;
+}
+
 std::vector<std::vector<std::uint8_t>> RankContext::allgather(
     std::span<const std::uint8_t> send) {
   static telemetry::Counter& calls =
       telemetry::MetricsRegistry::global().counter("comm.allgather.calls");
   note_collective(calls, static_cast<double>(send.size()));
   telemetry::TraceSpan span("allgather", "comm");
+  const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
   c.byte_slots_[rank_] = send;
-  c.barrier_wait(rank_);  // all contributions visible
-  std::vector<std::vector<std::uint8_t>> gathered(c.ranks_);
-  std::vector<double> sizes(c.ranks_);
-  for (std::size_t r = 0; r < c.ranks_; ++r) {
-    gathered[r].assign(c.byte_slots_[r].begin(), c.byte_slots_[r].end());
-    sizes[r] = static_cast<double>(c.byte_slots_[r].size());
+  c.clock_slots_[rank_] = clock_.time();
+  c.barrier_wait(rank_);  // all contributions and entry clocks visible
+
+  const FaultPlan& plan = c.faults_;
+  const bool faulty = !plan.empty();
+
+  // Excluded peers: crashed ranks, plus ranks whose entry clock missed the
+  // straggler deadline. Derived from barrier-published state only, so
+  // every rank computes the identical set.
+  std::vector<char> excluded;
+  if (faulty) {
+    excluded.assign(c.ranks_, 0);
+    double earliest = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < c.ranks_; ++r) {
+      if (c.dead_[r] == 0) earliest = std::min(earliest, c.clock_slots_[r]);
+    }
+    const double timeout = plan.straggler_timeout_s;
+    for (std::size_t r = 0; r < c.ranks_; ++r) {
+      if (c.dead_[r] != 0) {
+        excluded[r] = 1;
+      } else if (timeout > 0.0 && c.clock_slots_[r] > earliest + timeout) {
+        excluded[r] = 1;
+        // Count each late contribution once: the lowest live rank reports.
+        bool primary = true;
+        for (std::size_t q = 0; q < rank_; ++q) {
+          if (c.dead_[q] == 0) {
+            primary = false;
+            break;
+          }
+        }
+        if (primary) FaultMetrics::get().late_contributions.add(1.0);
+      }
+    }
   }
-  clock_.advance(c.network_.allgatherv_time(sizes));
+
+  std::vector<std::vector<std::uint8_t>> gathered(c.ranks_);
+  std::vector<double> sizes;
+  sizes.reserve(c.ranks_);
+  double recovery_s = 0.0;
+  for (std::size_t r = 0; r < c.ranks_; ++r) {
+    if (faulty && excluded[r] != 0) continue;  // stays an empty block
+    gathered[r].assign(c.byte_slots_[r].begin(), c.byte_slots_[r].end());
+    sizes.push_back(static_cast<double>(gathered[r].size()));
+    if (faulty && plan.has_transport_faults()) {
+      // The fate of sender r's block is keyed on (sender, op) alone and is
+      // applied to every rank's copy — including r's own: a block damaged
+      // at the source link is lost for the whole exchange, so all replicas
+      // agree on the surviving contribution set. Recovery time is charged
+      // only for blocks this rank actually received over the wire.
+      const DeliveryOutcome outcome = resolve_delivery(plan, c.network_, r, op, sizes.back());
+      if (r != rank_) recovery_s += outcome.recovery_seconds;
+      if (!outcome.delivered) {
+        gathered[r].clear();
+      } else if (outcome.corrupted) {
+        plan.corrupt_payload(gathered[r], r, op, outcome.attempts - 1);
+      }
+      // The lowest live rank reports the per-delivery transport counters,
+      // so a p-rank exchange counts each delivery exactly once.
+      bool primary = true;
+      for (std::size_t q = 0; q < rank_; ++q) {
+        if (c.dead_[q] == 0) {
+          primary = false;
+          break;
+        }
+      }
+      if (primary) {
+        FaultMetrics& fm = FaultMetrics::get();
+        if (outcome.attempts > 1) {
+          fm.retransmits.add(static_cast<double>(outcome.attempts - 1));
+        }
+        fm.retransmit_bytes.add(outcome.extra_bytes);
+        fm.recovery_seconds.add(outcome.recovery_seconds);
+        if (!outcome.delivered || outcome.corrupted) fm.deliveries_failed.add(1.0);
+      }
+    }
+  }
+  clock_.advance(c.network_.allgatherv_time(sizes) + recovery_s);
   c.barrier_wait(rank_);  // slots may be reused
   return gathered;
 }
@@ -98,21 +258,26 @@ void RankContext::allreduce_sum(std::span<float> data) {
       telemetry::MetricsRegistry::global().counter("comm.allreduce.calls");
   note_collective(calls, static_cast<double>(data.size_bytes()));
   telemetry::TraceSpan span("allreduce", "comm");
+  begin_collective();
   SimCluster& c = *cluster_;
   c.float_slots_[rank_] = data;
   c.barrier_wait(rank_);
   // Every rank reduces redundantly into a private buffer; identical
   // floating-point order on all ranks keeps replicas bit-identical.
+  // Crashed ranks simply drop out of the sum.
   std::vector<float> reduced(data.size(), 0.0f);
+  std::size_t live = 0;
   for (std::size_t r = 0; r < c.ranks_; ++r) {
+    if (c.dead_[r] != 0) continue;
     auto peer = c.float_slots_[r];
     if (peer.size() != data.size()) {
       throw std::invalid_argument("allreduce_sum: mismatched sizes across ranks");
     }
     for (std::size_t i = 0; i < peer.size(); ++i) reduced[i] += peer[i];
+    ++live;
   }
   clock_.advance(c.network_.allreduce_time(static_cast<double>(data.size() * sizeof(float)),
-                                           c.ranks_));
+                                           live));
   c.barrier_wait(rank_);  // all ranks done reading before anyone writes
   std::copy(reduced.begin(), reduced.end(), data.begin());
   c.barrier_wait(rank_);
@@ -123,10 +288,12 @@ void RankContext::broadcast(std::span<float> data, std::size_t root) {
       telemetry::MetricsRegistry::global().counter("comm.broadcast.calls");
   note_collective(calls, rank_ == root ? static_cast<double>(data.size_bytes()) : 0.0);
   telemetry::TraceSpan span("broadcast", "comm");
+  begin_collective();
   SimCluster& c = *cluster_;
   if (root >= c.ranks_) throw std::invalid_argument("broadcast: bad root");
   c.float_slots_[rank_] = data;
   c.barrier_wait(rank_);
+  if (c.dead_[root] != 0) throw std::runtime_error("broadcast: root rank crashed");
   auto src = c.float_slots_[root];
   if (src.size() != data.size()) {
     throw std::invalid_argument("broadcast: mismatched sizes across ranks");
@@ -143,6 +310,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
       telemetry::MetricsRegistry::global().counter("comm.gather.calls");
   note_collective(calls, static_cast<double>(send.size()));
   telemetry::TraceSpan span("gather", "comm");
+  begin_collective();
   SimCluster& c = *cluster_;
   if (root >= c.ranks_) throw std::invalid_argument("gather: bad root");
   c.byte_slots_[rank_] = send;
@@ -152,6 +320,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
     gathered.resize(c.ranks_);
     double inbound = 0.0;
     for (std::size_t r = 0; r < c.ranks_; ++r) {
+      if (c.dead_[r] != 0) continue;  // crashed peers contribute nothing
       gathered[r].assign(c.byte_slots_[r].begin(), c.byte_slots_[r].end());
       if (r != root) inbound += c.network_.p2p_time(static_cast<double>(c.byte_slots_[r].size()));
     }
@@ -168,6 +337,7 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
       telemetry::MetricsRegistry::global().counter("comm.reduce_scatter.calls");
   note_collective(calls, static_cast<double>(data.size_bytes()));
   telemetry::TraceSpan span("reduce_scatter", "comm");
+  begin_collective();
   SimCluster& c = *cluster_;
   c.float_slots_[rank_] = {const_cast<float*>(data.data()), data.size()};
   c.barrier_wait(rank_);
@@ -177,6 +347,7 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
   const std::size_t end = rank_ + 1 == c.ranks_ ? n : begin + base;
   std::vector<float> chunk(end - begin, 0.0f);
   for (std::size_t r = 0; r < c.ranks_; ++r) {
+    if (c.dead_[r] != 0) continue;
     auto peer = c.float_slots_[r];
     if (peer.size() != n) {
       throw std::invalid_argument("reduce_scatter_sum: mismatched sizes across ranks");
@@ -197,10 +368,13 @@ std::vector<double> SimCluster::run(std::size_t ranks,
   // fresh trace process.
   if (telemetry::Tracer::global().enabled()) telemetry::Tracer::global().begin_sim_session();
   ranks_ = ranks;
+  alive_ = ranks;
   arrived_ = 0;
   generation_ = 0;
   byte_slots_.assign(ranks, {});
   float_slots_.assign(ranks, {});
+  clock_slots_.assign(ranks, 0.0);
+  dead_.assign(ranks, 0);
 
   std::vector<RankContext> contexts;
   contexts.reserve(ranks);
@@ -216,6 +390,9 @@ std::vector<double> SimCluster::run(std::size_t ranks,
       telemetry::ScopedRank bind(static_cast<std::int32_t>(r),
                                  contexts[r].clock().time_ptr());
       fn(contexts[r]);
+    } catch (const RankCrashed&) {
+      // Planned fault: mark_crashed already removed the rank from the
+      // quorum and released its peers; survivors keep training.
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(error_mutex);

@@ -1,9 +1,13 @@
 #include "fftgrad/core/cluster_trainer.h"
 
+#include <cmath>
+#include <limits>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "fftgrad/nn/loss.h"
+#include "fftgrad/telemetry/metrics.h"
 #include "fftgrad/telemetry/trace.h"
 
 namespace fftgrad::core {
@@ -18,7 +22,20 @@ ClusterTrainResult cluster_train(
   ClusterTrainResult result;
   std::vector<std::vector<float>> final_params(config.ranks);
   std::vector<double> final_losses(config.ranks, 0.0);
+  std::vector<char> finished(config.ranks, 0);
+  std::vector<std::size_t> rank_skips(config.ranks, 0);
+  std::vector<std::size_t> rank_degraded(config.ranks, 0);
+  // losses[r][i]: rank r's loss at iteration i; NaN marks iterations a
+  // crashed rank never reached. Rows are disjoint per thread.
+  std::vector<std::vector<double>> losses(
+      config.ranks,
+      std::vector<double>(config.iterations, std::numeric_limits<double>::quiet_NaN()));
   std::mutex result_mutex;
+
+  telemetry::Counter& peers_skipped =
+      telemetry::MetricsRegistry::global().counter("trainer.peers_skipped");
+  telemetry::Counter& degraded_iters =
+      telemetry::MetricsRegistry::global().counter("trainer.degraded_iterations");
 
   const auto clocks = cluster.run(config.ranks, [&](comm::RankContext& ctx) {
     const std::size_t rank = ctx.rank();
@@ -45,6 +62,7 @@ ClusterTrainResult cluster_train(
         telemetry::TraceSpan span("forward", "trainer");
         last_loss = criterion.forward(model.forward(batch.inputs), batch.labels);
       }
+      losses[rank][iter] = last_loss;
       {
         telemetry::TraceSpan span("backward", "trainer");
         model.backward(criterion.backward());
@@ -59,22 +77,58 @@ ClusterTrainResult cluster_train(
       }
       const auto gathered = ctx.allgather(wire);
 
-      std::fill(averaged.begin(), averaged.end(), 0.0f);
-      const float inv_ranks = 1.0f / static_cast<float>(ctx.size());
-      {
-        telemetry::TraceSpan span("decompress", "trainer");
-        for (const auto& peer_bytes : gathered) {
-          const Packet peer = wire::unframe_packet(peer_bytes, grad_size);
-          codec->decompress(peer, reconstructed);
-          for (std::size_t i = 0; i < grad_size; ++i) {
-            averaged[i] += reconstructed[i] * inv_ranks;
-          }
+      // Unframe first (this is where the CRC rejects corrupted packets and
+      // empty blocks mark dropped/late/crashed peers), so the surviving
+      // count — and thus the renormalized average — is known before any
+      // accumulation. Every rank sees identical bytes, so every rank skips
+      // the identical peers and replicas stay bit-identical.
+      std::vector<std::optional<Packet>> frames(gathered.size());
+      std::size_t decoded = 0;
+      for (std::size_t r = 0; r < gathered.size(); ++r) {
+        if (gathered[r].empty()) {
+          ++rank_skips[rank];
+          peers_skipped.add(1.0);
+          continue;
+        }
+        try {
+          frames[r] = wire::unframe_packet(gathered[r], grad_size);
+          ++decoded;
+        } catch (const std::exception&) {
+          ++rank_skips[rank];
+          peers_skipped.add(1.0);
         }
       }
 
-      telemetry::TraceSpan apply_span("apply", "trainer");
-      model.set_gradients(averaged);
-      optimizer.step(model, config.learning_rate);
+      std::fill(averaged.begin(), averaged.end(), 0.0f);
+      if (decoded > 0) {
+        const float inv_decoded = 1.0f / static_cast<float>(decoded);
+        telemetry::TraceSpan span("decompress", "trainer");
+        for (std::size_t r = 0; r < frames.size(); ++r) {
+          if (!frames[r]) continue;
+          try {
+            codec->decompress(*frames[r], reconstructed);
+          } catch (const std::exception&) {
+            // Payload passed the CRC but the codec still rejected it
+            // (vanishingly rare); drop the contribution, keep the step.
+            ++rank_skips[rank];
+            peers_skipped.add(1.0);
+            continue;
+          }
+          for (std::size_t i = 0; i < grad_size; ++i) {
+            averaged[i] += reconstructed[i] * inv_decoded;
+          }
+        }
+      }
+      if (decoded < gathered.size()) {
+        ++rank_degraded[rank];
+        degraded_iters.add(1.0);
+      }
+
+      if (decoded > 0) {
+        telemetry::TraceSpan apply_span("apply", "trainer");
+        model.set_gradients(averaged);
+        optimizer.step(model, config.learning_rate);
+      }
     }
 
     std::vector<float> params(grad_size);
@@ -83,18 +137,54 @@ ClusterTrainResult cluster_train(
       std::lock_guard<std::mutex> lock(result_mutex);
       final_params[rank] = std::move(params);
       final_losses[rank] = last_loss;
+      finished[rank] = 1;
     }
   });
 
   result.rank_sim_times = clocks;
-  result.final_params = final_params[0];
-  result.replicas_identical = true;
-  for (std::size_t r = 1; r < config.ranks; ++r) {
-    if (final_params[r] != final_params[0]) result.replicas_identical = false;
-  }
+
+  // Result aggregation over the ranks that survived to the end. A crashed
+  // rank never reaches the result block above, so `finished` doubles as
+  // the survivor mask even if the cluster carried no FaultPlan.
+  std::size_t first_survivor = config.ranks;
+  std::size_t survivors = 0;
   double loss = 0.0;
-  for (double l : final_losses) loss += l;
-  result.mean_loss_last_iteration = loss / static_cast<double>(config.ranks);
+  for (std::size_t r = 0; r < config.ranks; ++r) {
+    if (finished[r] == 0) continue;
+    if (first_survivor == config.ranks) first_survivor = r;
+    ++survivors;
+    loss += final_losses[r];
+  }
+  result.crashed_ranks = config.ranks - survivors;
+  if (survivors == 0) {
+    result.replicas_identical = false;
+    return result;
+  }
+  // Every rank observes the identical skip set (faults are keyed by
+  // sender), so one survivor's counts are the canonical per-rank view.
+  result.skipped_contributions = rank_skips[first_survivor];
+  result.degraded_iterations = rank_degraded[first_survivor];
+  result.final_params = final_params[first_survivor];
+  result.replicas_identical = true;
+  for (std::size_t r = first_survivor + 1; r < config.ranks; ++r) {
+    if (finished[r] != 0 && final_params[r] != final_params[first_survivor]) {
+      result.replicas_identical = false;
+    }
+  }
+  result.mean_loss_last_iteration = loss / static_cast<double>(survivors);
+
+  result.mean_loss_trace.assign(config.iterations, 0.0);
+  for (std::size_t i = 0; i < config.iterations; ++i) {
+    double sum = 0.0;
+    std::size_t live = 0;
+    for (std::size_t r = 0; r < config.ranks; ++r) {
+      if (std::isnan(losses[r][i])) continue;
+      sum += losses[r][i];
+      ++live;
+    }
+    result.mean_loss_trace[i] = live == 0 ? std::numeric_limits<double>::quiet_NaN()
+                                          : sum / static_cast<double>(live);
+  }
   return result;
 }
 

@@ -34,6 +34,10 @@ void ErrorFeedbackCompressor::decompress(const Packet& packet, std::span<float> 
   inner_->decompress(packet, out);
 }
 
+void ErrorFeedbackCompressor::set_residual(std::span<const float> residual) {
+  residual_.assign(residual.begin(), residual.end());
+}
+
 void ErrorFeedbackCompressor::reset() {
   std::fill(residual_.begin(), residual_.end(), 0.0f);
 }

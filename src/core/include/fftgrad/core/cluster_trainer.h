@@ -35,16 +35,35 @@ struct ClusterTrainConfig {
 };
 
 struct ClusterTrainResult {
-  std::vector<float> final_params;      ///< rank 0's parameters
-  bool replicas_identical = false;      ///< all ranks ended bit-identical
+  std::vector<float> final_params;      ///< lowest surviving rank's parameters
+  bool replicas_identical = false;      ///< all surviving ranks ended bit-identical
   std::vector<double> rank_sim_times;   ///< simulated clock per rank
   double mean_loss_last_iteration = 0.0;
+
+  // Fault-tolerance bookkeeping (all zero on a fault-free cluster).
+  std::size_t crashed_ranks = 0;        ///< ranks lost to FaultPlan crashes
+  std::size_t skipped_contributions = 0;  ///< peer packets missing or undecodable
+  std::size_t degraded_iterations = 0;  ///< iterations averaged over < all ranks
+  /// Mean training loss per iteration, averaged over the ranks that were
+  /// still alive at that iteration (the chaos example's accuracy trace).
+  std::vector<double> mean_loss_trace;
 };
 
 /// Run BSP training with `model_factory(rank_seed)` building each rank's
 /// replica (must be deterministic so replicas start identical) and
-/// `compressor_factory(rank)` supplying each rank's codec. Returns rank 0's
-/// final parameters plus a cross-replica consistency check.
+/// `compressor_factory(rank)` supplying each rank's codec. Returns the
+/// lowest surviving rank's final parameters plus a cross-replica
+/// consistency check.
+///
+/// Degradation semantics under the cluster's FaultPlan: a peer packet that
+/// arrives missing (dropped after retries, straggler-timeout exclusion, or
+/// rank crash) or fails its frame checksum / decode is skipped for the
+/// step and the gradient average is renormalized over the contributions
+/// that did decode; every rank skips the identical set, so surviving
+/// replicas stay bit-identical. Each rank's own error-feedback residual
+/// (if its codec carries one) is untouched by a skipped peer, so the
+/// information loss is bounded to the faulted packets themselves. An
+/// iteration where nothing decodes applies no update.
 ClusterTrainResult cluster_train(
     comm::SimCluster& cluster, const ClusterTrainConfig& config,
     const std::function<nn::Network()>& model_factory,

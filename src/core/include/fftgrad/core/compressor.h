@@ -20,6 +20,7 @@
 
 #include "fftgrad/perfmodel/cost_model.h"
 #include "fftgrad/telemetry/metrics.h"
+#include "fftgrad/util/crc32.h"
 
 namespace fftgrad::core {
 
@@ -140,25 +141,47 @@ class Reader {
 
 // ---------------------------------------------------------------------------
 // Packet framing: the on-the-wire shape of one compressed gradient as it
-// travels through a collective — a u64 element count followed by the codec
-// payload. Every cross-rank packet exchange must use this pair so the
-// framing has exactly one definition (and one fuzz target).
+// travels through a collective — a magic tag, a CRC-32 over everything
+// after the checksum field, a u64 element count, then the codec payload.
+// Every cross-rank packet exchange must use this pair so the framing has
+// exactly one definition (and one fuzz target). The checksum turns wire
+// corruption (comm::FaultPlan bit flips, or a real fabric misbehaving)
+// into a deterministic parse failure at the receiver instead of a
+// silently-wrong gradient — the degradation path cluster_train relies on.
+
+inline constexpr std::uint32_t kFrameMagic = 0x46474631u;  // "FGF1"
+inline constexpr std::size_t kFrameHeaderBytes =
+    2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
 
 /// Serialize `packet` into its collective wire frame.
 inline std::vector<std::uint8_t> frame_packet(const Packet& packet) {
   std::vector<std::uint8_t> frame;
-  frame.reserve(sizeof(std::uint64_t) + packet.bytes.size());
+  frame.reserve(kFrameHeaderBytes + packet.bytes.size());
+  put<std::uint32_t>(frame, kFrameMagic);
+  put<std::uint32_t>(frame, 0);  // checksum patched below
   put<std::uint64_t>(frame, packet.elements);
   put_span<std::uint8_t>(frame, packet.bytes);
+  const std::uint32_t crc =
+      util::crc32(std::span<const std::uint8_t>(frame).subspan(2 * sizeof(std::uint32_t)));
+  std::memcpy(frame.data() + sizeof(std::uint32_t), &crc, sizeof(crc));
   return frame;
 }
 
 /// Parse a frame produced by frame_packet(). Throws std::runtime_error on a
-/// truncated frame or when the element count disagrees with
-/// `expected_elements` (pass 0 to accept any count).
+/// truncated frame, a bad magic, a checksum mismatch (any flipped bit), or
+/// when the element count disagrees with `expected_elements` (pass 0 to
+/// accept any count).
 inline Packet unframe_packet(std::span<const std::uint8_t> frame,
                              std::size_t expected_elements = 0) {
   Reader reader(frame);
+  if (reader.get<std::uint32_t>() != kFrameMagic) {
+    throw std::runtime_error("wire: bad frame magic");
+  }
+  const auto expected_crc = reader.get<std::uint32_t>();
+  const std::uint32_t actual_crc = util::crc32(frame.subspan(2 * sizeof(std::uint32_t)));
+  if (actual_crc != expected_crc) {
+    throw std::runtime_error("wire: frame checksum mismatch");
+  }
   Packet packet;
   packet.elements = static_cast<std::size_t>(reader.get<std::uint64_t>());
   if (expected_elements != 0 && packet.elements != expected_elements) {

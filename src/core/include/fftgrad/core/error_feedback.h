@@ -39,6 +39,9 @@ class ErrorFeedbackCompressor : public GradientCompressor {
 
   /// The residual currently carried forward (size of the last gradient).
   std::span<const float> residual() const { return residual_; }
+  /// Install a saved residual (trainer checkpoint restore). The next
+  /// compress() carries it forward exactly as the uninterrupted run would.
+  void set_residual(std::span<const float> residual);
   /// Drop the carried residual (e.g. at a learning-rate boundary).
   void reset();
 

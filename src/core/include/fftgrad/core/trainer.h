@@ -26,9 +26,12 @@
 //    genuine — the actual gradients still round-trip through the codec.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "fftgrad/comm/network_model.h"
@@ -91,6 +94,41 @@ struct TrainResult {
 
 using CompressorFactory = std::function<std::unique_ptr<GradientCompressor>(std::size_t rank)>;
 
+/// Full training state at an epoch boundary: everything needed to resume a
+/// crashed run bit-identically — model parameters, optimizer momentum,
+/// each rank's error-feedback residual, each rank's batch-stream RNG, and
+/// the accounting totals (sim time / wire bytes / iteration count, so the
+/// param-sync broadcast cadence stays aligned). serialize() produces a
+/// CRC-protected blob; deserialize() rejects any corruption.
+struct TrainerCheckpoint {
+  std::uint64_t next_epoch = 0;        ///< first epoch the resumed run executes
+  double sim_time_s = 0.0;
+  double total_wire_bytes = 0.0;
+  std::uint64_t total_iters = 0;
+  std::vector<float> params;
+  std::vector<std::vector<float>> velocity;   ///< optimizer momentum buffers
+  std::vector<std::vector<float>> residuals;  ///< per-rank EF residuals ({} if none)
+  std::vector<std::array<std::uint64_t, 6>> rng_states;  ///< per-rank batch streams
+  std::vector<EpochRecord> epochs;     ///< records of the completed epochs
+
+  std::vector<std::uint8_t> serialize() const;
+  /// Throws std::runtime_error on truncation, bad magic, or CRC mismatch.
+  static TrainerCheckpoint deserialize(std::span<const std::uint8_t> blob);
+};
+
+/// Checkpoint behaviour for one train() call.
+struct CheckpointOptions {
+  /// Capture a checkpoint every k completed epochs (0 = never).
+  std::size_t every_epochs = 0;
+  /// Receives each captured checkpoint (write it to disk, keep the latest,
+  /// ...). Called on the training thread at epoch boundaries.
+  std::function<void(const TrainerCheckpoint&)> sink;
+  /// Resume from this checkpoint instead of the shared initialization.
+  /// The run continues at `resume->next_epoch` and reproduces the
+  /// uninterrupted run's weights bit-for-bit.
+  const TrainerCheckpoint* resume = nullptr;
+};
+
 class DistributedTrainer {
  public:
   /// Takes ownership of the model and dataset. The initial parameters are
@@ -102,6 +140,13 @@ class DistributedTrainer {
   /// `theta_schedule` at every epoch boundary (alongside the LR schedule).
   TrainResult train(const CompressorFactory& factory, const ThetaSchedule& theta_schedule,
                     const nn::StepLrSchedule& lr_schedule);
+
+  /// As above, with checkpoint capture and/or restore. A resumed run's
+  /// TrainResult covers the checkpoint's completed epochs plus the ones it
+  /// executes, and its final weights are bit-identical to the
+  /// uninterrupted run's.
+  TrainResult train(const CompressorFactory& factory, const ThetaSchedule& theta_schedule,
+                    const nn::StepLrSchedule& lr_schedule, const CheckpointOptions& checkpoint);
 
   const TrainerConfig& config() const { return config_; }
   nn::Network& model() { return model_; }

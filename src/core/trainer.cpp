@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
+#include "fftgrad/core/error_feedback.h"
 #include "fftgrad/nn/loss.h"
 #include "fftgrad/telemetry/metrics.h"
 #include "fftgrad/telemetry/trace.h"
@@ -25,7 +27,112 @@ struct RankPhaseTimes {
   double decompress = 0.0;
 };
 
+constexpr std::uint32_t kCheckpointMagic = 0x4647434bu;  // "FGCK"
+
+/// Serialization helpers for the nested float buffers.
+void put_floats(std::vector<std::uint8_t>& bytes, const std::vector<float>& values) {
+  wire::put<std::uint64_t>(bytes, values.size());
+  wire::put_span<const float>(bytes, values);
+}
+
+std::vector<float> get_floats(wire::Reader& reader) {
+  std::vector<float> values(reader.get_count(sizeof(float)));
+  reader.get_span<float>(values);
+  return values;
+}
+
+void put_float_lists(std::vector<std::uint8_t>& bytes,
+                     const std::vector<std::vector<float>>& lists) {
+  wire::put<std::uint64_t>(bytes, lists.size());
+  for (const auto& list : lists) put_floats(bytes, list);
+}
+
+std::vector<std::vector<float>> get_float_lists(wire::Reader& reader) {
+  std::vector<std::vector<float>> lists(reader.get_count(sizeof(std::uint64_t)));
+  for (auto& list : lists) list = get_floats(reader);
+  return lists;
+}
+
 }  // namespace
+
+std::vector<std::uint8_t> TrainerCheckpoint::serialize() const {
+  std::vector<std::uint8_t> bytes;
+  // Reserve the exact blob size up front (also sidesteps a GCC 12
+  // -Wstringop-overflow false positive on the growing inserts).
+  std::size_t total = 2 * sizeof(std::uint32_t)  // magic + crc
+                      + 7 * sizeof(std::uint64_t)  // scalars and top-level counts
+                      + 2 * sizeof(double) + params.size() * sizeof(float) +
+                      sizeof(std::uint64_t) * (velocity.size() + residuals.size()) +
+                      rng_states.size() * 6 * sizeof(std::uint64_t) +
+                      epochs.size() * (sizeof(std::uint64_t) + 7 * sizeof(double));
+  for (const auto& list : velocity) total += list.size() * sizeof(float);
+  for (const auto& list : residuals) total += list.size() * sizeof(float);
+  bytes.reserve(total);
+  wire::put<std::uint32_t>(bytes, kCheckpointMagic);
+  wire::put<std::uint32_t>(bytes, 0);  // CRC patched below
+  wire::put<std::uint64_t>(bytes, next_epoch);
+  wire::put<double>(bytes, sim_time_s);
+  wire::put<double>(bytes, total_wire_bytes);
+  wire::put<std::uint64_t>(bytes, total_iters);
+  put_floats(bytes, params);
+  put_float_lists(bytes, velocity);
+  put_float_lists(bytes, residuals);
+  wire::put<std::uint64_t>(bytes, rng_states.size());
+  for (const auto& state : rng_states) {
+    for (std::uint64_t word : state) wire::put<std::uint64_t>(bytes, word);
+  }
+  wire::put<std::uint64_t>(bytes, epochs.size());
+  for (const EpochRecord& record : epochs) {
+    wire::put<std::uint64_t>(bytes, record.epoch);
+    wire::put<double>(bytes, record.train_loss);
+    wire::put<double>(bytes, record.test_accuracy);
+    wire::put<double>(bytes, record.theta);
+    wire::put<double>(bytes, record.lr);
+    wire::put<double>(bytes, record.sim_time_s);
+    wire::put<double>(bytes, record.mean_alpha);
+    wire::put<double>(bytes, record.mean_ratio);
+  }
+  const std::uint32_t crc =
+      util::crc32(std::span<const std::uint8_t>(bytes).subspan(2 * sizeof(std::uint32_t)));
+  std::memcpy(bytes.data() + sizeof(std::uint32_t), &crc, sizeof(crc));
+  return bytes;
+}
+
+TrainerCheckpoint TrainerCheckpoint::deserialize(std::span<const std::uint8_t> blob) {
+  wire::Reader reader(blob);
+  if (reader.get<std::uint32_t>() != kCheckpointMagic) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  const auto expected_crc = reader.get<std::uint32_t>();
+  const std::uint32_t actual_crc = util::crc32(blob.subspan(2 * sizeof(std::uint32_t)));
+  if (actual_crc != expected_crc) {
+    throw std::runtime_error("checkpoint: checksum mismatch");
+  }
+  TrainerCheckpoint ckpt;
+  ckpt.next_epoch = reader.get<std::uint64_t>();
+  ckpt.sim_time_s = reader.get<double>();
+  ckpt.total_wire_bytes = reader.get<double>();
+  ckpt.total_iters = reader.get<std::uint64_t>();
+  ckpt.params = get_floats(reader);
+  ckpt.velocity = get_float_lists(reader);
+  ckpt.residuals = get_float_lists(reader);
+  ckpt.rng_states.resize(reader.get_count(6 * sizeof(std::uint64_t)));
+  for (auto& state : ckpt.rng_states) {
+    for (std::uint64_t& word : state) word = reader.get<std::uint64_t>();
+  }
+  ckpt.epochs.resize(reader.get_count(8 * sizeof(double)));
+  for (EpochRecord& record : ckpt.epochs) {
+    record.epoch = static_cast<std::size_t>(reader.get<std::uint64_t>());
+    record.train_loss = reader.get<double>();
+    record.test_accuracy = reader.get<double>();
+    record.theta = reader.get<double>();
+    record.lr = reader.get<double>();
+    record.sim_time_s = reader.get<double>();
+    record.mean_alpha = reader.get<double>();
+    record.mean_ratio = reader.get<double>();
+  }
+  return ckpt;
+}
 
 DistributedTrainer::DistributedTrainer(nn::Network model, nn::SyntheticDataset dataset,
                                        TrainerConfig config)
@@ -60,6 +167,13 @@ double DistributedTrainer::evaluate() {
 TrainResult DistributedTrainer::train(const CompressorFactory& factory,
                                       const ThetaSchedule& theta_schedule,
                                       const nn::StepLrSchedule& lr_schedule) {
+  return train(factory, theta_schedule, lr_schedule, CheckpointOptions{});
+}
+
+TrainResult DistributedTrainer::train(const CompressorFactory& factory,
+                                      const ThetaSchedule& theta_schedule,
+                                      const nn::StepLrSchedule& lr_schedule,
+                                      const CheckpointOptions& checkpoint) {
   // Reset to the shared initialization so algorithm comparisons are fair.
   // Each train() is its own simulation (sim_time restarts at zero), so it
   // gets its own trace process.
@@ -91,13 +205,69 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
   double sim_time = 0.0;
   double total_wire = 0.0;
   std::size_t total_iters = 0;
+  std::size_t start_epoch = 0;
 
   telemetry::MetricsRegistry& metrics = telemetry::MetricsRegistry::global();
   telemetry::Counter& trainer_iterations = metrics.counter("trainer.iterations");
   telemetry::Counter& trainer_wire_bytes = metrics.counter("trainer.wire_bytes");
+  telemetry::Counter& checkpoints_saved = metrics.counter("trainer.checkpoints_saved");
+  telemetry::Counter& checkpoints_restored = metrics.counter("trainer.checkpoints_restored");
   telemetry::Histogram& trainer_alpha = metrics.histogram("trainer.alpha");
 
-  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  if (checkpoint.resume != nullptr) {
+    const TrainerCheckpoint& resume = *checkpoint.resume;
+    if (resume.params.size() != grad_size) {
+      throw std::invalid_argument("train: checkpoint parameter count does not match the model");
+    }
+    if (resume.rng_states.size() != config_.ranks ||
+        (!resume.residuals.empty() && resume.residuals.size() != config_.ranks)) {
+      throw std::invalid_argument("train: checkpoint rank count does not match the config");
+    }
+    model_.set_params(resume.params);
+    optimizer.set_velocity(resume.velocity);
+    for (std::size_t r = 0; r < config_.ranks; ++r) {
+      rank_rngs[r].load_state(resume.rng_states[r]);
+      if (!resume.residuals.empty() && !resume.residuals[r].empty()) {
+        auto* ef = dynamic_cast<ErrorFeedbackCompressor*>(compressors[r].get());
+        if (ef == nullptr) {
+          throw std::invalid_argument(
+              "train: checkpoint carries a residual but the codec has no error feedback");
+        }
+        ef->set_residual(resume.residuals[r]);
+      }
+    }
+    sim_time = resume.sim_time_s;
+    total_wire = resume.total_wire_bytes;
+    total_iters = static_cast<std::size_t>(resume.total_iters);
+    start_epoch = static_cast<std::size_t>(resume.next_epoch);
+    result.epochs = resume.epochs;
+    checkpoints_restored.add(1.0);
+  }
+
+  // Snapshot everything a resumed run needs to replay the next epoch
+  // exactly as this run would have.
+  const auto capture_checkpoint = [&](std::size_t next_epoch) {
+    TrainerCheckpoint ckpt;
+    ckpt.next_epoch = next_epoch;
+    ckpt.sim_time_s = sim_time;
+    ckpt.total_wire_bytes = total_wire;
+    ckpt.total_iters = total_iters;
+    ckpt.params.resize(grad_size);
+    model_.copy_params(ckpt.params);
+    ckpt.velocity = optimizer.velocity();
+    ckpt.residuals.resize(config_.ranks);
+    for (std::size_t r = 0; r < config_.ranks; ++r) {
+      if (const auto* ef = dynamic_cast<const ErrorFeedbackCompressor*>(compressors[r].get())) {
+        ckpt.residuals[r].assign(ef->residual().begin(), ef->residual().end());
+      }
+    }
+    for (const util::Rng& rng : rank_rngs) ckpt.rng_states.push_back(rng.save_state());
+    ckpt.epochs = result.epochs;
+    checkpoints_saved.add(1.0);
+    checkpoint.sink(ckpt);
+  };
+
+  for (std::size_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     const double lr = lr_schedule.at(epoch);
     const double theta = theta_schedule.at(epoch, lr);
     for (auto& compressor : compressors) compressor->set_theta(theta);
@@ -242,6 +412,10 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
         config_.record_alpha ? alpha_sum / static_cast<double>(config_.iters_per_epoch) : 0.0;
     record.mean_ratio = ratio_count == 0 ? 0.0 : ratio_sum / static_cast<double>(ratio_count);
     result.epochs.push_back(record);
+    if (checkpoint.every_epochs != 0 && checkpoint.sink &&
+        (epoch + 1) % checkpoint.every_epochs == 0) {
+      capture_checkpoint(epoch + 1);
+    }
     util::log_debug() << "epoch " << epoch << " loss=" << record.train_loss
                       << " acc=" << record.test_accuracy << " theta=" << theta
                       << " sim_t=" << sim_time;

@@ -21,6 +21,14 @@ class SgdOptimizer {
 
   float momentum() const { return momentum_; }
 
+  /// Momentum state, one buffer per parameter tensor (empty before the
+  /// first step). Exposed for trainer checkpoint/restore: resuming with
+  /// the saved velocity reproduces the uninterrupted run bit-for-bit.
+  const std::vector<std::vector<float>>& velocity() const { return velocity_; }
+  void set_velocity(std::vector<std::vector<float>> velocity) {
+    velocity_ = std::move(velocity);
+  }
+
  private:
   float momentum_;
   float weight_decay_;

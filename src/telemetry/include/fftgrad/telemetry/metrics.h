@@ -17,9 +17,20 @@
 //   trainer.iterations        training iterations completed          [count]
 //   trainer.wire_bytes        per-rank wire bytes (paper-scale-aware)[bytes]
 //   trainer.alpha             Assumption-3.2 relative error alpha    [ratio]
+//   trainer.checkpoints_saved    checkpoints captured by train()     [count]
+//   trainer.checkpoints_restored runs resumed from a checkpoint      [count]
+//   trainer.peers_skipped     peer packets skipped (missing/corrupt) [count]
+//   trainer.degraded_iterations  iterations averaged over < p ranks  [count]
 //   pool.tasks                tasks submitted to the thread pool     [count]
 //   pool.queue_depth          queue length observed at submit        [tasks]
 //   pool.task_latency_us      submit-to-start task latency           [us]
+//   fault.rank_crashes        ranks lost to FaultPlan crashes        [count]
+//   fault.straggle_seconds    simulated straggler slowdown charged   [s]
+//   fault.late_contributions  contributions excluded by the timeout  [count]
+//   fault.retransmits         packet retransmissions triggered       [count]
+//   fault.retransmit_bytes    retransmitted + duplicated bytes       [bytes]
+//   fault.recovery_seconds    simulated retry/backoff/delay time     [s]
+//   fault.deliveries_failed   deliveries still broken after retries  [count]
 #pragma once
 
 #include <atomic>

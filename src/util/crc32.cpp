@@ -1,0 +1,58 @@
+#include "fftgrad/util/crc32.h"
+
+#include <cstring>
+
+namespace fftgrad::util {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected CRC-32 polynomial
+
+struct Crc32Tables {
+  std::uint32_t t[4][256];
+
+  Crc32Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) != 0 ? kPoly ^ (crc >> 1) : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    // t[k][b] advances the CRC past byte b followed by k zero bytes, which
+    // is what lets one iteration consume four bytes independently.
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xffu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xffu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xffu];
+    }
+  }
+};
+
+const Crc32Tables& tables() {
+  static const Crc32Tables instance;
+  return instance;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes, std::uint32_t seed) {
+  const Crc32Tables& tb = tables();
+  std::uint32_t crc = ~seed;
+  const std::uint8_t* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n >= 4) {
+    std::uint32_t word;
+    std::memcpy(&word, p, 4);  // little-endian load; all supported targets are LE
+    crc ^= word;
+    crc = tb.t[3][crc & 0xffu] ^ tb.t[2][(crc >> 8) & 0xffu] ^ tb.t[1][(crc >> 16) & 0xffu] ^
+          tb.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace fftgrad::util

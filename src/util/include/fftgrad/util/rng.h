@@ -7,8 +7,10 @@
 // stream for a child component (per-rank, per-layer) without sharing state.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 namespace fftgrad::util {
@@ -84,6 +86,23 @@ class Rng {
 
   /// Derive an independent child stream; advances this generator.
   Rng split() { return Rng(next_u64() ^ 0xd2b74407b1ce6e93ull); }
+
+  /// Full generator state as six words (the four xoshiro words, the cached
+  /// Box-Muller deviate's bits, and the cache flag), for checkpointing a
+  /// stream mid-run. load_state() resumes the identical sequence.
+  std::array<std::uint64_t, 6> save_state() const {
+    std::array<std::uint64_t, 6> out{};
+    for (int i = 0; i < 4; ++i) out[static_cast<std::size_t>(i)] = state_[i];
+    std::memcpy(&out[4], &cached_, sizeof(cached_));
+    out[5] = has_cached_ ? 1 : 0;
+    return out;
+  }
+
+  void load_state(const std::array<std::uint64_t, 6>& in) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[static_cast<std::size_t>(i)];
+    std::memcpy(&cached_, &in[4], sizeof(cached_));
+    has_cached_ = in[5] != 0;
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

@@ -21,9 +21,9 @@ using fftgrad::core::Packet;
 namespace wire = fftgrad::core::wire;
 
 TEST(FuzzWire, PacketFramingNeverCrashes) {
-  // The frames SimCluster's allgather actually carries: u64 element count +
-  // opaque codec payload, parsed on receipt with the sender's count checked
-  // against the local gradient size.
+  // The frames SimCluster's allgather actually carries: magic + CRC-32 +
+  // u64 element count + opaque codec payload, parsed on receipt with the
+  // sender's count checked against the local gradient size.
   constexpr std::size_t kElements = 128;
   fftgrad::fuzz::Xorshift payload_rng(0x5eedf00d);
   std::vector<std::vector<std::uint8_t>> corpus;
@@ -42,7 +42,7 @@ TEST(FuzzWire, PacketFramingNeverCrashes) {
           const Packet packet = wire::unframe_packet(bytes, kElements);
           // A decoded frame must be internally consistent.
           ASSERT_EQ(packet.elements, kElements);
-          ASSERT_EQ(packet.bytes.size(), bytes.size() - sizeof(std::uint64_t));
+          ASSERT_EQ(packet.bytes.size(), bytes.size() - wire::kFrameHeaderBytes);
         } catch (...) {
           ++mismatches;
           throw;
@@ -50,6 +50,39 @@ TEST(FuzzWire, PacketFramingNeverCrashes) {
       });
   EXPECT_GT(stats.decoded, 0u);
   EXPECT_EQ(stats.rejected, mismatches);
+}
+
+TEST(FuzzWire, FrameChecksumCatchesEveryBitFlip) {
+  // The fault-injection corruption model flips 1-4 bits of a frame in
+  // flight; graceful degradation in cluster_train depends on every such
+  // flip surfacing as a parse failure, never as a silently different
+  // gradient. Exhaustively flip each single bit, then spray random 2-4 bit
+  // patterns: unframe_packet must reject all of them.
+  Packet packet;
+  packet.elements = 96;
+  packet.bytes.resize(250);
+  fftgrad::fuzz::Xorshift rng(0xc4cf11b);
+  for (auto& b : packet.bytes) b = static_cast<std::uint8_t>(rng.next());
+  const std::vector<std::uint8_t> frame = wire::frame_packet(packet);
+  ASSERT_NO_THROW((void)wire::unframe_packet(frame, packet.elements));
+
+  for (std::size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    std::vector<std::uint8_t> flipped = frame;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_THROW((void)wire::unframe_packet(flipped, packet.elements), std::runtime_error)
+        << "accepted a frame with bit " << bit << " flipped";
+  }
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> flipped = frame;
+    const std::size_t flips = 2 + rng.below(3);  // 2-4 bits, CRC-32 detects all
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t bit = rng.below(flipped.size() * 8);
+      flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    if (flipped == frame) continue;  // flips may cancel pairwise
+    EXPECT_THROW((void)wire::unframe_packet(flipped, packet.elements), std::runtime_error);
+  }
 }
 
 TEST(FuzzWire, MaskDecodingNeverCrashes) {

@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <set>
+#include <string_view>
+#include <vector>
 
+#include "fftgrad/util/crc32.h"
 #include "fftgrad/util/rng.h"
 #include "fftgrad/util/stats.h"
 #include "fftgrad/util/table.h"
@@ -219,6 +222,52 @@ TEST(TableWriter, CsvHasHeaderAndRows) {
 TEST(TableWriter, RejectsRowWidthMismatch) {
   TableWriter table({"a", "b"});
   EXPECT_THROW(table.add_row({std::string("only one")}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// crc32
+
+std::uint32_t crc_of(std::string_view text, std::uint32_t seed = 0) {
+  return crc32(std::span<const std::uint8_t>(
+                   reinterpret_cast<const std::uint8_t*>(text.data()), text.size()),
+               seed);
+}
+
+TEST(Crc32, MatchesKnownAnswerVectors) {
+  // IEEE 802.3 (zlib-compatible) reference values.
+  EXPECT_EQ(crc_of(""), 0x00000000u);
+  EXPECT_EQ(crc_of("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc_of("abc"), 0x352441C2u);
+  EXPECT_EQ(crc_of("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc_of("The quick brown fox jumps over the lazy dog"), 0x414FA339u);
+}
+
+TEST(Crc32, ChainsAcrossSplitBuffers) {
+  // crc(a ++ b) == crc(b, seed = crc(a)): the property incremental framing
+  // relies on. Exercise every split point so the slice-by-4 fast path and
+  // the bytewise tail both get hit on each side.
+  const std::string_view text = "123456789abcdefghij";
+  const std::uint32_t whole = crc_of(text);
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    EXPECT_EQ(crc_of(text.substr(split), crc_of(text.substr(0, split))), whole);
+  }
+}
+
+TEST(Crc32, DetectsSingleAndDoubleBitFlips) {
+  std::vector<std::uint8_t> data(333);
+  Rng rng(77);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  const std::uint32_t reference = crc32(data);
+  for (std::size_t bit = 0; bit < data.size() * 8; ++bit) {
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(crc32(data), reference) << "missed single flip at bit " << bit;
+    const std::size_t second = (bit + 999) % (data.size() * 8);
+    data[second / 8] ^= static_cast<std::uint8_t>(1u << (second % 8));
+    EXPECT_NE(crc32(data), reference) << "missed double flip at bits " << bit << "," << second;
+    data[second / 8] ^= static_cast<std::uint8_t>(1u << (second % 8));
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  EXPECT_EQ(crc32(data), reference);
 }
 
 }  // namespace
