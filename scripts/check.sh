@@ -3,14 +3,17 @@
 #
 #   scripts/check.sh [options] [jobs]
 #
-#   --preset NAME   check only NAME (default | asan | tsan); repeatable
+#   --preset NAME   check only NAME (default | asan | tsan | analyze);
+#                   repeatable
 #   --fuzz          additionally run the wire-format fuzz targets (-L fuzz)
 #                   as their own reported step under every checked preset
 #   jobs            parallel build/test jobs (default: all cores)
 #
 # Without options, one invocation covers the whole matrix: the Release
-# build, the address/UB-sanitized build, and the thread-sanitized build
-# with the correctness-analysis instrumentation compiled in. Ends with a
+# build, the address/UB-sanitized build, the thread-sanitized build with
+# the correctness-analysis instrumentation compiled in, and the static-
+# analysis gate (GCC -fanalyzer + -Wconversion -Wshadow as errors over the
+# first-party libraries; the `analyze` preset builds no tests). Ends with a
 # one-line-per-step pass/fail table; exit status is non-zero if any step
 # failed (every step still runs, so one broken preset does not hide
 # another).
@@ -41,7 +44,7 @@ while [[ $# -gt 0 ]]; do
       ;;
   esac
 done
-[[ ${#presets[@]} -gt 0 ]] || presets=(default asan tsan)
+[[ ${#presets[@]} -gt 0 ]] || presets=(default asan tsan analyze)
 [[ -n "$jobs" ]] || jobs="$(nproc)"
 
 results=()   # "preset<TAB>step<TAB>status" rows for the summary table
@@ -68,11 +71,18 @@ run_step() {
 for preset in "${presets[@]}"; do
   run_step "$preset" configure cmake --preset "$preset" || continue
   run_step "$preset" build cmake --build --preset "$preset" -j "$jobs" || continue
+  # The analyze preset is a compile-time gate: -fanalyzer findings surface
+  # as build errors, and it produces no test binaries to run.
+  [[ "$preset" == analyze ]] && continue
   run_step "$preset" test ctest --preset "$preset" -j "$jobs"
   # The chaos label (seeded fault-injection plans) gets its own reported
   # row: a hang or schedule divergence under a sanitizer should be visible
   # as a chaos failure, not buried in the full-suite step.
   run_step "$preset" chaos ctest --preset "$preset" -j "$jobs" -L chaos
+  # Likewise the causality label (vector-clock happens-before tracking and
+  # the protocol-mutation detection proof): its mutation tests compile in
+  # under asan/tsan (FFTGRAD_ANALYSIS), the value-layer tests everywhere.
+  run_step "$preset" causality ctest --preset "$preset" -j "$jobs" -L causality
   if [[ "$run_fuzz" == 1 ]]; then
     run_step "$preset" fuzz ctest --preset "$preset" -j "$jobs" -L fuzz
   fi

@@ -26,7 +26,9 @@ if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
   exit 2
 fi
 
-mapfile -t sources < <(git ls-files 'src/**/*.cpp' 'tests/*.cpp' 'tests/**/*.cpp')
+mapfile -t sources < <(git ls-files 'src/**/*.cpp' 'tests/*.cpp' 'tests/**/*.cpp' \
+                                    'bench/*.cpp' 'bench/**/*.cpp' \
+                                    'examples/*.cpp' 'examples/**/*.cpp')
 echo "==> clang-tidy over ${#sources[@]} files"
 clang-tidy -p "${build_dir}" --quiet "${sources[@]}"
 echo "lint.sh: clean."

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "fftgrad/telemetry/metrics.h"
+
 namespace fftgrad::analysis {
 namespace {
 
@@ -119,6 +121,12 @@ void reset_violation_count() { g_violations.store(0, std::memory_order_relaxed);
 
 void report_violation(const char* kind, const std::string& message) {
   g_violations.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Registry objects are immortal; the disabled path is one relaxed load.
+    static telemetry::Counter& violations =
+        telemetry::MetricsRegistry::global().counter("analysis.violations");
+    violations.add(1.0);
+  }
   ViolationHandler handler = g_handler.load(std::memory_order_relaxed);
   if (handler == nullptr) handler = default_handler;
   handler(kind, message);

@@ -1,0 +1,349 @@
+#include "fftgrad/analysis/causality.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "fftgrad/analysis/check.h"
+#include "fftgrad/telemetry/metrics.h"
+
+namespace fftgrad::analysis {
+
+namespace {
+
+/// Component of `clock` at `rank`, with components past the stored width
+/// reading as 0 — comparisons below are defined over the max width so a
+/// malformed (e.g. wire-decoded) clock compares sanely instead of faulting.
+std::uint64_t component_or_zero(const VectorClock& clock, std::size_t rank) {
+  return rank < clock.size() ? clock.component(rank) : 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// VectorClock
+
+void VectorClock::join(const VectorClock& other) {
+  if (other.size() > components_.size()) components_.resize(other.size(), 0);
+  for (std::size_t r = 0; r < other.size(); ++r) {
+    components_[r] = std::max(components_[r], other.component(r));
+  }
+}
+
+bool VectorClock::included_in(const VectorClock& other) const {
+  for (std::size_t r = 0; r < components_.size(); ++r) {
+    if (components_[r] > component_or_zero(other, r)) return false;
+  }
+  return true;
+}
+
+bool VectorClock::happens_before(const VectorClock& other) const {
+  if (!included_in(other)) return false;
+  const std::size_t width = std::max(size(), other.size());
+  for (std::size_t r = 0; r < width; ++r) {
+    if (component_or_zero(*this, r) < component_or_zero(other, r)) return true;
+  }
+  return false;  // equal cuts: not ordered
+}
+
+bool VectorClock::concurrent_with(const VectorClock& other) const {
+  return !happens_before(other) && !other.happens_before(*this) && !(*this == other);
+}
+
+std::string VectorClock::to_string() const {
+  std::string out = "[";
+  for (std::size_t r = 0; r < components_.size(); ++r) {
+    if (r != 0) out += ",";
+    out += std::to_string(components_[r]);
+  }
+  out += "]";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Trailer codec
+
+std::vector<std::uint8_t> encode_trailer(const AnalysisTrailer& trailer) {
+  const std::size_t ranks = trailer.clock.size();
+  // Exact-size buffer written by offset (not grown by insert): the layout
+  // is fixed once `ranks` is known, and GCC 12's -Wstringop-overflow
+  // false-positives on growing byte-vector inserts.
+  std::vector<std::uint8_t> bytes(2 * sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t) +
+                                  ranks * sizeof(std::uint64_t));
+  std::size_t at = 0;
+  const auto put = [&bytes, &at](const auto& value) {
+    std::memcpy(bytes.data() + at, &value, sizeof(value));
+    at += sizeof(value);
+  };
+  put(kTrailerMagic);
+  put(trailer.sender);
+  put(trailer.epoch);
+  put(static_cast<std::uint64_t>(ranks));
+  for (std::size_t r = 0; r < ranks; ++r) put(trailer.clock.component(r));
+  return bytes;
+}
+
+AnalysisTrailer decode_trailer(std::span<const std::uint8_t> bytes) {
+  std::size_t at = 0;
+  const auto need = [&](std::size_t n) {
+    if (bytes.size() - at < n) throw std::runtime_error("analysis trailer: truncated");
+  };
+  const auto get_u32 = [&]() {
+    need(sizeof(std::uint32_t));
+    std::uint32_t value;
+    std::memcpy(&value, bytes.data() + at, sizeof(value));
+    at += sizeof(value);
+    return value;
+  };
+  const auto get_u64 = [&]() {
+    need(sizeof(std::uint64_t));
+    std::uint64_t value;
+    std::memcpy(&value, bytes.data() + at, sizeof(value));
+    at += sizeof(value);
+    return value;
+  };
+  if (get_u32() != kTrailerMagic) throw std::runtime_error("analysis trailer: bad magic");
+  AnalysisTrailer trailer;
+  trailer.sender = get_u32();
+  trailer.epoch = get_u64();
+  const std::uint64_t ranks = get_u64();
+  // Guard `ranks * 8` against a corrupted count driving a huge allocation:
+  // the components must fit in what is actually left.
+  if (ranks > (bytes.size() - at) / sizeof(std::uint64_t)) {
+    throw std::runtime_error("analysis trailer: corrupt rank count");
+  }
+  std::vector<std::uint64_t> components(static_cast<std::size_t>(ranks));
+  for (auto& component : components) component = get_u64();
+  trailer.clock = VectorClock(std::move(components));
+  if (at != bytes.size()) throw std::runtime_error("analysis trailer: trailing garbage");
+  return trailer;
+}
+
+#if FFTGRAD_ANALYSIS
+
+// ---------------------------------------------------------------------------
+// CausalityTracker
+
+namespace {
+
+/// Check counters, registered once (mirrors sim_cluster's FaultMetrics).
+struct CausalityMetrics {
+  telemetry::Counter& hb_checks;
+  telemetry::Counter& epoch_checks;
+  telemetry::Counter& agreement_checks;
+
+  static CausalityMetrics& get() {
+    static CausalityMetrics metrics = [] {
+      telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+      return CausalityMetrics{reg.counter("analysis.hb_checks"),
+                              reg.counter("analysis.epoch_checks"),
+                              reg.counter("analysis.agreement_checks")};
+    }();
+    return metrics;
+  }
+};
+
+std::string excluded_to_string(std::span<const char> excluded) {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t r = 0; r < excluded.size(); ++r) {
+    if (excluded[r] == 0) continue;
+    if (!first) out += ",";
+    out += std::to_string(r);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+void CausalityTracker::reset(std::size_t ranks) {
+  ranks_ = ranks;
+  clocks_.assign(ranks, VectorClock(ranks));
+  published_.assign(ranks, {});
+  previous_.assign(ranks, {});
+  std::lock_guard<std::mutex> lock(mutex_);
+  exclusions_.clear();
+  agreements_.clear();
+}
+
+bool CausalityTracker::mutates(ProtocolMutation kind, std::size_t rank, std::size_t op) const {
+  return mutation_.load(std::memory_order_relaxed) == kind &&
+         mutation_rank_.load(std::memory_order_relaxed) == rank &&
+         op >= mutation_from_op_.load(std::memory_order_relaxed);
+}
+
+void CausalityTracker::set_mutation(ProtocolMutation mutation, std::size_t target_rank,
+                                    std::size_t from_op) {
+  mutation_rank_.store(target_rank, std::memory_order_relaxed);
+  mutation_from_op_.store(from_op, std::memory_order_relaxed);
+  mutation_.store(mutation, std::memory_order_relaxed);
+}
+
+void CausalityTracker::on_publish(std::size_t rank, std::size_t op) {
+  if (!active()) return;
+  clocks_[rank].tick(rank);
+  previous_[rank] = published_[rank];
+  Publication& pub = published_[rank];
+  pub.clock = clocks_[rank];
+  pub.epoch = op;
+  // The seeded stale-epoch mutant: the sender "forgets" to bump its epoch,
+  // publishing this op's bytes under the previous op's number.
+  if (mutates(ProtocolMutation::kStaleEpoch, rank, op) && op > 0) pub.epoch = op - 1;
+  pub.valid = true;
+}
+
+void CausalityTracker::on_barrier_release(const std::vector<char>& dead) {
+  if (!active()) return;
+  VectorClock merged(ranks_);
+  for (std::size_t r = 0; r < ranks_; ++r) {
+    if (r < dead.size() && dead[r] != 0) continue;
+    merged.join(clocks_[r]);
+  }
+  for (std::size_t r = 0; r < ranks_; ++r) {
+    if (r < dead.size() && dead[r] != 0) continue;
+    // The dropped-join mutant: one rank's clock misses the barrier merge,
+    // so its next consume lacks the happens-before edge.
+    if (mutates(ProtocolMutation::kDropClockJoin, r, 0)) continue;
+    clocks_[r].join(merged);
+  }
+}
+
+void CausalityTracker::on_consume(std::size_t consumer, std::size_t sender, std::size_t op) {
+  if (!active()) return;
+  // The reordered-delivery mutant: the consumer reads the sender's
+  // *previous* publication — bytes from an earlier collective delivered
+  // into this one.
+  const bool reorder =
+      mutates(ProtocolMutation::kReorderDelivery, consumer, op) && previous_[sender].valid;
+  const Publication& pub = reorder ? previous_[sender] : published_[sender];
+  if (!pub.valid) {
+    report_violation("causality",
+                     "op " + std::to_string(op) + ": rank " + std::to_string(consumer) +
+                         " consumed a block rank " + std::to_string(sender) +
+                         " never published");
+    return;
+  }
+  CausalityMetrics::get().hb_checks.add(1.0);
+  if (!pub.clock.included_in(clocks_[consumer])) {
+    report_violation("causality",
+                     "op " + std::to_string(op) + ": no happens-before edge from rank " +
+                         std::to_string(sender) + "'s publication " + pub.clock.to_string() +
+                         " to rank " + std::to_string(consumer) + "'s read at " +
+                         clocks_[consumer].to_string());
+  }
+  CausalityMetrics::get().epoch_checks.add(1.0);
+  if (pub.epoch != op) {
+    report_violation("epoch-mismatch",
+                     "op " + std::to_string(op) + ": rank " + std::to_string(consumer) +
+                         " consumed a block rank " + std::to_string(sender) +
+                         " published at epoch " + std::to_string(pub.epoch));
+  }
+}
+
+void CausalityTracker::check_exclusion(std::size_t rank, std::size_t op,
+                                       std::span<const char> excluded, std::size_t quorum) {
+  if (!active()) return;
+  std::vector<char> view(excluded.begin(), excluded.end());
+  std::size_t quorum_view = quorum;
+  // The desync mutants: this rank computed a different surviving set (flip
+  // one peer's exclusion bit) or a different quorum.
+  if (mutates(ProtocolMutation::kDesyncExclusion, rank, op) && !view.empty()) {
+    const std::size_t victim = (rank + 1) % view.size();
+    view[victim] = view[victim] == 0 ? 1 : 0;
+  }
+  if (mutates(ProtocolMutation::kQuorumMismatch, rank, op)) ++quorum_view;
+
+  CausalityMetrics::get().agreement_checks.add(1.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = exclusions_.try_emplace(op, ExclusionRecord{view, quorum_view, rank});
+  if (inserted) return;
+  const ExclusionRecord& canonical = it->second;
+  if (canonical.excluded != view) {
+    report_violation(
+        "exclusion-desync",
+        "op " + std::to_string(op) + ": rank " + std::to_string(rank) +
+            " computed exclusion set " + excluded_to_string(view) + " but rank " +
+            std::to_string(canonical.reporter) + " computed " +
+            excluded_to_string(canonical.excluded));
+  }
+  if (canonical.quorum != quorum_view) {
+    report_violation("quorum-mismatch",
+                     "op " + std::to_string(op) + ": rank " + std::to_string(rank) +
+                         " sees quorum " + std::to_string(quorum_view) + " but rank " +
+                         std::to_string(canonical.reporter) + " sees " +
+                         std::to_string(canonical.quorum));
+  }
+}
+
+void CausalityTracker::check_agreement(const char* domain, std::size_t rank, std::uint64_t index,
+                                       std::uint64_t value) {
+  if (!active()) return;
+  std::uint64_t view = value;
+  // The divergence mutant: this rank's replica state silently differs.
+  if (mutates(ProtocolMutation::kStateHashDivergence, rank, static_cast<std::size_t>(index))) {
+    view ^= 0x1;
+  }
+  CausalityMetrics::get().agreement_checks.add(1.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] =
+      agreements_.try_emplace({std::string(domain), index}, std::make_pair(view, rank));
+  if (inserted) return;
+  if (it->second.first != view) {
+    // Only this rank's own clock is printed: reading a peer's clock here
+    // would race with that peer's thread still ticking it (the clocks are
+    // owner-written; only the agreement maps are mutex-shared).
+    report_violation("agreement-divergence",
+                     std::string(domain) + "[" + std::to_string(index) + "]: rank " +
+                         std::to_string(rank) + " reports " + std::to_string(view) +
+                         " but rank " + std::to_string(it->second.second) + " reported " +
+                         std::to_string(it->second.first) + " (reporting rank's clock " +
+                         clocks_[rank].to_string() + ")");
+  }
+}
+
+AnalysisTrailer CausalityTracker::make_trailer(std::size_t rank, std::size_t epoch) const {
+  AnalysisTrailer trailer;
+  if (!active()) return trailer;
+  trailer.sender = static_cast<std::uint32_t>(rank);
+  trailer.epoch = epoch;
+  if (mutates(ProtocolMutation::kStaleEpoch, rank, epoch) && epoch > 0) {
+    trailer.epoch = epoch - 1;
+  }
+  trailer.clock = clocks_[rank];
+  return trailer;
+}
+
+void CausalityTracker::verify_trailer(std::size_t consumer, std::size_t sender,
+                                      const AnalysisTrailer& trailer,
+                                      std::uint64_t expected_epoch) {
+  if (!active()) return;
+  if (trailer.sender != sender) {
+    report_violation("causality",
+                     "trailer claims sender " + std::to_string(trailer.sender) +
+                         " but arrived in rank " + std::to_string(sender) + "'s slot");
+    return;
+  }
+  CausalityMetrics::get().hb_checks.add(1.0);
+  if (!trailer.clock.included_in(clocks_[consumer])) {
+    report_violation("causality",
+                     "epoch " + std::to_string(expected_epoch) + ": trailer from rank " +
+                         std::to_string(sender) + " carries clock " +
+                         trailer.clock.to_string() + " outside rank " +
+                         std::to_string(consumer) + "'s causal past " +
+                         clocks_[consumer].to_string());
+  }
+  CausalityMetrics::get().epoch_checks.add(1.0);
+  if (trailer.epoch != expected_epoch) {
+    report_violation("epoch-mismatch",
+                     "trailer from rank " + std::to_string(sender) + " carries epoch " +
+                         std::to_string(trailer.epoch) + " but rank " +
+                         std::to_string(consumer) + " is consuming epoch " +
+                         std::to_string(expected_epoch));
+  }
+}
+
+#endif  // FFTGRAD_ANALYSIS
+
+}  // namespace fftgrad::analysis

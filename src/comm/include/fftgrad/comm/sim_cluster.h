@@ -36,6 +36,15 @@
 // bit-identical across seeds — each rank reduces in rank order from the
 // shared slots, independent of arrival order. Fault decisions are keyed on
 // (seed, sender, op), never on arrival order, so they share the guarantee.
+//
+// Causality analysis (fftgrad/analysis/causality.h, FFTGRAD_ANALYSIS
+// builds): every collective publication ticks the rank's vector clock,
+// every barrier release merges the live ranks' clocks, and every consumed
+// block is checked for (a) a happens-before edge from its sender's
+// publication, (b) a matching collective epoch, and (c) — after
+// straggler-timeout/crash handling — an exclusion set and quorum identical
+// on every surviving replica. Violations route through the analysis
+// violation handler with the op index, ranks, and clocks involved.
 #pragma once
 
 #include <cstddef>
@@ -45,6 +54,7 @@
 #include <span>
 #include <vector>
 
+#include "fftgrad/analysis/causality.h"
 #include "fftgrad/analysis/checked_mutex.h"
 #include "fftgrad/comm/fault_injection.h"
 #include "fftgrad/comm/network_model.h"
@@ -143,6 +153,12 @@ class SimCluster {
   /// Ranks that survived the last run().
   std::size_t survivors() const;
 
+  /// The run's causality tracker (vector clocks + protocol invariants).
+  /// A no-op stub unless FFTGRAD_ANALYSIS is compiled in; re-armed by each
+  /// run(). Exposed so trainers can feed cross-rank agreement checks (and
+  /// tests can seed protocol mutations) through the cluster's instance.
+  analysis::CausalityTracker& causality() { return tracker_; }
+
  private:
   friend class RankContext;
 
@@ -176,6 +192,8 @@ class SimCluster {
   std::vector<char> dead_;
   std::vector<char> late_;
   std::vector<RankContext*> contexts_;
+
+  analysis::CausalityTracker tracker_;
 };
 
 }  // namespace fftgrad::comm

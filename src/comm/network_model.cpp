@@ -79,20 +79,33 @@ double NetworkModel::ps_pull_time(double param_bytes, std::size_t workers) const
   return static_cast<double>(workers) * p2p_time(param_bytes);
 }
 
-NetworkModel NetworkModel::ethernet_1g() {
-  return {"ethernet-1G", 50e-6, 1e9 / 8.0};
+namespace {
+
+// The factories override only the link parameters; loss/retry keep their
+// defaults (lossless), spelled via member assignment so -Wextra's
+// missing-field-initializers check stays quiet about the aggregate.
+NetworkModel make_model(const char* name, double latency_s, double bandwidth_bytes_s) {
+  NetworkModel model;
+  model.name = name;
+  model.latency_s = latency_s;
+  model.bandwidth_bytes_s = bandwidth_bytes_s;
+  return model;
 }
 
+}  // namespace
+
+NetworkModel NetworkModel::ethernet_1g() { return make_model("ethernet-1G", 50e-6, 1e9 / 8.0); }
+
 NetworkModel NetworkModel::ethernet_10g() {
-  return {"ethernet-10G", 20e-6, 10e9 / 8.0};
+  return make_model("ethernet-10G", 20e-6, 10e9 / 8.0);
 }
 
 NetworkModel NetworkModel::infiniband_fdr56() {
-  return {"infiniband-FDR56", 1e-6, 56e9 / 8.0};
+  return make_model("infiniband-FDR56", 1e-6, 56e9 / 8.0);
 }
 
 NetworkModel NetworkModel::pcie_intranode() {
-  return {"pcie-intranode", 5e-7, 12e9};  // ~PCIe gen3 x16 effective
+  return make_model("pcie-intranode", 5e-7, 12e9);  // ~PCIe gen3 x16 effective
 }
 
 }  // namespace fftgrad::comm

@@ -124,8 +124,11 @@ void SimCluster::barrier_wait(std::size_t rank) {
   const std::uint64_t my_generation = generation_;
   if (++arrived_ == alive_) {
     // Last arrival: BSP semantics, every clock advances to the straggler
-    // (bounded by the straggler timeout when one is configured).
+    // (bounded by the straggler timeout when one is configured), and the
+    // causal vector clocks merge to their common upper bound — the
+    // happens-before edge every post-barrier consume relies on.
     align_clocks_locked();
+    tracker_.on_barrier_release(dead_);
     arrived_ = 0;
     ++generation_;
     cv_.notify_all();
@@ -147,6 +150,7 @@ void SimCluster::mark_crashed(std::size_t rank) {
   // Peers may already be waiting on a quorum that included this rank.
   if (alive_ > 0 && arrived_ == alive_) {
     align_clocks_locked();
+    tracker_.on_barrier_release(dead_);
     arrived_ = 0;
     ++generation_;
     cv_.notify_all();
@@ -171,6 +175,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
   telemetry::TraceSpan span("allgather", "comm");
   const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
+  c.tracker_.on_publish(rank_, op);
   c.byte_slots_[rank_] = send;
   c.clock_slots_[rank_] = clock_.time();
   c.barrier_wait(rank_);  // all contributions and entry clocks visible
@@ -207,12 +212,24 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
     }
   }
 
+  // Causality invariant (c): every surviving replica must have derived the
+  // identical exclusion set and quorum from the barrier-published state.
+  if (c.tracker_.active()) {
+    const std::vector<char> effective = faulty ? excluded : std::vector<char>(c.ranks_, 0);
+    std::size_t quorum = 0;
+    for (char e : effective) quorum += e == 0 ? 1 : 0;
+    c.tracker_.check_exclusion(rank_, op, effective, quorum);
+  }
+
   std::vector<std::vector<std::uint8_t>> gathered(c.ranks_);
   std::vector<double> sizes;
   sizes.reserve(c.ranks_);
   double recovery_s = 0.0;
   for (std::size_t r = 0; r < c.ranks_; ++r) {
     if (faulty && excluded[r] != 0) continue;  // stays an empty block
+    // Invariants (a)+(b): the sender's publication happens-before this
+    // read and belongs to this collective epoch.
+    c.tracker_.on_consume(rank_, r, op);
     gathered[r].assign(c.byte_slots_[r].begin(), c.byte_slots_[r].end());
     sizes.push_back(static_cast<double>(gathered[r].size()));
     if (faulty && plan.has_transport_faults()) {
@@ -258,8 +275,9 @@ void RankContext::allreduce_sum(std::span<float> data) {
       telemetry::MetricsRegistry::global().counter("comm.allreduce.calls");
   note_collective(calls, static_cast<double>(data.size_bytes()));
   telemetry::TraceSpan span("allreduce", "comm");
-  begin_collective();
+  const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
+  c.tracker_.on_publish(rank_, op);
   c.float_slots_[rank_] = data;
   c.barrier_wait(rank_);
   // Every rank reduces redundantly into a private buffer; identical
@@ -269,12 +287,17 @@ void RankContext::allreduce_sum(std::span<float> data) {
   std::size_t live = 0;
   for (std::size_t r = 0; r < c.ranks_; ++r) {
     if (c.dead_[r] != 0) continue;
+    c.tracker_.on_consume(rank_, r, op);
     auto peer = c.float_slots_[r];
     if (peer.size() != data.size()) {
       throw std::invalid_argument("allreduce_sum: mismatched sizes across ranks");
     }
     for (std::size_t i = 0; i < peer.size(); ++i) reduced[i] += peer[i];
     ++live;
+  }
+  // Invariant (c) for the sum: replicas must agree on who dropped out.
+  if (c.tracker_.active()) {
+    c.tracker_.check_exclusion(rank_, op, {c.dead_.data(), c.dead_.size()}, live);
   }
   clock_.advance(c.network_.allreduce_time(static_cast<double>(data.size() * sizeof(float)),
                                            live));
@@ -288,12 +311,14 @@ void RankContext::broadcast(std::span<float> data, std::size_t root) {
       telemetry::MetricsRegistry::global().counter("comm.broadcast.calls");
   note_collective(calls, rank_ == root ? static_cast<double>(data.size_bytes()) : 0.0);
   telemetry::TraceSpan span("broadcast", "comm");
-  begin_collective();
+  const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
   if (root >= c.ranks_) throw std::invalid_argument("broadcast: bad root");
+  if (rank_ == root) c.tracker_.on_publish(rank_, op);
   c.float_slots_[rank_] = data;
   c.barrier_wait(rank_);
   if (c.dead_[root] != 0) throw std::runtime_error("broadcast: root rank crashed");
+  c.tracker_.on_consume(rank_, root, op);
   auto src = c.float_slots_[root];
   if (src.size() != data.size()) {
     throw std::invalid_argument("broadcast: mismatched sizes across ranks");
@@ -310,9 +335,10 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
       telemetry::MetricsRegistry::global().counter("comm.gather.calls");
   note_collective(calls, static_cast<double>(send.size()));
   telemetry::TraceSpan span("gather", "comm");
-  begin_collective();
+  const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
   if (root >= c.ranks_) throw std::invalid_argument("gather: bad root");
+  c.tracker_.on_publish(rank_, op);
   c.byte_slots_[rank_] = send;
   c.barrier_wait(rank_);
   std::vector<std::vector<std::uint8_t>> gathered;
@@ -321,6 +347,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
     double inbound = 0.0;
     for (std::size_t r = 0; r < c.ranks_; ++r) {
       if (c.dead_[r] != 0) continue;  // crashed peers contribute nothing
+      c.tracker_.on_consume(rank_, r, op);
       gathered[r].assign(c.byte_slots_[r].begin(), c.byte_slots_[r].end());
       if (r != root) inbound += c.network_.p2p_time(static_cast<double>(c.byte_slots_[r].size()));
     }
@@ -337,8 +364,9 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
       telemetry::MetricsRegistry::global().counter("comm.reduce_scatter.calls");
   note_collective(calls, static_cast<double>(data.size_bytes()));
   telemetry::TraceSpan span("reduce_scatter", "comm");
-  begin_collective();
+  const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
+  c.tracker_.on_publish(rank_, op);
   c.float_slots_[rank_] = {const_cast<float*>(data.data()), data.size()};
   c.barrier_wait(rank_);
   const std::size_t n = data.size();
@@ -348,6 +376,7 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
   std::vector<float> chunk(end - begin, 0.0f);
   for (std::size_t r = 0; r < c.ranks_; ++r) {
     if (c.dead_[r] != 0) continue;
+    c.tracker_.on_consume(rank_, r, op);
     auto peer = c.float_slots_[r];
     if (peer.size() != n) {
       throw std::invalid_argument("reduce_scatter_sum: mismatched sizes across ranks");
@@ -375,6 +404,7 @@ std::vector<double> SimCluster::run(std::size_t ranks,
   float_slots_.assign(ranks, {});
   clock_slots_.assign(ranks, 0.0);
   dead_.assign(ranks, 0);
+  tracker_.reset(ranks);
 
   std::vector<RankContext> contexts;
   contexts.reserve(ranks);

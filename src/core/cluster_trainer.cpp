@@ -6,9 +6,11 @@
 #include <optional>
 #include <stdexcept>
 
+#include "fftgrad/analysis/causality.h"
 #include "fftgrad/nn/loss.h"
 #include "fftgrad/telemetry/metrics.h"
 #include "fftgrad/telemetry/trace.h"
+#include "fftgrad/util/crc32.h"
 
 namespace fftgrad::core {
 
@@ -39,6 +41,7 @@ ClusterTrainResult cluster_train(
 
   const auto clocks = cluster.run(config.ranks, [&](comm::RankContext& ctx) {
     const std::size_t rank = ctx.rank();
+    analysis::CausalityTracker& causality = cluster.causality();
     nn::Network model = model_factory();
     nn::SgdOptimizer optimizer(config.momentum);
     nn::SoftmaxCrossEntropy criterion;
@@ -69,11 +72,19 @@ ClusterTrainResult cluster_train(
         model.copy_gradients(gradient);
       }
 
-      // Compress, allgather packets, decompress every peer, average.
+      // Compress, allgather packets, decompress every peer, average. In
+      // analysis builds the frame carries the causality trailer (sender
+      // clock + collective epoch) so the happens-before evidence travels
+      // with the bytes and is re-verified from what actually arrived.
       std::vector<std::uint8_t> wire;
       {
         telemetry::TraceSpan span("compress", "trainer");
-        wire = wire::frame_packet(codec->compress(gradient));
+        std::vector<std::uint8_t> trailer;
+        if (causality.active()) {
+          trailer =
+              analysis::encode_trailer(causality.make_trailer(rank, ctx.op_index()));
+        }
+        wire = wire::frame_packet(codec->compress(gradient), trailer);
       }
       const auto gathered = ctx.allgather(wire);
 
@@ -82,7 +93,7 @@ ClusterTrainResult cluster_train(
       // count — and thus the renormalized average — is known before any
       // accumulation. Every rank sees identical bytes, so every rank skips
       // the identical peers and replicas stay bit-identical.
-      std::vector<std::optional<Packet>> frames(gathered.size());
+      std::vector<std::optional<wire::WireFrame>> frames(gathered.size());
       std::size_t decoded = 0;
       for (std::size_t r = 0; r < gathered.size(); ++r) {
         if (gathered[r].empty()) {
@@ -91,11 +102,34 @@ ClusterTrainResult cluster_train(
           continue;
         }
         try {
-          frames[r] = wire::unframe_packet(gathered[r], grad_size);
+          frames[r] = wire::unframe_frame(gathered[r], grad_size);
           ++decoded;
         } catch (const std::exception&) {
           ++rank_skips[rank];
           peers_skipped.add(1.0);
+        }
+      }
+
+      // Re-verify the received causality trailers: the sender's publish
+      // must happen-before this read and carry this collective's epoch.
+      // A trailer that survived the CRC but fails to parse is itself a
+      // protocol violation, not a degradation case.
+      if (causality.active()) {
+        const std::uint64_t epoch = ctx.op_index() - 1;  // the allgather above
+        for (std::size_t r = 0; r < frames.size(); ++r) {
+          if (!frames[r] || frames[r]->trailer.empty()) continue;
+          try {
+            const analysis::AnalysisTrailer trailer =
+                analysis::decode_trailer(frames[r]->trailer);
+            causality.verify_trailer(rank, r, trailer, epoch);
+          } catch (const std::exception& error) {
+            analysis::report_violation("causality", std::string("iteration ") +
+                                                        std::to_string(iter) +
+                                                        ": undecodable analysis trailer "
+                                                        "from rank " +
+                                                        std::to_string(r) + ": " +
+                                                        error.what());
+          }
         }
       }
 
@@ -106,7 +140,7 @@ ClusterTrainResult cluster_train(
         for (std::size_t r = 0; r < frames.size(); ++r) {
           if (!frames[r]) continue;
           try {
-            codec->decompress(*frames[r], reconstructed);
+            codec->decompress(frames[r]->packet, reconstructed);
           } catch (const std::exception&) {
             // Payload passed the CRC but the codec still rejected it
             // (vanishingly rare); drop the contribution, keep the step.
@@ -128,6 +162,19 @@ ClusterTrainResult cluster_train(
         telemetry::TraceSpan apply_span("apply", "trainer");
         model.set_gradients(averaged);
         optimizer.step(model, config.learning_rate);
+      }
+
+      // Cross-rank state-hash agreement: surviving replicas must hold
+      // bit-identical parameters after every step, so a logical race is
+      // caught at the iteration that caused it rather than as mysterious
+      // end-of-run divergence. `reconstructed` is dead until the next
+      // decompress, so it doubles as the hash scratch buffer.
+      if (causality.active()) {
+        model.copy_params(reconstructed);
+        const std::uint32_t hash = util::crc32(std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(reconstructed.data()),
+            reconstructed.size() * sizeof(float)));
+        causality.check_agreement("trainer.state_hash", rank, iter, hash);
       }
     }
 

@@ -142,24 +142,44 @@ class Reader {
 // ---------------------------------------------------------------------------
 // Packet framing: the on-the-wire shape of one compressed gradient as it
 // travels through a collective — a magic tag, a CRC-32 over everything
-// after the checksum field, a u64 element count, then the codec payload.
-// Every cross-rank packet exchange must use this pair so the framing has
-// exactly one definition (and one fuzz target). The checksum turns wire
-// corruption (comm::FaultPlan bit flips, or a real fabric misbehaving)
-// into a deterministic parse failure at the receiver instead of a
-// silently-wrong gradient — the degradation path cluster_train relies on.
+// after the checksum field, a u64 element count, a u32 trailer length,
+// the optional analysis trailer, then the codec payload. Every cross-rank
+// packet exchange must use this pair so the framing has exactly one
+// definition (and one fuzz target). The checksum turns wire corruption
+// (comm::FaultPlan bit flips, or a real fabric misbehaving) into a
+// deterministic parse failure at the receiver instead of a silently-wrong
+// gradient — the degradation path cluster_train relies on.
+//
+// The trailer slot carries causality-analysis evidence (the sender's
+// vector clock and collective epoch; fftgrad/analysis/causality.h) in
+// FFTGRAD_ANALYSIS builds and is empty (length 0) otherwise; it sits
+// inside the checksummed region, so a corrupted trailer is rejected with
+// the same determinism as a corrupted payload. Frames are a transient
+// exchange format, never persisted, so build modes may legitimately
+// differ in whether the slot is filled — the shape is identical.
 
-inline constexpr std::uint32_t kFrameMagic = 0x46474631u;  // "FGF1"
+inline constexpr std::uint32_t kFrameMagic = 0x46474632u;  // "FGF2"
 inline constexpr std::size_t kFrameHeaderBytes =
-    2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+    3 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
 
-/// Serialize `packet` into its collective wire frame.
-inline std::vector<std::uint8_t> frame_packet(const Packet& packet) {
+/// A parsed frame: the codec packet plus whatever analysis trailer rode
+/// along (empty when the sender attached none).
+struct WireFrame {
+  Packet packet;
+  std::vector<std::uint8_t> trailer;
+};
+
+/// Serialize `packet` (and an optional analysis trailer) into its
+/// collective wire frame.
+inline std::vector<std::uint8_t> frame_packet(const Packet& packet,
+                                              std::span<const std::uint8_t> trailer = {}) {
   std::vector<std::uint8_t> frame;
-  frame.reserve(kFrameHeaderBytes + packet.bytes.size());
+  frame.reserve(kFrameHeaderBytes + trailer.size() + packet.bytes.size());
   put<std::uint32_t>(frame, kFrameMagic);
   put<std::uint32_t>(frame, 0);  // checksum patched below
   put<std::uint64_t>(frame, packet.elements);
+  put<std::uint32_t>(frame, static_cast<std::uint32_t>(trailer.size()));
+  put_span<std::uint8_t>(frame, trailer);
   put_span<std::uint8_t>(frame, packet.bytes);
   const std::uint32_t crc =
       util::crc32(std::span<const std::uint8_t>(frame).subspan(2 * sizeof(std::uint32_t)));
@@ -168,11 +188,11 @@ inline std::vector<std::uint8_t> frame_packet(const Packet& packet) {
 }
 
 /// Parse a frame produced by frame_packet(). Throws std::runtime_error on a
-/// truncated frame, a bad magic, a checksum mismatch (any flipped bit), or
-/// when the element count disagrees with `expected_elements` (pass 0 to
-/// accept any count).
-inline Packet unframe_packet(std::span<const std::uint8_t> frame,
-                             std::size_t expected_elements = 0) {
+/// truncated frame, a bad magic, a checksum mismatch (any flipped bit), a
+/// trailer length that does not fit, or when the element count disagrees
+/// with `expected_elements` (pass 0 to accept any count).
+inline WireFrame unframe_frame(std::span<const std::uint8_t> frame,
+                               std::size_t expected_elements = 0) {
   Reader reader(frame);
   if (reader.get<std::uint32_t>() != kFrameMagic) {
     throw std::runtime_error("wire: bad frame magic");
@@ -182,14 +202,26 @@ inline Packet unframe_packet(std::span<const std::uint8_t> frame,
   if (actual_crc != expected_crc) {
     throw std::runtime_error("wire: frame checksum mismatch");
   }
-  Packet packet;
-  packet.elements = static_cast<std::size_t>(reader.get<std::uint64_t>());
-  if (expected_elements != 0 && packet.elements != expected_elements) {
+  WireFrame result;
+  result.packet.elements = static_cast<std::size_t>(reader.get<std::uint64_t>());
+  if (expected_elements != 0 && result.packet.elements != expected_elements) {
     throw std::runtime_error("wire: peer gradient size mismatch");
   }
-  packet.bytes.resize(reader.remaining());
-  reader.get_span<std::uint8_t>(packet.bytes);
-  return packet;
+  const auto trailer_bytes = reader.get<std::uint32_t>();
+  if (trailer_bytes > reader.remaining()) {
+    throw std::runtime_error("wire: corrupt trailer length");
+  }
+  result.trailer.resize(trailer_bytes);
+  reader.get_span<std::uint8_t>(result.trailer);
+  result.packet.bytes.resize(reader.remaining());
+  reader.get_span<std::uint8_t>(result.packet.bytes);
+  return result;
+}
+
+/// Trailer-discarding convenience for callers that only want the packet.
+inline Packet unframe_packet(std::span<const std::uint8_t> frame,
+                             std::size_t expected_elements = 0) {
+  return unframe_frame(frame, expected_elements).packet;
 }
 
 }  // namespace wire

@@ -31,6 +31,10 @@
 //   fault.retransmit_bytes    retransmitted + duplicated bytes       [bytes]
 //   fault.recovery_seconds    simulated retry/backoff/delay time     [s]
 //   fault.deliveries_failed   deliveries still broken after retries  [count]
+//   analysis.violations       invariant violations reported          [count]
+//   analysis.hb_checks        happens-before edges verified          [count]
+//   analysis.epoch_checks     collective-epoch matches verified      [count]
+//   analysis.agreement_checks cross-rank agreement values checked    [count]
 #pragma once
 
 #include <atomic>

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "fftgrad/analysis/causality.h"
 #include "fftgrad/core/compressor.h"
 #include "fftgrad/quant/range_float.h"
 #include "fftgrad/sparse/mask_coding.h"
@@ -83,6 +84,72 @@ TEST(FuzzWire, FrameChecksumCatchesEveryBitFlip) {
     if (flipped == frame) continue;  // flips may cancel pairwise
     EXPECT_THROW((void)wire::unframe_packet(flipped, packet.elements), std::runtime_error);
   }
+}
+
+TEST(FuzzWire, AnalysisTrailerNeverCrashes) {
+  // The causality-analysis trailer (fftgrad/analysis/causality.h) rides
+  // inside the checksummed frame region, but decode_trailer must stand on
+  // its own: its u64 rank count is a `count * 8` allocation vector exactly
+  // like the codec headers', and a hostile count must be rejected before
+  // any component read.
+  namespace analysis = fftgrad::analysis;
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (std::size_t ranks : {0u, 1u, 4u, 16u}) {
+    analysis::AnalysisTrailer trailer;
+    trailer.sender = static_cast<std::uint32_t>(ranks);
+    trailer.epoch = 17 + ranks;
+    std::vector<std::uint64_t> components(ranks);
+    for (std::size_t r = 0; r < ranks; ++r) components[r] = r * 3 + 1;
+    trailer.clock = analysis::VectorClock(std::move(components));
+    corpus.push_back(analysis::encode_trailer(trailer));
+  }
+
+  const auto stats =
+      fftgrad::fuzz::drive(corpus, 0xca05a117, [](const std::vector<std::uint8_t>& bytes) {
+        const analysis::AnalysisTrailer trailer = analysis::decode_trailer(bytes);
+        // A decoded trailer must re-encode to the identical bytes: the
+        // format has exactly one representation per value.
+        ASSERT_EQ(analysis::encode_trailer(trailer), bytes);
+      });
+  EXPECT_GT(stats.decoded, 0u);
+  EXPECT_GT(stats.rejected, 0u);
+}
+
+TEST(FuzzWire, FramedTrailerNeverCrashes) {
+  // The combined path a received collective block actually takes in
+  // analysis builds: unframe (CRC gate), then decode the carried trailer.
+  namespace analysis = fftgrad::analysis;
+  constexpr std::size_t kElements = 64;
+  analysis::AnalysisTrailer trailer;
+  trailer.sender = 3;
+  trailer.epoch = 12;
+  trailer.clock = analysis::VectorClock(std::vector<std::uint64_t>{4, 0, 9, 12});
+
+  fftgrad::fuzz::Xorshift payload_rng(0x7a11e4);
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (std::size_t payload_bytes : {0u, 33u, 200u}) {
+    Packet packet;
+    packet.elements = kElements;
+    packet.bytes.resize(payload_bytes);
+    for (auto& b : packet.bytes) b = static_cast<std::uint8_t>(payload_rng.next());
+    corpus.push_back(wire::frame_packet(packet, analysis::encode_trailer(trailer)));
+  }
+
+  const auto stats =
+      fftgrad::fuzz::drive(corpus, 0xf4a3e6, [&](const std::vector<std::uint8_t>& bytes) {
+        const wire::WireFrame frame = wire::unframe_frame(bytes, kElements);
+        if (!frame.trailer.empty()) {
+          const analysis::AnalysisTrailer decoded = analysis::decode_trailer(frame.trailer);
+          ASSERT_EQ(decoded.sender, trailer.sender);
+          ASSERT_EQ(decoded.epoch, trailer.epoch);
+          ASSERT_EQ(decoded.clock, trailer.clock);
+        }
+      });
+  // The CRC makes a surviving mutation astronomically unlikely, so the
+  // pristine entries dominate `decoded`; the point is that nothing escapes
+  // as a crash or a silently different trailer.
+  EXPECT_GT(stats.decoded, 0u);
+  EXPECT_GT(stats.rejected, 0u);
 }
 
 TEST(FuzzWire, MaskDecodingNeverCrashes) {
