@@ -16,6 +16,13 @@
 // loss trace, and the fault counters show what the chaos actually cost.
 //
 // Build & run:  ./build/examples/chaos_training
+//
+// Run ledger:  FFTGRAD_LEDGER=chaos.jsonl ./build/examples/chaos_training
+// writes one JSONL row per iteration for both runs — predicted-vs-charged
+// collective cost (the faulty run's gap is the sampled retransmit cost the
+// RetryPolicy expectation terms reconcile), round-trip quality, EF
+// residual norm — which `run_report chaos.jsonl` turns into a report.
+// FFTGRAD_LEDGER_* tune the health-monitor thresholds (see README.md).
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -32,6 +39,10 @@
 int main() {
   fftgrad::telemetry::init_from_env();
   using namespace fftgrad;
+  if (telemetry::RunLedger::global().enabled()) {
+    std::printf("run ledger active; aggregate afterwards with:  "
+                "./build/examples/run_report \"$FFTGRAD_LEDGER\"\n");
+  }
 
   constexpr std::size_t kRanks = 8;
   constexpr std::size_t kIterations = 60;

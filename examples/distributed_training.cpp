@@ -4,6 +4,13 @@
 // behind the paper's Fig 14 / Table 2, at example scale.
 //
 // Build & run:  ./build/examples/distributed_training
+//
+// Run ledger:  FFTGRAD_LEDGER=train.jsonl ./build/examples/distributed_training
+// records each of the three runs as its own ledger run (manifest +
+// per-iteration rows + summary); `run_report train.jsonl` then prints the
+// per-phase breakdown, the model-error table per collective, and a
+// cross-run diff of the three codecs. FFTGRAD_LEDGER_* tune the
+// health-monitor thresholds (see README.md).
 #include <cstdio>
 #include <memory>
 
@@ -17,6 +24,10 @@
 int main() {
   fftgrad::telemetry::init_from_env();
   using namespace fftgrad;
+  if (telemetry::RunLedger::global().enabled()) {
+    std::printf("run ledger active; aggregate afterwards with:  "
+                "./build/examples/run_report \"$FFTGRAD_LEDGER\"\n");
+  }
 
   util::Rng rng(7);
   core::TrainerConfig cfg;

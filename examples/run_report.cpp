@@ -1,0 +1,265 @@
+// run_report: aggregate one or more run-ledger JSONL files into a
+// terminal or Markdown report.
+//
+//   run_report [--markdown] <ledger.jsonl> [more.jsonl ...]
+//
+// Per run: the manifest line, a per-phase time breakdown (mean seconds per
+// iteration), a model-error table per collective kind (predicted vs.
+// charged totals, relative error, retries/failures), and a health summary
+// (alert counts per monitor). With two or more runs, a cross-run diff
+// compares final loss, total simulated time, and mean alpha between the
+// first run and each later one.
+//
+// Exit status: 0 on success, 1 on unreadable/invalid input. Schema
+// problems found by validate_ledger are printed but only warn — a
+// truncated run (no summary row) still reports its surviving prefix.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fftgrad/telemetry/ledger.h"
+#include "fftgrad/util/table.h"
+
+namespace {
+
+using fftgrad::telemetry::JsonValue;
+using fftgrad::telemetry::LedgerRun;
+
+struct RunDigest {
+  std::string source;
+  std::string trainer;
+  std::string compressor;
+  std::size_t iterations = 0;
+  double final_loss = 0.0;
+  double sim_time_s = 0.0;
+  double mean_alpha = 0.0;
+  double mean_ratio = 0.0;
+  std::size_t alerts = 0;
+};
+
+double number_of(const JsonValue& row, const std::string& key) {
+  return row.number_or(key, 0.0);
+}
+
+/// Mean of a numeric field over iteration rows (0 when there are none).
+double mean_over(const std::vector<JsonValue>& rows, const char* object_key, const char* key) {
+  if (rows.empty()) return 0.0;
+  double sum = 0.0;
+  for (const JsonValue& row : rows) {
+    const JsonValue* holder = object_key == nullptr ? &row : row.find(object_key);
+    if (holder != nullptr) sum += holder->number_or(key, 0.0);
+  }
+  return sum / static_cast<double>(rows.size());
+}
+
+void print_heading(bool markdown, const std::string& text) {
+  if (markdown) {
+    std::cout << "\n## " << text << "\n\n";
+  } else {
+    std::cout << "\n=== " << text << " ===\n";
+  }
+}
+
+void print_table(bool markdown, const fftgrad::util::TableWriter& table) {
+  // TableWriter's pipe-separated layout is already valid Markdown except
+  // for the header separator row; synthesize one by echoing the header.
+  const std::string rendered = table.to_string();
+  if (!markdown) {
+    std::cout << rendered;
+    return;
+  }
+  const std::size_t eol = rendered.find('\n');
+  if (eol == std::string::npos) {
+    std::cout << rendered;
+    return;
+  }
+  std::cout << "|" << rendered.substr(0, eol) << "|\n|";
+  for (char c : rendered.substr(0, eol)) std::cout << (c == '|' ? '|' : '-');
+  std::cout << "|\n";
+  for (std::size_t at = eol + 1; at < rendered.size();) {
+    const std::size_t next = rendered.find('\n', at);
+    const std::size_t end = next == std::string::npos ? rendered.size() : next;
+    std::cout << "|" << rendered.substr(at, end - at) << "|\n";
+    at = end + 1;
+  }
+}
+
+RunDigest report_run(const LedgerRun& run, const std::string& source, bool markdown) {
+  RunDigest digest;
+  digest.source = source;
+  digest.trainer = run.manifest.string_or("trainer", "?");
+  digest.compressor = run.manifest.string_or("compressor", "?");
+  digest.iterations = run.iterations.size();
+  digest.alerts = run.alerts.size();
+
+  print_heading(markdown, digest.trainer + " / " + digest.compressor + " (" + source + ")");
+  const JsonValue* network = run.manifest.find("network");
+  std::cout << "ranks=" << static_cast<long long>(number_of(run.manifest, "ranks"))
+            << " seed=" << static_cast<long long>(number_of(run.manifest, "seed"))
+            << " network=" << (network != nullptr ? network->string_or("name", "?") : "?")
+            << " fault_rate=" << number_of(run.manifest, "fault_rate")
+            << " preset=" << run.manifest.string_or("preset", "?") << "\n";
+  if (run.iterations.empty()) {
+    std::cout << "(no iteration rows — run was cut off before the first step)\n";
+    return digest;
+  }
+
+  const JsonValue& last = run.iterations.back();
+  digest.final_loss = number_of(last, "loss");
+  digest.sim_time_s = number_of(last, "sim_time_s");
+  digest.mean_alpha = mean_over(run.iterations, "roundtrip", "alpha");
+  digest.mean_ratio = mean_over(run.iterations, "roundtrip", "ratio");
+
+  print_heading(markdown, "Per-phase breakdown (mean s/iter)");
+  {
+    fftgrad::util::TableWriter table(
+        {"forward", "backward", "compress", "decompress", "sim_total"});
+    table.set_double_format("%.3e");
+    table.add_row({mean_over(run.iterations, "phases", "forward_s"),
+                   mean_over(run.iterations, "phases", "backward_s"),
+                   mean_over(run.iterations, "phases", "compress_s"),
+                   mean_over(run.iterations, "phases", "decompress_s"),
+                   digest.sim_time_s / static_cast<double>(run.iterations.size())});
+    print_table(markdown, table);
+  }
+
+  // Model-error table: per collective kind, predicted vs charged totals
+  // over every iteration row (recomputed from the rows rather than trusting
+  // the summary, so truncated runs still report).
+  print_heading(markdown, "Model vs measured per collective");
+  {
+    struct KindAgg {
+      double predicted = 0.0, charged = 0.0, paper = 0.0;
+      std::uint64_t count = 0, retries = 0, failed = 0;
+    };
+    std::vector<std::pair<std::string, KindAgg>> kinds;
+    for (const JsonValue& row : run.iterations) {
+      const JsonValue* collectives = row.find("collectives");
+      if (collectives == nullptr) continue;
+      for (const JsonValue& c : collectives->array) {
+        const std::string kind = c.string_or("kind", "?");
+        KindAgg* agg = nullptr;
+        for (auto& [name, a] : kinds) {
+          if (name == kind) agg = &a;
+        }
+        if (agg == nullptr) {
+          kinds.emplace_back(kind, KindAgg{});
+          agg = &kinds.back().second;
+        }
+        agg->predicted += number_of(c, "predicted_s");
+        agg->charged += number_of(c, "charged_s");
+        agg->paper += number_of(c, "paper_model_s");
+        agg->count += 1;
+        agg->retries += static_cast<std::uint64_t>(number_of(c, "retries"));
+        agg->failed += static_cast<std::uint64_t>(number_of(c, "failed"));
+      }
+    }
+    fftgrad::util::TableWriter table({"collective", "compressor", "count", "predicted_s",
+                                      "charged_s", "rel_error", "paper_eq2_s", "retries",
+                                      "failed"});
+    table.set_double_format("%.6g");
+    for (const auto& [kind, agg] : kinds) {
+      const double rel = agg.predicted > 0.0
+                             ? std::fabs(agg.charged - agg.predicted) / agg.predicted
+                             : 0.0;
+      table.add_row({kind, digest.compressor, static_cast<long long>(agg.count),
+                     agg.predicted, agg.charged, rel, agg.paper,
+                     static_cast<long long>(agg.retries),
+                     static_cast<long long>(agg.failed)});
+    }
+    print_table(markdown, table);
+  }
+
+  print_heading(markdown, "Health summary");
+  {
+    fftgrad::util::TableWriter table({"monitor", "alerts", "first_iter", "detail"});
+    std::vector<std::pair<std::string, std::pair<std::size_t, double>>> monitors;
+    std::vector<std::string> first_message;
+    for (const JsonValue& alert : run.alerts) {
+      const std::string monitor = alert.string_or("monitor", "?");
+      bool found = false;
+      for (std::size_t i = 0; i < monitors.size(); ++i) {
+        if (monitors[i].first == monitor) {
+          ++monitors[i].second.first;
+          found = true;
+        }
+      }
+      if (!found) {
+        monitors.push_back({monitor, {1, number_of(alert, "iter")}});
+        first_message.push_back(alert.string_or("message", ""));
+      }
+    }
+    if (monitors.empty()) {
+      std::cout << (markdown ? "All monitors quiet.\n" : "all monitors quiet\n");
+    } else {
+      for (std::size_t i = 0; i < monitors.size(); ++i) {
+        table.add_row({monitors[i].first, static_cast<long long>(monitors[i].second.first),
+                       monitors[i].second.second, first_message[i]});
+      }
+      print_table(markdown, table);
+    }
+  }
+  std::cout << "final loss " << digest.final_loss << ", mean alpha " << digest.mean_alpha
+            << ", mean ratio " << digest.mean_ratio << "x, simulated " << digest.sim_time_s
+            << " s over " << digest.iterations << " iterations\n";
+  return digest;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool markdown = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--markdown" || arg == "-m") {
+      markdown = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: run_report [--markdown] <ledger.jsonl> [more.jsonl ...]\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: run_report [--markdown] <ledger.jsonl> [more.jsonl ...]\n";
+    return 1;
+  }
+
+  std::vector<RunDigest> digests;
+  for (const std::string& path : paths) {
+    std::vector<LedgerRun> runs;
+    try {
+      runs = fftgrad::telemetry::read_ledger_file(path);
+    } catch (const std::exception& error) {
+      std::cerr << "run_report: " << error.what() << "\n";
+      return 1;
+    }
+    for (const std::string& problem : fftgrad::telemetry::validate_ledger(runs)) {
+      std::cerr << "run_report: schema warning: " << path << ": " << problem << "\n";
+    }
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const std::string source =
+          runs.size() == 1 ? path : path + "#" + std::to_string(i);
+      digests.push_back(report_run(runs[i], source, markdown));
+    }
+  }
+
+  if (digests.size() >= 2) {
+    print_heading(markdown, "Cross-run diff (vs " + digests[0].source + ")");
+    fftgrad::util::TableWriter table({"run", "compressor", "d_final_loss", "d_sim_time_s",
+                                      "d_mean_alpha", "alerts"});
+    table.set_double_format("%+.4g");
+    for (std::size_t i = 1; i < digests.size(); ++i) {
+      table.add_row({digests[i].source, digests[i].compressor,
+                     digests[i].final_loss - digests[0].final_loss,
+                     digests[i].sim_time_s - digests[0].sim_time_s,
+                     digests[i].mean_alpha - digests[0].mean_alpha,
+                     static_cast<long long>(digests[i].alerts)});
+    }
+    print_table(markdown, table);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Run the headline figure-reproduction benches with JSON output enabled
+# and merge the per-bench files into one BENCH_pr5.json at the repo root.
+#
+#   scripts/bench_all.sh [build-dir]
+#
+# build-dir defaults to `build` (the default preset). Each bench writes
+# BENCH_<name>.json into a temp dir via FFTGRAD_BENCH_JSON; every file is
+# stamped with provenance (git sha, preset, UTC timestamp, host — see
+# bench::json_meta()), and the merged file carries the same header plus
+# the array of bench payloads.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+if [[ ! -d "$build_dir/bench" ]]; then
+  echo "error: '$build_dir' is not a configured build tree (run cmake --preset default && cmake --build --preset default first)" >&2
+  exit 2
+fi
+
+# Headline benches: layer-wise compression (Fig 2), allgather scaling
+# (Fig 11), end-to-end throughput (Fig 14 / Table 2), weak scaling (Fig 16).
+benches=(bench_fig02_layerwise bench_fig11_allgather bench_fig14_table2_e2e bench_fig16_weak_scaling)
+
+json_dir="$(mktemp -d)"
+trap 'rm -rf "$json_dir"' EXIT
+
+export FFTGRAD_BENCH_JSON="$json_dir"
+FFTGRAD_GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export FFTGRAD_GIT_SHA
+export FFTGRAD_PRESET="${FFTGRAD_PRESET:-default}"
+
+for bench in "${benches[@]}"; do
+  exe="$build_dir/bench/$bench"
+  [[ -x "$exe" ]] || { echo "error: $exe not built" >&2; exit 2; }
+  echo "==> $bench"
+  "$exe" > /dev/null
+done
+
+out="BENCH_pr5.json"
+{
+  printf '{\n  "git_sha": "%s",\n  "preset": "%s",\n  "generated_utc": "%s",\n  "benches": [\n' \
+    "$FFTGRAD_GIT_SHA" "$FFTGRAD_PRESET" "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  first=1
+  # Each binary emits one BENCH_<figure>_<tag>.json per configuration it
+  # measures (e.g. fig14 writes one per model/codec pair); merge them all.
+  files=("$json_dir"/BENCH_*.json)
+  [[ -f "${files[0]}" ]] || { echo "error: benches emitted no JSON" >&2; exit 2; }
+  for file in "${files[@]}"; do
+    [[ "$first" == 1 ]] || printf ',\n'
+    first=0
+    # Command substitution strips the file's trailing newline so the
+    # separator comma lands directly after the closing brace.
+    printf '%s' "$(sed 's/^/    /' "$file")"
+  done
+  printf '\n  ]\n}\n'
+} > "$out"
+
+echo "wrote $out ($(wc -c < "$out") bytes, ${#files[@]} bench payloads from ${#benches[@]} binaries)"

@@ -83,6 +83,14 @@ for preset in "${presets[@]}"; do
   # the protocol-mutation detection proof): its mutation tests compile in
   # under asan/tsan (FFTGRAD_ANALYSIS), the value-layer tests everywhere.
   run_step "$preset" causality ctest --preset "$preset" -j "$jobs" -L causality
+  # The ledger label runs short instrumented cluster/trainer runs and
+  # validates the run-ledger JSONL they emit (schema, reconciliation, and
+  # monitor semantics). Reported for the default and asan presets: release
+  # covers the zero-overhead disabled path, asan the FFTGRAD_ANALYSIS
+  # alert path.
+  if [[ "$preset" == default || "$preset" == asan ]]; then
+    run_step "$preset" ledger ctest --preset "$preset" -j "$jobs" -L ledger
+  fi
   if [[ "$run_fuzz" == 1 ]]; then
     run_step "$preset" fuzz ctest --preset "$preset" -j "$jobs" -L fuzz
   fi

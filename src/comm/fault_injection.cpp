@@ -74,6 +74,27 @@ void FaultPlan::corrupt_payload(std::span<std::uint8_t> payload, std::size_t sen
   }
 }
 
+double FaultPlan::attempt_failure_prob() const {
+  return 1.0 - (1.0 - drop_prob) * (1.0 - corrupt_prob);
+}
+
+double expected_recovery_s(const FaultPlan& plan, const NetworkModel& network, double bytes) {
+  if (!plan.has_transport_faults()) return 0.0;
+  const double f = plan.attempt_failure_prob();
+  const double p2p = network.p2p_base_time(bytes);
+  const double per_attempt = plan.delay_prob * plan.delay_s + plan.duplicate_prob * p2p;
+  double expected = 0.0;
+  double reach = 1.0;  // f^k: probability attempt k happens at all
+  for (std::size_t k = 0; k <= network.retry.max_retries; ++k) {
+    expected += reach * per_attempt;
+    if (k < network.retry.max_retries) {
+      expected += reach * f * (network.retry.backoff_s(k) + p2p);
+    }
+    reach *= f;
+  }
+  return expected;
+}
+
 DeliveryOutcome resolve_delivery(const FaultPlan& plan, const NetworkModel& network,
                                  std::size_t sender, std::size_t op, double bytes) {
   DeliveryOutcome outcome;

@@ -95,6 +95,11 @@ struct FaultPlan {
   /// (seed, sender, op, attempt)). No-op on an empty payload.
   void corrupt_payload(std::span<std::uint8_t> payload, std::size_t sender, std::size_t op,
                        std::size_t attempt) const;
+
+  /// Probability one transmission attempt fails and must be retried:
+  /// 1 - (1 - drop_prob) * (1 - corrupt_prob). The drop/corrupt draws are
+  /// independent, and either one forces the receiver-driven retransmit.
+  double attempt_failure_prob() const;
 };
 
 /// What the transport ultimately handed the receiver for one peer block,
@@ -116,6 +121,20 @@ struct DeliveryOutcome {
 /// it into a skipped contribution), a final drop is not delivered at all.
 DeliveryOutcome resolve_delivery(const FaultPlan& plan, const NetworkModel& network,
                                  std::size_t sender, std::size_t op, double bytes);
+
+/// Exact expectation of resolve_delivery().recovery_seconds over the fault
+/// draws, for one `bytes`-sized block. With f = attempt_failure_prob() and
+/// R = network.retry.max_retries:
+///
+///   E[recovery] = sum_{k=0..R}   f^k     * (delay_prob * delay_s
+///                                           + duplicate_prob * p2p_base(bytes))
+///               + sum_{k=0..R-1} f^{k+1} * (backoff_s(k) + p2p_base(bytes))
+///
+/// (attempt k happens only when all prior attempts failed; a failed
+/// non-final attempt charges one backoff plus one retransmission). This is
+/// the RetryPolicy expected-cost term the run ledger adds to the analytic
+/// lossless collective time so faulty runs reconcile in expectation.
+double expected_recovery_s(const FaultPlan& plan, const NetworkModel& network, double bytes);
 
 /// Thrown (and caught by SimCluster::run) when a rank reaches its
 /// scheduled crash: deliberately not derived from std::exception so rank

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "fftgrad/analysis/schedule_stress.h"
+#include "fftgrad/telemetry/ledger.h"
 #include "fftgrad/telemetry/metrics.h"
 #include "fftgrad/telemetry/trace.h"
 
@@ -30,6 +31,15 @@ void note_collective(telemetry::Counter& calls, double payload_bytes) {
       telemetry::MetricsRegistry::global().counter("comm.bytes_sent");
   calls.add(1.0);
   bytes_sent.add(payload_bytes);
+}
+
+/// The run ledger pairs every collective's charged SimClock time with the
+/// analytic prediction for the same message sizes. Rank 0 is the designated
+/// recording rank (one row per collective, not one per replica); if rank 0
+/// crashes mid-run, collective rows simply stop — the ledger documents the
+/// surviving prefix.
+bool ledger_records(std::size_t rank) {
+  return rank == 0 && telemetry::RunLedger::global().enabled();
 }
 
 /// Fault-event counters, registered once. Transport counters are bumped by
@@ -225,6 +235,15 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
   std::vector<double> sizes;
   sizes.reserve(c.ranks_);
   double recovery_s = 0.0;
+  // Ledger accumulators: the analytic expectation of the sampled recovery
+  // below, plus retry/exclusion counts as rank 0 observed them.
+  const bool ledger_on = ledger_records(rank_);
+  double predicted_recovery_s = 0.0;
+  std::uint64_t ledger_retries = 0;
+  std::uint64_t ledger_failed = 0;
+  if (ledger_on && faulty) {
+    for (char e : excluded) ledger_failed += e != 0 ? 1 : 0;
+  }
   for (std::size_t r = 0; r < c.ranks_; ++r) {
     if (faulty && excluded[r] != 0) continue;  // stays an empty block
     // Invariants (a)+(b): the sender's publication happens-before this
@@ -240,6 +259,13 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
       // only for blocks this rank actually received over the wire.
       const DeliveryOutcome outcome = resolve_delivery(plan, c.network_, r, op, sizes.back());
       if (r != rank_) recovery_s += outcome.recovery_seconds;
+      if (ledger_on) {
+        if (r != rank_) {
+          predicted_recovery_s += expected_recovery_s(plan, c.network_, sizes.back());
+          ledger_retries += outcome.attempts - 1;
+        }
+        if (!outcome.delivered || outcome.corrupted) ++ledger_failed;
+      }
       if (!outcome.delivered) {
         gathered[r].clear();
       } else if (outcome.corrupted) {
@@ -265,7 +291,15 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
       }
     }
   }
-  clock_.advance(c.network_.allgatherv_time(sizes) + recovery_s);
+  const double lossless_s = c.network_.allgatherv_time(sizes);
+  clock_.advance(lossless_s + recovery_s);
+  if (ledger_on) {
+    double payload_bytes = 0.0;
+    for (double s : sizes) payload_bytes += s;
+    telemetry::RunLedger::global().record_collective(
+        {"allgather", op, payload_bytes, lossless_s + predicted_recovery_s,
+         lossless_s + recovery_s, 0.0, ledger_retries, ledger_failed});
+  }
   c.barrier_wait(rank_);  // slots may be reused
   return gathered;
 }
@@ -299,8 +333,15 @@ void RankContext::allreduce_sum(std::span<float> data) {
   if (c.tracker_.active()) {
     c.tracker_.check_exclusion(rank_, op, {c.dead_.data(), c.dead_.size()}, live);
   }
-  clock_.advance(c.network_.allreduce_time(static_cast<double>(data.size() * sizeof(float)),
-                                           live));
+  const double bytes = static_cast<double>(data.size() * sizeof(float));
+  const double cost_s = c.network_.allreduce_time(bytes, live);
+  clock_.advance(cost_s);
+  if (ledger_records(rank_)) {
+    // No transport faults on the reduction path: predicted == charged.
+    telemetry::RunLedger::global().record_collective(
+        {"allreduce", op, bytes, cost_s, cost_s, 0.0, 0,
+         static_cast<std::uint64_t>(c.ranks_ - live)});
+  }
   c.barrier_wait(rank_);  // all ranks done reading before anyone writes
   std::copy(reduced.begin(), reduced.end(), data.begin());
   c.barrier_wait(rank_);
@@ -324,8 +365,13 @@ void RankContext::broadcast(std::span<float> data, std::size_t root) {
     throw std::invalid_argument("broadcast: mismatched sizes across ranks");
   }
   if (rank_ != root) std::copy(src.begin(), src.end(), data.begin());
-  clock_.advance(c.network_.broadcast_time(static_cast<double>(data.size() * sizeof(float)),
-                                           c.ranks_));
+  const double bytes = static_cast<double>(data.size() * sizeof(float));
+  const double cost_s = c.network_.broadcast_time(bytes, c.ranks_);
+  clock_.advance(cost_s);
+  if (ledger_records(rank_)) {
+    telemetry::RunLedger::global().record_collective(
+        {"broadcast", op, bytes, cost_s, cost_s, 0.0, 0, 0});
+  }
   c.barrier_wait(rank_);
 }
 
@@ -342,18 +388,25 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
   c.byte_slots_[rank_] = send;
   c.barrier_wait(rank_);
   std::vector<std::vector<std::uint8_t>> gathered;
+  double cost_s = 0.0;
+  double payload_bytes = static_cast<double>(send.size());
   if (rank_ == root) {
     gathered.resize(c.ranks_);
-    double inbound = 0.0;
+    payload_bytes = 0.0;
     for (std::size_t r = 0; r < c.ranks_; ++r) {
       if (c.dead_[r] != 0) continue;  // crashed peers contribute nothing
       c.tracker_.on_consume(rank_, r, op);
       gathered[r].assign(c.byte_slots_[r].begin(), c.byte_slots_[r].end());
-      if (r != root) inbound += c.network_.p2p_time(static_cast<double>(c.byte_slots_[r].size()));
+      payload_bytes += static_cast<double>(c.byte_slots_[r].size());
+      if (r != root) cost_s += c.network_.p2p_time(static_cast<double>(c.byte_slots_[r].size()));
     }
-    clock_.advance(inbound);
   } else {
-    clock_.advance(c.network_.p2p_time(static_cast<double>(send.size())));
+    cost_s = c.network_.p2p_time(static_cast<double>(send.size()));
+  }
+  clock_.advance(cost_s);
+  if (ledger_records(rank_)) {
+    telemetry::RunLedger::global().record_collective(
+        {"gather", op, payload_bytes, cost_s, cost_s, 0.0, 0, 0});
   }
   c.barrier_wait(rank_);
   return gathered;
@@ -385,7 +438,13 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
   }
   // Ring reduce-scatter: p-1 steps of one chunk each.
   const double chunk_bytes = static_cast<double>(base * sizeof(float));
-  clock_.advance(static_cast<double>(c.ranks_ - 1) * c.network_.p2p_time(chunk_bytes));
+  const double cost_s = static_cast<double>(c.ranks_ - 1) * c.network_.p2p_time(chunk_bytes);
+  clock_.advance(cost_s);
+  if (ledger_records(rank_)) {
+    telemetry::RunLedger::global().record_collective(
+        {"reduce_scatter", op, static_cast<double>(data.size_bytes()), cost_s, cost_s, 0.0, 0,
+         0});
+  }
   c.barrier_wait(rank_);
   return chunk;
 }

@@ -7,10 +7,14 @@
 #include <stdexcept>
 
 #include "fftgrad/analysis/causality.h"
+#include "fftgrad/core/error_feedback.h"
 #include "fftgrad/nn/loss.h"
+#include "fftgrad/telemetry/ledger.h"
 #include "fftgrad/telemetry/metrics.h"
 #include "fftgrad/telemetry/trace.h"
 #include "fftgrad/util/crc32.h"
+#include "fftgrad/util/stats.h"
+#include "fftgrad/util/timer.h"
 
 namespace fftgrad::core {
 
@@ -54,8 +58,34 @@ ClusterTrainResult cluster_train(
     std::unique_ptr<GradientCompressor> codec = compressor_factory(rank);
     if (!codec) throw std::logic_error("cluster_train: compressor factory returned null");
 
+    // Rank 0 is the ledger's designated recorder: one manifest per
+    // cluster.run(), one iteration row per step (SimCluster's collective
+    // hooks buffer the predicted-vs-charged pairings in between).
+    telemetry::RunLedger& ledger = telemetry::RunLedger::global();
+    const bool ledger_on = rank == 0 && ledger.enabled();
+    std::vector<nn::ParamSegment> layout;
+    if (ledger_on) {
+      telemetry::LedgerManifest manifest;
+      manifest.trainer = "cluster_train";
+      manifest.compressor = codec->name();
+      manifest.ranks = config.ranks;
+      manifest.iterations = config.iterations;
+      manifest.seed = config.seed;
+      const comm::NetworkModel& net = cluster.network();
+      manifest.network = {net.name, net.latency_s, net.bandwidth_bytes_s, net.loss_rate};
+      manifest.fault_rate = cluster.faults().attempt_failure_prob();
+      ledger.begin_run(manifest);
+      layout = model.param_layout();
+    }
+
     double last_loss = 0.0;
     for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+      const std::size_t skips_at_entry = rank_skips[rank];
+      telemetry::LedgerIteration row;
+      double forward_s = 0.0;
+      double backward_s = 0.0;
+      double compress_s = 0.0;
+      double decompress_s = 0.0;
       // SimCluster::run bound this thread to its rank track, so these
       // spans land per rank on the wall timeline (and the collective's
       // span inside allgather also lands on the simulated timeline).
@@ -63,13 +93,17 @@ ClusterTrainResult cluster_train(
       model.zero_grad();
       {
         telemetry::TraceSpan span("forward", "trainer");
+        util::WallTimer timer;
         last_loss = criterion.forward(model.forward(batch.inputs), batch.labels);
+        forward_s = timer.seconds();
       }
       losses[rank][iter] = last_loss;
       {
         telemetry::TraceSpan span("backward", "trainer");
+        util::WallTimer timer;
         model.backward(criterion.backward());
         model.copy_gradients(gradient);
+        backward_s = timer.seconds();
       }
 
       // Compress, allgather packets, decompress every peer, average. In
@@ -79,12 +113,19 @@ ClusterTrainResult cluster_train(
       std::vector<std::uint8_t> wire;
       {
         telemetry::TraceSpan span("compress", "trainer");
+        util::WallTimer timer;
         std::vector<std::uint8_t> trailer;
         if (causality.active()) {
           trailer =
               analysis::encode_trailer(causality.make_trailer(rank, ctx.op_index()));
         }
-        wire = wire::frame_packet(codec->compress(gradient), trailer);
+        const Packet packet = codec->compress(gradient);
+        if (ledger_on) {
+          row.grad_norm = util::l2_norm(gradient);
+          row.ratio = packet.ratio();
+        }
+        wire = wire::frame_packet(packet, trailer);
+        compress_s = timer.seconds();
       }
       const auto gathered = ctx.allgather(wire);
 
@@ -137,6 +178,7 @@ ClusterTrainResult cluster_train(
       if (decoded > 0) {
         const float inv_decoded = 1.0f / static_cast<float>(decoded);
         telemetry::TraceSpan span("decompress", "trainer");
+        util::WallTimer timer;
         for (std::size_t r = 0; r < frames.size(); ++r) {
           if (!frames[r]) continue;
           try {
@@ -148,10 +190,40 @@ ClusterTrainResult cluster_train(
             peers_skipped.add(1.0);
             continue;
           }
+          if (ledger_on && r == rank) {
+            // Round-trip quality of this rank's own gradient: the block it
+            // sent came back through the full compress/wire/decompress
+            // path, so (gradient, reconstructed) is exactly the paper's
+            // Assumption-3.2 pair.
+            const std::span<const float> truth(gradient);
+            const std::span<const float> recon(reconstructed);
+            row.alpha = util::relative_error_alpha(truth, recon);
+            row.rms_error = util::rms_error(truth, recon);
+            for (std::size_t i = 0; i < grad_size; ++i) {
+              row.max_error = std::max(
+                  row.max_error, static_cast<double>(std::fabs(gradient[i] - reconstructed[i])));
+            }
+            row.layers.reserve(layout.size());
+            for (const nn::ParamSegment& seg : layout) {
+              row.layers.push_back(
+                  {seg.name,
+                   util::relative_error_alpha(truth.subspan(seg.offset, seg.count),
+                                              recon.subspan(seg.offset, seg.count)),
+                   util::rms_error(truth.subspan(seg.offset, seg.count),
+                                   recon.subspan(seg.offset, seg.count)),
+                   0.0});
+              for (std::size_t i = seg.offset; i < seg.offset + seg.count; ++i) {
+                row.layers.back().max_error =
+                    std::max(row.layers.back().max_error,
+                             static_cast<double>(std::fabs(gradient[i] - reconstructed[i])));
+              }
+            }
+          }
           for (std::size_t i = 0; i < grad_size; ++i) {
             averaged[i] += reconstructed[i] * inv_decoded;
           }
         }
+        decompress_s = timer.seconds();
       }
       if (decoded < gathered.size()) {
         ++rank_degraded[rank];
@@ -176,7 +248,24 @@ ClusterTrainResult cluster_train(
             reconstructed.size() * sizeof(float)));
         causality.check_agreement("trainer.state_hash", rank, iter, hash);
       }
+
+      if (ledger_on) {
+        row.iteration = iter;
+        row.loss = last_loss;
+        row.sim_time_s = ctx.clock().time();
+        row.forward_s = forward_s;
+        row.backward_s = backward_s;
+        row.compress_s = compress_s;
+        row.decompress_s = decompress_s;
+        row.wire_bytes = static_cast<double>(wire.size());
+        row.skipped_peers = rank_skips[rank] - skips_at_entry;
+        if (const auto* ef = dynamic_cast<const ErrorFeedbackCompressor*>(codec.get())) {
+          row.ef_residual_norm = util::l2_norm(ef->residual());
+        }
+        ledger.end_iteration(row);
+      }
     }
+    if (ledger_on) ledger.end_run();
 
     std::vector<float> params(grad_size);
     model.copy_params(params);

@@ -7,6 +7,8 @@
 
 #include "fftgrad/core/error_feedback.h"
 #include "fftgrad/nn/loss.h"
+#include "fftgrad/perfmodel/cost_model.h"
+#include "fftgrad/telemetry/ledger.h"
 #include "fftgrad/telemetry/metrics.h"
 #include "fftgrad/telemetry/trace.h"
 #include "fftgrad/util/logging.h"
@@ -207,6 +209,29 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
   std::size_t total_iters = 0;
   std::size_t start_epoch = 0;
 
+  // The sequential trainer folds all ranks onto one replica, so the ledger
+  // records the folded view: phase times averaged over the rank loop, one
+  // collective pairing per exchange (the analytic charge *is* the predicted
+  // cost here — there is no sampling — plus the paper's Eq. 2 figure for
+  // the same exchange so reports can compare the two models).
+  telemetry::RunLedger& ledger = telemetry::RunLedger::global();
+  const bool ledger_on = ledger.enabled();
+  std::uint64_t ledger_iter = 0;  ///< row index within this run (resume-safe)
+  std::vector<nn::ParamSegment> ledger_layout;
+  if (ledger_on) {
+    telemetry::LedgerManifest manifest;
+    manifest.trainer = "distributed_trainer";
+    manifest.compressor = compressors[0]->name();
+    manifest.ranks = config_.ranks;
+    manifest.iterations = config_.epochs * config_.iters_per_epoch;
+    manifest.seed = config_.seed;
+    manifest.network = {config_.network.name, config_.network.latency_s,
+                        config_.network.bandwidth_bytes_s, config_.network.loss_rate};
+    manifest.fault_rate = 0.0;  // the sequential trainer has no fault plan
+    ledger.begin_run(manifest);
+    ledger_layout = model_.param_layout();
+  }
+
   telemetry::MetricsRegistry& metrics = telemetry::MetricsRegistry::global();
   telemetry::Counter& trainer_iterations = metrics.counter("trainer.iterations");
   telemetry::Counter& trainer_wire_bytes = metrics.counter("trainer.wire_bytes");
@@ -281,6 +306,14 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
       std::fill(mean_true.begin(), mean_true.end(), 0.0f);
       std::fill(mean_recon.begin(), mean_recon.end(), 0.0f);
       double slowest_rank = 0.0;
+      // Ledger accumulators: per-phase sums over the rank loop (reported as
+      // the across-rank mean) and the iteration's mean achieved ratio.
+      double ledger_forward_s = 0.0;
+      double ledger_backward_s = 0.0;
+      double ledger_compress_s = 0.0;
+      double ledger_decompress_s = 0.0;
+      double ledger_ratio_sum = 0.0;
+      const double loss_before_iter = loss_sum;
 
       // Only pay for the per-rank phase bookkeeping when a trace is being
       // collected; the sim-time accounting itself is unchanged either way.
@@ -338,10 +371,25 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
                          config_.paper_scale->compute_seconds * 2.0 / 3.0, codec_model / 2.0,
                          codec_model / 2.0};
           }
+          if (ledger_on) {
+            // Paper-scale mode reports the modelled phase split, matching
+            // what the simulated timeline was charged.
+            ledger_forward_s += config_.paper_scale->compute_seconds / 3.0;
+            ledger_backward_s += config_.paper_scale->compute_seconds * 2.0 / 3.0;
+            ledger_compress_s += codec_model / 2.0;
+            ledger_decompress_s += codec_model / 2.0;
+          }
         } else {
           rank_time = compute_s + codec_s;
           if (tracing) phases[r] = {forward_s, backward_s, compress_s, decompress_s};
+          if (ledger_on) {
+            ledger_forward_s += forward_s;
+            ledger_backward_s += backward_s;
+            ledger_compress_s += compress_s;
+            ledger_decompress_s += decompress_s;
+          }
         }
+        if (ledger_on) ledger_ratio_sum += packet.ratio();
         slowest_rank = std::max(slowest_rank, rank_time);
       }
 
@@ -374,6 +422,64 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
       ++total_iters;
       trainer_iterations.add(1.0);
       for (double bytes : block_bytes) trainer_wire_bytes.add(bytes);
+
+      if (ledger_on) {
+        double wire_total = 0.0;
+        for (double bytes : block_bytes) wire_total += bytes;
+        const double inv_ranks = 1.0 / static_cast<double>(config_.ranks);
+        const double mean_ratio = ledger_ratio_sum * inv_ranks;
+        // Eq. 2 for the same exchange: the paper charges the compressed
+        // message (raw / ratio) against the raw network throughput.
+        const double paper_s =
+            mean_ratio > 0.0
+                ? perfmodel::communication_cost(raw_bytes * wire_scale,
+                                                config_.network.bandwidth_bytes_s, mean_ratio)
+                : 0.0;
+        const char* kind =
+            config_.scheme == CommScheme::kBspAllgather ? "allgather" : "ps_exchange";
+        // No sampling on this path: the analytic charge is the prediction.
+        ledger.record_collective(
+            {kind, ledger_iter, wire_total, comm_s, comm_s, paper_s, 0, 0});
+        if (sync_s > 0.0) {
+          ledger.record_collective({"broadcast", ledger_iter, raw_bytes * wire_scale, sync_s,
+                                    sync_s, 0.0, 0, 0});
+        }
+
+        telemetry::LedgerIteration row;
+        row.iteration = ledger_iter++;
+        row.loss = loss_sum - loss_before_iter;  // this iteration's mean loss
+        row.sim_time_s = sim_time;
+        row.forward_s = ledger_forward_s * inv_ranks;
+        row.backward_s = ledger_backward_s * inv_ranks;
+        row.compress_s = ledger_compress_s * inv_ranks;
+        row.decompress_s = ledger_decompress_s * inv_ranks;
+        row.grad_norm = util::l2_norm(mean_true);
+        row.alpha = util::relative_error_alpha(mean_true, mean_recon);
+        row.rms_error = util::rms_error(mean_true, mean_recon);
+        for (std::size_t i = 0; i < grad_size; ++i) {
+          row.max_error = std::max(
+              row.max_error, static_cast<double>(std::fabs(mean_true[i] - mean_recon[i])));
+        }
+        row.ratio = mean_ratio;
+        row.wire_bytes = wire_total;
+        if (const auto* ef =
+                dynamic_cast<const ErrorFeedbackCompressor*>(compressors[0].get())) {
+          row.ef_residual_norm = util::l2_norm(ef->residual());
+        }
+        row.layers.reserve(ledger_layout.size());
+        for (const nn::ParamSegment& seg : ledger_layout) {
+          const std::span<const float> truth(mean_true.data() + seg.offset, seg.count);
+          const std::span<const float> recon(mean_recon.data() + seg.offset, seg.count);
+          row.layers.push_back({seg.name, util::relative_error_alpha(truth, recon),
+                                util::rms_error(truth, recon), 0.0});
+          for (std::size_t i = 0; i < seg.count; ++i) {
+            row.layers.back().max_error =
+                std::max(row.layers.back().max_error,
+                         static_cast<double>(std::fabs(truth[i] - recon[i])));
+          }
+        }
+        ledger.end_iteration(row);
+      }
 
       if (tracing) {
         // Lay one BSP iteration onto each rank's simulated track, exactly
@@ -421,6 +527,7 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
                       << " sim_t=" << sim_time;
   }
 
+  if (ledger_on) ledger.end_run();
   result.final_accuracy = result.epochs.empty() ? 0.0 : result.epochs.back().test_accuracy;
   result.total_sim_time_s = sim_time;
   result.total_wire_bytes = total_wire;

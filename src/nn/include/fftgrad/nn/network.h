@@ -7,11 +7,21 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "fftgrad/nn/layer.h"
 
 namespace fftgrad::nn {
+
+/// One layer's slice of the flat (linearized) gradient/parameter vector:
+/// elements [offset, offset + count). Layers without trainable parameters
+/// contribute no segment.
+struct ParamSegment {
+  std::string name;  ///< layer name, suffixed "#<i>" for its layer index
+  std::size_t offset = 0;
+  std::size_t count = 0;
+};
 
 class Network {
  public:
@@ -33,6 +43,11 @@ class Network {
 
   /// Total number of trainable scalars (the gradient vector length).
   std::size_t param_count();
+
+  /// Map each parameterized layer to its slice of the flat vectors used by
+  /// copy_gradients()/set_gradients() (same concatenation order). Lets the
+  /// run ledger attribute round-trip error per layer.
+  std::vector<ParamSegment> param_layout();
 
   /// Copy the concatenated parameter gradients into `out` (linearization).
   void copy_gradients(std::span<float> out);

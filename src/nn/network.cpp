@@ -39,6 +39,19 @@ std::size_t Network::param_count() {
   return total;
 }
 
+std::vector<ParamSegment> Network::param_layout() {
+  std::vector<ParamSegment> layout;
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    std::size_t count = 0;
+    for (Param p : layers_[i]->params()) count += p.value->size();
+    if (count == 0) continue;
+    layout.push_back({layers_[i]->name() + "#" + std::to_string(i), at, count});
+    at += count;
+  }
+  return layout;
+}
+
 void Network::copy_gradients(std::span<float> out) {
   std::size_t at = 0;
   for (Param p : params()) {

@@ -35,6 +35,10 @@
 //   analysis.hb_checks        happens-before edges verified          [count]
 //   analysis.epoch_checks     collective-epoch matches verified      [count]
 //   analysis.agreement_checks cross-rank agreement values checked    [count]
+//   ledger.alerts.<monitor>   run-ledger health alerts per monitor   [count]
+//       (monitors: nan_gradient, nonfinite_loss, alpha_bound,
+//        ratio_collapse, model_drift, residual_growth — see
+//        fftgrad/telemetry/ledger.h)
 #pragma once
 
 #include <atomic>

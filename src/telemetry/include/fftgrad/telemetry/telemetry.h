@@ -7,10 +7,20 @@
 //                           to <path>.metrics.json unless overridden.
 //   FFTGRAD_METRICS=<path>  enable metrics; write the registry's JSON to
 //                           <path> at exit.
-// With neither variable set, telemetry stays disabled and every TraceSpan /
-// metric update is a single relaxed atomic check.
+//   FFTGRAD_LEDGER=<path>   enable the run ledger; trainers append JSONL
+//                           rows (manifest / iteration / alert / summary)
+//                           to <path>, closed at exit. Monitor thresholds
+//                           come from FFTGRAD_LEDGER_ALPHA_BOUND,
+//                           FFTGRAD_LEDGER_MIN_RATIO,
+//                           FFTGRAD_LEDGER_DRIFT_TOL,
+//                           FFTGRAD_LEDGER_DRIFT_WINDOW, and
+//                           FFTGRAD_LEDGER_RESIDUAL_FACTOR (see
+//                           LedgerTolerances for defaults).
+// With none of the variables set, telemetry stays disabled and every
+// TraceSpan / metric update / ledger hook is a single relaxed atomic check.
 #pragma once
 
+#include "fftgrad/telemetry/ledger.h"
 #include "fftgrad/telemetry/metrics.h"
 #include "fftgrad/telemetry/trace.h"
 

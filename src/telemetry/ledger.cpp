@@ -1,0 +1,369 @@
+#include "fftgrad/telemetry/ledger.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "fftgrad/telemetry/metrics.h"
+#include "fftgrad/util/logging.h"
+
+// Mirrors fftgrad/analysis/config.h's default. The telemetry library cannot
+// include analysis headers (analysis links telemetry, not the reverse), but
+// the FFTGRAD_ANALYSIS definition itself is tree-wide when CMake sets it,
+// so alert-abort semantics still match the analysis layer's build mode.
+#if !defined(FFTGRAD_ANALYSIS)
+#if !defined(NDEBUG)
+#define FFTGRAD_ANALYSIS 1
+#else
+#define FFTGRAD_ANALYSIS 0
+#endif
+#endif
+
+namespace fftgrad::telemetry {
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no NaN/Inf literal; encode as strings so rows stay parseable
+    // (the monitors have already flagged the value by the time it lands).
+    if (std::isnan(v)) return "\"nan\"";
+    return v > 0 ? "\"inf\"" : "\"-inf\"";
+  }
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string json_string(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Build preset tag stamped into manifests: the explicit FFTGRAD_PRESET env
+/// wins (scripts export it), else the compile mode is the best guess.
+std::string preset_tag() {
+  if (const char* env = std::getenv("FFTGRAD_PRESET"); env != nullptr && *env != '\0') {
+    return env;
+  }
+#if FFTGRAD_ANALYSIS
+  return "analysis";
+#else
+  return "release";
+#endif
+}
+
+}  // namespace
+
+RunLedger& RunLedger::global() {
+  static RunLedger* ledger = new RunLedger();  // never destroyed
+  return *ledger;
+}
+
+bool RunLedger::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) return true;  // already open
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    util::log_warn() << "ledger: cannot open '" << path << "'; ledger disabled";
+    return false;
+  }
+  file_ = f;
+  bytes_written_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void RunLedger::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  if (file_ == nullptr) return;
+  std::fclose(static_cast<std::FILE*>(file_));
+  file_ = nullptr;
+}
+
+void RunLedger::set_tolerances(const LedgerTolerances& tolerances) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tolerances_ = tolerances;
+  if (tolerances_.drift_window == 0) tolerances_.drift_window = 1;
+}
+
+LedgerTolerances RunLedger::tolerances() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tolerances_;
+}
+
+void RunLedger::set_abort_on_alert(bool abort_on_alert) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  abort_on_alert_ = abort_on_alert;
+}
+
+void RunLedger::write_line_locked(const std::string& line) {
+  if (file_ == nullptr) return;
+  auto* f = static_cast<std::FILE*>(file_);
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fputc('\n', f);
+  bytes_written_ += line.size() + 1;
+}
+
+std::uint64_t RunLedger::begin_run(const LedgerManifest& manifest) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  run_id_ = ++next_run_id_;
+  rows_this_run_ = 0;
+  pending_collectives_.clear();
+  alert_counts_.clear();
+  kinds_.clear();
+
+  std::ostringstream out;
+  out << "{\"type\":\"manifest\",\"run\":" << run_id_
+      << ",\"trainer\":" << json_string(manifest.trainer)
+      << ",\"compressor\":" << json_string(manifest.compressor)
+      << ",\"ranks\":" << manifest.ranks << ",\"iterations\":" << manifest.iterations
+      << ",\"seed\":" << manifest.seed << ",\"preset\":" << json_string(preset_tag())
+      << ",\"network\":{\"name\":" << json_string(manifest.network.name)
+      << ",\"latency_s\":" << json_number(manifest.network.latency_s)
+      << ",\"bandwidth_bytes_s\":" << json_number(manifest.network.bandwidth_bytes_s)
+      << ",\"loss_rate\":" << json_number(manifest.network.loss_rate)
+      << "},\"fault_rate\":" << json_number(manifest.fault_rate)
+      << ",\"tolerances\":{\"alpha_bound\":" << json_number(tolerances_.alpha_bound)
+      << ",\"min_ratio\":" << json_number(tolerances_.min_ratio)
+      << ",\"drift_rel_tol\":" << json_number(tolerances_.drift_rel_tol)
+      << ",\"drift_window\":" << tolerances_.drift_window
+      << ",\"residual_growth_factor\":" << json_number(tolerances_.residual_growth_factor)
+      << "}}";
+  write_line_locked(out.str());
+  return run_id_;
+}
+
+void RunLedger::end_run() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (run_id_ == 0) return;
+
+  std::ostringstream out;
+  out << "{\"type\":\"summary\",\"run\":" << run_id_ << ",\"iterations\":" << rows_this_run_
+      << ",\"collectives\":{";
+  bool first = true;
+  for (const auto& [kind, totals] : kinds_) {
+    out << (first ? "" : ",") << json_string(kind) << ":{\"count\":" << totals.count
+        << ",\"predicted_s\":" << json_number(totals.predicted_s)
+        << ",\"charged_s\":" << json_number(totals.charged_s)
+        << ",\"retries\":" << totals.retries << ",\"failed\":" << totals.failed << "}";
+    first = false;
+  }
+  out << "},\"alerts\":{";
+  first = true;
+  for (const auto& [monitor, count] : alert_counts_) {
+    out << (first ? "" : ",") << json_string(monitor) << ":" << count;
+    first = false;
+  }
+  out << "}}";
+  write_line_locked(out.str());
+  std::fflush(static_cast<std::FILE*>(file_));
+  run_id_ = 0;
+}
+
+void RunLedger::record_collective(const LedgerCollective& sample) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_collectives_.push_back(sample);
+}
+
+void RunLedger::alert_locked(const char* monitor, std::uint64_t iteration, double value,
+                             double bound, const std::string& message) {
+  ++alert_counts_[monitor];
+  {
+    // The registry counter only accumulates when metrics collection is on;
+    // the ledger's own alert_counts_ are authoritative either way.
+    MetricsRegistry& registry = MetricsRegistry::global();
+    registry.counter(std::string("ledger.alerts.") + monitor).add(1.0);
+  }
+  util::log_warn() << "ledger: [" << monitor << "] iteration " << iteration << ": " << message;
+  std::ostringstream out;
+  out << "{\"type\":\"alert\",\"run\":" << run_id_ << ",\"iter\":" << iteration
+      << ",\"monitor\":" << json_string(monitor) << ",\"value\":" << json_number(value)
+      << ",\"bound\":" << json_number(bound) << ",\"message\":" << json_string(message)
+      << "}";
+  write_line_locked(out.str());
+#if FFTGRAD_ANALYSIS
+  if (abort_on_alert_) {
+    std::fflush(static_cast<std::FILE*>(file_));
+    std::fprintf(stderr, "fftgrad-ledger: [%s] %s\n", monitor, message.c_str());
+    std::abort();
+  }
+#endif
+}
+
+void RunLedger::run_monitors_locked(const LedgerIteration& row) {
+  std::ostringstream msg;
+  if (!std::isfinite(row.grad_norm)) {
+    msg << "gradient norm is non-finite (" << row.grad_norm << ")";
+    alert_locked("nan_gradient", row.iteration, row.grad_norm, 0.0, msg.str());
+  }
+  if (!std::isfinite(row.loss)) {
+    msg.str({});
+    msg << "training loss is non-finite (" << row.loss << ")";
+    alert_locked("nonfinite_loss", row.iteration, row.loss, 0.0, msg.str());
+  }
+  if (!(row.alpha < tolerances_.alpha_bound)) {  // catches NaN alpha too
+    msg.str({});
+    msg << "alpha " << row.alpha << " exceeds the Theorem-3.3 bound "
+        << tolerances_.alpha_bound << " (compression error no longer contracts)";
+    alert_locked("alpha_bound", row.iteration, row.alpha, tolerances_.alpha_bound, msg.str());
+  }
+  if (row.ratio > 0.0 && row.ratio < tolerances_.min_ratio) {
+    msg.str({});
+    msg << "compression ratio collapsed to " << row.ratio << " (< " << tolerances_.min_ratio
+        << "x): the codec is expanding the gradient";
+    alert_locked("ratio_collapse", row.iteration, row.ratio, tolerances_.min_ratio, msg.str());
+  }
+  if (row.ef_residual_norm >= 0.0 && std::isfinite(row.grad_norm) &&
+      row.ef_residual_norm > tolerances_.residual_growth_factor * row.grad_norm &&
+      row.ef_residual_norm > 0.0) {
+    msg.str({});
+    msg << "EF residual norm " << row.ef_residual_norm << " exceeds "
+        << tolerances_.residual_growth_factor << "x the gradient norm " << row.grad_norm
+        << " (error feedback diverging)";
+    alert_locked("residual_growth", row.iteration, row.ef_residual_norm,
+                 tolerances_.residual_growth_factor * row.grad_norm, msg.str());
+  }
+
+  // Model drift: per collective kind, a rolling window of per-iteration
+  // (predicted, charged) sums; once the window is full, the relative gap of
+  // the window totals must stay within drift_rel_tol. Averaging over the
+  // window is what lets a sampled 5%-drop run reconcile against the
+  // RetryPolicy *expected*-cost terms without per-op noise firing alerts.
+  for (auto& [kind, totals] : kinds_) {
+    if (totals.window.size() < tolerances_.drift_window) continue;
+    double predicted = 0.0;
+    double charged = 0.0;
+    for (const auto& [p, c] : totals.window) {
+      predicted += p;
+      charged += c;
+    }
+    if (predicted <= 0.0) continue;
+    const double drift = std::fabs(charged - predicted) / predicted;
+    if (drift > tolerances_.drift_rel_tol) {
+      msg.str({});
+      msg << kind << ": rolling predicted-vs-charged drift " << drift << " exceeds "
+          << tolerances_.drift_rel_tol << " (window " << tolerances_.drift_window
+          << ", predicted " << predicted << "s, charged " << charged << "s)";
+      alert_locked("model_drift", row.iteration, drift, tolerances_.drift_rel_tol, msg.str());
+      totals.window.clear();  // re-arm after a full fresh window, not every row
+      totals.window_at = 0;
+    }
+  }
+}
+
+void RunLedger::end_iteration(const LedgerIteration& row) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  std::ostringstream out;
+  out << "{\"type\":\"iteration\",\"run\":" << run_id_ << ",\"iter\":" << row.iteration
+      << ",\"loss\":" << json_number(row.loss)
+      << ",\"sim_time_s\":" << json_number(row.sim_time_s)
+      << ",\"phases\":{\"forward_s\":" << json_number(row.forward_s)
+      << ",\"backward_s\":" << json_number(row.backward_s)
+      << ",\"compress_s\":" << json_number(row.compress_s)
+      << ",\"decompress_s\":" << json_number(row.decompress_s) << "},\"collectives\":[";
+  // Per-kind, per-iteration reconciliation sums feed the drift monitor.
+  std::map<std::string, std::pair<double, double>> iteration_sums;
+  for (std::size_t i = 0; i < pending_collectives_.size(); ++i) {
+    const LedgerCollective& c = pending_collectives_[i];
+    out << (i == 0 ? "" : ",") << "{\"kind\":" << json_string(c.kind) << ",\"op\":" << c.op
+        << ",\"bytes\":" << json_number(c.bytes)
+        << ",\"predicted_s\":" << json_number(c.predicted_s)
+        << ",\"charged_s\":" << json_number(c.charged_s);
+    if (c.paper_model_s > 0.0) out << ",\"paper_model_s\":" << json_number(c.paper_model_s);
+    out << ",\"retries\":" << c.retries << ",\"failed\":" << c.failed << "}";
+    KindTotals& totals = kinds_[c.kind];
+    totals.predicted_s += c.predicted_s;
+    totals.charged_s += c.charged_s;
+    totals.count += 1;
+    totals.retries += c.retries;
+    totals.failed += c.failed;
+    auto& [p, ch] = iteration_sums[c.kind];
+    p += c.predicted_s;
+    ch += c.charged_s;
+  }
+  out << "],\"roundtrip\":{\"alpha\":" << json_number(row.alpha)
+      << ",\"ratio\":" << json_number(row.ratio)
+      << ",\"rms_error\":" << json_number(row.rms_error)
+      << ",\"max_error\":" << json_number(row.max_error)
+      << ",\"wire_bytes\":" << json_number(row.wire_bytes) << "}"
+      << ",\"grad_norm\":" << json_number(row.grad_norm);
+  if (row.ef_residual_norm >= 0.0) {
+    out << ",\"ef_residual_norm\":" << json_number(row.ef_residual_norm);
+  }
+  out << ",\"skipped_peers\":" << row.skipped_peers;
+  if (!row.layers.empty()) {
+    out << ",\"layers\":[";
+    for (std::size_t i = 0; i < row.layers.size(); ++i) {
+      const LedgerLayerStats& layer = row.layers[i];
+      out << (i == 0 ? "" : ",") << "{\"name\":" << json_string(layer.name)
+          << ",\"alpha\":" << json_number(layer.alpha)
+          << ",\"rms_error\":" << json_number(layer.rms_error)
+          << ",\"max_error\":" << json_number(layer.max_error) << "}";
+    }
+    out << "]";
+  }
+  out << "}";
+  write_line_locked(out.str());
+  pending_collectives_.clear();
+  ++rows_this_run_;
+
+  // Advance the drift windows with this iteration's sums before judging.
+  for (const auto& [kind, sums] : iteration_sums) {
+    KindTotals& totals = kinds_[kind];
+    if (totals.window.size() < tolerances_.drift_window) {
+      totals.window.push_back(sums);
+    } else {
+      totals.window[totals.window_at] = sums;
+      totals.window_at = (totals.window_at + 1) % tolerances_.drift_window;
+    }
+  }
+  run_monitors_locked(row);
+}
+
+std::size_t RunLedger::alerts_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [monitor, count] : alert_counts_) total += count;
+  return total;
+}
+
+std::size_t RunLedger::alerts(const std::string& monitor) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = alert_counts_.find(monitor);
+  return it == alert_counts_.end() ? 0 : it->second;
+}
+
+std::size_t RunLedger::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_written_;
+}
+
+}  // namespace fftgrad::telemetry

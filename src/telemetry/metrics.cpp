@@ -75,6 +75,9 @@ std::vector<double> Histogram::sorted_samples() const {
 double Histogram::quantile(double q) const {
   const std::vector<double> sorted = sorted_samples();
   if (sorted.empty()) return 0.0;
+  // clamp passes NaN through (all comparisons are false), and ceil(NaN)
+  // cast to size_t is UB — pin a NaN request to the median instead.
+  if (std::isnan(q)) q = 0.5;
   q = std::clamp(q, 0.0, 1.0);
   // Smallest x with P(X <= x) >= q (the inverse empirical CDF, matching
   // util::EmpiricalCdf::quantile).

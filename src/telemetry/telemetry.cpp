@@ -4,6 +4,7 @@
 #include <mutex>
 #include <string>
 
+#include "fftgrad/telemetry/ledger.h"
 #include "fftgrad/util/logging.h"
 
 namespace fftgrad::telemetry {
@@ -19,6 +20,18 @@ std::string& metrics_path() {
   return path;
 }
 
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    util::log_warn() << "telemetry: ignoring malformed " << name << "='" << value << "'";
+    return fallback;
+  }
+  return parsed;
+}
+
 }  // namespace
 
 void export_configured() {
@@ -31,22 +44,45 @@ void init_from_env() {
   std::call_once(once, [] {
     const char* trace = std::getenv("FFTGRAD_TRACE");
     const char* metrics = std::getenv("FFTGRAD_METRICS");
-    if (trace == nullptr && metrics == nullptr) return;
+    const char* ledger = std::getenv("FFTGRAD_LEDGER");
+    if (trace == nullptr && metrics == nullptr && ledger == nullptr) return;
     if (trace != nullptr && *trace != '\0') {
       trace_path() = trace;
       Tracer::global().set_enabled(true);
       util::log_info() << "telemetry: tracing to " << trace_path();
     }
-    MetricsRegistry::global().set_enabled(true);
-    if (metrics != nullptr && *metrics != '\0') {
-      metrics_path() = metrics;
-    } else if (!trace_path().empty()) {
-      metrics_path() = trace_path() + ".metrics.json";
+    if (trace != nullptr || metrics != nullptr) {
+      MetricsRegistry::global().set_enabled(true);
+      if (metrics != nullptr && *metrics != '\0') {
+        metrics_path() = metrics;
+      } else if (!trace_path().empty()) {
+        metrics_path() = trace_path() + ".metrics.json";
+      }
+      if (!metrics_path().empty()) {
+        util::log_info() << "telemetry: metrics to " << metrics_path();
+      }
     }
-    if (!metrics_path().empty()) {
-      util::log_info() << "telemetry: metrics to " << metrics_path();
+    if (ledger != nullptr && *ledger != '\0') {
+      RunLedger& run_ledger = RunLedger::global();
+      LedgerTolerances tolerances;
+      tolerances.alpha_bound =
+          env_double("FFTGRAD_LEDGER_ALPHA_BOUND", tolerances.alpha_bound);
+      tolerances.min_ratio = env_double("FFTGRAD_LEDGER_MIN_RATIO", tolerances.min_ratio);
+      tolerances.drift_rel_tol =
+          env_double("FFTGRAD_LEDGER_DRIFT_TOL", tolerances.drift_rel_tol);
+      tolerances.drift_window = static_cast<std::size_t>(env_double(
+          "FFTGRAD_LEDGER_DRIFT_WINDOW", static_cast<double>(tolerances.drift_window)));
+      tolerances.residual_growth_factor =
+          env_double("FFTGRAD_LEDGER_RESIDUAL_FACTOR", tolerances.residual_growth_factor);
+      run_ledger.set_tolerances(tolerances);
+      if (run_ledger.open(ledger)) {
+        util::log_info() << "telemetry: run ledger to " << ledger;
+      }
     }
-    std::atexit([] { export_configured(); });
+    std::atexit([] {
+      export_configured();
+      RunLedger::global().close();
+    });
   });
 }
 

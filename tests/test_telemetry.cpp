@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -421,6 +422,59 @@ TEST_F(TelemetryTest, HistogramQuantilesMatchReference) {
   double sum = 0.0;
   for (double v : reference) sum += v;
   EXPECT_NEAR(summary.mean, sum / static_cast<double>(reference.size()), 1e-9);
+}
+
+TEST_F(TelemetryTest, HistogramQuantileEdgeCases) {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  registry.set_enabled(true);
+
+  // Empty: quantiles and every summary field come back as zeros.
+  telemetry::Histogram& empty = registry.histogram("test.edge.empty");
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+  const telemetry::Histogram::Summary es = empty.summarize();
+  EXPECT_EQ(es.count, 0u);
+  EXPECT_DOUBLE_EQ(es.min, 0.0);
+  EXPECT_DOUBLE_EQ(es.max, 0.0);
+  EXPECT_DOUBLE_EQ(es.p50, 0.0);
+
+  // Single sample: every quantile is that sample.
+  telemetry::Histogram& single = registry.histogram("test.edge.single");
+  single.observe(7.5);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(single.quantile(q), 7.5) << "q=" << q;
+  }
+  const telemetry::Histogram::Summary ss = single.summarize();
+  EXPECT_EQ(ss.count, 1u);
+  EXPECT_DOUBLE_EQ(ss.min, 7.5);
+  EXPECT_DOUBLE_EQ(ss.max, 7.5);
+  EXPECT_DOUBLE_EQ(ss.mean, 7.5);
+  EXPECT_DOUBLE_EQ(ss.p50, 7.5);
+  EXPECT_DOUBLE_EQ(ss.p90, 7.5);
+  EXPECT_DOUBLE_EQ(ss.p99, 7.5);
+
+  // All-equal samples: ties collapse every order statistic to the value.
+  telemetry::Histogram& ties = registry.histogram("test.edge.ties");
+  for (int i = 0; i < 32; ++i) ties.observe(-3.0);
+  for (double q : {0.0, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(ties.quantile(q), -3.0) << "q=" << q;
+  }
+  const telemetry::Histogram::Summary ts = ties.summarize();
+  EXPECT_DOUBLE_EQ(ts.min, -3.0);
+  EXPECT_DOUBLE_EQ(ts.max, -3.0);
+  EXPECT_DOUBLE_EQ(ts.mean, -3.0);
+  EXPECT_DOUBLE_EQ(ts.p50, -3.0);
+
+  // Out-of-range and NaN requests clamp instead of indexing out of
+  // bounds (NaN pins to the median — clamp passes NaN through and
+  // ceil(NaN)->size_t would be UB).
+  telemetry::Histogram& pair = registry.histogram("test.edge.pair");
+  pair.observe(1.0);
+  pair.observe(2.0);
+  EXPECT_DOUBLE_EQ(pair.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(pair.quantile(1.5), 2.0);
+  EXPECT_DOUBLE_EQ(pair.quantile(std::numeric_limits<double>::quiet_NaN()), 1.0);
 }
 
 TEST_F(TelemetryTest, MetricsJsonExportParses) {
