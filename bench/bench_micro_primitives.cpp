@@ -4,8 +4,11 @@
 // are this substrate's inputs to the Fig 10 analytic model.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_common.h"
 #include "fftgrad/core/baseline_compressors.h"
 #include "fftgrad/core/fft_compressor.h"
 #include "fftgrad/fft/fft.h"
@@ -138,6 +141,42 @@ void BM_TernGradCompressorEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_TernGradCompressorEndToEnd)->Arg(1 << 18);
 
+/// Console reporter that additionally collects every iteration run as
+/// (metric, value) pairs — per-iteration real seconds plus the
+/// bytes_per_second counter — so the binary can stamp a BENCH_*.json
+/// snapshot for scripts/bench_all.sh and the bench_diff gate.
+class JsonEmittingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::string key = run.benchmark_name();
+      for (char& c : key) {
+        if (c == '/') c = '.';
+      }
+      const double iterations =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      metrics.emplace_back(key + ".real_s", run.real_accumulated_time / iterations);
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        metrics.emplace_back(key + ".bytes_per_second",
+                             static_cast<double>(bytes->second));
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonEmittingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  fftgrad::bench::emit_json("micro_primitives", reporter.metrics);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,350 @@
+// bench_diff: perf-trajectory gate over stamped benchmark snapshots.
+//
+//   bench_diff [options] <baseline.json> <candidate.json>
+//   bench_diff --selftest
+//
+// Compares two BENCH_*.json snapshots (either the merged file written by
+// scripts/bench_all.sh — {git_sha, preset, benches: [...]} — or a single
+// per-bench payload) metric by metric and fails when a metric moved past
+// the regression threshold in its bad direction.
+//
+// Direction is inferred from the metric name:
+//   higher-better  *per_s*, *per_second*, *throughput*, *speedup*, *acc*
+//   lower-better   suffixes _s/_ms/_us/_ns/.ms/.s/_seconds, or names
+//                  containing time/latency/wall
+//   neutral        anything else (e.g. comm_share) — reported, never gated
+//
+// Metrics present in only one snapshot are reported as added/removed and
+// never fail the gate, so renames across PRs degrade to informational
+// rows instead of errors.
+//
+// Options:
+//   --threshold X   relative regression threshold (default 0.05, i.e. 5%;
+//                   env FFTGRAD_BENCH_DIFF_TOL overrides the default)
+//   --markdown, -m  emit a Markdown table
+//   --all           print every row, not just regressions/improvements
+//   --selftest      verify the gate fires on a 6% slowdown and stays
+//                   quiet on identical snapshots, then exit
+//
+// Exit status: 0 when no gated metric regressed, 1 on a regression (or a
+// failed selftest), 2 on unreadable/malformed input.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fftgrad/telemetry/ledger.h"
+#include "fftgrad/util/table.h"
+
+namespace {
+
+using fftgrad::telemetry::JsonValue;
+
+enum class Direction { kLowerBetter, kHigherBetter, kNeutral };
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& text, const char* suffix) {
+  const std::size_t n = std::string(suffix).size();
+  return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+/// Infer good/bad direction from the metric name. Rate-style names are
+/// checked before the _s suffix so "iters_per_s" counts as higher-better.
+Direction direction_of(const std::string& key) {
+  if (contains(key, "per_s") || contains(key, "per_second") || contains(key, "throughput") ||
+      contains(key, "speedup") || contains(key, "acc")) {
+    return Direction::kHigherBetter;
+  }
+  if (ends_with(key, "_s") || ends_with(key, "_ms") || ends_with(key, "_us") ||
+      ends_with(key, "_ns") || ends_with(key, ".ms") || ends_with(key, ".s") ||
+      ends_with(key, "_seconds") || contains(key, "time") || contains(key, "latency") ||
+      contains(key, "wall")) {
+    return Direction::kLowerBetter;
+  }
+  return Direction::kNeutral;
+}
+
+/// Flatten a snapshot to ("<bench>.<metric>", value) rows. Accepts both
+/// the merged bench_all.sh shape and a single emit_json payload.
+std::vector<std::pair<std::string, double>> flatten(const JsonValue& snapshot) {
+  std::vector<std::pair<std::string, double>> metrics;
+  const auto add_bench = [&metrics](const JsonValue& bench) {
+    const std::string name = bench.string_or("bench", "?");
+    const JsonValue* values = bench.find("metrics");
+    if (values == nullptr) return;
+    for (const auto& [key, value] : values->object) {
+      if (value.kind == JsonValue::Kind::kNumber) {
+        metrics.emplace_back(name + "." + key, value.number);
+      }
+    }
+  };
+  const JsonValue* benches = snapshot.find("benches");
+  if (benches != nullptr) {
+    for (const JsonValue& bench : benches->array) add_bench(bench);
+  } else {
+    add_bench(snapshot);
+  }
+  return metrics;
+}
+
+const double* find_metric(const std::vector<std::pair<std::string, double>>& metrics,
+                          const std::string& key) {
+  for (const auto& [name, value] : metrics) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+struct DiffRow {
+  std::string key;
+  std::string verdict;  ///< "REGRESSION" | "improved" | "ok" | "info" | "added" | "removed"
+  Direction direction = Direction::kNeutral;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_change = 0.0;  ///< (candidate - baseline) / |baseline|
+};
+
+struct DiffResult {
+  std::vector<DiffRow> rows;
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t added = 0;
+  std::size_t removed = 0;
+};
+
+DiffResult diff_snapshots(const JsonValue& baseline, const JsonValue& candidate,
+                          double threshold) {
+  const auto base = flatten(baseline);
+  const auto cand = flatten(candidate);
+  DiffResult result;
+  for (const auto& [key, base_value] : base) {
+    const double* cand_value = find_metric(cand, key);
+    DiffRow row;
+    row.key = key;
+    row.baseline = base_value;
+    row.direction = direction_of(key);
+    if (cand_value == nullptr) {
+      row.verdict = "removed";
+      ++result.removed;
+      result.rows.push_back(std::move(row));
+      continue;
+    }
+    row.candidate = *cand_value;
+    const double magnitude = std::fabs(base_value);
+    // A near-zero baseline makes relative change meaningless; report only.
+    if (magnitude < 1e-12) {
+      row.verdict = "info";
+      result.rows.push_back(std::move(row));
+      continue;
+    }
+    row.rel_change = (row.candidate - row.baseline) / magnitude;
+    const double bad = row.direction == Direction::kLowerBetter    ? row.rel_change
+                       : row.direction == Direction::kHigherBetter ? -row.rel_change
+                                                                   : 0.0;
+    if (row.direction == Direction::kNeutral) {
+      row.verdict = "info";
+    } else if (bad > threshold) {
+      row.verdict = "REGRESSION";
+      ++result.regressions;
+    } else if (bad < -threshold) {
+      row.verdict = "improved";
+      ++result.improvements;
+    } else {
+      row.verdict = "ok";
+    }
+    result.rows.push_back(std::move(row));
+  }
+  for (const auto& [key, value] : cand) {
+    if (find_metric(base, key) == nullptr) {
+      DiffRow row;
+      row.key = key;
+      row.candidate = value;
+      row.direction = direction_of(key);
+      row.verdict = "added";
+      ++result.added;
+      result.rows.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
+const char* direction_name(Direction direction) {
+  switch (direction) {
+    case Direction::kLowerBetter: return "lower";
+    case Direction::kHigherBetter: return "higher";
+    case Direction::kNeutral: return "info";
+  }
+  return "?";
+}
+
+void print_result(const DiffResult& result, double threshold, bool markdown, bool all) {
+  fftgrad::util::TableWriter table(
+      {"metric", "better", "baseline", "candidate", "change", "verdict"});
+  table.set_double_format("%.6g");
+  std::size_t shown = 0;
+  for (const DiffRow& row : result.rows) {
+    const bool interesting = row.verdict == "REGRESSION" || row.verdict == "improved" ||
+                             row.verdict == "added" || row.verdict == "removed";
+    if (!all && !interesting) continue;
+    char change[32];
+    std::snprintf(change, sizeof(change), "%+.2f%%", row.rel_change * 100.0);
+    table.add_row({row.key, direction_name(row.direction), row.baseline, row.candidate,
+                   (row.verdict == "added" || row.verdict == "removed") ? "-" : change,
+                   row.verdict});
+    ++shown;
+  }
+  const std::string rendered = table.to_string();
+  if (shown == 0) {
+    std::cout << "(all " << result.rows.size() << " shared metrics within "
+              << threshold * 100.0 << "% — rerun with --all for the full table)\n";
+  } else if (!markdown) {
+    std::cout << rendered;
+  } else {
+    // TableWriter's pipe layout needs only the Markdown separator row.
+    const std::size_t eol = rendered.find('\n');
+    std::cout << "|" << rendered.substr(0, eol) << "|\n|";
+    for (char c : rendered.substr(0, eol)) std::cout << (c == '|' ? '|' : '-');
+    std::cout << "|\n";
+    for (std::size_t at = eol + 1; at < rendered.size();) {
+      const std::size_t next = rendered.find('\n', at);
+      const std::size_t end = next == std::string::npos ? rendered.size() : next;
+      std::cout << "|" << rendered.substr(at, end - at) << "|\n";
+      at = end + 1;
+    }
+  }
+  std::cout << result.regressions << " regression(s), " << result.improvements
+            << " improvement(s), " << result.added << " added, " << result.removed
+            << " removed (threshold " << threshold * 100.0 << "%)\n";
+}
+
+JsonValue load_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return fftgrad::telemetry::parse_json(buffer.str());
+}
+
+int selftest() {
+  const char* baseline_json = R"({
+    "benches": [
+      {"bench": "fig02", "metrics": {"comm_ms": 100.0, "comm_share": 0.40}},
+      {"bench": "fig16", "metrics": {"FFT.ranks8.iters_per_s": 50.0}}
+    ]
+  })";
+  const char* slower_json = R"({
+    "benches": [
+      {"bench": "fig02", "metrics": {"comm_ms": 106.0, "comm_share": 0.40}},
+      {"bench": "fig16", "metrics": {"FFT.ranks8.iters_per_s": 47.0, "new_metric": 1.0}}
+    ]
+  })";
+  const JsonValue baseline = fftgrad::telemetry::parse_json(baseline_json);
+  const JsonValue slower = fftgrad::telemetry::parse_json(slower_json);
+
+  std::size_t failures = 0;
+  const auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      ++failures;
+      std::cerr << "bench_diff: selftest failed: " << what << "\n";
+    }
+  };
+
+  const DiffResult identical = diff_snapshots(baseline, baseline, 0.05);
+  expect(identical.regressions == 0, "identical snapshots must pass the gate");
+  expect(identical.added == 0 && identical.removed == 0,
+         "identical snapshots must report no added/removed metrics");
+
+  // 6% slowdown on comm_ms and 6% throughput drop on iters_per_s: both
+  // must fire at the default 5% threshold, and new_metric is additive only.
+  const DiffResult regressed = diff_snapshots(baseline, slower, 0.05);
+  expect(regressed.regressions == 2, "6% moves past a 5% threshold must fire twice");
+  expect(regressed.added == 1, "a new metric must be reported as added, not a failure");
+
+  // The same snapshots pass with the threshold widened past the move.
+  const DiffResult tolerant = diff_snapshots(baseline, slower, 0.10);
+  expect(tolerant.regressions == 0, "a 10% threshold must tolerate a 6% move");
+
+  // Direction heuristics on the names this repo actually emits.
+  expect(direction_of("fig02.comm_ms") == Direction::kLowerBetter, "comm_ms is lower-better");
+  expect(direction_of("fig16.FFT.ranks8.iters_per_s") == Direction::kHigherBetter,
+         "iters_per_s is higher-better");
+  expect(direction_of("fig14.SGD fp32.final_acc") == Direction::kHigherBetter,
+         "final_acc is higher-better");
+  expect(direction_of("fig02.comm_share") == Direction::kNeutral, "comm_share is neutral");
+  expect(direction_of("fig14.SGD fp32.sim_wall_s") == Direction::kLowerBetter,
+         "sim_wall_s is lower-better");
+
+  if (failures == 0) {
+    std::cout << "bench_diff: selftest ok\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.05;
+  if (const char* env = std::getenv("FFTGRAD_BENCH_DIFF_TOL");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end != env && *end == '\0' && parsed >= 0.0) threshold = parsed;
+  }
+  bool markdown = false;
+  bool all = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--selftest") {
+      return selftest();
+    } else if (arg == "--threshold" && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else if (arg == "--markdown" || arg == "-m") {
+      markdown = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench_diff [--threshold X] [--markdown] [--all] "
+                   "<baseline.json> <candidate.json>\n       bench_diff --selftest\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "bench_diff: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::cerr << "usage: bench_diff [--threshold X] [--markdown] [--all] "
+                 "<baseline.json> <candidate.json>\n";
+    return 2;
+  }
+
+  JsonValue baseline, candidate;
+  try {
+    baseline = load_snapshot(paths[0]);
+    candidate = load_snapshot(paths[1]);
+  } catch (const std::exception& error) {
+    std::cerr << "bench_diff: " << error.what() << "\n";
+    return 2;
+  }
+
+  const DiffResult result = diff_snapshots(baseline, candidate, threshold);
+  if (result.rows.empty()) {
+    std::cerr << "bench_diff: no numeric metrics found in '" << paths[0] << "'\n";
+    return 2;
+  }
+  std::cout << "baseline " << paths[0] << " (sha " << baseline.string_or("git_sha", "?")
+            << ") vs candidate " << paths[1] << " (sha "
+            << candidate.string_or("git_sha", "?") << ")\n";
+  print_result(result, threshold, markdown, all);
+  return result.regressions > 0 ? 1 : 0;
+}

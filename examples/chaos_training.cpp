@@ -63,6 +63,18 @@ int main() {
   cfg.iterations = kIterations;
   cfg.learning_rate = 0.05f;
   cfg.seed = 17;
+  // Modelled per-phase compute charged to the simulated clocks, so a
+  // FFTGRAD_CRITPATH/FFTGRAD_TRACE run attributes every simulated second
+  // (backprop, codec stages, wire+CRC, collective, retries, straggler
+  // waits) instead of seeing a comm-only timeline.
+  cfg.sim_compute = core::SimComputeModel{.forward_s = 2e-3,
+                                          .backward_s = 4e-3,
+                                          .fft_s = 1.5e-3,
+                                          .quant_pack_s = 0.5e-3,
+                                          .wire_crc_s = 0.3e-3,
+                                          .inverse_fft_s = 1.0e-3,
+                                          .dequant_s = 0.4e-3,
+                                          .apply_s = 0.6e-3};
 
   const auto accuracy_of = [&](const std::vector<float>& params) {
     nn::Network net = model_factory();

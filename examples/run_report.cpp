@@ -37,7 +37,37 @@ struct RunDigest {
   double mean_alpha = 0.0;
   double mean_ratio = 0.0;
   std::size_t alerts = 0;
+  /// Flattened numeric fields of the summary + critpath rows ("dotted"
+  /// keys), compared key-wise in the cross-run diff. Runs from different
+  /// code versions may carry different keys; the diff reports those as
+  /// added/removed instead of erroring.
+  std::vector<std::pair<std::string, double>> metrics;
 };
+
+/// Recursively collect every numeric field of `row` under dotted keys
+/// ("collectives.allgather.charged_s"). Bookkeeping fields that never
+/// compare meaningfully across runs are skipped.
+void flatten_numbers(const JsonValue& row, const std::string& prefix,
+                     std::vector<std::pair<std::string, double>>& out) {
+  for (const auto& [key, value] : row.object) {
+    if (key == "type" || key == "run") continue;  // row bookkeeping, never comparable
+
+    const std::string path = prefix.empty() ? key : prefix + "." + key;
+    if (value.kind == JsonValue::Kind::kNumber) {
+      out.emplace_back(path, value.number);
+    } else if (value.kind == JsonValue::Kind::kObject) {
+      flatten_numbers(value, path, out);
+    }
+  }
+}
+
+const double* find_metric(const std::vector<std::pair<std::string, double>>& metrics,
+                          const std::string& key) {
+  for (const auto& [name, value] : metrics) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
 
 double number_of(const JsonValue& row, const std::string& key) {
   return row.number_or(key, 0.0);
@@ -101,6 +131,10 @@ RunDigest report_run(const LedgerRun& run, const std::string& source, bool markd
             << " network=" << (network != nullptr ? network->string_or("name", "?") : "?")
             << " fault_rate=" << number_of(run.manifest, "fault_rate")
             << " preset=" << run.manifest.string_or("preset", "?") << "\n";
+  // Flatten before the cut-off-run early return: a run with a summary but
+  // no iteration rows still participates in the key-wise cross-run diff.
+  flatten_numbers(run.summary, "", digest.metrics);
+  flatten_numbers(run.critpath, "critpath", digest.metrics);
   if (run.iterations.empty()) {
     std::cout << "(no iteration rows — run was cut off before the first step)\n";
     return digest;
@@ -201,6 +235,28 @@ RunDigest report_run(const LedgerRun& run, const std::string& source, bool markd
       print_table(markdown, table);
     }
   }
+  // Critical-path row (written by the analyzer when FFTGRAD_CRITPATH is
+  // set — see fftgrad/telemetry/critical_path.h). Older ledgers have none.
+  if (run.critpath.kind == JsonValue::Kind::kObject) {
+    print_heading(markdown, "Critical path");
+    std::cout << "e2e " << number_of(run.critpath, "e2e_s") << " s over "
+              << static_cast<long long>(number_of(run.critpath, "iterations"))
+              << " iterations, comm share " << number_of(run.critpath, "comm_share")
+              << ", overlap bound " << number_of(run.critpath, "overlap_bound_s")
+              << " s, pipeline bound " << number_of(run.critpath, "pipeline_bound_s")
+              << " s\n";
+    const JsonValue* categories = run.critpath.find("categories");
+    if (categories != nullptr && !categories->object.empty()) {
+      fftgrad::util::TableWriter table({"category", "on_path_s", "share"});
+      table.set_double_format("%.6g");
+      const double e2e = number_of(run.critpath, "e2e_s");
+      for (const auto& [name, value] : categories->object) {
+        if (value.kind != JsonValue::Kind::kNumber) continue;
+        table.add_row({name, value.number, e2e > 0.0 ? value.number / e2e : 0.0});
+      }
+      print_table(markdown, table);
+    }
+  }
   std::cout << "final loss " << digest.final_loss << ", mean alpha " << digest.mean_alpha
             << ", mean ratio " << digest.mean_ratio << "x, simulated " << digest.sim_time_s
             << " s over " << digest.iterations << " iterations\n";
@@ -260,6 +316,37 @@ int main(int argc, char** argv) {
                      static_cast<long long>(digests[i].alerts)});
     }
     print_table(markdown, table);
+
+    // Key-wise summary/critpath comparison. Runs recorded by different
+    // code versions carry different keys — those become added/removed
+    // rows, so a renamed metric degrades to information, not an error.
+    for (std::size_t i = 1; i < digests.size(); ++i) {
+      print_heading(markdown, "Summary metrics: " + digests[i].source + " vs " +
+                                  digests[0].source);
+      fftgrad::util::TableWriter metric_table({"metric", "base", "other", "delta"});
+      metric_table.set_double_format("%.6g");
+      std::vector<std::string> added, removed;
+      for (const auto& [key, base_value] : digests[0].metrics) {
+        const double* other = find_metric(digests[i].metrics, key);
+        if (other == nullptr) {
+          removed.push_back(key);
+          continue;
+        }
+        if (*other != base_value) {
+          metric_table.add_row({key, base_value, *other, *other - base_value});
+        }
+      }
+      for (const auto& [key, value] : digests[i].metrics) {
+        if (find_metric(digests[0].metrics, key) == nullptr) added.push_back(key);
+      }
+      print_table(markdown, metric_table);
+      for (const std::string& key : removed) {
+        std::cout << "removed (only in " << digests[0].source << "): " << key << "\n";
+      }
+      for (const std::string& key : added) {
+        std::cout << "added (only in " << digests[i].source << "): " << key << "\n";
+      }
+    }
   }
   return 0;
 }

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Run the headline figure-reproduction benches with JSON output enabled
-# and merge the per-bench files into one BENCH_pr5.json at the repo root.
+# and merge the per-bench files into one snapshot at the repo root.
 #
-#   scripts/bench_all.sh [build-dir]
+#   scripts/bench_all.sh [build-dir] [out.json]
 #
-# build-dir defaults to `build` (the default preset). Each bench writes
+# build-dir defaults to `build` (the default preset); out.json defaults to
+# $FFTGRAD_BENCH_OUT, then BENCH_pr6.json. Each bench writes
 # BENCH_<name>.json into a temp dir via FFTGRAD_BENCH_JSON; every file is
 # stamped with provenance (git sha, preset, UTC timestamp, host — see
 # bench::json_meta()), and the merged file carries the same header plus
@@ -19,8 +20,10 @@ if [[ ! -d "$build_dir/bench" ]]; then
 fi
 
 # Headline benches: layer-wise compression (Fig 2), allgather scaling
-# (Fig 11), end-to-end throughput (Fig 14 / Table 2), weak scaling (Fig 16).
-benches=(bench_fig02_layerwise bench_fig11_allgather bench_fig14_table2_e2e bench_fig16_weak_scaling)
+# (Fig 11), end-to-end throughput (Fig 14 / Table 2), weak scaling (Fig 16),
+# plus the primitive microbenchmarks and the PS-vs-BSP extension so the
+# bench_diff gate covers substrate speed and scheme scaling too.
+benches=(bench_fig02_layerwise bench_fig11_allgather bench_fig14_table2_e2e bench_fig16_weak_scaling bench_micro_primitives bench_ps_vs_bsp)
 
 json_dir="$(mktemp -d)"
 trap 'rm -rf "$json_dir"' EXIT
@@ -37,7 +40,9 @@ for bench in "${benches[@]}"; do
   "$exe" > /dev/null
 done
 
-out="BENCH_pr5.json"
+# Output snapshot: second argument or $FFTGRAD_BENCH_OUT (bench_diff gates
+# candidate snapshots against the committed baseline of the same name).
+out="${2:-${FFTGRAD_BENCH_OUT:-BENCH_pr6.json}}"
 {
   printf '{\n  "git_sha": "%s",\n  "preset": "%s",\n  "generated_utc": "%s",\n  "benches": [\n' \
     "$FFTGRAD_GIT_SHA" "$FFTGRAD_PRESET" "$(date -u +%Y-%m-%dT%H:%M:%SZ)"

@@ -90,6 +90,20 @@ for preset in "${presets[@]}"; do
   # alert path.
   if [[ "$preset" == default || "$preset" == asan ]]; then
     run_step "$preset" ledger ctest --preset "$preset" -j "$jobs" -L ledger
+    # The critpath label proves the cross-rank critical-path analyzer's
+    # invariants in-process (hand-built DAGs, per-category sums within
+    # 1e-6 of the simulated end-to-end time, 16-seed determinism, fault
+    # attribution); the gate script then re-checks an exported trace end
+    # to end through trace_analyze --check.
+    run_step "$preset" critpath ctest --preset "$preset" -j "$jobs" -L critpath
+    build_dir="build"; [[ "$preset" == asan ]] && build_dir="build-asan"
+    run_step "$preset" critpath-e2e scripts/critpath_gate.sh "$build_dir"
+  fi
+  # Perf-trajectory gate: bench_diff must fire on an injected slowdown
+  # (selftest) and pass the committed BENCH_*.json baseline against
+  # itself. Release only — sanitizer timings are not comparable anyway.
+  if [[ "$preset" == default ]]; then
+    run_step "$preset" bench-diff scripts/bench_diff --build-dir build
   fi
   if [[ "$run_fuzz" == 1 ]]; then
     run_step "$preset" fuzz ctest --preset "$preset" -j "$jobs" -L fuzz

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# End-to-end critical-path gate:
+#
+#   scripts/critpath_gate.sh [build-dir]
+#
+# Runs a small instrumented cluster training (chaos_training: 8 ranks,
+# faults, stragglers, one crash) with FFTGRAD_CRITPATH + FFTGRAD_TRACE +
+# FFTGRAD_LEDGER set, then re-analyzes the exported Chrome trace with
+# `trace_analyze --check`, which fails unless the critical path tiles
+# every iteration window (per-category times sum to the simulated
+# end-to-end time within 1e-6) and every consume edge has happens-before
+# support. The at-exit report and the ledger critpath row must both have
+# been written.
+#
+# Exit status: 0 gate passed, non-zero on any failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+for tool in examples/chaos_training examples/trace_analyze examples/run_report; do
+  [[ -x "$build_dir/$tool" ]] || { echo "error: $build_dir/$tool not built" >&2; exit 2; }
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> instrumented chaos_training (trace + critpath report + ledger)"
+FFTGRAD_CRITPATH="$tmp/critpath.txt" \
+FFTGRAD_TRACE="$tmp/trace.json" \
+FFTGRAD_LEDGER="$tmp/ledger.jsonl" \
+  "$build_dir/examples/chaos_training" > /dev/null
+
+[[ -s "$tmp/critpath.txt" ]] || { echo "error: no critical-path report written" >&2; exit 1; }
+grep -qi "critical path" "$tmp/critpath.txt" || {
+  echo "error: report is missing its headline section" >&2; exit 1; }
+grep -q '"type":"critpath"' "$tmp/ledger.jsonl" || {
+  echo "error: ledger has no critpath row" >&2; exit 1; }
+
+echo "==> trace_analyze --check over the exported trace"
+"$build_dir/examples/trace_analyze" --check --ledger "$tmp/ledger.jsonl" \
+  "$tmp/trace.json" > "$tmp/reanalysis.txt"
+grep -q "structurally valid" "$tmp/reanalysis.txt"
+
+echo "==> run_report parses the ledger (critpath row included)"
+"$build_dir/examples/run_report" "$tmp/ledger.jsonl" > /dev/null
+
+echo "critpath gate ok"

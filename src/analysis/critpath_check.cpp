@@ -1,0 +1,106 @@
+#include "fftgrad/analysis/critpath_check.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "fftgrad/analysis/check.h"
+
+namespace fftgrad::analysis {
+
+std::vector<std::string> validate_critical_path(const telemetry::CpAnalysis& analysis,
+                                                const std::vector<telemetry::CpEvent>& events,
+                                                const CritpathCheckOptions& options) {
+  std::vector<std::string> problems;
+  const auto complain = [&problems](const std::string& what) {
+    problems.push_back(what);
+    report_violation("critpath", what);
+  };
+
+  // (1) + (2): contiguous tiling within windows, back-to-back windows.
+  double previous_end = -1.0;
+  for (const telemetry::CpIteration& iteration : analysis.iterations) {
+    std::ostringstream tag;
+    tag << "iteration " << iteration.iteration;
+    if (previous_end >= 0.0 &&
+        std::fabs(iteration.start_s - previous_end) > options.time_eps) {
+      std::ostringstream out;
+      out << tag.str() << ": window starts at " << iteration.start_s
+          << " but the previous window ended at " << previous_end;
+      complain(out.str());
+    }
+    previous_end = iteration.end_s;
+
+    double cursor = iteration.start_s;
+    for (const telemetry::CpSegment& segment : iteration.path) {
+      if (std::fabs(segment.start_s - cursor) > options.time_eps) {
+        std::ostringstream out;
+        out << tag.str() << ": segment '" << segment.name << "' starts at "
+            << segment.start_s << " but the path cursor is at " << cursor
+            << (segment.start_s > cursor ? " (gap)" : " (overlap)");
+        complain(out.str());
+      }
+      cursor = segment.end_s;
+    }
+    if (std::fabs(cursor - iteration.end_s) > options.time_eps) {
+      std::ostringstream out;
+      out << tag.str() << ": path ends at " << cursor << ", window ends at "
+          << iteration.end_s;
+      complain(out.str());
+    }
+
+    const double sum = iteration.category_sum_s();
+    if (std::fabs(sum - iteration.e2e_s()) > options.sum_tolerance) {
+      std::ostringstream out;
+      out << tag.str() << ": category times sum to " << sum << " but end-to-end is "
+          << iteration.e2e_s() << " (|diff| " << std::fabs(sum - iteration.e2e_s()) << " > "
+          << options.sum_tolerance << ")";
+      complain(out.str());
+    }
+  }
+
+  // (3): happens-before support for every consume edge. Ops whose barrier
+  // snapped a straggler back ("abandoned") legitimately show a publish
+  // later than its consumers — the work was abandoned — so only the
+  // edge-existence half applies there.
+  std::map<std::pair<std::int32_t, std::int64_t>, double> publishes;  // (rank, op) -> time
+  std::set<std::int64_t> snapped_ops;
+  for (const telemetry::CpEvent& event : events) {
+    if (event.edge && event.name == "publish" && event.op >= 0) {
+      publishes[{event.rank, event.op}] = event.start_s;
+    }
+    if (!event.edge && event.name == "abandoned" && event.op >= 0) {
+      // The abandoned record carries the barrier generation; a straggler
+      // excluded at generation g published at the collective op just
+      // before it. Conservatively exempt every op the straggler touched.
+      snapped_ops.insert(event.op);
+    }
+  }
+  const bool any_snapback = !snapped_ops.empty();
+  for (const telemetry::CpEvent& event : events) {
+    if (!event.edge || event.name != "consume" || event.op < 0) continue;
+    const auto it = publishes.find({event.peer, event.op});
+    if (it == publishes.end()) {
+      std::ostringstream out;
+      out << "consume on rank " << event.rank << " of op " << event.op << " from rank "
+          << event.peer << " has no matching publish";
+      complain(out.str());
+      continue;
+    }
+    // Barrier generations and collective ops use different counters, so a
+    // snapback anywhere in the trace relaxes the timestamp half globally —
+    // the existence half (above) still applies everywhere.
+    if (!any_snapback && it->second > event.start_s + options.time_eps) {
+      std::ostringstream out;
+      out << "consume on rank " << event.rank << " of op " << event.op << " from rank "
+          << event.peer << " at sim time " << event.start_s
+          << " precedes the sender's publish at " << it->second;
+      complain(out.str());
+    }
+  }
+
+  return problems;
+}
+
+}  // namespace fftgrad::analysis

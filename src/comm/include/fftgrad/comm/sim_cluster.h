@@ -45,6 +45,17 @@
 // straggler-timeout/crash handling — an exclusion set and quorum identical
 // on every surviving replica. Violations route through the analysis
 // violation handler with the op index, ranks, and clocks involved.
+//
+// Critical-path telemetry (fftgrad/telemetry/critical_path.h): when the
+// span tracer is enabled, every charged SimClock advance emits a "cp" leaf
+// span — "collective" for lossless propagation, "retry" (peer = faulted
+// sender) for sampled recovery, "straggle" for injected slowdown — and
+// every barrier_wait records its [arrival, release] window keyed by the
+// barrier generation ("abandoned" when the straggler timeout snapped the
+// clock back). Publish/consume causality edges are mirrored as zero-length
+// "cp-edge" records carrying simulated timestamps. Together the cp spans
+// partition each rank's simulated clock, which is what lets the analyzer
+// attribute end-to-end iteration time exactly.
 #pragma once
 
 #include <cstddef>

@@ -42,6 +42,27 @@ bool ledger_records(std::size_t rank) {
   return rank == 0 && telemetry::RunLedger::global().enabled();
 }
 
+/// Critical-path leaf spans ("cp") and happens-before edge records
+/// ("cp-edge") for the analyzer in fftgrad/telemetry/critical_path.h. Leaf
+/// spans must partition each rank's simulated clock: every clock_.advance
+/// on a collective path is bracketed by exactly one cp span, and barrier
+/// waits are recorded by barrier_wait itself.
+void cp_span(std::size_t rank, const char* name, double start_s, double end_s, std::size_t op,
+             std::int32_t peer = -1) {
+  telemetry::Tracer::global().record_sim_span(static_cast<std::int32_t>(rank), name, "cp",
+                                              start_s, end_s, static_cast<std::int64_t>(op),
+                                              peer);
+}
+
+/// Zero-length publish/consume marker materializing a causality edge with
+/// its simulated timestamp (peer = the publishing rank for consumes).
+void cp_edge(std::size_t rank, const char* name, double time_s, std::size_t op,
+             std::int32_t peer = -1) {
+  telemetry::Tracer::global().record_sim_span(static_cast<std::int32_t>(rank), name,
+                                              "cp-edge", time_s, time_s,
+                                              static_cast<std::int64_t>(op), peer);
+}
+
 /// Fault-event counters, registered once. Transport counters are bumped by
 /// exactly one designated receiver per delivery (the lowest-ranked live
 /// peer), so a p-rank exchange does not multiply the counts p-fold.
@@ -85,7 +106,9 @@ std::size_t RankContext::begin_collective() {
   }
   const double straggle = c.faults_.straggle_s(rank_, op);
   if (straggle > 0.0) {
+    const double start_s = clock_.time();
     clock_.advance(straggle);
+    cp_span(rank_, "straggle", start_s, clock_.time(), op);
     FaultMetrics::get().straggle_seconds.add(straggle);
   }
   return op;
@@ -131,6 +154,7 @@ void SimCluster::barrier_wait(std::size_t rank) {
     for (std::uint64_t i = 0; i < yields; ++i) std::this_thread::yield();
   }
   std::unique_lock<analysis::CheckedMutex> lock(mutex_);
+  const double entry_s = contexts_[rank]->clock().time();
   const std::uint64_t my_generation = generation_;
   if (++arrived_ == alive_) {
     // Last arrival: BSP semantics, every clock advances to the straggler
@@ -142,9 +166,21 @@ void SimCluster::barrier_wait(std::size_t rank) {
     arrived_ = 0;
     ++generation_;
     cv_.notify_all();
-    return;
+  } else {
+    cv_.wait(lock, [&] { return generation_ != my_generation; });
   }
-  cv_.wait(lock, [&] { return generation_ != my_generation; });
+  // Critical-path record: [arrival, aligned release] of this barrier round.
+  // The generation is shared by every rank in the round, so the analyzer
+  // can correlate arrivals and find the bounding (last) rank. A release
+  // earlier than the arrival means the straggler timeout snapped this
+  // rank's clock back — its overshoot is recorded as "abandoned" work.
+  const double release_s = contexts_[rank]->clock().time();
+  lock.unlock();
+  if (release_s >= entry_s) {
+    cp_span(rank, "barrier", entry_s, release_s, my_generation);
+  } else {
+    cp_span(rank, "abandoned", release_s, entry_s, my_generation);
+  }
 }
 
 void SimCluster::mark_crashed(std::size_t rank) {
@@ -186,6 +222,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
   const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
   c.tracker_.on_publish(rank_, op);
+  cp_edge(rank_, "publish", clock_.time(), op);
   c.byte_slots_[rank_] = send;
   c.clock_slots_[rank_] = clock_.time();
   c.barrier_wait(rank_);  // all contributions and entry clocks visible
@@ -235,6 +272,8 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
   std::vector<double> sizes;
   sizes.reserve(c.ranks_);
   double recovery_s = 0.0;
+  // (sender, recovery seconds) pairs for the critical-path retry spans.
+  std::vector<std::pair<std::size_t, double>> recoveries;
   // Ledger accumulators: the analytic expectation of the sampled recovery
   // below, plus retry/exclusion counts as rank 0 observed them.
   const bool ledger_on = ledger_records(rank_);
@@ -249,6 +288,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
     // Invariants (a)+(b): the sender's publication happens-before this
     // read and belongs to this collective epoch.
     c.tracker_.on_consume(rank_, r, op);
+    cp_edge(rank_, "consume", clock_.time(), op, static_cast<std::int32_t>(r));
     gathered[r].assign(c.byte_slots_[r].begin(), c.byte_slots_[r].end());
     sizes.push_back(static_cast<double>(gathered[r].size()));
     if (faulty && plan.has_transport_faults()) {
@@ -258,7 +298,10 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
       // agree on the surviving contribution set. Recovery time is charged
       // only for blocks this rank actually received over the wire.
       const DeliveryOutcome outcome = resolve_delivery(plan, c.network_, r, op, sizes.back());
-      if (r != rank_) recovery_s += outcome.recovery_seconds;
+      if (r != rank_) {
+        recovery_s += outcome.recovery_seconds;
+        if (outcome.recovery_seconds > 0.0) recoveries.emplace_back(r, outcome.recovery_seconds);
+      }
       if (ledger_on) {
         if (r != rank_) {
           predicted_recovery_s += expected_recovery_s(plan, c.network_, sizes.back());
@@ -292,6 +335,18 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
     }
   }
   const double lossless_s = c.network_.allgatherv_time(sizes);
+  // Critical-path spans: the lossless propagation, then each sender's
+  // sampled recovery time laid out sequentially and attributed (peer) to
+  // the faulted sender.
+  {
+    double t = clock_.time();
+    if (lossless_s > 0.0) cp_span(rank_, "collective", t, t + lossless_s, op);
+    t += lossless_s;
+    for (const auto& [sender, seconds] : recoveries) {
+      cp_span(rank_, "retry", t, t + seconds, op, static_cast<std::int32_t>(sender));
+      t += seconds;
+    }
+  }
   clock_.advance(lossless_s + recovery_s);
   if (ledger_on) {
     double payload_bytes = 0.0;
@@ -312,6 +367,7 @@ void RankContext::allreduce_sum(std::span<float> data) {
   const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
   c.tracker_.on_publish(rank_, op);
+  cp_edge(rank_, "publish", clock_.time(), op);
   c.float_slots_[rank_] = data;
   c.barrier_wait(rank_);
   // Every rank reduces redundantly into a private buffer; identical
@@ -322,6 +378,7 @@ void RankContext::allreduce_sum(std::span<float> data) {
   for (std::size_t r = 0; r < c.ranks_; ++r) {
     if (c.dead_[r] != 0) continue;
     c.tracker_.on_consume(rank_, r, op);
+    cp_edge(rank_, "consume", clock_.time(), op, static_cast<std::int32_t>(r));
     auto peer = c.float_slots_[r];
     if (peer.size() != data.size()) {
       throw std::invalid_argument("allreduce_sum: mismatched sizes across ranks");
@@ -335,6 +392,7 @@ void RankContext::allreduce_sum(std::span<float> data) {
   }
   const double bytes = static_cast<double>(data.size() * sizeof(float));
   const double cost_s = c.network_.allreduce_time(bytes, live);
+  if (cost_s > 0.0) cp_span(rank_, "collective", clock_.time(), clock_.time() + cost_s, op);
   clock_.advance(cost_s);
   if (ledger_records(rank_)) {
     // No transport faults on the reduction path: predicted == charged.
@@ -355,11 +413,15 @@ void RankContext::broadcast(std::span<float> data, std::size_t root) {
   const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
   if (root >= c.ranks_) throw std::invalid_argument("broadcast: bad root");
-  if (rank_ == root) c.tracker_.on_publish(rank_, op);
+  if (rank_ == root) {
+    c.tracker_.on_publish(rank_, op);
+    cp_edge(rank_, "publish", clock_.time(), op);
+  }
   c.float_slots_[rank_] = data;
   c.barrier_wait(rank_);
   if (c.dead_[root] != 0) throw std::runtime_error("broadcast: root rank crashed");
   c.tracker_.on_consume(rank_, root, op);
+  cp_edge(rank_, "consume", clock_.time(), op, static_cast<std::int32_t>(root));
   auto src = c.float_slots_[root];
   if (src.size() != data.size()) {
     throw std::invalid_argument("broadcast: mismatched sizes across ranks");
@@ -367,6 +429,7 @@ void RankContext::broadcast(std::span<float> data, std::size_t root) {
   if (rank_ != root) std::copy(src.begin(), src.end(), data.begin());
   const double bytes = static_cast<double>(data.size() * sizeof(float));
   const double cost_s = c.network_.broadcast_time(bytes, c.ranks_);
+  if (cost_s > 0.0) cp_span(rank_, "collective", clock_.time(), clock_.time() + cost_s, op);
   clock_.advance(cost_s);
   if (ledger_records(rank_)) {
     telemetry::RunLedger::global().record_collective(
@@ -385,6 +448,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
   SimCluster& c = *cluster_;
   if (root >= c.ranks_) throw std::invalid_argument("gather: bad root");
   c.tracker_.on_publish(rank_, op);
+  cp_edge(rank_, "publish", clock_.time(), op);
   c.byte_slots_[rank_] = send;
   c.barrier_wait(rank_);
   std::vector<std::vector<std::uint8_t>> gathered;
@@ -396,6 +460,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
     for (std::size_t r = 0; r < c.ranks_; ++r) {
       if (c.dead_[r] != 0) continue;  // crashed peers contribute nothing
       c.tracker_.on_consume(rank_, r, op);
+      cp_edge(rank_, "consume", clock_.time(), op, static_cast<std::int32_t>(r));
       gathered[r].assign(c.byte_slots_[r].begin(), c.byte_slots_[r].end());
       payload_bytes += static_cast<double>(c.byte_slots_[r].size());
       if (r != root) cost_s += c.network_.p2p_time(static_cast<double>(c.byte_slots_[r].size()));
@@ -403,6 +468,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
   } else {
     cost_s = c.network_.p2p_time(static_cast<double>(send.size()));
   }
+  if (cost_s > 0.0) cp_span(rank_, "collective", clock_.time(), clock_.time() + cost_s, op);
   clock_.advance(cost_s);
   if (ledger_records(rank_)) {
     telemetry::RunLedger::global().record_collective(
@@ -420,6 +486,7 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
   const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
   c.tracker_.on_publish(rank_, op);
+  cp_edge(rank_, "publish", clock_.time(), op);
   c.float_slots_[rank_] = {const_cast<float*>(data.data()), data.size()};
   c.barrier_wait(rank_);
   const std::size_t n = data.size();
@@ -430,6 +497,7 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
   for (std::size_t r = 0; r < c.ranks_; ++r) {
     if (c.dead_[r] != 0) continue;
     c.tracker_.on_consume(rank_, r, op);
+    cp_edge(rank_, "consume", clock_.time(), op, static_cast<std::int32_t>(r));
     auto peer = c.float_slots_[r];
     if (peer.size() != n) {
       throw std::invalid_argument("reduce_scatter_sum: mismatched sizes across ranks");
@@ -439,6 +507,7 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
   // Ring reduce-scatter: p-1 steps of one chunk each.
   const double chunk_bytes = static_cast<double>(base * sizeof(float));
   const double cost_s = static_cast<double>(c.ranks_ - 1) * c.network_.p2p_time(chunk_bytes);
+  if (cost_s > 0.0) cp_span(rank_, "collective", clock_.time(), clock_.time() + cost_s, op);
   clock_.advance(cost_s);
   if (ledger_records(rank_)) {
     telemetry::RunLedger::global().record_collective(

@@ -78,8 +78,24 @@ ClusterTrainResult cluster_train(
       layout = model.param_layout();
     }
 
+    // Modelled compute: charge the phase's seconds to the simulated clock
+    // and emit the matching critical-path leaf span. Charges sit outside
+    // the wall-timing TraceSpans so wall measurements stay untouched.
+    const SimComputeModel* compute_model =
+        config.sim_compute.has_value() ? &*config.sim_compute : nullptr;
+    const auto charge = [&](const char* phase, double seconds) {
+      if (compute_model == nullptr || seconds <= 0.0) return;
+      const double start_s = ctx.clock().time();
+      ctx.clock().advance(seconds);
+      telemetry::Tracer::global().record_sim_span(static_cast<std::int32_t>(rank), phase,
+                                                  "cp", start_s, ctx.clock().time());
+    };
+
     double last_loss = 0.0;
     for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+      // Every span and causality edge this thread records during the step
+      // (including inside SimCluster's collectives) carries the iteration.
+      telemetry::ScopedIteration iteration_scope(static_cast<std::int64_t>(iter));
       const std::size_t skips_at_entry = rank_skips[rank];
       telemetry::LedgerIteration row;
       double forward_s = 0.0;
@@ -97,6 +113,7 @@ ClusterTrainResult cluster_train(
         last_loss = criterion.forward(model.forward(batch.inputs), batch.labels);
         forward_s = timer.seconds();
       }
+      if (compute_model != nullptr) charge("forward", compute_model->forward_s);
       losses[rank][iter] = last_loss;
       {
         telemetry::TraceSpan span("backward", "trainer");
@@ -105,6 +122,7 @@ ClusterTrainResult cluster_train(
         model.copy_gradients(gradient);
         backward_s = timer.seconds();
       }
+      if (compute_model != nullptr) charge("backward", compute_model->backward_s);
 
       // Compress, allgather packets, decompress every peer, average. In
       // analysis builds the frame carries the causality trailer (sender
@@ -126,6 +144,11 @@ ClusterTrainResult cluster_train(
         }
         wire = wire::frame_packet(packet, trailer);
         compress_s = timer.seconds();
+      }
+      if (compute_model != nullptr) {
+        charge("fft", compute_model->fft_s);
+        charge("quant_pack", compute_model->quant_pack_s);
+        charge("wire_crc", compute_model->wire_crc_s);
       }
       const auto gathered = ctx.allgather(wire);
 
@@ -225,15 +248,22 @@ ClusterTrainResult cluster_train(
         }
         decompress_s = timer.seconds();
       }
+      if (compute_model != nullptr && decoded > 0) {
+        charge("inverse_fft", compute_model->inverse_fft_s);
+        charge("dequant", compute_model->dequant_s);
+      }
       if (decoded < gathered.size()) {
         ++rank_degraded[rank];
         degraded_iters.add(1.0);
       }
 
       if (decoded > 0) {
-        telemetry::TraceSpan apply_span("apply", "trainer");
-        model.set_gradients(averaged);
-        optimizer.step(model, config.learning_rate);
+        {
+          telemetry::TraceSpan apply_span("apply", "trainer");
+          model.set_gradients(averaged);
+          optimizer.step(model, config.learning_rate);
+        }
+        if (compute_model != nullptr) charge("apply", compute_model->apply_s);
       }
 
       // Cross-rank state-hash agreement: surviving replicas must hold

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "fftgrad/comm/sim_cluster.h"
@@ -25,6 +26,28 @@
 
 namespace fftgrad::core {
 
+/// Deterministic modelled compute charged to each rank's SimClock, per
+/// iteration phase. The cluster's network costs are already modelled, but
+/// compute is only wall-*measured* by default, which keeps the simulated
+/// timeline free of compute entirely. Supplying a SimComputeModel makes
+/// the simulated iteration fully modelled — forward/backward/codec/framing
+/// time charged between the collectives — so the critical-path analyzer
+/// (fftgrad/telemetry/critical_path.h) sees a deterministic,
+/// host-independent timeline it can attribute exactly. Phases map onto the
+/// analyzer's categories: forward/backward/apply -> backprop,
+/// fft/inverse_fft -> FFT, quant_pack/dequant -> quantize/pack, wire_crc
+/// -> wire+CRC. Zero entries charge nothing.
+struct SimComputeModel {
+  double forward_s = 0.0;
+  double backward_s = 0.0;
+  double fft_s = 0.0;         ///< forward FFT of the sparsifying codec
+  double quant_pack_s = 0.0;  ///< quantize + bit-pack
+  double wire_crc_s = 0.0;    ///< frame + checksum
+  double inverse_fft_s = 0.0;
+  double dequant_s = 0.0;     ///< unpack + dequantize
+  double apply_s = 0.0;       ///< optimizer step
+};
+
 struct ClusterTrainConfig {
   std::size_t ranks = 4;
   std::size_t batch_per_rank = 16;
@@ -32,6 +55,9 @@ struct ClusterTrainConfig {
   float learning_rate = 0.05f;
   float momentum = 0.9f;
   std::uint64_t seed = 42;  ///< per-rank batch streams derive from this
+  /// When set, each phase charges the modelled seconds to the rank's
+  /// simulated clock (and emits the matching "cp" leaf span).
+  std::optional<SimComputeModel> sim_compute;
 };
 
 struct ClusterTrainResult {

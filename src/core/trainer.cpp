@@ -303,6 +303,10 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
     std::size_t ratio_count = 0;
 
     for (std::size_t iter = 0; iter < config_.iters_per_epoch; ++iter) {
+      // Tag every span recorded during the step (wall phases and the
+      // simulated per-rank layout below) with the global iteration index.
+      telemetry::ScopedIteration iteration_scope(
+          static_cast<std::int64_t>(epoch * config_.iters_per_epoch + iter));
       std::fill(mean_true.begin(), mean_true.end(), 0.0f);
       std::fill(mean_recon.begin(), mean_recon.end(), 0.0f);
       double slowest_rank = 0.0;

@@ -1,0 +1,670 @@
+#include "fftgrad/telemetry/critical_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "fftgrad/telemetry/metrics.h"
+
+namespace fftgrad::telemetry {
+namespace {
+
+/// Tolerance for "these simulated timestamps are the same instant". The
+/// simulation works in seconds with microsecond-scale costs, so 1e-9 is
+/// far below any modelled duration while absorbing fp addition noise.
+constexpr double kEps = 1e-9;
+
+/// Keep in sync with the exporter's sim-process base pid in trace.cpp:
+/// simulated session s exports as Chrome pid kSimPidBase + s.
+constexpr int kSimPidBase = 100;
+
+bool is_compute(CpCategory c) {
+  return c == CpCategory::kBackprop || c == CpCategory::kFft ||
+         c == CpCategory::kQuantPack || c == CpCategory::kWireCrc;
+}
+
+bool is_comm(CpCategory c) {
+  return c == CpCategory::kCollective || c == CpCategory::kRetry;
+}
+
+}  // namespace
+
+const char* cp_category_name(CpCategory category) {
+  switch (category) {
+    case CpCategory::kBackprop: return "backprop";
+    case CpCategory::kFft: return "fft";
+    case CpCategory::kQuantPack: return "quant_pack";
+    case CpCategory::kWireCrc: return "wire_crc";
+    case CpCategory::kCollective: return "collective";
+    case CpCategory::kRetry: return "retry";
+    case CpCategory::kStraggle: return "straggle";
+    case CpCategory::kStragglerWait: return "straggler_wait";
+    case CpCategory::kBarrierIdle: return "barrier_idle";
+    case CpCategory::kUntracked: return "untracked";
+    case CpCategory::kCount: break;
+  }
+  return "unknown";
+}
+
+CpCategory cp_category_for_span(const std::string& name) {
+  if (name == "forward" || name == "backward" || name == "apply") return CpCategory::kBackprop;
+  if (name == "fft" || name == "inverse_fft") return CpCategory::kFft;
+  if (name == "quant_pack" || name == "dequant") return CpCategory::kQuantPack;
+  if (name == "wire_crc") return CpCategory::kWireCrc;
+  if (name == "collective") return CpCategory::kCollective;
+  if (name == "retry") return CpCategory::kRetry;
+  if (name == "straggle") return CpCategory::kStraggle;
+  if (name == "straggler_wait") return CpCategory::kStragglerWait;
+  if (name == "barrier" || name == "abandoned") return CpCategory::kBarrierIdle;
+  return CpCategory::kUntracked;
+}
+
+std::uint32_t latest_sim_session(const std::vector<SpanRecord>& records) {
+  std::uint32_t latest = 0;
+  for (const SpanRecord& r : records) {
+    if (r.rank >= 0 && r.sim_start_s >= 0.0) latest = std::max(latest, r.sim_session);
+  }
+  return latest;
+}
+
+std::vector<CpEvent> cp_events_from_records(const std::vector<SpanRecord>& records,
+                                            std::uint32_t sim_session) {
+  std::vector<CpEvent> events;
+  for (const SpanRecord& r : records) {
+    if (r.name == nullptr || r.category == nullptr) continue;
+    if (r.sim_session != sim_session) continue;
+    if (r.rank < 0 || r.sim_start_s < 0.0 || r.sim_end_s < r.sim_start_s) continue;
+    const bool edge = std::string_view(r.category) == "cp-edge";
+    if (!edge && std::string_view(r.category) != "cp") continue;
+    CpEvent e;
+    e.rank = r.rank;
+    e.name = r.name;
+    e.start_s = r.sim_start_s;
+    e.end_s = r.sim_end_s;
+    e.iteration = r.iteration;
+    e.op = r.op;
+    e.peer = r.peer;
+    e.edge = edge;
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+std::vector<CpEvent> cp_events_from_chrome_json(const std::string& path, std::int64_t session) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const JsonValue doc = parse_json(text);
+  const JsonValue* events_json = doc.find("traceEvents");
+  if (events_json == nullptr || events_json->kind != JsonValue::Kind::kArray) {
+    throw std::runtime_error("'" + path + "' has no traceEvents array");
+  }
+
+  // Pick the session: either the requested one, or the newest simulated
+  // process present among cp events.
+  int want_pid = session >= 0 ? kSimPidBase + static_cast<int>(session) : -1;
+  if (want_pid < 0) {
+    for (const JsonValue& ev : events_json->array) {
+      const std::string cat = ev.string_or("cat", "");
+      if (cat != "cp" && cat != "cp-edge") continue;
+      const int pid = static_cast<int>(ev.number_or("pid", -1.0));
+      if (pid >= kSimPidBase) want_pid = std::max(want_pid, pid);
+    }
+  }
+
+  std::vector<CpEvent> events;
+  for (const JsonValue& ev : events_json->array) {
+    if (ev.string_or("ph", "") != "X") continue;
+    const std::string cat = ev.string_or("cat", "");
+    const bool edge = cat == "cp-edge";
+    if (!edge && cat != "cp") continue;
+    if (static_cast<int>(ev.number_or("pid", -1.0)) != want_pid) continue;
+    CpEvent e;
+    e.rank = static_cast<std::int32_t>(ev.number_or("tid", -1.0));
+    e.name = ev.string_or("name", "");
+    e.start_s = ev.number_or("ts", 0.0) * 1e-6;
+    e.end_s = e.start_s + ev.number_or("dur", 0.0) * 1e-6;
+    e.edge = edge;
+    if (const JsonValue* args = ev.find("args"); args != nullptr) {
+      e.iteration = static_cast<std::int64_t>(args->number_or("iteration", -1.0));
+      e.op = static_cast<std::int64_t>(args->number_or("op", -1.0));
+      e.peer = static_cast<std::int32_t>(args->number_or("peer", -1.0));
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+double CpIteration::category_sum_s() const {
+  double sum = 0.0;
+  for (double v : category_s) sum += v;
+  return sum;
+}
+
+double CpIteration::compute_s() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kCpCategoryCount; ++i) {
+    if (is_compute(static_cast<CpCategory>(i))) sum += category_s[i];
+  }
+  return sum;
+}
+
+double CpIteration::comm_s() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kCpCategoryCount; ++i) {
+    if (is_comm(static_cast<CpCategory>(i))) sum += category_s[i];
+  }
+  return sum;
+}
+
+double CpIteration::comm_share() const {
+  const double e2e = e2e_s();
+  return e2e > 0.0 ? comm_s() / e2e : 0.0;
+}
+
+double CpAnalysis::compute_s() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kCpCategoryCount; ++i) {
+    if (is_compute(static_cast<CpCategory>(i))) sum += total_s[i];
+  }
+  return sum;
+}
+
+double CpAnalysis::comm_s() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kCpCategoryCount; ++i) {
+    if (is_comm(static_cast<CpCategory>(i))) sum += total_s[i];
+  }
+  return sum;
+}
+
+double CpAnalysis::comm_share() const {
+  double e2e = 0.0;
+  for (const CpIteration& it : iterations) e2e += it.e2e_s();
+  double comm = 0.0;
+  for (const CpIteration& it : iterations) comm += it.comm_s();
+  return e2e > 0.0 ? comm / e2e : 0.0;
+}
+
+namespace {
+
+struct BarrierRound {
+  double release_s = -1.0;        ///< common aligned clock after the round
+  double max_live_entry_s = -1.0; ///< latest live arrival
+  std::int32_t bounding_rank = -1;
+  bool has_abandoned = false;
+  std::int32_t abandoned_rank = -1;
+  double abandoned_entry_s = -1.0;  ///< the straggler's pre-snap clock
+  std::int64_t iteration = -1;
+};
+
+/// Overlap bounds from one iteration's path segments. Compute and comm
+/// segment lists are taken in path (time) order; comm chunk j may start
+/// once compute segment j (1-based) is done — the FIFO two-machine flow
+/// shop a layer-wise DGC-style schedule would realize.
+void compute_bounds(CpIteration& iteration) {
+  std::vector<double> compute;
+  std::vector<double> comm;
+  for (const CpSegment& seg : iteration.path) {
+    const double d = seg.end_s - seg.start_s;
+    if (d <= 0.0) continue;
+    if (is_compute(seg.category)) compute.push_back(d);
+    else if (is_comm(seg.category)) comm.push_back(d);
+  }
+  const double compute_total = iteration.compute_s();
+  const double comm_total = iteration.comm_s();
+  const double other = iteration.e2e_s() - compute_total - comm_total;
+  iteration.overlap_bound_s = std::min(compute_total, comm_total);
+
+  std::vector<double> prefix(compute.size() + 1, 0.0);
+  for (std::size_t i = 0; i < compute.size(); ++i) prefix[i + 1] = prefix[i] + compute[i];
+  double b = 0.0;
+  for (std::size_t j = 0; j < comm.size(); ++j) {
+    const double dep = prefix[std::min(j + 1, compute.size())];
+    b = std::max(b, dep) + comm[j];
+  }
+  const double makespan = std::max(compute_total, b);
+  double bound = iteration.e2e_s() - other - makespan;
+  bound = std::max(0.0, std::min(bound, iteration.overlap_bound_s));
+  iteration.pipeline_bound_s = bound;
+}
+
+}  // namespace
+
+CpAnalysis analyze_critical_path(const std::vector<CpEvent>& events) {
+  CpAnalysis analysis;
+
+  // Per-rank timelines of leaf spans, sorted by (end, start): walking from
+  // the back of the vector visits spans latest-release first.
+  std::map<std::int32_t, std::vector<const CpEvent*>> timelines;
+  std::map<std::int64_t, BarrierRound> barriers;
+  std::int32_t max_rank = -1;
+  for (const CpEvent& e : events) {
+    if (e.edge) continue;
+    max_rank = std::max(max_rank, e.rank);
+    if (e.name == "abandoned") {
+      // Snapback record of a timed-out straggler: [release, pre-snap
+      // entry]. Not part of the rank's forward timeline.
+      if (e.op >= 0) {
+        BarrierRound& round = barriers[e.op];
+        if (!round.has_abandoned || e.end_s > round.abandoned_entry_s ||
+            (e.end_s == round.abandoned_entry_s && e.rank < round.abandoned_rank)) {
+          round.has_abandoned = true;
+          round.abandoned_rank = e.rank;
+          round.abandoned_entry_s = e.end_s;
+        }
+      }
+      continue;
+    }
+    timelines[e.rank].push_back(&e);
+    if (e.name == "barrier" && e.op >= 0) {
+      BarrierRound& round = barriers[e.op];
+      round.release_s = std::max(round.release_s, e.end_s);
+      // Exact ties (symmetric lossless ranks) break to the lowest rank:
+      // event order in the snapshot follows thread registration, which is
+      // schedule-dependent, and the analysis must not be.
+      if (e.start_s > round.max_live_entry_s ||
+          (e.start_s == round.max_live_entry_s &&
+           (round.bounding_rank < 0 || e.rank < round.bounding_rank))) {
+        round.max_live_entry_s = e.start_s;
+        round.bounding_rank = e.rank;
+      }
+      if (e.iteration >= 0) round.iteration = e.iteration;
+    }
+  }
+  if (timelines.empty()) return analysis;
+  for (auto& [rank, spans] : timelines) {
+    std::stable_sort(spans.begin(), spans.end(), [](const CpEvent* a, const CpEvent* b) {
+      if (a->end_s != b->end_s) return a->end_s < b->end_s;
+      if (a->start_s != b->start_s) return a->start_s < b->start_s;
+      // Full tie (e.g. coincident zero-length spans): order by (op, name)
+      // so the walk never depends on snapshot order, which follows
+      // schedule-dependent thread registration.
+      if (a->op != b->op) return a->op < b->op;
+      return a->name < b->name;
+    });
+  }
+
+  // End of the analyzed window: the latest span release; ties (the final
+  // barrier aligns every clock) break to the lowest rank for determinism.
+  double end_s = 0.0;
+  std::int32_t cur_rank = -1;
+  for (const auto& [rank, spans] : timelines) {
+    const double rank_end = spans.back()->end_s;
+    if (rank_end > end_s + kEps) {
+      end_s = rank_end;
+      cur_rank = rank;
+    } else if (cur_rank < 0) {
+      end_s = std::max(end_s, rank_end);
+      cur_rank = rank;
+    }
+  }
+  analysis.end_s = end_s;
+
+  // Backward walk. `index[rank]` counts the rank's unconsumed span prefix.
+  std::map<std::int32_t, std::size_t> index;
+  for (const auto& [rank, spans] : timelines) index[rank] = spans.size();
+
+  std::vector<CpSegment> reversed;  // built latest-first
+  const auto emit = [&](CpCategory category, std::int32_t rank, double start, double end,
+                        const char* name, std::int64_t iteration, std::int64_t op,
+                        std::int32_t peer) {
+    if (end - start <= 0.0) return;
+    CpSegment seg;
+    seg.category = category;
+    seg.rank = rank;
+    seg.start_s = start;
+    seg.end_s = end;
+    seg.name = name;
+    seg.iteration = iteration;
+    seg.op = op;
+    seg.peer = peer;
+    reversed.push_back(std::move(seg));
+  };
+
+  double cursor = end_s;
+  std::size_t guard = 0;
+  const std::size_t guard_limit = events.size() * 4 + 64;
+  while (cursor > kEps) {
+    if (++guard > guard_limit) {
+      analysis.problems.push_back("critical-path walk did not converge (trace malformed?)");
+      break;
+    }
+    auto tl_it = timelines.find(cur_rank);
+    if (tl_it == timelines.end()) {
+      analysis.problems.push_back("no spans recorded for rank " + std::to_string(cur_rank));
+      emit(CpCategory::kUntracked, cur_rank, 0.0, cursor, "gap", -1, -1, -1);
+      break;
+    }
+    const std::vector<const CpEvent*>& spans = tl_it->second;
+    std::size_t& idx = index[cur_rank];
+    while (idx > 0 && spans[idx - 1]->end_s > cursor + kEps) --idx;
+    if (idx == 0) {
+      // Nothing recorded before the cursor on this rank: the remaining
+      // window is untracked (e.g. the run's setup prefix).
+      emit(CpCategory::kUntracked, cur_rank, 0.0, cursor, "gap", -1, -1, -1);
+      cursor = 0.0;
+      break;
+    }
+    const CpEvent& span = *spans[idx - 1];
+    if (span.end_s < cursor - kEps) {
+      // Gap between recorded spans: attribute it to this rank, untracked.
+      emit(CpCategory::kUntracked, cur_rank, span.end_s, cursor, "gap", span.iteration, -1,
+           -1);
+      cursor = span.end_s;
+      continue;
+    }
+
+    if (span.name == "barrier" && span.op >= 0) {
+      --idx;
+      const BarrierRound& round = barriers[span.op];
+      if (round.bounding_rank < 0) {
+        analysis.problems.push_back("barrier generation " + std::to_string(span.op) +
+                                    " has no live arrivals");
+        continue;
+      }
+      if (round.has_abandoned && round.max_live_entry_s < round.release_s - kEps) {
+        // Timeout-capped release: between the last live arrival and the
+        // release the cluster was waiting out the straggler deadline —
+        // charge that wait to the abandoned rank.
+        emit(CpCategory::kStragglerWait, round.abandoned_rank, round.max_live_entry_s,
+             round.release_s, "straggler_wait", span.iteration, span.op,
+             round.abandoned_rank);
+      } else if (round.max_live_entry_s < round.release_s - kEps) {
+        // Release later than every arrival without a straggler record:
+        // structurally odd (e.g. a crash-released round) — keep the
+        // timeline contiguous and flag it.
+        analysis.problems.push_back("barrier generation " + std::to_string(span.op) +
+                                    " released after its last arrival");
+        emit(CpCategory::kBarrierIdle, cur_rank, round.max_live_entry_s, round.release_s,
+             "barrier", span.iteration, span.op, -1);
+      }
+      cursor = std::min(cursor, round.max_live_entry_s);
+      cur_rank = round.bounding_rank;
+      continue;
+    }
+
+    --idx;
+    const CpCategory category = cp_category_for_span(span.name);
+    if (category == CpCategory::kUntracked && span.end_s - span.start_s > kEps) {
+      analysis.problems.push_back("unknown cp span '" + span.name + "' on rank " +
+                                  std::to_string(span.rank));
+    }
+    emit(category, cur_rank, std::min(span.start_s, cursor), cursor, span.name.c_str(),
+         span.iteration, span.op, span.peer);
+    cursor = std::min(span.start_s, cursor);
+  }
+
+  // Forward order; untagged segments (barrier waits between phases, gaps)
+  // inherit the iteration of the segment that follows them in time.
+  std::int64_t current_iteration = -1;
+  for (CpSegment& seg : reversed) {
+    if (seg.iteration >= 0) current_iteration = seg.iteration;
+    else seg.iteration = current_iteration;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+
+  // Group contiguous runs of equal iteration into CpIteration windows.
+  for (CpSegment& seg : reversed) {
+    if (analysis.iterations.empty() || analysis.iterations.back().iteration != seg.iteration) {
+      CpIteration it;
+      it.iteration = seg.iteration;
+      it.start_s = seg.start_s;
+      it.end_s = seg.end_s;
+      analysis.iterations.push_back(std::move(it));
+    }
+    CpIteration& it = analysis.iterations.back();
+    it.end_s = seg.end_s;
+    it.category_s[static_cast<std::size_t>(seg.category)] += seg.end_s - seg.start_s;
+    it.path.push_back(seg);
+  }
+  for (CpIteration& it : analysis.iterations) {
+    compute_bounds(it);
+    for (std::size_t c = 0; c < kCpCategoryCount; ++c) analysis.total_s[c] += it.category_s[c];
+    analysis.overlap_bound_s += it.overlap_bound_s;
+    analysis.pipeline_bound_s += it.pipeline_bound_s;
+  }
+
+  // Per-rank flame summary over every recorded span (not just the path).
+  std::map<std::int32_t, CpRankSummary> ranks;
+  for (const CpEvent& e : events) {
+    if (e.edge || e.name == "abandoned") continue;
+    CpRankSummary& summary = ranks[e.rank];
+    summary.rank = e.rank;
+    summary.busy_s[static_cast<std::size_t>(cp_category_for_span(e.name))] +=
+        e.end_s - e.start_s;
+  }
+  for (auto& [rank, summary] : ranks) {
+    double covered = 0.0;
+    for (double v : summary.busy_s) covered += v;
+    const double barrier_idle = summary.busy_s[static_cast<std::size_t>(CpCategory::kBarrierIdle)];
+    summary.idle_s = barrier_idle + std::max(0.0, end_s - covered);
+  }
+  for (const CpIteration& it : analysis.iterations) {
+    for (const CpSegment& seg : it.path) {
+      ranks[seg.rank].rank = seg.rank;
+      ranks[seg.rank].on_path_s += seg.end_s - seg.start_s;
+    }
+  }
+  for (auto& [rank, summary] : ranks) analysis.ranks.push_back(summary);
+
+  return analysis;
+}
+
+namespace {
+
+void append_category_table(std::string& out, const std::array<double, kCpCategoryCount>& totals,
+                           double e2e, bool markdown) {
+  if (markdown) {
+    out += "| category | seconds | share |\n|---|---:|---:|\n";
+  } else {
+    out += "  category        seconds      share\n";
+  }
+  for (std::size_t c = 0; c < kCpCategoryCount; ++c) {
+    if (totals[c] <= 0.0) continue;
+    const double share = e2e > 0.0 ? totals[c] / e2e : 0.0;
+    char line[160];
+    if (markdown) {
+      std::snprintf(line, sizeof(line), "| %s | %.6f | %.1f%% |\n",
+                    cp_category_name(static_cast<CpCategory>(c)), totals[c], share * 100.0);
+    } else {
+      std::snprintf(line, sizeof(line), "  %-14s %10.6f   %6.1f%%\n",
+                    cp_category_name(static_cast<CpCategory>(c)), totals[c], share * 100.0);
+    }
+    out += line;
+  }
+}
+
+}  // namespace
+
+std::string render_critpath_report(const CpAnalysis& analysis, bool markdown) {
+  std::string out;
+  double e2e = 0.0;
+  for (const CpIteration& it : analysis.iterations) e2e += it.e2e_s();
+
+  out += markdown ? "# Critical path\n\n" : "critical path\n=============\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%send-to-end %.6f s over %zu window(s); compute %.6f s, comm %.6f s "
+                "(comm share %.1f%%)\n",
+                markdown ? "\n" : "", e2e, analysis.iterations.size(), analysis.compute_s(),
+                analysis.comm_s(), analysis.comm_share() * 100.0);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "overlap upper bound %.6f s (perfect chunking); pipeline bound %.6f s "
+                "(layer-wise FIFO)\n\n",
+                analysis.overlap_bound_s, analysis.pipeline_bound_s);
+  out += line;
+
+  out += markdown ? "## Totals\n\n" : "totals\n";
+  append_category_table(out, analysis.total_s, e2e, markdown);
+
+  out += markdown ? "\n## Iterations\n\n" : "\niterations\n";
+  if (markdown) {
+    out += "| iter | e2e s | compute s | comm s | comm share | overlap bound s | pipeline "
+           "bound s |\n|---:|---:|---:|---:|---:|---:|---:|\n";
+  } else {
+    out += "  iter      e2e s  compute s     comm s   share  overlap s  pipeline s\n";
+  }
+  for (const CpIteration& it : analysis.iterations) {
+    const char* fmt = markdown ? "| %lld | %.6f | %.6f | %.6f | %.1f%% | %.6f | %.6f |\n"
+                               : "  %4lld %10.6f %10.6f %10.6f  %5.1f%% %10.6f  %10.6f\n";
+    std::snprintf(line, sizeof(line), fmt, static_cast<long long>(it.iteration), it.e2e_s(),
+                  it.compute_s(), it.comm_s(), it.comm_share() * 100.0, it.overlap_bound_s,
+                  it.pipeline_bound_s);
+    out += line;
+  }
+
+  out += markdown ? "\n## Ranks\n\n" : "\nranks\n";
+  if (markdown) {
+    out += "| rank | on path s | busy s | idle s |\n|---:|---:|---:|---:|\n";
+  } else {
+    out += "  rank  on path s     busy s     idle s\n";
+  }
+  for (const CpRankSummary& r : analysis.ranks) {
+    double busy = 0.0;
+    for (std::size_t c = 0; c < kCpCategoryCount; ++c) {
+      if (static_cast<CpCategory>(c) != CpCategory::kBarrierIdle) busy += r.busy_s[c];
+    }
+    const char* fmt = markdown ? "| %d | %.6f | %.6f | %.6f |\n"
+                               : "  %4d %10.6f %10.6f %10.6f\n";
+    std::snprintf(line, sizeof(line), fmt, r.rank, r.on_path_s, busy, r.idle_s);
+    out += line;
+  }
+
+  if (!analysis.problems.empty()) {
+    out += markdown ? "\n## Problems\n\n" : "\nproblems\n";
+    for (const std::string& p : analysis.problems) {
+      out += markdown ? "- " + p + "\n" : "  ! " + p + "\n";
+    }
+  }
+  return out;
+}
+
+std::string render_critpath_diff(const CpAnalysis& before, const CpAnalysis& after,
+                                 bool markdown) {
+  std::string out;
+  out += markdown ? "## Critical-path diff\n\n" : "critical-path diff\n";
+  if (markdown) {
+    out += "| category | before s | after s | delta s |\n|---|---:|---:|---:|\n";
+  } else {
+    out += "  category        before s    after s    delta s\n";
+  }
+  char line[192];
+  for (std::size_t c = 0; c < kCpCategoryCount; ++c) {
+    const double b = before.total_s[c];
+    const double a = after.total_s[c];
+    if (b <= 0.0 && a <= 0.0) continue;
+    const char* fmt = markdown ? "| %s | %.6f | %.6f | %+.6f |\n"
+                               : "  %-14s %10.6f %10.6f %+10.6f\n";
+    std::snprintf(line, sizeof(line), fmt, cp_category_name(static_cast<CpCategory>(c)), b, a,
+                  a - b);
+    out += line;
+  }
+  double e2e_before = 0.0;
+  double e2e_after = 0.0;
+  for (const CpIteration& it : before.iterations) e2e_before += it.e2e_s();
+  for (const CpIteration& it : after.iterations) e2e_after += it.e2e_s();
+  std::snprintf(line, sizeof(line),
+                "%send-to-end %+.6f s; overlap bound %+.6f s; pipeline bound %+.6f s\n",
+                markdown ? "\n" : "", e2e_after - e2e_before,
+                after.overlap_bound_s - before.overlap_bound_s,
+                after.pipeline_bound_s - before.pipeline_bound_s);
+  out += line;
+  return out;
+}
+
+std::string serialize_critpath(const CpAnalysis& analysis) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "end=%.9f overlap=%.9f pipeline=%.9f\n", analysis.end_s,
+                analysis.overlap_bound_s, analysis.pipeline_bound_s);
+  out += line;
+  for (const CpIteration& it : analysis.iterations) {
+    std::snprintf(line, sizeof(line), "iter %lld [%.9f,%.9f] ob=%.9f pb=%.9f\n",
+                  static_cast<long long>(it.iteration), it.start_s, it.end_s,
+                  it.overlap_bound_s, it.pipeline_bound_s);
+    out += line;
+    for (const CpSegment& seg : it.path) {
+      std::snprintf(line, sizeof(line), "  seg %s rank=%d [%.9f,%.9f] op=%lld peer=%d %s\n",
+                    cp_category_name(seg.category), seg.rank, seg.start_s, seg.end_s,
+                    static_cast<long long>(seg.op), seg.peer, seg.name.c_str());
+      out += line;
+    }
+  }
+  for (const CpRankSummary& r : analysis.ranks) {
+    std::snprintf(line, sizeof(line), "rank %d on_path=%.9f idle=%.9f\n", r.rank, r.on_path_s,
+                  r.idle_s);
+    out += line;
+  }
+  return out;
+}
+
+void publish_critpath_metrics(const CpAnalysis& analysis) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  double e2e = 0.0;
+  for (const CpIteration& it : analysis.iterations) e2e += it.e2e_s();
+  reg.gauge("critpath.e2e_s").set(e2e);
+  reg.gauge("critpath.iterations").set(static_cast<double>(analysis.iterations.size()));
+  reg.gauge("critpath.comm_share").set(analysis.comm_share());
+  reg.gauge("critpath.overlap_bound_s").set(analysis.overlap_bound_s);
+  reg.gauge("critpath.pipeline_bound_s").set(analysis.pipeline_bound_s);
+  for (std::size_t c = 0; c < kCpCategoryCount; ++c) {
+    if (analysis.total_s[c] <= 0.0) continue;
+    reg.gauge(std::string("critpath.") + cp_category_name(static_cast<CpCategory>(c)) + "_s")
+        .set(analysis.total_s[c]);
+  }
+}
+
+LedgerCritpath ledger_critpath_from(const CpAnalysis& analysis) {
+  LedgerCritpath row;
+  row.iterations = analysis.iterations.size();
+  for (const CpIteration& it : analysis.iterations) row.e2e_s += it.e2e_s();
+  row.compute_s = analysis.compute_s();
+  row.comm_s = analysis.comm_s();
+  row.comm_share = analysis.comm_share();
+  row.overlap_bound_s = analysis.overlap_bound_s;
+  row.pipeline_bound_s = analysis.pipeline_bound_s;
+  for (std::size_t c = 0; c < kCpCategoryCount; ++c) {
+    if (analysis.total_s[c] <= 0.0) continue;
+    row.category_s.emplace_back(cp_category_name(static_cast<CpCategory>(c)),
+                                analysis.total_s[c]);
+  }
+  return row;
+}
+
+CpLedgerReconcile reconcile_with_ledger(const CpAnalysis& analysis, const LedgerRun& run) {
+  CpLedgerReconcile result;
+  // Iterations the analyzer actually windowed (setup/teardown excluded).
+  std::map<std::int64_t, double> path_comm;
+  for (const CpIteration& it : analysis.iterations) {
+    if (it.iteration >= 0) path_comm[it.iteration] += it.comm_s();
+  }
+  for (const JsonValue& row : run.iterations) {
+    const std::int64_t iteration =
+        static_cast<std::int64_t>(row.number_or("iter", row.number_or("iteration", -1.0)));
+    const auto it = path_comm.find(iteration);
+    if (it == path_comm.end()) continue;
+    const JsonValue* collectives = row.find("collectives");
+    if (collectives == nullptr || collectives->kind != JsonValue::Kind::kArray) continue;
+    for (const JsonValue& c : collectives->array) {
+      result.ledger_charged_s += c.number_or("charged_s", 0.0);
+      result.compared = true;
+    }
+    result.path_comm_s += it->second;
+  }
+  result.abs_diff_s = std::fabs(result.ledger_charged_s - result.path_comm_s);
+  const double denom = std::max({result.ledger_charged_s, result.path_comm_s, 1e-12});
+  result.rel_diff = result.abs_diff_s / denom;
+  return result;
+}
+
+}  // namespace fftgrad::telemetry

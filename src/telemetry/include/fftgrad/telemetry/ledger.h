@@ -94,6 +94,22 @@ struct LedgerCollective {
   std::uint64_t failed = 0;   ///< excluded or undeliverable contributions
 };
 
+/// Critical-path summary appended after a run by the analyzer (see
+/// fftgrad/telemetry/critical_path.h): the per-category attribution of the
+/// simulated end-to-end time plus the overlap upper bounds. Recorded as a
+/// `critpath` row tied to the most recent run.
+struct LedgerCritpath {
+  std::uint64_t iterations = 0;
+  double e2e_s = 0.0;
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double comm_share = 0.0;
+  double overlap_bound_s = 0.0;
+  double pipeline_bound_s = 0.0;
+  /// (category name, seconds on the critical path), analyzer order.
+  std::vector<std::pair<std::string, double>> category_s;
+};
+
 /// Per-layer reconstruction quality (alpha/rms/max over the layer's slice
 /// of the flat gradient; the wire ratio does not decompose per layer).
 struct LedgerLayerStats {
@@ -163,6 +179,10 @@ class RunLedger {
 
   /// Buffer one collective pairing; drained into the next iteration row.
   void record_collective(const LedgerCollective& sample);
+  /// Write a `critpath` summary row. Usually called after end_run() (the
+  /// analyzer runs on the finished trace); the row is stamped with the
+  /// most recent run id either way.
+  void record_critpath(const LedgerCritpath& row);
   /// Write the iteration row (with the buffered collectives) and run the
   /// health monitors on it.
   void end_iteration(const LedgerIteration& row);
@@ -241,7 +261,8 @@ struct LedgerRun {
   JsonValue manifest;
   std::vector<JsonValue> iterations;
   std::vector<JsonValue> alerts;
-  JsonValue summary;  ///< kNull when the run was cut off before end_run()
+  JsonValue summary;   ///< kNull when the run was cut off before end_run()
+  JsonValue critpath;  ///< kNull when no critical-path row was recorded
 };
 
 /// Load every run from a ledger JSONL file. Throws std::runtime_error on

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace fftgrad::telemetry {
 
@@ -39,6 +40,13 @@ struct SpanRecord {
   std::int32_t rank = -1;       ///< logical rank (simulated track); -1 = none
   std::uint32_t thread = 0;     ///< per-process thread registration index
   std::uint32_t sim_session = 0;  ///< simulated run this span belongs to
+  /// Training iteration the span belongs to (-1: outside any iteration).
+  /// Filled from the thread's ScopedIteration tag when the caller leaves it
+  /// unset, so collective spans opened inside the trainer loop are
+  /// segmentable per iteration without timestamp heuristics.
+  std::int64_t iteration = -1;
+  std::int64_t op = -1;   ///< collective op / barrier generation; -1 = none
+  std::int32_t peer = -1;  ///< peer rank the span is attributed to; -1 = none
 };
 
 class Tracer {
@@ -54,10 +62,14 @@ class Tracer {
   void record(const SpanRecord& record);
 
   /// Append a simulated-timeline-only span with explicit timestamps, for
-  /// callers (the sequential DistributedTrainer) that model many logical
-  /// ranks from one thread. No-op when disabled.
+  /// callers (the sequential DistributedTrainer, SimCluster's charged-time
+  /// segments) that model many logical ranks from one thread. `op` tags the
+  /// collective / barrier the span belongs to and `peer` the rank the time
+  /// is attributed to (e.g. the faulted sender of a retransmission); both
+  /// default to "none". No-op when disabled.
   void record_sim_span(std::int32_t rank, const char* name, const char* category,
-                       double sim_start_s, double sim_end_s);
+                       double sim_start_s, double sim_end_s, std::int64_t op = -1,
+                       std::int32_t peer = -1);
 
   /// Start a new simulated run. Every simulation begins its clocks at zero,
   /// so spans from consecutive runs (e.g. training each algorithm in turn)
@@ -73,6 +85,11 @@ class Tracer {
   /// Write everything recorded so far as Chrome trace-event JSON. Returns
   /// false (and logs a warning) if the file cannot be written.
   bool export_chrome_json(const std::string& path);
+
+  /// Copy of every span recorded so far (all threads' published prefixes),
+  /// for in-process consumers — the critical-path analyzer — that need the
+  /// records rather than the exported JSON.
+  std::vector<SpanRecord> snapshot() const;
 
   /// Drop all recorded spans (buffers are kept for their threads).
   void clear();
@@ -109,6 +126,22 @@ class TraceSpan {
   std::uint64_t wall_start_ns_ = 0;
   double sim_start_s_ = -1.0;
   bool armed_ = false;
+};
+
+/// Tags every span the calling thread records (including spans opened by
+/// SimCluster collectives called from the scope) with a training-iteration
+/// index, restoring the previous tag on destruction. Nesting is allowed;
+/// the innermost scope wins.
+class ScopedIteration {
+ public:
+  explicit ScopedIteration(std::int64_t iteration);
+  ~ScopedIteration();
+
+  ScopedIteration(const ScopedIteration&) = delete;
+  ScopedIteration& operator=(const ScopedIteration&) = delete;
+
+ private:
+  std::int64_t previous_iteration_;
 };
 
 /// Binds the calling thread to a logical rank and (optionally) a simulated

@@ -191,6 +191,30 @@ void RunLedger::record_collective(const LedgerCollective& sample) {
   pending_collectives_.push_back(sample);
 }
 
+void RunLedger::record_critpath(const LedgerCritpath& row) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The analyzer runs after end_run() closed the run; attribute the row to
+  // the most recently opened run either way.
+  const std::uint64_t run = run_id_ != 0 ? run_id_ : next_run_id_;
+  std::ostringstream out;
+  out << "{\"type\":\"critpath\",\"run\":" << run << ",\"iterations\":" << row.iterations
+      << ",\"e2e_s\":" << json_number(row.e2e_s)
+      << ",\"compute_s\":" << json_number(row.compute_s)
+      << ",\"comm_s\":" << json_number(row.comm_s)
+      << ",\"comm_share\":" << json_number(row.comm_share)
+      << ",\"overlap_bound_s\":" << json_number(row.overlap_bound_s)
+      << ",\"pipeline_bound_s\":" << json_number(row.pipeline_bound_s) << ",\"categories\":{";
+  bool first = true;
+  for (const auto& [name, seconds] : row.category_s) {
+    out << (first ? "" : ",") << json_string(name) << ":" << json_number(seconds);
+    first = false;
+  }
+  out << "}}";
+  write_line_locked(out.str());
+  if (file_ != nullptr) std::fflush(static_cast<std::FILE*>(file_));
+}
+
 void RunLedger::alert_locked(const char* monitor, std::uint64_t iteration, double value,
                              double bound, const std::string& message) {
   ++alert_counts_[monitor];

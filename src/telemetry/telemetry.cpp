@@ -1,9 +1,11 @@
 #include "fftgrad/telemetry/telemetry.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <string>
 
+#include "fftgrad/telemetry/critical_path.h"
 #include "fftgrad/telemetry/ledger.h"
 #include "fftgrad/util/logging.h"
 
@@ -18,6 +20,38 @@ std::string& trace_path() {
 std::string& metrics_path() {
   static std::string path;
   return path;
+}
+
+std::string& critpath_path() {
+  static std::string path;
+  return path;
+}
+
+/// FFTGRAD_CRITPATH=<path>: at exit, run the critical-path analyzer over
+/// the newest simulated session, write the report to <path> (Markdown when
+/// it ends in .md), publish the critpath.* gauges, and append the ledger's
+/// critpath row. Runs before the metrics export and the ledger close so
+/// both outputs carry the analysis.
+void analyze_critpath_configured() {
+  if (critpath_path().empty()) return;
+  const std::vector<SpanRecord> records = Tracer::global().snapshot();
+  const std::vector<CpEvent> events =
+      cp_events_from_records(records, latest_sim_session(records));
+  const CpAnalysis analysis = analyze_critical_path(events);
+  publish_critpath_metrics(analysis);
+  if (RunLedger::global().enabled()) {
+    RunLedger::global().record_critpath(ledger_critpath_from(analysis));
+  }
+  const std::string& path = critpath_path();
+  const bool markdown = path.size() >= 3 && path.compare(path.size() - 3, 3, ".md") == 0;
+  const std::string report = render_critpath_report(analysis, markdown);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    util::log_warn() << "telemetry: cannot write critical-path report to '" << path << "'";
+    return;
+  }
+  std::fwrite(report.data(), 1, report.size(), f);
+  std::fclose(f);
 }
 
 double env_double(const char* name, double fallback) {
@@ -45,11 +79,22 @@ void init_from_env() {
     const char* trace = std::getenv("FFTGRAD_TRACE");
     const char* metrics = std::getenv("FFTGRAD_METRICS");
     const char* ledger = std::getenv("FFTGRAD_LEDGER");
-    if (trace == nullptr && metrics == nullptr && ledger == nullptr) return;
+    const char* critpath = std::getenv("FFTGRAD_CRITPATH");
+    if (trace == nullptr && metrics == nullptr && ledger == nullptr && critpath == nullptr) {
+      return;
+    }
     if (trace != nullptr && *trace != '\0') {
       trace_path() = trace;
       Tracer::global().set_enabled(true);
       util::log_info() << "telemetry: tracing to " << trace_path();
+    }
+    if (critpath != nullptr && *critpath != '\0') {
+      // The analyzer consumes tracer records, so tracing must collect even
+      // when no trace file was requested.
+      critpath_path() = critpath;
+      Tracer::global().set_enabled(true);
+      MetricsRegistry::global().set_enabled(true);
+      util::log_info() << "telemetry: critical-path report to " << critpath_path();
     }
     if (trace != nullptr || metrics != nullptr) {
       MetricsRegistry::global().set_enabled(true);
@@ -80,6 +125,7 @@ void init_from_env() {
       }
     }
     std::atexit([] {
+      analyze_critpath_configured();
       export_configured();
       RunLedger::global().close();
     });

@@ -65,6 +65,7 @@ struct ThreadState {
   ThreadBuffer* buffer = nullptr;  ///< owned by the tracer's registry
   std::int32_t rank = -1;
   const double* sim_time_s = nullptr;
+  std::int64_t iteration = -1;
 };
 
 thread_local ThreadState t_state;
@@ -127,16 +128,32 @@ void write_escaped(std::FILE* f, const char* s) {
 constexpr int kWallPid = 1;
 constexpr int kSimPidBase = 100;
 
-void write_event(std::FILE* f, bool& first, const char* name, const char* category, int pid,
-                 std::int64_t tid, double ts_us, double dur_us) {
+void write_event(std::FILE* f, bool& first, const SpanRecord& r, int pid, std::int64_t tid,
+                 double ts_us, double dur_us) {
   if (!first) std::fputs(",\n", f);
   first = false;
   std::fputs("{\"name\":\"", f);
-  write_escaped(f, name);
+  write_escaped(f, r.name);
   std::fputs("\",\"cat\":\"", f);
-  write_escaped(f, category != nullptr ? category : "span");
-  std::fprintf(f, "\",\"ph\":\"X\",\"pid\":%d,\"tid\":%lld,\"ts\":%.3f,\"dur\":%.3f}", pid,
+  write_escaped(f, r.category != nullptr ? r.category : "span");
+  // %.6f microseconds = picosecond resolution: a re-imported trace must
+  // reconstruct span boundaries well inside the critical-path validator's
+  // 1e-9 s tiling tolerance (nanosecond %.3f quantization sat exactly on it).
+  std::fprintf(f, "\",\"ph\":\"X\",\"pid\":%d,\"tid\":%lld,\"ts\":%.6f,\"dur\":%.6f", pid,
                static_cast<long long>(tid), ts_us, dur_us);
+  if (r.iteration >= 0 || r.op >= 0 || r.peer >= 0) {
+    std::fputs(",\"args\":{", f);
+    bool arg_first = true;
+    const auto arg = [&](const char* key, long long value) {
+      std::fprintf(f, "%s\"%s\":%lld", arg_first ? "" : ",", key, value);
+      arg_first = false;
+    };
+    if (r.iteration >= 0) arg("iteration", static_cast<long long>(r.iteration));
+    if (r.op >= 0) arg("op", static_cast<long long>(r.op));
+    if (r.peer >= 0) arg("peer", static_cast<long long>(r.peer));
+    std::fputc('}', f);
+  }
+  std::fputc('}', f);
 }
 
 void write_metadata(std::FILE* f, bool& first, const char* kind, int pid, std::int64_t tid,
@@ -169,11 +186,13 @@ void Tracer::record(const SpanRecord& record) {
   ThreadBuffer& buffer = registry().buffer_for_current_thread();
   SpanRecord r = record;
   r.thread = buffer.index;
+  if (r.iteration < 0) r.iteration = t_state.iteration;
   buffer.push(r);
 }
 
 void Tracer::record_sim_span(std::int32_t rank, const char* name, const char* category,
-                             double sim_start_s, double sim_end_s) {
+                             double sim_start_s, double sim_end_s, std::int64_t op,
+                             std::int32_t peer) {
   if (!enabled()) return;
   SpanRecord r;
   r.name = name;
@@ -182,7 +201,18 @@ void Tracer::record_sim_span(std::int32_t rank, const char* name, const char* ca
   r.sim_start_s = sim_start_s;
   r.sim_end_s = sim_end_s;
   r.sim_session = current_sim_session();
+  r.op = op;
+  r.peer = peer;
   record(r);
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<SpanRecord> records;
+  for (ThreadBuffer* buffer : registry().all()) {
+    const std::vector<SpanRecord> spans = buffer->snapshot();
+    records.insert(records.end(), spans.begin(), spans.end());
+  }
+  return records;
 }
 
 void Tracer::clear() {
@@ -209,18 +239,18 @@ bool Tracer::export_chrome_json(const std::string& path) {
     return false;
   }
 
-  std::vector<SpanRecord> records;
-  for (ThreadBuffer* buffer : registry().all()) {
-    const std::vector<SpanRecord> spans = buffer->snapshot();
-    records.insert(records.end(), spans.begin(), spans.end());
-  }
+  const std::vector<SpanRecord> records = snapshot();
 
   std::fputs("{\"traceEvents\":[\n", f);
   bool first = true;
   write_metadata(f, first, "process_name", kWallPid, 0, false, "wall clock (per thread)");
 
   // One process per simulated run; within it, one track (tid) per rank.
+  // Wall tracks are named after the rank the thread served (the first one
+  // it recorded), so wall tracks stay rank-stable across runs even though
+  // thread registration order depends on scheduling.
   std::map<std::uint32_t, std::int32_t> session_max_rank;
+  std::map<std::uint32_t, std::int32_t> thread_rank;
   std::uint32_t max_thread = 0;
   bool any_wall = false;
   for (const SpanRecord& r : records) {
@@ -228,6 +258,7 @@ bool Tracer::export_chrome_json(const std::string& path) {
       auto [it, inserted] = session_max_rank.emplace(r.sim_session, r.rank);
       if (!inserted && r.rank > it->second) it->second = r.rank;
     }
+    if (r.rank >= 0) thread_rank.emplace(r.thread, r.rank);
     if (r.thread > max_thread) max_thread = r.thread;
     if (r.wall_end_ns != 0) any_wall = true;
   }
@@ -241,8 +272,12 @@ bool Tracer::export_chrome_json(const std::string& path) {
   }
   if (any_wall) {
     for (std::uint32_t t = 0; t <= max_thread; ++t) {
-      write_metadata(f, first, "thread_name", kWallPid, t, true,
-                     "thread " + std::to_string(t));
+      const auto it = thread_rank.find(t);
+      const std::string label =
+          it != thread_rank.end()
+              ? "rank " + std::to_string(it->second) + " (thread " + std::to_string(t) + ")"
+              : "thread " + std::to_string(t);
+      write_metadata(f, first, "thread_name", kWallPid, t, true, label);
     }
   }
 
@@ -251,12 +286,12 @@ bool Tracer::export_chrome_json(const std::string& path) {
     // Simulated timeline: one track per logical rank, timestamps from the
     // rank's SimClock (seconds -> microseconds).
     if (r.rank >= 0 && r.sim_start_s >= 0.0 && r.sim_end_s >= r.sim_start_s) {
-      write_event(f, first, r.name, r.category, kSimPidBase + static_cast<int>(r.sim_session),
-                  r.rank, r.sim_start_s * 1e6, (r.sim_end_s - r.sim_start_s) * 1e6);
+      write_event(f, first, r, kSimPidBase + static_cast<int>(r.sim_session), r.rank,
+                  r.sim_start_s * 1e6, (r.sim_end_s - r.sim_start_s) * 1e6);
     }
     // Wall timeline: one track per OS thread.
     if (r.wall_end_ns != 0 && r.wall_end_ns >= r.wall_start_ns) {
-      write_event(f, first, r.name, r.category, kWallPid, r.thread,
+      write_event(f, first, r, kWallPid, r.thread,
                   static_cast<double>(r.wall_start_ns) * 1e-3,
                   static_cast<double>(r.wall_end_ns - r.wall_start_ns) * 1e-3);
     }
@@ -291,6 +326,13 @@ TraceSpan::~TraceSpan() {
   r.sim_session = tracer.current_sim_session();
   tracer.record(r);
 }
+
+ScopedIteration::ScopedIteration(std::int64_t iteration)
+    : previous_iteration_(t_state.iteration) {
+  t_state.iteration = iteration;
+}
+
+ScopedIteration::~ScopedIteration() { t_state.iteration = previous_iteration_; }
 
 ScopedRank::ScopedRank(std::int32_t rank, const double* sim_time_s)
     : previous_rank_(t_state.rank), previous_sim_time_(t_state.sim_time_s) {

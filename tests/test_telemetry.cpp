@@ -312,6 +312,13 @@ TEST_F(TelemetryTest, ConcurrentClusterSpansExportValidChromeJson) {
     ASSERT_TRUE(event.has("dur"));
     ASSERT_GE(event.at("dur").number, 0.0);
     if (event.at("pid").number < 100.0) continue;
+    // The critical-path analyzer's leaf spans (category "cp") and
+    // happens-before markers ("cp-edge") nest inside the coarse collective
+    // spans; this test is about the coarse per-rank tiling, so skip them.
+    if (event.has("cat") &&
+        (event.at("cat").str == "cp" || event.at("cat").str == "cp-edge")) {
+      continue;
+    }
     sim_pids.insert(event.at("pid").number);
     tracks[static_cast<int>(event.at("tid").number)].push_back(
         {event.at("ts").number, event.at("dur").number, event.at("name").str});
