@@ -73,7 +73,7 @@ void report(const char* title, const std::vector<LayerSpec>& layers) {
   // ResNet32's thousands-of-parameters layers communication-dominated in
   // the paper's Fig 2b. Wire latency alone (1us) would hide that effect.
   fftgrad::comm::NetworkModel net = fftgrad::comm::NetworkModel::infiniband_fdr56();
-  net.latency_s = 20e-6;
+  net.latency_s = fftgrad::util::SimSeconds(20e-6);
   // P100 peak 9.3 TFlops fp32; ~35% attained on conv/GEMM kernels.
   const double flops_per_s = 9.3e12 * 0.35;
   const std::size_t ranks = 16;
@@ -84,7 +84,8 @@ void report(const char* title, const std::vector<LayerSpec>& layers) {
   table.set_double_format("%.3f");
   double comm_total = 0.0, comp_total = 0.0;
   for (const LayerSpec& layer : layers) {
-    const double comm = net.allreduce_time(layer.params * 4.0, ranks) * 1e3;
+    const double comm =
+        net.allreduce_time(fftgrad::util::Bytes(layer.params * 4.0), ranks).to_double() * 1e3;
     const double comp = 3.0 * layer.flops_fwd / flops_per_s * 1e3;  // fwd+bwd
     comm_total += comm;
     comp_total += comp;
@@ -115,7 +116,7 @@ void report_measured(const char* title, fftgrad::nn::Network net,
   // The profiler now prices each layer's allreduce on the Fig 2 fabric
   // itself, so this bench no longer recomputes comm by hand.
   fftgrad::comm::NetworkModel fabric = fftgrad::comm::NetworkModel::infiniband_fdr56();
-  fabric.latency_s = 20e-6;
+  fabric.latency_s = fftgrad::util::SimSeconds(20e-6);
   const auto profiles = fftgrad::nn::profile_network(net, x, fabric, 16, 2);
   // Normalize the two substrates (CPU wall-clock compute vs modelled
   // fabric) so the model-wide comm/comp ratio is 1; layer-level deviations
@@ -123,8 +124,8 @@ void report_measured(const char* title, fftgrad::nn::Network net,
   double total_comp = 0.0;
   double total_comm = 0.0;
   for (const auto& p : profiles) {
-    total_comp += p.forward_s + p.backward_s;
-    total_comm += p.comm_s;
+    total_comp += (p.forward_s + p.backward_s).to_double();
+    total_comm += p.comm_s.to_double();
   }
   const double scale = total_comm == 0.0 ? 1.0 : total_comp / total_comm;
 
@@ -133,8 +134,8 @@ void report_measured(const char* title, fftgrad::nn::Network net,
   table.set_double_format("%.3f");
   for (const auto& p : profiles) {
     if (p.param_count == 0) continue;  // activations/pools exchange nothing
-    const double comp = p.forward_s + p.backward_s;
-    const double comm = p.comm_s * scale;
+    const double comp = (p.forward_s + p.backward_s).to_double();
+    const double comm = p.comm_s.to_double() * scale;
     table.add_row({p.name, static_cast<long long>(p.param_count), comp * 1e3, comm / comp});
   }
   fftgrad::bench::print_table(table);

@@ -33,10 +33,11 @@ int main() {
     std::vector<util::TableWriter::Cell> row;
     row.emplace_back(std::to_string(static_cast<int>(gbps)) + " Gbps");
     for (const Combo& combo : combos) {
-      PrimitiveThroughputs t{/*conversion=*/350e9, /*fft=*/180e9, combo.tp, combo.ts};
+      PrimitiveThroughputs t{/*conversion=*/perfmodel::BytesPerSecond(350e9), /*fft=*/perfmodel::BytesPerSecond(180e9),
+                             perfmodel::BytesPerSecond(combo.tp), perfmodel::BytesPerSecond(combo.ts)};
       const auto k = perfmodel::min_beneficial_ratio(perfmodel::gbps_to_bytes(gbps), t);
       if (k) {
-        row.emplace_back(*k);
+        row.emplace_back(k->to_double());
       } else {
         row.emplace_back(std::string("no benefit"));
       }
@@ -52,6 +53,7 @@ int main() {
               "Ts = 12GB/s, no ratio helps past ~22Gbps (their Fig 10a observation)\n");
   std::printf("ours : k = %.2f on 10GbE, k = %s on FDR56 (calibrated defaults);\n"
               "the Ts=12GB/s column flips to 'no benefit' between 20 and 40 Gbps\n",
-              k10 ? *k10 : -1.0, k56 ? std::to_string(*k56).c_str() : "no benefit");
+              k10 ? k10->to_double() : -1.0,
+              k56 ? std::to_string(k56->to_double()).c_str() : "no benefit");
   return 0;
 }

@@ -20,8 +20,9 @@ int main() {
   std::vector<std::pair<std::string, double>> metrics;
   for (std::size_t gpus : {2, 4, 8, 16, 24, 32}) {
     // Every rank contributes its full gradient; blocks are gradient-sized.
-    const double alexnet = net.allgather_time(250e6, gpus) * 1e3;
-    const double resnet = net.allgather_time(6e6, gpus) * 1e3;
+    const double alexnet =
+        net.allgather_time(util::Bytes(250e6), gpus).to_double() * 1e3;
+    const double resnet = net.allgather_time(util::Bytes(6e6), gpus).to_double() * 1e3;
     if (gpus == 2) base = alexnet;
     table.add_row({static_cast<long long>(gpus), alexnet, resnet, alexnet / base});
     metrics.emplace_back("alexnet_250MB.gpus" + std::to_string(gpus) + ".ms", alexnet);

@@ -67,14 +67,14 @@ int main() {
   // FFTGRAD_CRITPATH/FFTGRAD_TRACE run attributes every simulated second
   // (backprop, codec stages, wire+CRC, collective, retries, straggler
   // waits) instead of seeing a comm-only timeline.
-  cfg.sim_compute = core::SimComputeModel{.forward_s = 2e-3,
-                                          .backward_s = 4e-3,
-                                          .fft_s = 1.5e-3,
-                                          .quant_pack_s = 0.5e-3,
-                                          .wire_crc_s = 0.3e-3,
-                                          .inverse_fft_s = 1.0e-3,
-                                          .dequant_s = 0.4e-3,
-                                          .apply_s = 0.6e-3};
+  cfg.sim_compute = core::SimComputeModel{.forward_s = util::SimSeconds(2e-3),
+                                          .backward_s = util::SimSeconds(4e-3),
+                                          .fft_s = util::SimSeconds(1.5e-3),
+                                          .quant_pack_s = util::SimSeconds(0.5e-3),
+                                          .wire_crc_s = util::SimSeconds(0.3e-3),
+                                          .inverse_fft_s = util::SimSeconds(1.0e-3),
+                                          .dequant_s = util::SimSeconds(0.4e-3),
+                                          .apply_s = util::SimSeconds(0.6e-3)};
 
   const auto accuracy_of = [&](const std::vector<float>& params) {
     nn::Network net = model_factory();
@@ -93,8 +93,9 @@ int main() {
   plan.seed = 2020;
   plan.drop_prob = 0.02;
   plan.corrupt_prob = 0.01;
-  plan.straggler_timeout_s = 0.01;
-  plan.stragglers.push_back({.rank = 5, .slowdown_s = 0.05, .from_op = 10, .until_op = 25});
+  plan.straggler_timeout_s = util::SimSeconds(0.01);
+  plan.stragglers.push_back(
+      {.rank = 5, .slowdown_s = util::SimSeconds(0.05), .from_op = 10, .until_op = 25});
   plan.crashes.push_back({.rank = 2, .at_op = 30});
 
   telemetry::MetricsRegistry& metrics = telemetry::MetricsRegistry::global();

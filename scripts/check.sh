@@ -104,6 +104,11 @@ for preset in "${presets[@]}"; do
   # itself. Release only — sanitizer timings are not comparable anyway.
   if [[ "$preset" == default ]]; then
     run_step "$preset" bench-diff scripts/bench_diff --build-dir build
+    # Unit/trust-boundary lint gate: fftgrad_lint selftest (the seeded
+    # violation fixtures must all still be caught) followed by the scoped
+    # tree scan against the audited allowlist. Gating: a finding or a
+    # stale allowlist entry fails the default preset.
+    run_step "$preset" lint scripts/lint_units.sh build
   fi
   if [[ "$run_fuzz" == 1 ]]; then
     run_step "$preset" fuzz ctest --preset "$preset" -j "$jobs" -L fuzz

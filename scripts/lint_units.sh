@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run the project-specific unit/trust-boundary lint gate (tools/fftgrad_lint)
+# over the tree: selftest first (the detectors must still catch the seeded
+# violation fixtures before their silence on the tree means anything), then
+# the scoped scan with the audited allowlist.
+#
+#   scripts/lint_units.sh [build-dir]      (default: build)
+#
+# Builds the lint binary if the build directory is configured but the tool
+# is missing. Exit status is non-zero on any selftest failure, finding, or
+# stale allowlist entry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+lint="$build_dir/tools/fftgrad_lint"
+
+if [[ ! -x "$lint" ]]; then
+  if [[ -f "$build_dir/CMakeCache.txt" ]]; then
+    cmake --build "$build_dir" --target fftgrad_lint -j "$(nproc)"
+  else
+    echo "error: $lint not built and $build_dir is not configured" >&2
+    echo "hint: cmake --preset default && cmake --build build --target fftgrad_lint" >&2
+    exit 2
+  fi
+fi
+
+"$lint" --selftest --root .
+"$lint" --root .

@@ -83,7 +83,7 @@ std::vector<std::uint8_t> encode_trailer(const AnalysisTrailer& trailer) {
   return bytes;
 }
 
-AnalysisTrailer decode_trailer(std::span<const std::uint8_t> bytes) {
+util::Untrusted<AnalysisTrailer> decode_trailer(std::span<const std::uint8_t> bytes) {
   std::size_t at = 0;
   const auto need = [&](std::size_t n) {
     if (bytes.size() - at < n) throw std::runtime_error("analysis trailer: truncated");
@@ -116,7 +116,7 @@ AnalysisTrailer decode_trailer(std::span<const std::uint8_t> bytes) {
   for (auto& component : components) component = get_u64();
   trailer.clock = VectorClock(std::move(components));
   if (at != bytes.size()) throw std::runtime_error("analysis trailer: trailing garbage");
-  return trailer;
+  return util::untrusted(std::move(trailer));
 }
 
 #if FFTGRAD_ANALYSIS

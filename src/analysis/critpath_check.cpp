@@ -9,6 +9,16 @@
 
 namespace fftgrad::analysis {
 
+using util::SimSeconds;
+
+namespace {
+
+SimSeconds abs_diff(SimSeconds a, SimSeconds b) {
+  return SimSeconds(std::fabs((a - b).to_double()));
+}
+
+}  // namespace
+
 std::vector<std::string> validate_critical_path(const telemetry::CpAnalysis& analysis,
                                                 const std::vector<telemetry::CpEvent>& events,
                                                 const CritpathCheckOptions& options) {
@@ -17,45 +27,49 @@ std::vector<std::string> validate_critical_path(const telemetry::CpAnalysis& ana
     problems.push_back(what);
     report_violation("critpath", what);
   };
+  const SimSeconds time_eps{options.time_eps};
+  const SimSeconds sum_tolerance{options.sum_tolerance};
 
   // (1) + (2): contiguous tiling within windows, back-to-back windows.
-  double previous_end = -1.0;
+  SimSeconds previous_end{-1.0};
   for (const telemetry::CpIteration& iteration : analysis.iterations) {
     std::ostringstream tag;
     tag << "iteration " << iteration.iteration;
-    if (previous_end >= 0.0 &&
-        std::fabs(iteration.start_s - previous_end) > options.time_eps) {
+    if (previous_end >= SimSeconds(0.0) &&
+        abs_diff(iteration.start_s, previous_end) > time_eps) {
       std::ostringstream out;
-      out << tag.str() << ": window starts at " << iteration.start_s
-          << " but the previous window ended at " << previous_end;
+      out << tag.str() << ": window starts at " << iteration.start_s.to_double()
+          << " but the previous window ended at " << previous_end.to_double();
       complain(out.str());
     }
     previous_end = iteration.end_s;
 
-    double cursor = iteration.start_s;
+    SimSeconds cursor = iteration.start_s;
     for (const telemetry::CpSegment& segment : iteration.path) {
-      if (std::fabs(segment.start_s - cursor) > options.time_eps) {
+      if (abs_diff(segment.start_s, cursor) > time_eps) {
         std::ostringstream out;
         out << tag.str() << ": segment '" << segment.name << "' starts at "
-            << segment.start_s << " but the path cursor is at " << cursor
+            << segment.start_s.to_double() << " but the path cursor is at "
+            << cursor.to_double()
             << (segment.start_s > cursor ? " (gap)" : " (overlap)");
         complain(out.str());
       }
       cursor = segment.end_s;
     }
-    if (std::fabs(cursor - iteration.end_s) > options.time_eps) {
+    if (abs_diff(cursor, iteration.end_s) > time_eps) {
       std::ostringstream out;
-      out << tag.str() << ": path ends at " << cursor << ", window ends at "
-          << iteration.end_s;
+      out << tag.str() << ": path ends at " << cursor.to_double() << ", window ends at "
+          << iteration.end_s.to_double();
       complain(out.str());
     }
 
-    const double sum = iteration.category_sum_s();
-    if (std::fabs(sum - iteration.e2e_s()) > options.sum_tolerance) {
+    const SimSeconds sum = iteration.category_sum_s();
+    if (abs_diff(sum, iteration.e2e_s()) > sum_tolerance) {
       std::ostringstream out;
-      out << tag.str() << ": category times sum to " << sum << " but end-to-end is "
-          << iteration.e2e_s() << " (|diff| " << std::fabs(sum - iteration.e2e_s()) << " > "
-          << options.sum_tolerance << ")";
+      out << tag.str() << ": category times sum to " << sum.to_double()
+          << " but end-to-end is " << iteration.e2e_s().to_double() << " (|diff| "
+          << abs_diff(sum, iteration.e2e_s()).to_double() << " > "
+          << sum_tolerance.to_double() << ")";
       complain(out.str());
     }
   }
@@ -64,7 +78,7 @@ std::vector<std::string> validate_critical_path(const telemetry::CpAnalysis& ana
   // snapped a straggler back ("abandoned") legitimately show a publish
   // later than its consumers — the work was abandoned — so only the
   // edge-existence half applies there.
-  std::map<std::pair<std::int32_t, std::int64_t>, double> publishes;  // (rank, op) -> time
+  std::map<std::pair<std::int32_t, std::int64_t>, SimSeconds> publishes;  // (rank, op) -> time
   std::set<std::int64_t> snapped_ops;
   for (const telemetry::CpEvent& event : events) {
     if (event.edge && event.name == "publish" && event.op >= 0) {
@@ -91,11 +105,11 @@ std::vector<std::string> validate_critical_path(const telemetry::CpAnalysis& ana
     // Barrier generations and collective ops use different counters, so a
     // snapback anywhere in the trace relaxes the timestamp half globally —
     // the existence half (above) still applies everywhere.
-    if (!any_snapback && it->second > event.start_s + options.time_eps) {
+    if (!any_snapback && it->second > event.start_s + time_eps) {
       std::ostringstream out;
       out << "consume on rank " << event.rank << " of op " << event.op << " from rank "
-          << event.peer << " at sim time " << event.start_s
-          << " precedes the sender's publish at " << it->second;
+          << event.peer << " at sim time " << event.start_s.to_double()
+          << " precedes the sender's publish at " << it->second.to_double();
       complain(out.str());
     }
   }

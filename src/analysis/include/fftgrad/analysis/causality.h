@@ -54,6 +54,8 @@
 #include <string>
 #include <vector>
 
+#include "fftgrad/util/taint.h"
+
 #include "fftgrad/analysis/check.h"
 #include "fftgrad/analysis/config.h"
 
@@ -132,8 +134,10 @@ std::vector<std::uint8_t> encode_trailer(const AnalysisTrailer& trailer);
 
 /// Parse an encode_trailer() blob. Throws std::runtime_error on a
 /// truncated buffer, bad magic, a rank count whose component payload
-/// cannot fit, or trailing garbage.
-AnalysisTrailer decode_trailer(std::span<const std::uint8_t> bytes);
+/// cannot fit, or trailing garbage. The trailer rode in on the wire, so it
+/// comes back Untrusted: release it through a validator asserting this
+/// receiver's expectations (sender/rank count consistent with the cluster).
+util::Untrusted<AnalysisTrailer> decode_trailer(std::span<const std::uint8_t> bytes);
 
 // ---------------------------------------------------------------------------
 // Protocol-mutation hook (test-only): seed one deliberate protocol bug

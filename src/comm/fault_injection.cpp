@@ -28,8 +28,8 @@ bool FaultPlan::has_transport_faults() const {
 }
 
 bool FaultPlan::empty() const {
-  return !has_transport_faults() && straggler_timeout_s <= 0.0 && stragglers.empty() &&
-         crashes.empty();
+  return !has_transport_faults() && straggler_timeout_s <= util::SimSeconds(0.0) &&
+         stragglers.empty() && crashes.empty();
 }
 
 FaultEvents FaultPlan::events(std::size_t sender, std::size_t op, std::size_t attempt) const {
@@ -45,8 +45,8 @@ FaultEvents FaultPlan::events(std::size_t sender, std::size_t op, std::size_t at
   return ev;
 }
 
-double FaultPlan::straggle_s(std::size_t rank, std::size_t op) const {
-  double total = 0.0;
+util::SimSeconds FaultPlan::straggle_s(std::size_t rank, std::size_t op) const {
+  util::SimSeconds total{};
   for (const StragglerSpec& spec : stragglers) {
     if (spec.rank == rank && op >= spec.from_op && op < spec.until_op) {
       total += spec.slowdown_s;
@@ -78,12 +78,14 @@ double FaultPlan::attempt_failure_prob() const {
   return 1.0 - (1.0 - drop_prob) * (1.0 - corrupt_prob);
 }
 
-double expected_recovery_s(const FaultPlan& plan, const NetworkModel& network, double bytes) {
-  if (!plan.has_transport_faults()) return 0.0;
+util::SimSeconds expected_recovery_s(const FaultPlan& plan, const NetworkModel& network,
+                                     util::Bytes size) {
+  if (!plan.has_transport_faults()) return util::SimSeconds(0.0);
   const double f = plan.attempt_failure_prob();
-  const double p2p = network.p2p_base_time(bytes);
-  const double per_attempt = plan.delay_prob * plan.delay_s + plan.duplicate_prob * p2p;
-  double expected = 0.0;
+  const util::SimSeconds p2p = network.p2p_base_time(size);
+  const util::SimSeconds per_attempt =
+      plan.delay_prob * plan.delay_s + plan.duplicate_prob * p2p;
+  util::SimSeconds expected{};
   double reach = 1.0;  // f^k: probability attempt k happens at all
   for (std::size_t k = 0; k <= network.retry.max_retries; ++k) {
     expected += reach * per_attempt;
@@ -96,7 +98,7 @@ double expected_recovery_s(const FaultPlan& plan, const NetworkModel& network, d
 }
 
 DeliveryOutcome resolve_delivery(const FaultPlan& plan, const NetworkModel& network,
-                                 std::size_t sender, std::size_t op, double bytes) {
+                                 std::size_t sender, std::size_t op, util::Bytes size) {
   DeliveryOutcome outcome;
   if (!plan.has_transport_faults()) return outcome;
   const std::size_t max_attempts = 1 + network.retry.max_retries;
@@ -106,8 +108,8 @@ DeliveryOutcome resolve_delivery(const FaultPlan& plan, const NetworkModel& netw
     if (ev.delay) outcome.recovery_seconds += plan.delay_s;
     if (ev.duplicate) {
       // The spurious copy occupies the link and is discarded on receipt.
-      outcome.recovery_seconds += network.p2p_base_time(bytes);
-      outcome.extra_bytes += bytes;
+      outcome.recovery_seconds += network.p2p_base_time(size);
+      outcome.extra_bytes += size;
     }
     const bool failed = ev.drop || ev.corrupt;
     if (!failed) {
@@ -119,8 +121,8 @@ DeliveryOutcome resolve_delivery(const FaultPlan& plan, const NetworkModel& netw
       // Receiver-driven retransmit: back off, then pay for one more
       // transmission of the block.
       outcome.recovery_seconds += network.retry.backoff_s(attempt);
-      outcome.recovery_seconds += network.p2p_base_time(bytes);
-      outcome.extra_bytes += bytes;
+      outcome.recovery_seconds += network.p2p_base_time(size);
+      outcome.extra_bytes += size;
       continue;
     }
     // Retries exhausted. A corrupt final attempt still hands the receiver

@@ -4,30 +4,30 @@
 
 namespace fftgrad::comm {
 
-double HierarchicalModel::allgather_time(double block_bytes, std::size_t ranks) const {
-  if (ranks <= 1) return 0.0;
+SimSeconds HierarchicalModel::allgather_time(Bytes block, std::size_t ranks) const {
+  if (ranks <= 1) return SimSeconds(0.0);
   const std::size_t node_count = nodes(ranks);
   const std::size_t local = std::min(gpus_per_node, ranks);
-  if (node_count == 1) return intra.allgather_time(block_bytes, local);
+  if (node_count == 1) return intra.allgather_time(block, local);
   // Phase 1: ranks on each node exchange their blocks over PCIe.
-  const double phase1 = intra.allgather_time(block_bytes, gpus_per_node);
+  const SimSeconds phase1 = intra.allgather_time(block, gpus_per_node);
   // Phase 2: node leaders allgather node aggregates over the fabric.
-  const double aggregate = block_bytes * static_cast<double>(gpus_per_node);
-  const double phase2 = inter.allgather_time(aggregate, node_count);
+  const Bytes aggregate = block * static_cast<double>(gpus_per_node);
+  const SimSeconds phase2 = inter.allgather_time(aggregate, node_count);
   // Phase 3: leaders fan the remote aggregates out inside each node.
-  const double remote = aggregate * static_cast<double>(node_count - 1);
-  const double phase3 = intra.broadcast_time(remote, gpus_per_node);
+  const Bytes remote = aggregate * static_cast<double>(node_count - 1);
+  const SimSeconds phase3 = intra.broadcast_time(remote, gpus_per_node);
   return phase1 + phase2 + phase3;
 }
 
-double HierarchicalModel::allreduce_time(double total_bytes, std::size_t ranks) const {
-  if (ranks <= 1) return 0.0;
+SimSeconds HierarchicalModel::allreduce_time(Bytes total, std::size_t ranks) const {
+  if (ranks <= 1) return SimSeconds(0.0);
   const std::size_t node_count = nodes(ranks);
   const std::size_t local = std::min(gpus_per_node, ranks);
-  if (node_count == 1) return intra.allreduce_time(total_bytes, local);
-  const double phase1 = intra.allreduce_time(total_bytes, gpus_per_node);
-  const double phase2 = inter.allreduce_time(total_bytes, node_count);
-  const double phase3 = intra.broadcast_time(total_bytes, gpus_per_node);
+  if (node_count == 1) return intra.allreduce_time(total, local);
+  const SimSeconds phase1 = intra.allreduce_time(total, gpus_per_node);
+  const SimSeconds phase2 = inter.allreduce_time(total, node_count);
+  const SimSeconds phase3 = intra.broadcast_time(total, gpus_per_node);
   return phase1 + phase2 + phase3;
 }
 

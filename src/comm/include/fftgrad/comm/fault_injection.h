@@ -37,7 +37,7 @@ namespace fftgrad::comm {
 /// Extra simulated slowdown for one rank over a half-open op window.
 struct StragglerSpec {
   std::size_t rank = 0;
-  double slowdown_s = 0.0;  ///< added to the rank's clock at each op entry
+  util::SimSeconds slowdown_s{};  ///< added to the rank's clock at each op entry
   std::size_t from_op = 0;
   std::size_t until_op = std::numeric_limits<std::size_t>::max();
 };
@@ -63,13 +63,13 @@ struct FaultPlan {
   double corrupt_prob = 0.0;     ///< per-attempt payload bit flips
   double duplicate_prob = 0.0;   ///< spurious duplicate delivery
   double delay_prob = 0.0;       ///< per-attempt extra latency
-  double delay_s = 0.0;          ///< latency added when a delay fires
+  util::SimSeconds delay_s{};    ///< latency added when a delay fires
 
   /// When > 0, collectives stop waiting for a straggling rank after this
   /// many simulated seconds past the earliest arrival: the late rank's
   /// contribution is excluded everywhere and the survivors proceed.
   /// 0 waits forever (plain BSP).
-  double straggler_timeout_s = 0.0;
+  util::SimSeconds straggler_timeout_s{};
 
   std::vector<StragglerSpec> stragglers;
   std::vector<CrashSpec> crashes;
@@ -86,7 +86,7 @@ struct FaultPlan {
   FaultEvents events(std::size_t sender, std::size_t op, std::size_t attempt) const;
 
   /// Straggler slowdown charged to `rank` at the entry of collective `op`.
-  double straggle_s(std::size_t rank, std::size_t op) const;
+  util::SimSeconds straggle_s(std::size_t rank, std::size_t op) const;
 
   /// True once `rank` has reached its configured crash op.
   bool crashes_at(std::size_t rank, std::size_t op) const;
@@ -106,11 +106,11 @@ struct FaultPlan {
 /// plus the recovery cost to charge against the receiver's simulated clock
 /// and the network byte counters.
 struct DeliveryOutcome {
-  bool delivered = true;        ///< false: retries exhausted on drops
-  bool corrupted = false;       ///< delivered, but payload is damaged
-  std::size_t attempts = 1;     ///< total transmissions, including the first
-  double recovery_seconds = 0;  ///< retransmit + backoff + delay time
-  double extra_bytes = 0;       ///< retransmitted + duplicated payload bytes
+  bool delivered = true;    ///< false: retries exhausted on drops
+  bool corrupted = false;   ///< delivered, but payload is damaged
+  std::size_t attempts = 1; ///< total transmissions, including the first
+  util::SimSeconds recovery_seconds{};  ///< retransmit + backoff + delay time
+  util::Bytes extra_bytes{};  ///< retransmitted + duplicated payload bytes
 };
 
 /// Replay the bounded receiver-driven retry loop for one `bytes`-sized
@@ -120,7 +120,7 @@ struct DeliveryOutcome {
 /// corrupt attempt is delivered damaged (the caller's checksum layer turns
 /// it into a skipped contribution), a final drop is not delivered at all.
 DeliveryOutcome resolve_delivery(const FaultPlan& plan, const NetworkModel& network,
-                                 std::size_t sender, std::size_t op, double bytes);
+                                 std::size_t sender, std::size_t op, util::Bytes size);
 
 /// Exact expectation of resolve_delivery().recovery_seconds over the fault
 /// draws, for one `bytes`-sized block. With f = attempt_failure_prob() and
@@ -134,7 +134,8 @@ DeliveryOutcome resolve_delivery(const FaultPlan& plan, const NetworkModel& netw
 /// non-final attempt charges one backoff plus one retransmission). This is
 /// the RetryPolicy expected-cost term the run ledger adds to the analytic
 /// lossless collective time so faulty runs reconcile in expectation.
-double expected_recovery_s(const FaultPlan& plan, const NetworkModel& network, double bytes);
+util::SimSeconds expected_recovery_s(const FaultPlan& plan, const NetworkModel& network,
+                                     util::Bytes size);
 
 /// Thrown (and caught by SimCluster::run) when a rank reaches its
 /// scheduled crash: deliberately not derived from std::exception so rank

@@ -24,15 +24,15 @@ struct HierarchicalModel {
     return (ranks + gpus_per_node - 1) / gpus_per_node;
   }
 
-  /// Allgather of `block_bytes` per rank across `ranks` ranks:
+  /// Allgather of `block` bytes per rank across `ranks` ranks:
   /// intra-node allgather, then an inter-node allgather of node aggregates
   /// (gpus_per_node * block each) among the leaders, then an intra-node
   /// broadcast of the remote aggregate.
-  double allgather_time(double block_bytes, std::size_t ranks) const;
+  SimSeconds allgather_time(Bytes block, std::size_t ranks) const;
 
   /// Ring allreduce decomposed the same way: intra reduce, inter allreduce
   /// among leaders, intra broadcast.
-  double allreduce_time(double total_bytes, std::size_t ranks) const;
+  SimSeconds allreduce_time(Bytes total, std::size_t ranks) const;
 };
 
 }  // namespace fftgrad::comm

@@ -12,32 +12,43 @@
 //
 // These formulas reproduce the linear-in-p allgather growth of the paper's
 // Fig 11 and feed the end-to-end wall-clock accounting of Figs 14/16.
+//
+// All parameters and results are dimensionally typed (util/units.h):
+// message sizes are Bytes, latencies/backoffs/collective times SimSeconds,
+// bandwidth BytesPerSecond. Handing a formula a microsecond figure or a
+// bit count no longer compiles.
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <string>
 
+#include "fftgrad/util/units.h"
+
 namespace fftgrad::comm {
+
+using util::Bytes;
+using util::BytesPerSecond;
+using util::SimSeconds;
 
 /// Bounded-retry retransmission policy with exponential backoff. Shared by
 /// the analytic lossy-link accounting below and by the sampled per-packet
 /// recovery in SimCluster's fault-injecting transport, so both charge
 /// recovery through the same formula.
 struct RetryPolicy {
-  std::size_t max_retries = 3;     ///< retransmissions after the first send
-  double backoff_base_s = 20e-6;   ///< wait before the first retransmission
-  double backoff_factor = 2.0;     ///< multiplier per further retransmission
+  std::size_t max_retries = 3;        ///< retransmissions after the first send
+  SimSeconds backoff_base_s{20e-6};   ///< wait before the first retransmission
+  double backoff_factor = 2.0;        ///< multiplier per further retransmission
 
   /// Backoff paid before retransmission `retry` (0-based):
   /// backoff_base_s * backoff_factor^retry.
-  double backoff_s(std::size_t retry) const;
+  SimSeconds backoff_s(std::size_t retry) const;
 };
 
 struct NetworkModel {
   std::string name = "custom";
-  double latency_s = 1e-6;          ///< alpha: per-message latency (seconds)
-  double bandwidth_bytes_s = 1e9;   ///< beta: link bandwidth (bytes/second)
+  SimSeconds latency_s{1e-6};            ///< alpha: per-message latency
+  BytesPerSecond bandwidth_bytes_s{1e9}; ///< beta: link bandwidth
 
   /// Per-message loss probability (drop or detected corruption). When
   /// non-zero, every p2p_time — and therefore every collective formula
@@ -48,45 +59,47 @@ struct NetworkModel {
   double loss_rate = 0.0;
   RetryPolicy retry;
 
-  /// Fault-free cost of one message of `bytes`: alpha + bytes/beta.
-  double p2p_base_time(double bytes) const { return latency_s + bytes / bandwidth_bytes_s; }
+  /// Fault-free cost of one message of `size`: alpha + size/beta.
+  SimSeconds p2p_base_time(Bytes size) const {
+    return latency_s + size / bandwidth_bytes_s;
+  }
 
   /// Expected transmissions per delivered message under `loss_rate`,
   /// capped at 1 + retry.max_retries (bounded geometric series).
   double expected_sends() const;
 
-  /// Expected backoff seconds accrued per message under `loss_rate`.
-  double expected_backoff_s() const;
+  /// Expected backoff accrued per message under `loss_rate`.
+  SimSeconds expected_backoff_s() const;
 
-  /// Point-to-point cost of one message of `bytes`, including expected
+  /// Point-to-point cost of one message of `size`, including expected
   /// retransmissions and backoff on a lossy link.
-  double p2p_time(double bytes) const {
-    if (loss_rate <= 0.0) return p2p_base_time(bytes);
-    return expected_sends() * p2p_base_time(bytes) + expected_backoff_s();
+  SimSeconds p2p_time(Bytes size) const {
+    if (loss_rate <= 0.0) return p2p_base_time(size);
+    return expected_sends() * p2p_base_time(size) + expected_backoff_s();
   }
 
-  /// Ring allgather of equal blocks: every rank contributes `block_bytes`
+  /// Ring allgather of equal blocks: every rank contributes `block` bytes
   /// and ends with all p blocks. p == 1 costs nothing.
-  double allgather_time(double block_bytes, std::size_t ranks) const;
+  SimSeconds allgather_time(Bytes block, std::size_t ranks) const;
 
   /// Ring allgather with per-rank block sizes (allgatherv). Each of the
   /// p-1 ring steps is gated by the largest block in flight.
-  double allgatherv_time(std::span<const double> block_bytes) const;
+  SimSeconds allgatherv_time(std::span<const Bytes> blocks) const;
 
-  /// Ring allreduce of a `total_bytes` vector (reduce-scatter + allgather).
-  double allreduce_time(double total_bytes, std::size_t ranks) const;
+  /// Ring allreduce of a `total` byte vector (reduce-scatter + allgather).
+  SimSeconds allreduce_time(Bytes total, std::size_t ranks) const;
 
-  /// Binomial-tree broadcast of `bytes` from one root.
-  double broadcast_time(double bytes, std::size_t ranks) const;
+  /// Binomial-tree broadcast of `size` from one root.
+  SimSeconds broadcast_time(Bytes size, std::size_t ranks) const;
 
   /// Parameter-server push: every worker's gradient block funnels through
   /// the server's single inbound link, serializing the transfers (the
   /// congestion the paper's Fig 1a discussion highlights).
-  double ps_push_time(std::span<const double> block_bytes) const;
+  SimSeconds ps_push_time(std::span<const Bytes> blocks) const;
 
   /// Parameter-server pull: the server sends the updated parameters to each
   /// of `workers` over its single outbound link.
-  double ps_pull_time(double param_bytes, std::size_t workers) const;
+  SimSeconds ps_pull_time(Bytes params, std::size_t workers) const;
 
   // ---- canonical profiles (match the paper's testbeds) ----
   static NetworkModel ethernet_1g();

@@ -72,19 +72,23 @@
 
 namespace fftgrad::comm {
 
-/// Simulated per-rank clock (seconds).
+/// Simulated per-rank clock. Charging is dimensionally typed: only
+/// SimSeconds can advance it, so a wall-clock measurement or a raw byte
+/// count cannot be charged by accident (use util::sim_from_wall for the
+/// one sanctioned crossing).
 class SimClock {
  public:
-  void advance(double seconds) { time_ += seconds; }
+  void advance(util::SimSeconds seconds) { time_ += seconds.to_double(); }
   /// BSP synchronization: every rank's clock jumps to the barrier max.
-  void set_to(double seconds) { time_ = seconds; }
-  double time() const { return time_; }
-  /// Stable address of the clock value, for binding the simulated timeline
-  /// into telemetry (telemetry::ScopedRank) without a dependency cycle.
+  void set_to(util::SimSeconds seconds) { time_ = seconds.to_double(); }
+  util::SimSeconds time() const { return util::SimSeconds(time_); }
+  /// Stable address of the raw clock value, for binding the simulated
+  /// timeline into telemetry (telemetry::ScopedRank) without a dependency
+  /// cycle. Read-only and for telemetry binding only.
   const double* time_ptr() const { return &time_; }
 
  private:
-  double time_ = 0.0;
+  double time_ = 0.0;  // raw storage: telemetry binds a stable double*
 };
 
 class SimCluster;
@@ -154,7 +158,8 @@ class SimCluster {
   /// Exceptions thrown by any rank are rethrown (first one wins) after all
   /// ranks have been joined — except RankCrashed, which marks the rank
   /// dead (query rank_crashed() afterwards) and lets survivors finish.
-  std::vector<double> run(std::size_t ranks, const std::function<void(RankContext&)>& fn);
+  std::vector<util::SimSeconds> run(std::size_t ranks,
+                                    const std::function<void(RankContext&)>& fn);
 
   const NetworkModel& network() const { return network_; }
   const FaultPlan& faults() const { return faults_; }
@@ -199,7 +204,7 @@ class SimCluster {
   // the straggler-timeout deadline; dead/late flags for the current op.
   // All are written before a barrier and read after one (or under the
   // barrier mutex), which is what makes the plain vectors race-free.
-  std::vector<double> clock_slots_;
+  std::vector<util::SimSeconds> clock_slots_;
   std::vector<char> dead_;
   std::vector<char> late_;
   std::vector<RankContext*> contexts_;

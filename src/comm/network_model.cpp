@@ -6,7 +6,7 @@
 
 namespace fftgrad::comm {
 
-double RetryPolicy::backoff_s(std::size_t retry) const {
+SimSeconds RetryPolicy::backoff_s(std::size_t retry) const {
   return backoff_base_s * std::pow(backoff_factor, static_cast<double>(retry));
 }
 
@@ -23,12 +23,12 @@ double NetworkModel::expected_sends() const {
   return sends;
 }
 
-double NetworkModel::expected_backoff_s() const {
-  if (loss_rate <= 0.0) return 0.0;
+SimSeconds NetworkModel::expected_backoff_s() const {
+  if (loss_rate <= 0.0) return SimSeconds(0.0);
   const double p = std::min(loss_rate, 1.0);
   // Retransmission i (1-based) happens with probability p^i and waits
   // backoff_s(i-1) first.
-  double total = 0.0;
+  SimSeconds total{0.0};
   double pi = p;
   for (std::size_t i = 1; i <= retry.max_retries; ++i) {
     total += pi * retry.backoff_s(i - 1);
@@ -37,46 +37,46 @@ double NetworkModel::expected_backoff_s() const {
   return total;
 }
 
-double NetworkModel::allgather_time(double block_bytes, std::size_t ranks) const {
-  if (ranks <= 1) return 0.0;
+SimSeconds NetworkModel::allgather_time(Bytes block, std::size_t ranks) const {
+  if (ranks <= 1) return SimSeconds(0.0);
   const double steps = static_cast<double>(ranks - 1);
-  return steps * p2p_time(block_bytes);
+  return steps * p2p_time(block);
 }
 
-double NetworkModel::allgatherv_time(std::span<const double> block_bytes) const {
-  const std::size_t ranks = block_bytes.size();
-  if (ranks <= 1) return 0.0;
+SimSeconds NetworkModel::allgatherv_time(std::span<const Bytes> blocks) const {
+  const std::size_t ranks = blocks.size();
+  if (ranks <= 1) return SimSeconds(0.0);
   // In a ring allgather, at step s every rank forwards the block that
   // originated s hops upstream; the step completes when the largest block
   // of that step has been forwarded. Over p-1 steps every block is in
   // flight exactly once at every step boundary, so each step is bounded by
   // the global maximum block. (Exact per-step tracking would rotate the
   // origin; the max bound is what limits the schedule in the worst rank.)
-  const double max_block = *std::max_element(block_bytes.begin(), block_bytes.end());
+  const Bytes max_block = *std::max_element(blocks.begin(), blocks.end());
   return static_cast<double>(ranks - 1) * p2p_time(max_block);
 }
 
-double NetworkModel::allreduce_time(double total_bytes, std::size_t ranks) const {
-  if (ranks <= 1) return 0.0;
+SimSeconds NetworkModel::allreduce_time(Bytes total, std::size_t ranks) const {
+  if (ranks <= 1) return SimSeconds(0.0);
   const double steps = 2.0 * static_cast<double>(ranks - 1);
-  const double chunk = total_bytes / static_cast<double>(ranks);
+  const Bytes chunk = total / static_cast<double>(ranks);
   return steps * p2p_time(chunk);
 }
 
-double NetworkModel::broadcast_time(double bytes, std::size_t ranks) const {
-  if (ranks <= 1) return 0.0;
+SimSeconds NetworkModel::broadcast_time(Bytes size, std::size_t ranks) const {
+  if (ranks <= 1) return SimSeconds(0.0);
   const double rounds = std::ceil(std::log2(static_cast<double>(ranks)));
-  return rounds * p2p_time(bytes);
+  return rounds * p2p_time(size);
 }
 
-double NetworkModel::ps_push_time(std::span<const double> block_bytes) const {
-  double total = 0.0;
-  for (double bytes : block_bytes) total += p2p_time(bytes);
+SimSeconds NetworkModel::ps_push_time(std::span<const Bytes> blocks) const {
+  SimSeconds total{0.0};
+  for (Bytes block : blocks) total += p2p_time(block);
   return total;
 }
 
-double NetworkModel::ps_pull_time(double param_bytes, std::size_t workers) const {
-  return static_cast<double>(workers) * p2p_time(param_bytes);
+SimSeconds NetworkModel::ps_pull_time(Bytes params, std::size_t workers) const {
+  return static_cast<double>(workers) * p2p_time(params);
 }
 
 namespace {
@@ -84,28 +84,31 @@ namespace {
 // The factories override only the link parameters; loss/retry keep their
 // defaults (lossless), spelled via member assignment so -Wextra's
 // missing-field-initializers check stays quiet about the aggregate.
-NetworkModel make_model(const char* name, double latency_s, double bandwidth_bytes_s) {
+NetworkModel make_model(const char* name, SimSeconds latency, BytesPerSecond bandwidth) {
   NetworkModel model;
   model.name = name;
-  model.latency_s = latency_s;
-  model.bandwidth_bytes_s = bandwidth_bytes_s;
+  model.latency_s = latency;
+  model.bandwidth_bytes_s = bandwidth;
   return model;
 }
 
 }  // namespace
 
-NetworkModel NetworkModel::ethernet_1g() { return make_model("ethernet-1G", 50e-6, 1e9 / 8.0); }
+NetworkModel NetworkModel::ethernet_1g() {
+  return make_model("ethernet-1G", SimSeconds(50e-6), BytesPerSecond(1e9 / 8.0));
+}
 
 NetworkModel NetworkModel::ethernet_10g() {
-  return make_model("ethernet-10G", 20e-6, 10e9 / 8.0);
+  return make_model("ethernet-10G", SimSeconds(20e-6), BytesPerSecond(10e9 / 8.0));
 }
 
 NetworkModel NetworkModel::infiniband_fdr56() {
-  return make_model("infiniband-FDR56", 1e-6, 56e9 / 8.0);
+  return make_model("infiniband-FDR56", SimSeconds(1e-6), BytesPerSecond(56e9 / 8.0));
 }
 
 NetworkModel NetworkModel::pcie_intranode() {
-  return make_model("pcie-intranode", 5e-7, 12e9);  // ~PCIe gen3 x16 effective
+  // ~PCIe gen3 x16 effective
+  return make_model("pcie-intranode", SimSeconds(5e-7), BytesPerSecond(12e9));
 }
 
 }  // namespace fftgrad::comm

@@ -26,11 +26,11 @@ struct AbortedError : std::runtime_error {
 /// One call-count bump plus the payload bytes this rank feeds into a
 /// collective. References are cached across calls (registry objects are
 /// immortal), so the disabled path is two relaxed loads.
-void note_collective(telemetry::Counter& calls, double payload_bytes) {
+void note_collective(telemetry::Counter& calls, util::Bytes payload) {
   static telemetry::Counter& bytes_sent =
       telemetry::MetricsRegistry::global().counter("comm.bytes_sent");
   calls.add(1.0);
-  bytes_sent.add(payload_bytes);
+  bytes_sent.add(payload.to_double());
 }
 
 /// The run ledger pairs every collective's charged SimClock time with the
@@ -47,19 +47,19 @@ bool ledger_records(std::size_t rank) {
 /// spans must partition each rank's simulated clock: every clock_.advance
 /// on a collective path is bracketed by exactly one cp span, and barrier
 /// waits are recorded by barrier_wait itself.
-void cp_span(std::size_t rank, const char* name, double start_s, double end_s, std::size_t op,
-             std::int32_t peer = -1) {
+void cp_span(std::size_t rank, const char* name, util::SimSeconds start, util::SimSeconds end,
+             std::size_t op, std::int32_t peer = -1) {
   telemetry::Tracer::global().record_sim_span(static_cast<std::int32_t>(rank), name, "cp",
-                                              start_s, end_s, static_cast<std::int64_t>(op),
-                                              peer);
+                                              start.to_double(), end.to_double(),
+                                              static_cast<std::int64_t>(op), peer);
 }
 
 /// Zero-length publish/consume marker materializing a causality edge with
 /// its simulated timestamp (peer = the publishing rank for consumes).
-void cp_edge(std::size_t rank, const char* name, double time_s, std::size_t op,
+void cp_edge(std::size_t rank, const char* name, util::SimSeconds time, std::size_t op,
              std::int32_t peer = -1) {
   telemetry::Tracer::global().record_sim_span(static_cast<std::int32_t>(rank), name,
-                                              "cp-edge", time_s, time_s,
+                                              "cp-edge", time.to_double(), time.to_double(),
                                               static_cast<std::int64_t>(op), peer);
 }
 
@@ -104,12 +104,12 @@ std::size_t RankContext::begin_collective() {
     c.mark_crashed(rank_);
     throw RankCrashed{rank_, op};
   }
-  const double straggle = c.faults_.straggle_s(rank_, op);
-  if (straggle > 0.0) {
-    const double start_s = clock_.time();
+  const util::SimSeconds straggle = c.faults_.straggle_s(rank_, op);
+  if (straggle > util::SimSeconds(0.0)) {
+    const util::SimSeconds start = clock_.time();
     clock_.advance(straggle);
-    cp_span(rank_, "straggle", start_s, clock_.time(), op);
-    FaultMetrics::get().straggle_seconds.add(straggle);
+    cp_span(rank_, "straggle", start, clock_.time(), op);
+    FaultMetrics::get().straggle_seconds.add(straggle.to_double());
   }
   return op;
 }
@@ -124,8 +124,8 @@ void RankContext::barrier() {
 
 void SimCluster::align_clocks_locked() {
   FFTGRAD_ASSERT_HELD(mutex_);
-  double latest = 0.0;
-  double earliest = std::numeric_limits<double>::infinity();
+  util::SimSeconds latest{0.0};
+  util::SimSeconds earliest{std::numeric_limits<double>::infinity()};
   bool any = false;
   for (RankContext* ctx : contexts_) {
     if (dead_[ctx->rank()] != 0) continue;
@@ -138,8 +138,10 @@ void SimCluster::align_clocks_locked() {
   // waits more than `timeout` past the earliest arrival — a later rank's
   // work for this op is abandoned (its contribution was excluded by the
   // collective) and its timeline snaps back to the group.
-  const double timeout = faults_.straggler_timeout_s;
-  if (timeout > 0.0 && latest > earliest + timeout) latest = earliest + timeout;
+  const util::SimSeconds timeout = faults_.straggler_timeout_s;
+  if (timeout > util::SimSeconds(0.0) && latest > earliest + timeout) {
+    latest = earliest + timeout;
+  }
   for (RankContext* ctx : contexts_) {
     if (dead_[ctx->rank()] == 0) ctx->clock().set_to(latest);
   }
@@ -154,7 +156,7 @@ void SimCluster::barrier_wait(std::size_t rank) {
     for (std::uint64_t i = 0; i < yields; ++i) std::this_thread::yield();
   }
   std::unique_lock<analysis::CheckedMutex> lock(mutex_);
-  const double entry_s = contexts_[rank]->clock().time();
+  const util::SimSeconds entry_s = contexts_[rank]->clock().time();
   const std::uint64_t my_generation = generation_;
   if (++arrived_ == alive_) {
     // Last arrival: BSP semantics, every clock advances to the straggler
@@ -174,7 +176,7 @@ void SimCluster::barrier_wait(std::size_t rank) {
   // can correlate arrivals and find the bounding (last) rank. A release
   // earlier than the arrival means the straggler timeout snapped this
   // rank's clock back — its overshoot is recorded as "abandoned" work.
-  const double release_s = contexts_[rank]->clock().time();
+  const util::SimSeconds release_s = contexts_[rank]->clock().time();
   lock.unlock();
   if (release_s >= entry_s) {
     cp_span(rank, "barrier", entry_s, release_s, my_generation);
@@ -217,7 +219,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
     std::span<const std::uint8_t> send) {
   static telemetry::Counter& calls =
       telemetry::MetricsRegistry::global().counter("comm.allgather.calls");
-  note_collective(calls, static_cast<double>(send.size()));
+  note_collective(calls, util::byte_count(send.size()));
   telemetry::TraceSpan span("allgather", "comm");
   const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
@@ -236,15 +238,16 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
   std::vector<char> excluded;
   if (faulty) {
     excluded.assign(c.ranks_, 0);
-    double earliest = std::numeric_limits<double>::infinity();
+    util::SimSeconds earliest{std::numeric_limits<double>::infinity()};
     for (std::size_t r = 0; r < c.ranks_; ++r) {
       if (c.dead_[r] == 0) earliest = std::min(earliest, c.clock_slots_[r]);
     }
-    const double timeout = plan.straggler_timeout_s;
+    const util::SimSeconds timeout = plan.straggler_timeout_s;
     for (std::size_t r = 0; r < c.ranks_; ++r) {
       if (c.dead_[r] != 0) {
         excluded[r] = 1;
-      } else if (timeout > 0.0 && c.clock_slots_[r] > earliest + timeout) {
+      } else if (timeout > util::SimSeconds(0.0) &&
+                 c.clock_slots_[r] > earliest + timeout) {
         excluded[r] = 1;
         // Count each late contribution once: the lowest live rank reports.
         bool primary = true;
@@ -269,15 +272,15 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
   }
 
   std::vector<std::vector<std::uint8_t>> gathered(c.ranks_);
-  std::vector<double> sizes;
+  std::vector<util::Bytes> sizes;
   sizes.reserve(c.ranks_);
-  double recovery_s = 0.0;
+  util::SimSeconds recovery_s{};
   // (sender, recovery seconds) pairs for the critical-path retry spans.
-  std::vector<std::pair<std::size_t, double>> recoveries;
+  std::vector<std::pair<std::size_t, util::SimSeconds>> recoveries;
   // Ledger accumulators: the analytic expectation of the sampled recovery
   // below, plus retry/exclusion counts as rank 0 observed them.
   const bool ledger_on = ledger_records(rank_);
-  double predicted_recovery_s = 0.0;
+  util::SimSeconds predicted_recovery_s{};
   std::uint64_t ledger_retries = 0;
   std::uint64_t ledger_failed = 0;
   if (ledger_on && faulty) {
@@ -290,7 +293,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
     c.tracker_.on_consume(rank_, r, op);
     cp_edge(rank_, "consume", clock_.time(), op, static_cast<std::int32_t>(r));
     gathered[r].assign(c.byte_slots_[r].begin(), c.byte_slots_[r].end());
-    sizes.push_back(static_cast<double>(gathered[r].size()));
+    sizes.push_back(util::byte_count(gathered[r].size()));
     if (faulty && plan.has_transport_faults()) {
       // The fate of sender r's block is keyed on (sender, op) alone and is
       // applied to every rank's copy — including r's own: a block damaged
@@ -300,7 +303,9 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
       const DeliveryOutcome outcome = resolve_delivery(plan, c.network_, r, op, sizes.back());
       if (r != rank_) {
         recovery_s += outcome.recovery_seconds;
-        if (outcome.recovery_seconds > 0.0) recoveries.emplace_back(r, outcome.recovery_seconds);
+        if (outcome.recovery_seconds > util::SimSeconds(0.0)) {
+          recoveries.emplace_back(r, outcome.recovery_seconds);
+        }
       }
       if (ledger_on) {
         if (r != rank_) {
@@ -328,19 +333,19 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
         if (outcome.attempts > 1) {
           fm.retransmits.add(static_cast<double>(outcome.attempts - 1));
         }
-        fm.retransmit_bytes.add(outcome.extra_bytes);
-        fm.recovery_seconds.add(outcome.recovery_seconds);
+        fm.retransmit_bytes.add(outcome.extra_bytes.to_double());
+        fm.recovery_seconds.add(outcome.recovery_seconds.to_double());
         if (!outcome.delivered || outcome.corrupted) fm.deliveries_failed.add(1.0);
       }
     }
   }
-  const double lossless_s = c.network_.allgatherv_time(sizes);
+  const util::SimSeconds lossless_s = c.network_.allgatherv_time(sizes);
   // Critical-path spans: the lossless propagation, then each sender's
   // sampled recovery time laid out sequentially and attributed (peer) to
   // the faulted sender.
   {
-    double t = clock_.time();
-    if (lossless_s > 0.0) cp_span(rank_, "collective", t, t + lossless_s, op);
+    util::SimSeconds t = clock_.time();
+    if (lossless_s > util::SimSeconds(0.0)) cp_span(rank_, "collective", t, t + lossless_s, op);
     t += lossless_s;
     for (const auto& [sender, seconds] : recoveries) {
       cp_span(rank_, "retry", t, t + seconds, op, static_cast<std::int32_t>(sender));
@@ -349,11 +354,11 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
   }
   clock_.advance(lossless_s + recovery_s);
   if (ledger_on) {
-    double payload_bytes = 0.0;
-    for (double s : sizes) payload_bytes += s;
+    util::Bytes payload{};
+    for (util::Bytes size : sizes) payload += size;
     telemetry::RunLedger::global().record_collective(
-        {"allgather", op, payload_bytes, lossless_s + predicted_recovery_s,
-         lossless_s + recovery_s, 0.0, ledger_retries, ledger_failed});
+        {"allgather", op, payload, lossless_s + predicted_recovery_s,
+         lossless_s + recovery_s, util::SimSeconds(0.0), ledger_retries, ledger_failed});
   }
   c.barrier_wait(rank_);  // slots may be reused
   return gathered;
@@ -362,7 +367,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
 void RankContext::allreduce_sum(std::span<float> data) {
   static telemetry::Counter& calls =
       telemetry::MetricsRegistry::global().counter("comm.allreduce.calls");
-  note_collective(calls, static_cast<double>(data.size_bytes()));
+  note_collective(calls, util::byte_count(data.size_bytes()));
   telemetry::TraceSpan span("allreduce", "comm");
   const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
@@ -390,14 +395,16 @@ void RankContext::allreduce_sum(std::span<float> data) {
   if (c.tracker_.active()) {
     c.tracker_.check_exclusion(rank_, op, {c.dead_.data(), c.dead_.size()}, live);
   }
-  const double bytes = static_cast<double>(data.size() * sizeof(float));
-  const double cost_s = c.network_.allreduce_time(bytes, live);
-  if (cost_s > 0.0) cp_span(rank_, "collective", clock_.time(), clock_.time() + cost_s, op);
+  const util::Bytes bytes = util::byte_count(data.size() * sizeof(float));
+  const util::SimSeconds cost_s = c.network_.allreduce_time(bytes, live);
+  if (cost_s > util::SimSeconds(0.0)) {
+    cp_span(rank_, "collective", clock_.time(), clock_.time() + cost_s, op);
+  }
   clock_.advance(cost_s);
   if (ledger_records(rank_)) {
     // No transport faults on the reduction path: predicted == charged.
     telemetry::RunLedger::global().record_collective(
-        {"allreduce", op, bytes, cost_s, cost_s, 0.0, 0,
+        {"allreduce", op, bytes, cost_s, cost_s, util::SimSeconds(0.0), 0,
          static_cast<std::uint64_t>(c.ranks_ - live)});
   }
   c.barrier_wait(rank_);  // all ranks done reading before anyone writes
@@ -408,7 +415,7 @@ void RankContext::allreduce_sum(std::span<float> data) {
 void RankContext::broadcast(std::span<float> data, std::size_t root) {
   static telemetry::Counter& calls =
       telemetry::MetricsRegistry::global().counter("comm.broadcast.calls");
-  note_collective(calls, rank_ == root ? static_cast<double>(data.size_bytes()) : 0.0);
+  note_collective(calls, rank_ == root ? util::byte_count(data.size_bytes()) : util::Bytes{});
   telemetry::TraceSpan span("broadcast", "comm");
   const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
@@ -427,13 +434,15 @@ void RankContext::broadcast(std::span<float> data, std::size_t root) {
     throw std::invalid_argument("broadcast: mismatched sizes across ranks");
   }
   if (rank_ != root) std::copy(src.begin(), src.end(), data.begin());
-  const double bytes = static_cast<double>(data.size() * sizeof(float));
-  const double cost_s = c.network_.broadcast_time(bytes, c.ranks_);
-  if (cost_s > 0.0) cp_span(rank_, "collective", clock_.time(), clock_.time() + cost_s, op);
+  const util::Bytes bytes = util::byte_count(data.size() * sizeof(float));
+  const util::SimSeconds cost_s = c.network_.broadcast_time(bytes, c.ranks_);
+  if (cost_s > util::SimSeconds(0.0)) {
+    cp_span(rank_, "collective", clock_.time(), clock_.time() + cost_s, op);
+  }
   clock_.advance(cost_s);
   if (ledger_records(rank_)) {
     telemetry::RunLedger::global().record_collective(
-        {"broadcast", op, bytes, cost_s, cost_s, 0.0, 0, 0});
+        {"broadcast", op, bytes, cost_s, cost_s, util::SimSeconds(0.0), 0, 0});
   }
   c.barrier_wait(rank_);
 }
@@ -442,7 +451,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
                                                            std::size_t root) {
   static telemetry::Counter& calls =
       telemetry::MetricsRegistry::global().counter("comm.gather.calls");
-  note_collective(calls, static_cast<double>(send.size()));
+  note_collective(calls, util::byte_count(send.size()));
   telemetry::TraceSpan span("gather", "comm");
   const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
@@ -452,27 +461,29 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
   c.byte_slots_[rank_] = send;
   c.barrier_wait(rank_);
   std::vector<std::vector<std::uint8_t>> gathered;
-  double cost_s = 0.0;
-  double payload_bytes = static_cast<double>(send.size());
+  util::SimSeconds cost_s{};
+  util::Bytes payload = util::byte_count(send.size());
   if (rank_ == root) {
     gathered.resize(c.ranks_);
-    payload_bytes = 0.0;
+    payload = util::Bytes{};
     for (std::size_t r = 0; r < c.ranks_; ++r) {
       if (c.dead_[r] != 0) continue;  // crashed peers contribute nothing
       c.tracker_.on_consume(rank_, r, op);
       cp_edge(rank_, "consume", clock_.time(), op, static_cast<std::int32_t>(r));
       gathered[r].assign(c.byte_slots_[r].begin(), c.byte_slots_[r].end());
-      payload_bytes += static_cast<double>(c.byte_slots_[r].size());
-      if (r != root) cost_s += c.network_.p2p_time(static_cast<double>(c.byte_slots_[r].size()));
+      payload += util::byte_count(c.byte_slots_[r].size());
+      if (r != root) cost_s += c.network_.p2p_time(util::byte_count(c.byte_slots_[r].size()));
     }
   } else {
-    cost_s = c.network_.p2p_time(static_cast<double>(send.size()));
+    cost_s = c.network_.p2p_time(util::byte_count(send.size()));
   }
-  if (cost_s > 0.0) cp_span(rank_, "collective", clock_.time(), clock_.time() + cost_s, op);
+  if (cost_s > util::SimSeconds(0.0)) {
+    cp_span(rank_, "collective", clock_.time(), clock_.time() + cost_s, op);
+  }
   clock_.advance(cost_s);
   if (ledger_records(rank_)) {
     telemetry::RunLedger::global().record_collective(
-        {"gather", op, payload_bytes, cost_s, cost_s, 0.0, 0, 0});
+        {"gather", op, payload, cost_s, cost_s, util::SimSeconds(0.0), 0, 0});
   }
   c.barrier_wait(rank_);
   return gathered;
@@ -481,7 +492,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
 std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) {
   static telemetry::Counter& calls =
       telemetry::MetricsRegistry::global().counter("comm.reduce_scatter.calls");
-  note_collective(calls, static_cast<double>(data.size_bytes()));
+  note_collective(calls, util::byte_count(data.size_bytes()));
   telemetry::TraceSpan span("reduce_scatter", "comm");
   const std::size_t op = begin_collective();
   SimCluster& c = *cluster_;
@@ -505,21 +516,24 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
     for (std::size_t i = begin; i < end; ++i) chunk[i - begin] += peer[i];
   }
   // Ring reduce-scatter: p-1 steps of one chunk each.
-  const double chunk_bytes = static_cast<double>(base * sizeof(float));
-  const double cost_s = static_cast<double>(c.ranks_ - 1) * c.network_.p2p_time(chunk_bytes);
-  if (cost_s > 0.0) cp_span(rank_, "collective", clock_.time(), clock_.time() + cost_s, op);
+  const util::Bytes chunk_bytes = util::byte_count(base * sizeof(float));
+  const util::SimSeconds cost_s =
+      static_cast<double>(c.ranks_ - 1) * c.network_.p2p_time(chunk_bytes);
+  if (cost_s > util::SimSeconds(0.0)) {
+    cp_span(rank_, "collective", clock_.time(), clock_.time() + cost_s, op);
+  }
   clock_.advance(cost_s);
   if (ledger_records(rank_)) {
     telemetry::RunLedger::global().record_collective(
-        {"reduce_scatter", op, static_cast<double>(data.size_bytes()), cost_s, cost_s, 0.0, 0,
-         0});
+        {"reduce_scatter", op, util::byte_count(data.size_bytes()), cost_s, cost_s,
+         util::SimSeconds(0.0), 0, 0});
   }
   c.barrier_wait(rank_);
   return chunk;
 }
 
-std::vector<double> SimCluster::run(std::size_t ranks,
-                                    const std::function<void(RankContext&)>& fn) {
+std::vector<util::SimSeconds> SimCluster::run(
+    std::size_t ranks, const std::function<void(RankContext&)>& fn) {
   if (ranks == 0) throw std::invalid_argument("SimCluster: ranks must be >= 1");
   // Each run is a fresh simulation (clocks restart at zero) and therefore a
   // fresh trace process.
@@ -530,7 +544,7 @@ std::vector<double> SimCluster::run(std::size_t ranks,
   generation_ = 0;
   byte_slots_.assign(ranks, {});
   float_slots_.assign(ranks, {});
-  clock_slots_.assign(ranks, 0.0);
+  clock_slots_.assign(ranks, util::SimSeconds{});
   dead_.assign(ranks, 0);
   tracker_.reset(ranks);
 
@@ -572,7 +586,7 @@ std::vector<double> SimCluster::run(std::size_t ranks,
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
 
-  std::vector<double> clocks(ranks);
+  std::vector<util::SimSeconds> clocks(ranks);
   for (std::size_t r = 0; r < ranks; ++r) clocks[r] = contexts[r].clock().time();
   contexts_.clear();
   return clocks;

@@ -107,7 +107,11 @@ void TopKCompressor::decompress(const Packet& packet, std::span<float> out) {
   const std::size_t mask_size = reader.get_count(sizeof(std::uint8_t));
   std::vector<std::uint8_t> mask_bytes(mask_size);
   reader.get_span<std::uint8_t>(mask_bytes);
-  const sparse::Bitmap mask = sparse::decode_mask(mask_bytes, n);
+  // Receiver expectation: survivor count must match the value payload.
+  const sparse::Bitmap mask =
+      std::move(sparse::decode_mask(mask_bytes, n))
+          .release([&](const sparse::Bitmap& m) { return m.count() == kept_count; },
+                   "top-k keep-mask");
   std::vector<float> kept(kept_count);
   reader.get_span<float>(kept);
   auto& pool = parallel::ThreadPool::global();
@@ -167,7 +171,10 @@ void QsgdCompressor::decompress(const Packet& packet, std::span<float> out) {
   const float norm = reader.get<float>();
   std::vector<std::uint8_t> packed(reader.remaining());
   reader.get_span<std::uint8_t>(packed);
-  const std::vector<std::uint32_t> codes = quant::unpack_codes(packed, bits_, n);
+  const std::vector<std::uint32_t> codes =
+      std::move(quant::unpack_codes(packed, bits_, n))
+          .release([&](const std::vector<std::uint32_t>& c) { return c.size() == n; },
+                   "QSGD codes");
   const float s = static_cast<float>(levels_);
   const std::uint32_t sign_bit = std::uint32_t{1} << (bits_ - 1);
   for (std::size_t i = 0; i < n; ++i) {
@@ -273,7 +280,10 @@ void OneBitCompressor::decompress(const Packet& packet, std::span<float> out) {
   const float negative_scale = reader.get<float>();
   std::vector<std::uint8_t> packed(reader.remaining());
   reader.get_span<std::uint8_t>(packed);
-  const std::vector<std::uint32_t> signs = quant::unpack_codes(packed, 1, n);
+  const std::vector<std::uint32_t> signs =
+      std::move(quant::unpack_codes(packed, 1, n))
+          .release([&](const std::vector<std::uint32_t>& c) { return c.size() == n; },
+                   "one-bit signs");
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = signs[i] ? positive_scale : negative_scale;
   }
@@ -321,7 +331,18 @@ void TernGradCompressor::decompress(const Packet& packet, std::span<float> out) 
   const float scale = reader.get<float>();
   std::vector<std::uint8_t> packed(reader.remaining());
   reader.get_span<std::uint8_t>(packed);
-  const std::vector<std::uint32_t> codes = quant::unpack_codes(packed, 2, n);
+  // Ternary code space is {0, +1, -1}: a wire value of 3 is well-formed at
+  // the bit level but semantically invalid, so reject it here rather than
+  // silently decoding it as -scale.
+  const std::vector<std::uint32_t> codes =
+      std::move(quant::unpack_codes(packed, 2, n))
+          .release([&](const std::vector<std::uint32_t>& c) {
+            if (c.size() != n) return false;
+            for (std::uint32_t code : c) {
+              if (code > 2) return false;
+            }
+            return true;
+          }, "ternary codes");
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = codes[i] == 0 ? 0.0f : (codes[i] == 1 ? scale : -scale);
   }

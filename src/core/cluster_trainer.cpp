@@ -83,12 +83,13 @@ ClusterTrainResult cluster_train(
     // the wall-timing TraceSpans so wall measurements stay untouched.
     const SimComputeModel* compute_model =
         config.sim_compute.has_value() ? &*config.sim_compute : nullptr;
-    const auto charge = [&](const char* phase, double seconds) {
-      if (compute_model == nullptr || seconds <= 0.0) return;
-      const double start_s = ctx.clock().time();
+    const auto charge = [&](const char* phase, util::SimSeconds seconds) {
+      if (compute_model == nullptr || seconds <= util::SimSeconds(0.0)) return;
+      const util::SimSeconds start = ctx.clock().time();
       ctx.clock().advance(seconds);
       telemetry::Tracer::global().record_sim_span(static_cast<std::int32_t>(rank), phase,
-                                                  "cp", start_s, ctx.clock().time());
+                                                  "cp", start.to_double(),
+                                                  ctx.clock().time().to_double());
     };
 
     double last_loss = 0.0;
@@ -98,10 +99,10 @@ ClusterTrainResult cluster_train(
       telemetry::ScopedIteration iteration_scope(static_cast<std::int64_t>(iter));
       const std::size_t skips_at_entry = rank_skips[rank];
       telemetry::LedgerIteration row;
-      double forward_s = 0.0;
-      double backward_s = 0.0;
-      double compress_s = 0.0;
-      double decompress_s = 0.0;
+      util::WallSeconds forward_s{};
+      util::WallSeconds backward_s{};
+      util::WallSeconds compress_s{};
+      util::WallSeconds decompress_s{};
       // SimCluster::run bound this thread to its rank track, so these
       // spans land per rank on the wall timeline (and the collective's
       // span inside allgather also lands on the simulated timeline).
@@ -111,7 +112,7 @@ ClusterTrainResult cluster_train(
         telemetry::TraceSpan span("forward", "trainer");
         util::WallTimer timer;
         last_loss = criterion.forward(model.forward(batch.inputs), batch.labels);
-        forward_s = timer.seconds();
+        forward_s = timer.elapsed();
       }
       if (compute_model != nullptr) charge("forward", compute_model->forward_s);
       losses[rank][iter] = last_loss;
@@ -120,7 +121,7 @@ ClusterTrainResult cluster_train(
         util::WallTimer timer;
         model.backward(criterion.backward());
         model.copy_gradients(gradient);
-        backward_s = timer.seconds();
+        backward_s = timer.elapsed();
       }
       if (compute_model != nullptr) charge("backward", compute_model->backward_s);
 
@@ -143,7 +144,7 @@ ClusterTrainResult cluster_train(
           row.ratio = packet.ratio();
         }
         wire = wire::frame_packet(packet, trailer);
-        compress_s = timer.seconds();
+        compress_s = timer.elapsed();
       }
       if (compute_model != nullptr) {
         charge("fft", compute_model->fft_s);
@@ -166,7 +167,15 @@ ClusterTrainResult cluster_train(
           continue;
         }
         try {
-          frames[r] = wire::unframe_frame(gathered[r], grad_size);
+          // Receiver-side expectation on top of the structural checks: the
+          // peer's packet must describe exactly this model's element count
+          // (a TaintError here degrades like any other undecodable packet).
+          frames[r] = std::move(wire::unframe_frame(gathered[r], grad_size))
+                          .release(
+                              [&](const wire::WireFrame& frame) {
+                                return frame.packet.elements == grad_size;
+                              },
+                              "peer gradient frame");
           ++decoded;
         } catch (const std::exception&) {
           ++rank_skips[rank];
@@ -183,8 +192,16 @@ ClusterTrainResult cluster_train(
         for (std::size_t r = 0; r < frames.size(); ++r) {
           if (!frames[r] || frames[r]->trailer.empty()) continue;
           try {
+            // The trailer must claim the sender slot it arrived in and
+            // carry one clock component per cluster rank; anything else is
+            // a protocol violation reported below.
             const analysis::AnalysisTrailer trailer =
-                analysis::decode_trailer(frames[r]->trailer);
+                std::move(analysis::decode_trailer(frames[r]->trailer))
+                    .release(
+                        [&](const analysis::AnalysisTrailer& t) {
+                          return t.sender == r && t.clock.size() == config.ranks;
+                        },
+                        "causality trailer");
             causality.verify_trailer(rank, r, trailer, epoch);
           } catch (const std::exception& error) {
             analysis::report_violation("causality", std::string("iteration ") +
@@ -246,7 +263,7 @@ ClusterTrainResult cluster_train(
             averaged[i] += reconstructed[i] * inv_decoded;
           }
         }
-        decompress_s = timer.seconds();
+        decompress_s = timer.elapsed();
       }
       if (compute_model != nullptr && decoded > 0) {
         charge("inverse_fft", compute_model->inverse_fft_s);
@@ -287,7 +304,7 @@ ClusterTrainResult cluster_train(
         row.backward_s = backward_s;
         row.compress_s = compress_s;
         row.decompress_s = decompress_s;
-        row.wire_bytes = static_cast<double>(wire.size());
+        row.wire_bytes = util::byte_count(wire.size());
         row.skipped_peers = rank_skips[rank] - skips_at_entry;
         if (const auto* ef = dynamic_cast<const ErrorFeedbackCompressor*>(codec.get())) {
           row.ef_residual_norm = util::l2_norm(ef->residual());

@@ -208,7 +208,12 @@ void FftCompressor::decompress(const Packet& packet, std::span<float> out) {
   const std::size_t mask_size = reader.get_count(sizeof(std::uint8_t));
   std::vector<std::uint8_t> mask_bytes(mask_size);
   reader.get_span<std::uint8_t>(mask_bytes);
-  const sparse::Bitmap mask = sparse::decode_mask(mask_bytes, bins);
+  // Receiver expectation: the mask's survivor count must match the packet's
+  // kept-coefficient count, or unpack_bitmap would mispair values and bins.
+  const sparse::Bitmap mask =
+      std::move(sparse::decode_mask(mask_bytes, bins))
+          .release([&](const sparse::Bitmap& m) { return m.count() == kept_count; },
+                   "FFT keep-mask");
 
   std::vector<fft::cfloat> kept(kept_count);
   std::span<float> parts(reinterpret_cast<float*>(kept.data()), kept_count * 2);
@@ -218,7 +223,10 @@ void FftCompressor::decompress(const Packet& packet, std::span<float> out) {
       std::vector<std::uint8_t> packed(reader.remaining());
       reader.get_span<std::uint8_t>(packed);
       const std::vector<std::uint32_t> codes =
-          quant::unpack_codes(packed, codec->params().bits, parts.size());
+          std::move(quant::unpack_codes(packed, codec->params().bits, parts.size()))
+              .release([&](const std::vector<std::uint32_t>& c) {
+                return c.size() == parts.size();
+              }, "FFT quantized coefficients");
       codec->decode(codes, parts);
       for (float& v : parts) v *= peak;
     } else {

@@ -44,7 +44,7 @@ class TopKCompressor : public GradientCompressor {
   /// the kept fp32 values).
   double modeled_seconds_per_byte(
       const perfmodel::PrimitiveThroughputs& t) const override {
-    return 1.0 / t.selection + 1.0 / t.packing;
+    return 1.0 / t.selection.to_double() + 1.0 / t.packing.to_double();
   }
 
  private:
@@ -67,7 +67,7 @@ class QsgdCompressor : public GradientCompressor {
   /// Norm pass + stochastic quantization pass.
   double modeled_seconds_per_byte(
       const perfmodel::PrimitiveThroughputs& t) const override {
-    return 1.0 / t.conversion + 1.0 / t.stochastic;
+    return 1.0 / t.conversion.to_double() + 1.0 / t.stochastic.to_double();
   }
 
  private:
@@ -86,7 +86,7 @@ class HalfCompressor : public GradientCompressor {
   void decompress(const Packet& packet, std::span<float> out) override;
   double modeled_seconds_per_byte(
       const perfmodel::PrimitiveThroughputs& t) const override {
-    return 1.0 / t.conversion;
+    return 1.0 / t.conversion.to_double();
   }
 };
 
@@ -102,7 +102,7 @@ class OneBitCompressor : public GradientCompressor {
   void decompress(const Packet& packet, std::span<float> out) override;
   double modeled_seconds_per_byte(
       const perfmodel::PrimitiveThroughputs& t) const override {
-    return 2.0 / t.conversion;  // error add + sign/scale pass
+    return 2.0 / t.conversion.to_double();  // error add + sign/scale pass
   }
   std::span<const float> residual() const { return residual_; }
 
@@ -121,7 +121,7 @@ class TernGradCompressor : public GradientCompressor {
   /// Max-reduction pass + stochastic ternarization pass.
   double modeled_seconds_per_byte(
       const perfmodel::PrimitiveThroughputs& t) const override {
-    return 1.0 / t.conversion + 1.0 / t.stochastic;
+    return 1.0 / t.conversion.to_double() + 1.0 / t.stochastic.to_double();
   }
 
  private:

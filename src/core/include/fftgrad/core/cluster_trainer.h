@@ -38,14 +38,14 @@ namespace fftgrad::core {
 /// fft/inverse_fft -> FFT, quant_pack/dequant -> quantize/pack, wire_crc
 /// -> wire+CRC. Zero entries charge nothing.
 struct SimComputeModel {
-  double forward_s = 0.0;
-  double backward_s = 0.0;
-  double fft_s = 0.0;         ///< forward FFT of the sparsifying codec
-  double quant_pack_s = 0.0;  ///< quantize + bit-pack
-  double wire_crc_s = 0.0;    ///< frame + checksum
-  double inverse_fft_s = 0.0;
-  double dequant_s = 0.0;     ///< unpack + dequantize
-  double apply_s = 0.0;       ///< optimizer step
+  util::SimSeconds forward_s{};
+  util::SimSeconds backward_s{};
+  util::SimSeconds fft_s{};         ///< forward FFT of the sparsifying codec
+  util::SimSeconds quant_pack_s{};  ///< quantize + bit-pack
+  util::SimSeconds wire_crc_s{};    ///< frame + checksum
+  util::SimSeconds inverse_fft_s{};
+  util::SimSeconds dequant_s{};     ///< unpack + dequantize
+  util::SimSeconds apply_s{};       ///< optimizer step
 };
 
 struct ClusterTrainConfig {
@@ -61,9 +61,9 @@ struct ClusterTrainConfig {
 };
 
 struct ClusterTrainResult {
-  std::vector<float> final_params;      ///< lowest surviving rank's parameters
-  bool replicas_identical = false;      ///< all surviving ranks ended bit-identical
-  std::vector<double> rank_sim_times;   ///< simulated clock per rank
+  std::vector<float> final_params;  ///< lowest surviving rank's parameters
+  bool replicas_identical = false;  ///< all surviving ranks ended bit-identical
+  std::vector<util::SimSeconds> rank_sim_times;  ///< simulated clock per rank
   double mean_loss_last_iteration = 0.0;
 
   // Fault-tolerance bookkeeping (all zero on a fault-free cluster).

@@ -21,6 +21,7 @@
 #include "fftgrad/perfmodel/cost_model.h"
 #include "fftgrad/telemetry/metrics.h"
 #include "fftgrad/util/crc32.h"
+#include "fftgrad/util/taint.h"
 
 namespace fftgrad::core {
 
@@ -75,7 +76,7 @@ class GradientCompressor {
   /// elementwise pass at the conversion throughput.
   virtual double modeled_seconds_per_byte(
       const perfmodel::PrimitiveThroughputs& t) const {
-    return 1.0 / t.conversion;
+    return 1.0 / t.conversion.to_double();
   }
 };
 
@@ -187,12 +188,13 @@ inline std::vector<std::uint8_t> frame_packet(const Packet& packet,
   return frame;
 }
 
-/// Parse a frame produced by frame_packet(). Throws std::runtime_error on a
-/// truncated frame, a bad magic, a checksum mismatch (any flipped bit), a
-/// trailer length that does not fit, or when the element count disagrees
-/// with `expected_elements` (pass 0 to accept any count).
-inline WireFrame unframe_frame(std::span<const std::uint8_t> frame,
-                               std::size_t expected_elements = 0) {
+namespace detail {
+
+/// Structural parse shared by the two tainted entry points below. Not a
+/// public decode entry: callers outside this header go through
+/// unframe_frame()/unframe_packet() and receive an Untrusted wrapper.
+inline WireFrame unframe_frame_impl(std::span<const std::uint8_t> frame,
+                                    std::size_t expected_elements) {
   Reader reader(frame);
   if (reader.get<std::uint32_t>() != kFrameMagic) {
     throw std::runtime_error("wire: bad frame magic");
@@ -218,10 +220,26 @@ inline WireFrame unframe_frame(std::span<const std::uint8_t> frame,
   return result;
 }
 
+}  // namespace detail
+
+/// Parse a frame produced by frame_packet(). Throws std::runtime_error on a
+/// truncated frame, a bad magic, a checksum mismatch (any flipped bit), a
+/// trailer length that does not fit, or when the element count disagrees
+/// with `expected_elements` (pass 0 to accept any count).
+///
+/// The frame is wire input: the structural checks above prove the bytes are
+/// well-formed, not that they match what *this receiver* expects, so the
+/// result is Untrusted and must be released through a validator encoding
+/// the caller's expectations (element count vs the model, trailer shape).
+inline util::Untrusted<WireFrame> unframe_frame(std::span<const std::uint8_t> frame,
+                                                std::size_t expected_elements = 0) {
+  return util::untrusted(detail::unframe_frame_impl(frame, expected_elements));
+}
+
 /// Trailer-discarding convenience for callers that only want the packet.
-inline Packet unframe_packet(std::span<const std::uint8_t> frame,
-                             std::size_t expected_elements = 0) {
-  return unframe_frame(frame, expected_elements).packet;
+inline util::Untrusted<Packet> unframe_packet(std::span<const std::uint8_t> frame,
+                                              std::size_t expected_elements = 0) {
+  return util::untrusted(detail::unframe_frame_impl(frame, expected_elements).packet);
 }
 
 }  // namespace wire

@@ -34,7 +34,7 @@ class ErrorFeedbackCompressor : public GradientCompressor {
   double modeled_seconds_per_byte(
       const perfmodel::PrimitiveThroughputs& t) const override {
     // One extra elementwise accumulate pass on top of the inner codec.
-    return inner_->modeled_seconds_per_byte(t) + 1.0 / t.conversion;
+    return inner_->modeled_seconds_per_byte(t) + 1.0 / t.conversion.to_double();
   }
 
   /// The residual currently carried forward (size of the last gradient).

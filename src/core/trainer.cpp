@@ -201,7 +201,7 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
   std::vector<float> rank_recon(grad_size);
   std::vector<float> mean_true(grad_size);
   std::vector<float> mean_recon(grad_size);
-  std::vector<double> block_bytes(config_.ranks);
+  std::vector<util::Bytes> block_bytes(config_.ranks);
 
   TrainResult result;
   double sim_time = 0.0;
@@ -348,9 +348,9 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
         const double decompress_s = decompress_timer.seconds();
         const double codec_s = compress_s + decompress_s;
 
-        const double wire = static_cast<double>(packet.wire_bytes()) * wire_scale;
+        const util::Bytes wire{static_cast<double>(packet.wire_bytes()) * wire_scale};
         block_bytes[r] = wire;
-        total_wire += wire;
+        total_wire += wire.to_double();
         ratio_sum += packet.ratio();
         ++ratio_count;
 
@@ -407,56 +407,57 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
       model_.set_gradients(mean_recon);
       optimizer.step(model_, static_cast<float>(lr));
 
-      double comm_s = 0.0;
-      double sync_s = 0.0;
+      const util::Bytes params_wire{raw_bytes * wire_scale};
+      util::SimSeconds comm_s{};
+      util::SimSeconds sync_s{};
       if (config_.scheme == CommScheme::kBspAllgather) {
         comm_s = config_.network.allgatherv_time(block_bytes);
         if (config_.param_sync_every != 0 &&
             (total_iters + 1) % config_.param_sync_every == 0) {
-          sync_s = config_.network.broadcast_time(raw_bytes * wire_scale, config_.ranks);
+          sync_s = config_.network.broadcast_time(params_wire, config_.ranks);
         }
       } else {
         // Parameter server: workers push compressed gradients through the
         // server's inbound link (serialized) and pull fresh parameters
         // every iteration through its outbound link.
         comm_s = config_.network.ps_push_time(block_bytes) +
-                 config_.network.ps_pull_time(raw_bytes * wire_scale, config_.ranks);
+                 config_.network.ps_pull_time(params_wire, config_.ranks);
       }
-      sim_time += slowest_rank + comm_s + sync_s;
+      sim_time += slowest_rank + (comm_s + sync_s).to_double();
       ++total_iters;
       trainer_iterations.add(1.0);
-      for (double bytes : block_bytes) trainer_wire_bytes.add(bytes);
+      for (util::Bytes bytes : block_bytes) trainer_wire_bytes.add(bytes.to_double());
 
       if (ledger_on) {
-        double wire_total = 0.0;
-        for (double bytes : block_bytes) wire_total += bytes;
+        util::Bytes wire_total{};
+        for (util::Bytes bytes : block_bytes) wire_total += bytes;
         const double inv_ranks = 1.0 / static_cast<double>(config_.ranks);
         const double mean_ratio = ledger_ratio_sum * inv_ranks;
         // Eq. 2 for the same exchange: the paper charges the compressed
         // message (raw / ratio) against the raw network throughput.
-        const double paper_s =
+        const util::SimSeconds paper_s =
             mean_ratio > 0.0
-                ? perfmodel::communication_cost(raw_bytes * wire_scale,
-                                                config_.network.bandwidth_bytes_s, mean_ratio)
-                : 0.0;
+                ? perfmodel::communication_cost(params_wire, config_.network.bandwidth_bytes_s,
+                                                perfmodel::Ratio(mean_ratio))
+                : util::SimSeconds(0.0);
         const char* kind =
             config_.scheme == CommScheme::kBspAllgather ? "allgather" : "ps_exchange";
         // No sampling on this path: the analytic charge is the prediction.
         ledger.record_collective(
             {kind, ledger_iter, wire_total, comm_s, comm_s, paper_s, 0, 0});
-        if (sync_s > 0.0) {
-          ledger.record_collective({"broadcast", ledger_iter, raw_bytes * wire_scale, sync_s,
-                                    sync_s, 0.0, 0, 0});
+        if (sync_s > util::SimSeconds(0.0)) {
+          ledger.record_collective({"broadcast", ledger_iter, params_wire, sync_s, sync_s,
+                                    util::SimSeconds(0.0), 0, 0});
         }
 
         telemetry::LedgerIteration row;
         row.iteration = ledger_iter++;
         row.loss = loss_sum - loss_before_iter;  // this iteration's mean loss
-        row.sim_time_s = sim_time;
-        row.forward_s = ledger_forward_s * inv_ranks;
-        row.backward_s = ledger_backward_s * inv_ranks;
-        row.compress_s = ledger_compress_s * inv_ranks;
-        row.decompress_s = ledger_decompress_s * inv_ranks;
+        row.sim_time_s = util::SimSeconds(sim_time);
+        row.forward_s = util::WallSeconds(ledger_forward_s * inv_ranks);
+        row.backward_s = util::WallSeconds(ledger_backward_s * inv_ranks);
+        row.compress_s = util::WallSeconds(ledger_compress_s * inv_ranks);
+        row.decompress_s = util::WallSeconds(ledger_decompress_s * inv_ranks);
         row.grad_norm = util::l2_norm(mean_true);
         row.alpha = util::relative_error_alpha(mean_true, mean_recon);
         row.rms_error = util::rms_error(mean_true, mean_recon);
@@ -492,6 +493,8 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
         const char* exchange_name =
             config_.scheme == CommScheme::kBspAllgather ? "allgather" : "ps_exchange";
         const double comm_start = iter_start_sim + slowest_rank;
+        const double comm_sd = comm_s.to_double();
+        const double sync_sd = sync_s.to_double();
         for (std::size_t r = 0; r < config_.ranks; ++r) {
           const std::int32_t rank = static_cast<std::int32_t>(r);
           double t = iter_start_sim;
@@ -502,10 +505,11 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
           tracer.record_sim_span(rank, "compress", "trainer", t, t + phases[r].compress);
           t += phases[r].compress;
           tracer.record_sim_span(rank, "decompress", "trainer", t, t + phases[r].decompress);
-          tracer.record_sim_span(rank, exchange_name, "comm", comm_start, comm_start + comm_s);
-          if (sync_s > 0.0) {
-            tracer.record_sim_span(rank, "param_broadcast", "comm", comm_start + comm_s,
-                                   comm_start + comm_s + sync_s);
+          tracer.record_sim_span(rank, exchange_name, "comm", comm_start,
+                                 comm_start + comm_sd);
+          if (sync_sd > 0.0) {
+            tracer.record_sim_span(rank, "param_broadcast", "comm", comm_start + comm_sd,
+                                   comm_start + comm_sd + sync_sd);
           }
         }
       }

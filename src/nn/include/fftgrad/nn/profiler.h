@@ -10,18 +10,21 @@
 
 #include "fftgrad/comm/network_model.h"
 #include "fftgrad/nn/network.h"
+#include "fftgrad/util/units.h"
 
 namespace fftgrad::nn {
 
 struct LayerProfile {
   std::string name;
   std::size_t param_count = 0;
-  double forward_s = 0.0;
-  double backward_s = 0.0;
+  util::WallSeconds forward_s{};   ///< measured on the host clock
+  util::WallSeconds backward_s{};  ///< measured on the host clock
   /// Simulated allreduce time of this layer's fp32 gradient on the network
   /// model passed to profile_network; 0 when profiled without one (or for
-  /// parameter-free layers, which exchange nothing).
-  double comm_s = 0.0;
+  /// parameter-free layers, which exchange nothing). Deliberately a
+  /// SimSeconds — mixing it with the measured wall times above requires an
+  /// explicit conversion at the comparison site.
+  util::SimSeconds comm_s{};
 };
 
 /// Run `repeats` forward+backward passes of `input` through `net`, timing

@@ -25,14 +25,14 @@ std::vector<LayerProfile> profile_network(Network& net, const tensor::Tensor& in
     for (std::size_t l = 0; l < layers; ++l) {
       util::WallTimer timer;
       activations.push_back(net.layer(l).forward(activations.back()));
-      profiles[l].forward_s += timer.seconds() / static_cast<double>(repeats);
+      profiles[l].forward_s += timer.elapsed() / static_cast<double>(repeats);
     }
     // Backward with an all-ones upstream gradient.
     tensor::Tensor grad = tensor::Tensor::full(activations.back().shape(), 1.0f);
     for (std::size_t l = layers; l-- > 0;) {
       util::WallTimer timer;
       grad = net.layer(l).backward(grad);
-      profiles[l].backward_s += timer.seconds() / static_cast<double>(repeats);
+      profiles[l].backward_s += timer.elapsed() / static_cast<double>(repeats);
     }
   }
   return profiles;
@@ -44,7 +44,7 @@ std::vector<LayerProfile> profile_network(Network& net, const tensor::Tensor& in
   std::vector<LayerProfile> profiles = profile_network(net, input, repeats);
   for (LayerProfile& p : profiles) {
     if (p.param_count == 0) continue;  // nothing to exchange
-    p.comm_s = network.allreduce_time(static_cast<double>(p.param_count) * sizeof(float), ranks);
+    p.comm_s = network.allreduce_time(util::byte_count(p.param_count * sizeof(float)), ranks);
   }
   return profiles;
 }

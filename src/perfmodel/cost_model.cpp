@@ -4,45 +4,60 @@
 
 namespace fftgrad::perfmodel {
 
+namespace {
+constexpr BytesPerSecond kZeroRate{0.0};
+}  // namespace
+
 double seconds_per_byte(const PrimitiveThroughputs& t) {
-  if (t.conversion <= 0 || t.fft <= 0 || t.packing <= 0 || t.selection <= 0) {
+  if (t.conversion <= kZeroRate || t.fft <= kZeroRate || t.packing <= kZeroRate ||
+      t.selection <= kZeroRate) {
     throw std::invalid_argument("perfmodel: all primitive throughputs must be positive");
   }
-  return 2.0 / t.conversion + 1.0 / t.fft + 1.0 / t.packing + 1.0 / t.selection;
+  return 2.0 / t.conversion.to_double() + 1.0 / t.fft.to_double() +
+         1.0 / t.packing.to_double() + 1.0 / t.selection.to_double();
 }
 
-double compression_cost(double bytes, const PrimitiveThroughputs& t) {
-  return bytes * seconds_per_byte(t);
+SimSeconds compression_cost(Bytes size, const PrimitiveThroughputs& t) {
+  return SimSeconds(size.to_double() * seconds_per_byte(t));
 }
 
-double communication_cost(double bytes, double network_throughput, double ratio) {
-  if (network_throughput <= 0) throw std::invalid_argument("perfmodel: bad network throughput");
-  if (ratio <= 0) throw std::invalid_argument("perfmodel: ratio must be positive");
-  return bytes / network_throughput / ratio;
+SimSeconds communication_cost(Bytes size, BytesPerSecond network_throughput, Ratio ratio) {
+  if (network_throughput <= kZeroRate) {
+    throw std::invalid_argument("perfmodel: bad network throughput");
+  }
+  if (ratio <= Ratio(0.0)) throw std::invalid_argument("perfmodel: ratio must be positive");
+  return (size / ratio) / network_throughput;
 }
 
-double saved_communication(double bytes, double network_throughput, double ratio) {
-  if (network_throughput <= 0) throw std::invalid_argument("perfmodel: bad network throughput");
-  if (ratio <= 0) throw std::invalid_argument("perfmodel: ratio must be positive");
-  return bytes / network_throughput * (1.0 - 1.0 / ratio);
+SimSeconds saved_communication(Bytes size, BytesPerSecond network_throughput, Ratio ratio) {
+  if (network_throughput <= kZeroRate) {
+    throw std::invalid_argument("perfmodel: bad network throughput");
+  }
+  if (ratio <= Ratio(0.0)) throw std::invalid_argument("perfmodel: ratio must be positive");
+  return (size / network_throughput) * (1.0 - 1.0 / ratio.to_double());
 }
 
-std::optional<double> min_beneficial_ratio(double network_throughput,
-                                           const PrimitiveThroughputs& t) {
-  if (network_throughput <= 0) throw std::invalid_argument("perfmodel: bad network throughput");
-  const double denom = 1.0 - 2.0 * network_throughput * seconds_per_byte(t);
+std::optional<Ratio> min_beneficial_ratio(BytesPerSecond network_throughput,
+                                          const PrimitiveThroughputs& t) {
+  if (network_throughput <= kZeroRate) {
+    throw std::invalid_argument("perfmodel: bad network throughput");
+  }
+  const double denom = 1.0 - 2.0 * network_throughput.to_double() * seconds_per_byte(t);
   if (denom <= 0.0) return std::nullopt;
-  return 1.0 / denom;
+  return Ratio(1.0 / denom);
 }
 
-double total_time_with_compression(double bytes, double network_throughput, double ratio,
-                                   const PrimitiveThroughputs& t) {
-  return 2.0 * compression_cost(bytes, t) + communication_cost(bytes, network_throughput, ratio);
+SimSeconds total_time_with_compression(Bytes size, BytesPerSecond network_throughput,
+                                       Ratio ratio, const PrimitiveThroughputs& t) {
+  return 2.0 * compression_cost(size, t) +
+         communication_cost(size, network_throughput, ratio);
 }
 
-double total_time_uncompressed(double bytes, double network_throughput) {
-  if (network_throughput <= 0) throw std::invalid_argument("perfmodel: bad network throughput");
-  return bytes / network_throughput;
+SimSeconds total_time_uncompressed(Bytes size, BytesPerSecond network_throughput) {
+  if (network_throughput <= kZeroRate) {
+    throw std::invalid_argument("perfmodel: bad network throughput");
+  }
+  return size / network_throughput;
 }
 
 }  // namespace fftgrad::perfmodel

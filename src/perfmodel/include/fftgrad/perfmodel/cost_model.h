@@ -17,49 +17,63 @@
 // network outruns the compression primitives, the regime the paper flags
 // for fast InfiniBand with slow primitives.
 //
-// All throughputs are in bytes/second; message size M in bytes.
+// Quantities are dimensionally typed (fftgrad/util/units.h): throughputs
+// are BytesPerSecond, message sizes Bytes, predicted costs SimSeconds, and
+// compression ratios Ratio — so feeding Eq. 2 a Gbit/s figure or a bit
+// count is a compile error, not a 8x-wrong reconciliation row.
 #pragma once
 
 #include <optional>
 
+#include "fftgrad/util/units.h"
+
 namespace fftgrad::perfmodel {
 
+using util::Bytes;
+using util::BytesPerSecond;
+using util::Ratio;
+using util::SimSeconds;
+
 struct PrimitiveThroughputs {
-  double conversion = 350e9;  ///< Tm: float<->half and range quantization
-  double fft = 180e9;         ///< Tf
-  double packing = 34e9;      ///< Tp (paper: 34 GB/s measured on a V100)
-  double selection = 35e9;    ///< Ts (bucket-select class kernels)
+  BytesPerSecond conversion{350e9};  ///< Tm: float<->half and range quantization
+  BytesPerSecond fft{180e9};         ///< Tf
+  BytesPerSecond packing{34e9};      ///< Tp (paper: 34 GB/s measured on a V100)
+  BytesPerSecond selection{35e9};    ///< Ts (bucket-select class kernels)
   /// Throughput of stochastic quantization kernels (per-element RNG +
   /// rounding), used by the QSGD/TernGrad baselines' cost models. Not part
   /// of Eq. 1 (the paper's pipeline has no stochastic stage).
-  double stochastic = 10e9;
+  BytesPerSecond stochastic{10e9};
 };
 
-/// 1/Tm' aggregate of Eq. 1's parenthesised term (seconds per byte).
+/// 1/Tm' aggregate of Eq. 1's parenthesised term (simulated seconds per
+/// byte of input gradient).
 double seconds_per_byte(const PrimitiveThroughputs& t);
 
-/// Eq. 1: one-sided compression cost for a message of `bytes`.
-double compression_cost(double bytes, const PrimitiveThroughputs& t);
+/// Eq. 1: one-sided compression cost for a message of `size`.
+SimSeconds compression_cost(Bytes size, const PrimitiveThroughputs& t);
 
 /// Eq. 2: post-compression communication cost.
-double communication_cost(double bytes, double network_throughput, double ratio);
+SimSeconds communication_cost(Bytes size, BytesPerSecond network_throughput, Ratio ratio);
 
 /// Eq. 3: communication saved relative to sending uncompressed.
-double saved_communication(double bytes, double network_throughput, double ratio);
+SimSeconds saved_communication(Bytes size, BytesPerSecond network_throughput, Ratio ratio);
 
 /// Eq. 4: minimal beneficial ratio, or nullopt when no finite ratio can
 /// compensate for the compression cost on this network.
-std::optional<double> min_beneficial_ratio(double network_throughput,
-                                           const PrimitiveThroughputs& t);
+std::optional<Ratio> min_beneficial_ratio(BytesPerSecond network_throughput,
+                                          const PrimitiveThroughputs& t);
 
 /// End-to-end per-message time with compression (2x comp + compressed comm).
-double total_time_with_compression(double bytes, double network_throughput, double ratio,
-                                   const PrimitiveThroughputs& t);
+SimSeconds total_time_with_compression(Bytes size, BytesPerSecond network_throughput,
+                                       Ratio ratio, const PrimitiveThroughputs& t);
 
 /// Per-message time without compression.
-double total_time_uncompressed(double bytes, double network_throughput);
+SimSeconds total_time_uncompressed(Bytes size, BytesPerSecond network_throughput);
 
-/// Convenience: convert link speed in Gbit/s to bytes/s.
-constexpr double gbps_to_bytes(double gbps) { return gbps * 1e9 / 8.0; }
+/// Convenience: convert link speed in Gbit/s to the model's byte
+/// throughput. The /8 bit-to-byte step happens here, in one typed place.
+constexpr BytesPerSecond gbps_to_bytes(double gbps) {
+  return BytesPerSecond(gbps * 1e9 / 8.0);
+}
 
 }  // namespace fftgrad::perfmodel

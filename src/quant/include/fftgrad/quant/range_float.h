@@ -31,6 +31,8 @@
 #include <span>
 #include <vector>
 
+#include "fftgrad/util/taint.h"
+
 namespace fftgrad::quant {
 
 /// How encode() maps a value onto the representable ladder. The paper's
@@ -103,9 +105,12 @@ class RangeFloat {
 };
 
 /// Pack a vector of N-bit codes into a contiguous byte stream (the wire
-/// format of the quantized gradient frequencies) and unpack it back.
+/// format of the quantized gradient frequencies) and unpack it back. The
+/// unpacked codes are wire input and come back Untrusted: release them
+/// through a validator asserting the receiver's expectations (count matches
+/// the codec's element count, codes inside its code space).
 std::vector<std::uint8_t> pack_codes(std::span<const std::uint32_t> codes, int bits);
-std::vector<std::uint32_t> unpack_codes(std::span<const std::uint8_t> bytes, int bits,
-                                        std::size_t count);
+util::Untrusted<std::vector<std::uint32_t>> unpack_codes(std::span<const std::uint8_t> bytes,
+                                                         int bits, std::size_t count);
 
 }  // namespace fftgrad::quant

@@ -240,8 +240,8 @@ std::vector<std::uint8_t> pack_codes(std::span<const std::uint32_t> codes, int b
   return bytes;
 }
 
-std::vector<std::uint32_t> unpack_codes(std::span<const std::uint8_t> bytes, int bits,
-                                        std::size_t count) {
+util::Untrusted<std::vector<std::uint32_t>> unpack_codes(std::span<const std::uint8_t> bytes,
+                                                         int bits, std::size_t count) {
   if (bits < 1 || bits > 32) throw std::invalid_argument("unpack_codes: bits must be in [1, 32]");
   // Division form: `count * bits` can wrap for a wire-supplied count, which
   // would let a corrupt header pass the length check and read out of bounds.
@@ -262,7 +262,7 @@ std::vector<std::uint32_t> unpack_codes(std::span<const std::uint8_t> bytes, int
     codes[i] = static_cast<std::uint32_t>((value >> offset) & mask);
     bit_at += static_cast<std::size_t>(bits);
   }
-  return codes;
+  return util::untrusted(std::move(codes));
 }
 
 }  // namespace fftgrad::quant

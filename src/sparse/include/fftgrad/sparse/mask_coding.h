@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "fftgrad/sparse/bitmap.h"
+#include "fftgrad/util/taint.h"
 
 namespace fftgrad::sparse {
 
@@ -31,7 +32,10 @@ MaskEncoding choose_mask_encoding(std::size_t n, std::size_t kept);
 /// Serialize `mask` using the cheaper encoding (1 tag byte + payload).
 std::vector<std::uint8_t> encode_mask(const Bitmap& mask);
 
-/// Inverse of encode_mask; `n` is the mask length in bits.
-Bitmap decode_mask(std::span<const std::uint8_t> bytes, std::size_t n);
+/// Inverse of encode_mask; `n` is the mask length in bits. The payload is
+/// wire input, so the parsed mask comes back Untrusted: release it through
+/// a validator asserting the receiver's expectations (e.g. the survivor
+/// count matches the payload that follows it in the packet).
+util::Untrusted<Bitmap> decode_mask(std::span<const std::uint8_t> bytes, std::size_t n);
 
 }  // namespace fftgrad::sparse

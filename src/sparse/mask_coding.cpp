@@ -95,7 +95,7 @@ std::vector<std::uint8_t> encode_mask(const Bitmap& mask) {
   return out;
 }
 
-Bitmap decode_mask(std::span<const std::uint8_t> bytes, std::size_t n) {
+util::Untrusted<Bitmap> decode_mask(std::span<const std::uint8_t> bytes, std::size_t n) {
   if (bytes.empty()) throw std::invalid_argument("decode_mask: empty payload");
   const auto encoding = static_cast<MaskEncoding>(bytes[0]);
   Bitmap mask(n);
@@ -104,8 +104,9 @@ Bitmap decode_mask(std::span<const std::uint8_t> bytes, std::size_t n) {
     if (bytes.size() - 1 < words.size_bytes()) {
       throw std::invalid_argument("decode_mask: truncated bitmap payload");
     }
-    std::memcpy(words.data(), bytes.data() + 1, words.size_bytes());
-    return mask;
+    std::uint64_t* dest = words.data();
+    if (dest != nullptr) std::memcpy(dest, bytes.data() + 1, words.size_bytes());
+    return util::untrusted(std::move(mask));
   }
   if (encoding != MaskEncoding::kIndexList) {
     throw std::invalid_argument("decode_mask: unknown encoding tag");
@@ -120,7 +121,7 @@ Bitmap decode_mask(std::span<const std::uint8_t> bytes, std::size_t n) {
     if (p >= n) throw std::invalid_argument("decode_mask: index out of range");
     mask.set(static_cast<std::size_t>(p));
   }
-  return mask;
+  return util::untrusted(std::move(mask));
 }
 
 }  // namespace fftgrad::sparse

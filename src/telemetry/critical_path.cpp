@@ -11,12 +11,16 @@
 #include "fftgrad/telemetry/metrics.h"
 
 namespace fftgrad::telemetry {
+
+using util::SimSeconds;
+
 namespace {
 
 /// Tolerance for "these simulated timestamps are the same instant". The
 /// simulation works in seconds with microsecond-scale costs, so 1e-9 is
 /// far below any modelled duration while absorbing fp addition noise.
-constexpr double kEps = 1e-9;
+constexpr SimSeconds kEps{1e-9};
+constexpr SimSeconds kZeroS{0.0};
 
 /// Keep in sync with the exporter's sim-process base pid in trace.cpp:
 /// simulated session s exports as Chrome pid kSimPidBase + s.
@@ -83,8 +87,8 @@ std::vector<CpEvent> cp_events_from_records(const std::vector<SpanRecord>& recor
     CpEvent e;
     e.rank = r.rank;
     e.name = r.name;
-    e.start_s = r.sim_start_s;
-    e.end_s = r.sim_end_s;
+    e.start_s = SimSeconds(r.sim_start_s);
+    e.end_s = SimSeconds(r.sim_end_s);
     e.iteration = r.iteration;
     e.op = r.op;
     e.peer = r.peer;
@@ -129,8 +133,8 @@ std::vector<CpEvent> cp_events_from_chrome_json(const std::string& path, std::in
     CpEvent e;
     e.rank = static_cast<std::int32_t>(ev.number_or("tid", -1.0));
     e.name = ev.string_or("name", "");
-    e.start_s = ev.number_or("ts", 0.0) * 1e-6;
-    e.end_s = e.start_s + ev.number_or("dur", 0.0) * 1e-6;
+    e.start_s = SimSeconds(ev.number_or("ts", 0.0) * 1e-6);
+    e.end_s = e.start_s + SimSeconds(ev.number_or("dur", 0.0) * 1e-6);
     e.edge = edge;
     if (const JsonValue* args = ev.find("args"); args != nullptr) {
       e.iteration = static_cast<std::int64_t>(args->number_or("iteration", -1.0));
@@ -142,22 +146,22 @@ std::vector<CpEvent> cp_events_from_chrome_json(const std::string& path, std::in
   return events;
 }
 
-double CpIteration::category_sum_s() const {
-  double sum = 0.0;
-  for (double v : category_s) sum += v;
+SimSeconds CpIteration::category_sum_s() const {
+  SimSeconds sum{};
+  for (SimSeconds v : category_s) sum += v;
   return sum;
 }
 
-double CpIteration::compute_s() const {
-  double sum = 0.0;
+SimSeconds CpIteration::compute_s() const {
+  SimSeconds sum{};
   for (std::size_t i = 0; i < kCpCategoryCount; ++i) {
     if (is_compute(static_cast<CpCategory>(i))) sum += category_s[i];
   }
   return sum;
 }
 
-double CpIteration::comm_s() const {
-  double sum = 0.0;
+SimSeconds CpIteration::comm_s() const {
+  SimSeconds sum{};
   for (std::size_t i = 0; i < kCpCategoryCount; ++i) {
     if (is_comm(static_cast<CpCategory>(i))) sum += category_s[i];
   }
@@ -165,20 +169,20 @@ double CpIteration::comm_s() const {
 }
 
 double CpIteration::comm_share() const {
-  const double e2e = e2e_s();
-  return e2e > 0.0 ? comm_s() / e2e : 0.0;
+  const SimSeconds e2e = e2e_s();
+  return e2e > kZeroS ? comm_s() / e2e : 0.0;
 }
 
-double CpAnalysis::compute_s() const {
-  double sum = 0.0;
+SimSeconds CpAnalysis::compute_s() const {
+  SimSeconds sum{};
   for (std::size_t i = 0; i < kCpCategoryCount; ++i) {
     if (is_compute(static_cast<CpCategory>(i))) sum += total_s[i];
   }
   return sum;
 }
 
-double CpAnalysis::comm_s() const {
-  double sum = 0.0;
+SimSeconds CpAnalysis::comm_s() const {
+  SimSeconds sum{};
   for (std::size_t i = 0; i < kCpCategoryCount; ++i) {
     if (is_comm(static_cast<CpCategory>(i))) sum += total_s[i];
   }
@@ -186,22 +190,22 @@ double CpAnalysis::comm_s() const {
 }
 
 double CpAnalysis::comm_share() const {
-  double e2e = 0.0;
+  SimSeconds e2e{};
   for (const CpIteration& it : iterations) e2e += it.e2e_s();
-  double comm = 0.0;
+  SimSeconds comm{};
   for (const CpIteration& it : iterations) comm += it.comm_s();
-  return e2e > 0.0 ? comm / e2e : 0.0;
+  return e2e > kZeroS ? comm / e2e : 0.0;
 }
 
 namespace {
 
 struct BarrierRound {
-  double release_s = -1.0;        ///< common aligned clock after the round
-  double max_live_entry_s = -1.0; ///< latest live arrival
+  SimSeconds release_s{-1.0};         ///< common aligned clock after the round
+  SimSeconds max_live_entry_s{-1.0};  ///< latest live arrival
   std::int32_t bounding_rank = -1;
   bool has_abandoned = false;
   std::int32_t abandoned_rank = -1;
-  double abandoned_entry_s = -1.0;  ///< the straggler's pre-snap clock
+  SimSeconds abandoned_entry_s{-1.0};  ///< the straggler's pre-snap clock
   std::int64_t iteration = -1;
 };
 
@@ -210,29 +214,29 @@ struct BarrierRound {
 /// once compute segment j (1-based) is done — the FIFO two-machine flow
 /// shop a layer-wise DGC-style schedule would realize.
 void compute_bounds(CpIteration& iteration) {
-  std::vector<double> compute;
-  std::vector<double> comm;
+  std::vector<SimSeconds> compute;
+  std::vector<SimSeconds> comm;
   for (const CpSegment& seg : iteration.path) {
-    const double d = seg.end_s - seg.start_s;
-    if (d <= 0.0) continue;
+    const SimSeconds d = seg.end_s - seg.start_s;
+    if (d <= kZeroS) continue;
     if (is_compute(seg.category)) compute.push_back(d);
     else if (is_comm(seg.category)) comm.push_back(d);
   }
-  const double compute_total = iteration.compute_s();
-  const double comm_total = iteration.comm_s();
-  const double other = iteration.e2e_s() - compute_total - comm_total;
+  const SimSeconds compute_total = iteration.compute_s();
+  const SimSeconds comm_total = iteration.comm_s();
+  const SimSeconds other = iteration.e2e_s() - compute_total - comm_total;
   iteration.overlap_bound_s = std::min(compute_total, comm_total);
 
-  std::vector<double> prefix(compute.size() + 1, 0.0);
+  std::vector<SimSeconds> prefix(compute.size() + 1, kZeroS);
   for (std::size_t i = 0; i < compute.size(); ++i) prefix[i + 1] = prefix[i] + compute[i];
-  double b = 0.0;
+  SimSeconds b{};
   for (std::size_t j = 0; j < comm.size(); ++j) {
-    const double dep = prefix[std::min(j + 1, compute.size())];
+    const SimSeconds dep = prefix[std::min(j + 1, compute.size())];
     b = std::max(b, dep) + comm[j];
   }
-  const double makespan = std::max(compute_total, b);
-  double bound = iteration.e2e_s() - other - makespan;
-  bound = std::max(0.0, std::min(bound, iteration.overlap_bound_s));
+  const SimSeconds makespan = std::max(compute_total, b);
+  SimSeconds bound = iteration.e2e_s() - other - makespan;
+  bound = std::max(kZeroS, std::min(bound, iteration.overlap_bound_s));
   iteration.pipeline_bound_s = bound;
 }
 
@@ -294,10 +298,10 @@ CpAnalysis analyze_critical_path(const std::vector<CpEvent>& events) {
 
   // End of the analyzed window: the latest span release; ties (the final
   // barrier aligns every clock) break to the lowest rank for determinism.
-  double end_s = 0.0;
+  SimSeconds end_s{};
   std::int32_t cur_rank = -1;
   for (const auto& [rank, spans] : timelines) {
-    const double rank_end = spans.back()->end_s;
+    const SimSeconds rank_end = spans.back()->end_s;
     if (rank_end > end_s + kEps) {
       end_s = rank_end;
       cur_rank = rank;
@@ -313,10 +317,10 @@ CpAnalysis analyze_critical_path(const std::vector<CpEvent>& events) {
   for (const auto& [rank, spans] : timelines) index[rank] = spans.size();
 
   std::vector<CpSegment> reversed;  // built latest-first
-  const auto emit = [&](CpCategory category, std::int32_t rank, double start, double end,
-                        const char* name, std::int64_t iteration, std::int64_t op,
-                        std::int32_t peer) {
-    if (end - start <= 0.0) return;
+  const auto emit = [&](CpCategory category, std::int32_t rank, SimSeconds start,
+                        SimSeconds end, const char* name, std::int64_t iteration,
+                        std::int64_t op, std::int32_t peer) {
+    if (end - start <= kZeroS) return;
     CpSegment seg;
     seg.category = category;
     seg.rank = rank;
@@ -329,7 +333,7 @@ CpAnalysis analyze_critical_path(const std::vector<CpEvent>& events) {
     reversed.push_back(std::move(seg));
   };
 
-  double cursor = end_s;
+  SimSeconds cursor = end_s;
   std::size_t guard = 0;
   const std::size_t guard_limit = events.size() * 4 + 64;
   while (cursor > kEps) {
@@ -340,7 +344,7 @@ CpAnalysis analyze_critical_path(const std::vector<CpEvent>& events) {
     auto tl_it = timelines.find(cur_rank);
     if (tl_it == timelines.end()) {
       analysis.problems.push_back("no spans recorded for rank " + std::to_string(cur_rank));
-      emit(CpCategory::kUntracked, cur_rank, 0.0, cursor, "gap", -1, -1, -1);
+      emit(CpCategory::kUntracked, cur_rank, kZeroS, cursor, "gap", -1, -1, -1);
       break;
     }
     const std::vector<const CpEvent*>& spans = tl_it->second;
@@ -349,8 +353,8 @@ CpAnalysis analyze_critical_path(const std::vector<CpEvent>& events) {
     if (idx == 0) {
       // Nothing recorded before the cursor on this rank: the remaining
       // window is untracked (e.g. the run's setup prefix).
-      emit(CpCategory::kUntracked, cur_rank, 0.0, cursor, "gap", -1, -1, -1);
-      cursor = 0.0;
+      emit(CpCategory::kUntracked, cur_rank, kZeroS, cursor, "gap", -1, -1, -1);
+      cursor = kZeroS;
       break;
     }
     const CpEvent& span = *spans[idx - 1];
@@ -442,10 +446,11 @@ CpAnalysis analyze_critical_path(const std::vector<CpEvent>& events) {
         e.end_s - e.start_s;
   }
   for (auto& [rank, summary] : ranks) {
-    double covered = 0.0;
-    for (double v : summary.busy_s) covered += v;
-    const double barrier_idle = summary.busy_s[static_cast<std::size_t>(CpCategory::kBarrierIdle)];
-    summary.idle_s = barrier_idle + std::max(0.0, end_s - covered);
+    SimSeconds covered{};
+    for (SimSeconds v : summary.busy_s) covered += v;
+    const SimSeconds barrier_idle =
+        summary.busy_s[static_cast<std::size_t>(CpCategory::kBarrierIdle)];
+    summary.idle_s = barrier_idle + std::max(kZeroS, end_s - covered);
   }
   for (const CpIteration& it : analysis.iterations) {
     for (const CpSegment& seg : it.path) {
@@ -460,23 +465,26 @@ CpAnalysis analyze_critical_path(const std::vector<CpEvent>& events) {
 
 namespace {
 
-void append_category_table(std::string& out, const std::array<double, kCpCategoryCount>& totals,
-                           double e2e, bool markdown) {
+void append_category_table(std::string& out,
+                           const std::array<SimSeconds, kCpCategoryCount>& totals,
+                           SimSeconds e2e, bool markdown) {
   if (markdown) {
     out += "| category | seconds | share |\n|---|---:|---:|\n";
   } else {
     out += "  category        seconds      share\n";
   }
   for (std::size_t c = 0; c < kCpCategoryCount; ++c) {
-    if (totals[c] <= 0.0) continue;
-    const double share = e2e > 0.0 ? totals[c] / e2e : 0.0;
+    if (totals[c] <= SimSeconds(0.0)) continue;
+    const double share = e2e > SimSeconds(0.0) ? totals[c] / e2e : 0.0;
     char line[160];
     if (markdown) {
       std::snprintf(line, sizeof(line), "| %s | %.6f | %.1f%% |\n",
-                    cp_category_name(static_cast<CpCategory>(c)), totals[c], share * 100.0);
+                    cp_category_name(static_cast<CpCategory>(c)), totals[c].to_double(),
+                    share * 100.0);
     } else {
       std::snprintf(line, sizeof(line), "  %-14s %10.6f   %6.1f%%\n",
-                    cp_category_name(static_cast<CpCategory>(c)), totals[c], share * 100.0);
+                    cp_category_name(static_cast<CpCategory>(c)), totals[c].to_double(),
+                    share * 100.0);
     }
     out += line;
   }
@@ -486,7 +494,7 @@ void append_category_table(std::string& out, const std::array<double, kCpCategor
 
 std::string render_critpath_report(const CpAnalysis& analysis, bool markdown) {
   std::string out;
-  double e2e = 0.0;
+  SimSeconds e2e{};
   for (const CpIteration& it : analysis.iterations) e2e += it.e2e_s();
 
   out += markdown ? "# Critical path\n\n" : "critical path\n=============\n";
@@ -494,13 +502,14 @@ std::string render_critpath_report(const CpAnalysis& analysis, bool markdown) {
   std::snprintf(line, sizeof(line),
                 "%send-to-end %.6f s over %zu window(s); compute %.6f s, comm %.6f s "
                 "(comm share %.1f%%)\n",
-                markdown ? "\n" : "", e2e, analysis.iterations.size(), analysis.compute_s(),
-                analysis.comm_s(), analysis.comm_share() * 100.0);
+                markdown ? "\n" : "", e2e.to_double(), analysis.iterations.size(),
+                analysis.compute_s().to_double(), analysis.comm_s().to_double(),
+                analysis.comm_share() * 100.0);
   out += line;
   std::snprintf(line, sizeof(line),
                 "overlap upper bound %.6f s (perfect chunking); pipeline bound %.6f s "
                 "(layer-wise FIFO)\n\n",
-                analysis.overlap_bound_s, analysis.pipeline_bound_s);
+                analysis.overlap_bound_s.to_double(), analysis.pipeline_bound_s.to_double());
   out += line;
 
   out += markdown ? "## Totals\n\n" : "totals\n";
@@ -516,9 +525,10 @@ std::string render_critpath_report(const CpAnalysis& analysis, bool markdown) {
   for (const CpIteration& it : analysis.iterations) {
     const char* fmt = markdown ? "| %lld | %.6f | %.6f | %.6f | %.1f%% | %.6f | %.6f |\n"
                                : "  %4lld %10.6f %10.6f %10.6f  %5.1f%% %10.6f  %10.6f\n";
-    std::snprintf(line, sizeof(line), fmt, static_cast<long long>(it.iteration), it.e2e_s(),
-                  it.compute_s(), it.comm_s(), it.comm_share() * 100.0, it.overlap_bound_s,
-                  it.pipeline_bound_s);
+    std::snprintf(line, sizeof(line), fmt, static_cast<long long>(it.iteration),
+                  it.e2e_s().to_double(), it.compute_s().to_double(),
+                  it.comm_s().to_double(), it.comm_share() * 100.0,
+                  it.overlap_bound_s.to_double(), it.pipeline_bound_s.to_double());
     out += line;
   }
 
@@ -529,13 +539,14 @@ std::string render_critpath_report(const CpAnalysis& analysis, bool markdown) {
     out += "  rank  on path s     busy s     idle s\n";
   }
   for (const CpRankSummary& r : analysis.ranks) {
-    double busy = 0.0;
+    SimSeconds busy{};
     for (std::size_t c = 0; c < kCpCategoryCount; ++c) {
       if (static_cast<CpCategory>(c) != CpCategory::kBarrierIdle) busy += r.busy_s[c];
     }
     const char* fmt = markdown ? "| %d | %.6f | %.6f | %.6f |\n"
                                : "  %4d %10.6f %10.6f %10.6f\n";
-    std::snprintf(line, sizeof(line), fmt, r.rank, r.on_path_s, busy, r.idle_s);
+    std::snprintf(line, sizeof(line), fmt, r.rank, r.on_path_s.to_double(), busy.to_double(),
+                  r.idle_s.to_double());
     out += line;
   }
 
@@ -559,8 +570,8 @@ std::string render_critpath_diff(const CpAnalysis& before, const CpAnalysis& aft
   }
   char line[192];
   for (std::size_t c = 0; c < kCpCategoryCount; ++c) {
-    const double b = before.total_s[c];
-    const double a = after.total_s[c];
+    const double b = before.total_s[c].to_double();
+    const double a = after.total_s[c].to_double();
     if (b <= 0.0 && a <= 0.0) continue;
     const char* fmt = markdown ? "| %s | %.6f | %.6f | %+.6f |\n"
                                : "  %-14s %10.6f %10.6f %+10.6f\n";
@@ -568,15 +579,15 @@ std::string render_critpath_diff(const CpAnalysis& before, const CpAnalysis& aft
                   a - b);
     out += line;
   }
-  double e2e_before = 0.0;
-  double e2e_after = 0.0;
+  SimSeconds e2e_before{};
+  SimSeconds e2e_after{};
   for (const CpIteration& it : before.iterations) e2e_before += it.e2e_s();
   for (const CpIteration& it : after.iterations) e2e_after += it.e2e_s();
   std::snprintf(line, sizeof(line),
                 "%send-to-end %+.6f s; overlap bound %+.6f s; pipeline bound %+.6f s\n",
-                markdown ? "\n" : "", e2e_after - e2e_before,
-                after.overlap_bound_s - before.overlap_bound_s,
-                after.pipeline_bound_s - before.pipeline_bound_s);
+                markdown ? "\n" : "", (e2e_after - e2e_before).to_double(),
+                (after.overlap_bound_s - before.overlap_bound_s).to_double(),
+                (after.pipeline_bound_s - before.pipeline_bound_s).to_double());
   out += line;
   return out;
 }
@@ -584,24 +595,27 @@ std::string render_critpath_diff(const CpAnalysis& before, const CpAnalysis& aft
 std::string serialize_critpath(const CpAnalysis& analysis) {
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof(line), "end=%.9f overlap=%.9f pipeline=%.9f\n", analysis.end_s,
-                analysis.overlap_bound_s, analysis.pipeline_bound_s);
+  std::snprintf(line, sizeof(line), "end=%.9f overlap=%.9f pipeline=%.9f\n",
+                analysis.end_s.to_double(), analysis.overlap_bound_s.to_double(),
+                analysis.pipeline_bound_s.to_double());
   out += line;
   for (const CpIteration& it : analysis.iterations) {
     std::snprintf(line, sizeof(line), "iter %lld [%.9f,%.9f] ob=%.9f pb=%.9f\n",
-                  static_cast<long long>(it.iteration), it.start_s, it.end_s,
-                  it.overlap_bound_s, it.pipeline_bound_s);
+                  static_cast<long long>(it.iteration), it.start_s.to_double(),
+                  it.end_s.to_double(), it.overlap_bound_s.to_double(),
+                  it.pipeline_bound_s.to_double());
     out += line;
     for (const CpSegment& seg : it.path) {
       std::snprintf(line, sizeof(line), "  seg %s rank=%d [%.9f,%.9f] op=%lld peer=%d %s\n",
-                    cp_category_name(seg.category), seg.rank, seg.start_s, seg.end_s,
-                    static_cast<long long>(seg.op), seg.peer, seg.name.c_str());
+                    cp_category_name(seg.category), seg.rank, seg.start_s.to_double(),
+                    seg.end_s.to_double(), static_cast<long long>(seg.op), seg.peer,
+                    seg.name.c_str());
       out += line;
     }
   }
   for (const CpRankSummary& r : analysis.ranks) {
-    std::snprintf(line, sizeof(line), "rank %d on_path=%.9f idle=%.9f\n", r.rank, r.on_path_s,
-                  r.idle_s);
+    std::snprintf(line, sizeof(line), "rank %d on_path=%.9f idle=%.9f\n", r.rank,
+                  r.on_path_s.to_double(), r.idle_s.to_double());
     out += line;
   }
   return out;
@@ -610,17 +624,17 @@ std::string serialize_critpath(const CpAnalysis& analysis) {
 void publish_critpath_metrics(const CpAnalysis& analysis) {
   MetricsRegistry& reg = MetricsRegistry::global();
   if (!reg.enabled()) return;
-  double e2e = 0.0;
+  SimSeconds e2e{};
   for (const CpIteration& it : analysis.iterations) e2e += it.e2e_s();
-  reg.gauge("critpath.e2e_s").set(e2e);
+  reg.gauge("critpath.e2e_s").set(e2e.to_double());
   reg.gauge("critpath.iterations").set(static_cast<double>(analysis.iterations.size()));
   reg.gauge("critpath.comm_share").set(analysis.comm_share());
-  reg.gauge("critpath.overlap_bound_s").set(analysis.overlap_bound_s);
-  reg.gauge("critpath.pipeline_bound_s").set(analysis.pipeline_bound_s);
+  reg.gauge("critpath.overlap_bound_s").set(analysis.overlap_bound_s.to_double());
+  reg.gauge("critpath.pipeline_bound_s").set(analysis.pipeline_bound_s.to_double());
   for (std::size_t c = 0; c < kCpCategoryCount; ++c) {
-    if (analysis.total_s[c] <= 0.0) continue;
+    if (analysis.total_s[c] <= SimSeconds(0.0)) continue;
     reg.gauge(std::string("critpath.") + cp_category_name(static_cast<CpCategory>(c)) + "_s")
-        .set(analysis.total_s[c]);
+        .set(analysis.total_s[c].to_double());
   }
 }
 
@@ -634,7 +648,7 @@ LedgerCritpath ledger_critpath_from(const CpAnalysis& analysis) {
   row.overlap_bound_s = analysis.overlap_bound_s;
   row.pipeline_bound_s = analysis.pipeline_bound_s;
   for (std::size_t c = 0; c < kCpCategoryCount; ++c) {
-    if (analysis.total_s[c] <= 0.0) continue;
+    if (analysis.total_s[c] <= SimSeconds(0.0)) continue;
     row.category_s.emplace_back(cp_category_name(static_cast<CpCategory>(c)),
                                 analysis.total_s[c]);
   }
@@ -644,7 +658,7 @@ LedgerCritpath ledger_critpath_from(const CpAnalysis& analysis) {
 CpLedgerReconcile reconcile_with_ledger(const CpAnalysis& analysis, const LedgerRun& run) {
   CpLedgerReconcile result;
   // Iterations the analyzer actually windowed (setup/teardown excluded).
-  std::map<std::int64_t, double> path_comm;
+  std::map<std::int64_t, SimSeconds> path_comm;
   for (const CpIteration& it : analysis.iterations) {
     if (it.iteration >= 0) path_comm[it.iteration] += it.comm_s();
   }
@@ -656,14 +670,16 @@ CpLedgerReconcile reconcile_with_ledger(const CpAnalysis& analysis, const Ledger
     const JsonValue* collectives = row.find("collectives");
     if (collectives == nullptr || collectives->kind != JsonValue::Kind::kArray) continue;
     for (const JsonValue& c : collectives->array) {
-      result.ledger_charged_s += c.number_or("charged_s", 0.0);
+      result.ledger_charged_s += SimSeconds(c.number_or("charged_s", 0.0));
       result.compared = true;
     }
     result.path_comm_s += it->second;
   }
-  result.abs_diff_s = std::fabs(result.ledger_charged_s - result.path_comm_s);
-  const double denom = std::max({result.ledger_charged_s, result.path_comm_s, 1e-12});
-  result.rel_diff = result.abs_diff_s / denom;
+  result.abs_diff_s =
+      SimSeconds(std::fabs((result.ledger_charged_s - result.path_comm_s).to_double()));
+  const double denom = std::max(
+      {result.ledger_charged_s.to_double(), result.path_comm_s.to_double(), 1e-12});
+  result.rel_diff = result.abs_diff_s.to_double() / denom;
   return result;
 }
 

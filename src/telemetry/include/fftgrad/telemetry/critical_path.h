@@ -77,8 +77,8 @@ CpCategory cp_category_for_span(const std::string& name);
 struct CpEvent {
   std::int32_t rank = -1;
   std::string name;
-  double start_s = 0.0;
-  double end_s = 0.0;
+  util::SimSeconds start_s{};
+  util::SimSeconds end_s{};
   std::int64_t iteration = -1;
   std::int64_t op = -1;    ///< collective index / barrier generation
   std::int32_t peer = -1;  ///< attributed peer rank (retry sender, ...)
@@ -104,8 +104,8 @@ std::vector<CpEvent> cp_events_from_chrome_json(const std::string& path,
 struct CpSegment {
   CpCategory category = CpCategory::kUntracked;
   std::int32_t rank = -1;   ///< the rank bounding the path over [start, end]
-  double start_s = 0.0;
-  double end_s = 0.0;
+  util::SimSeconds start_s{};
+  util::SimSeconds end_s{};
   std::string name;         ///< originating leaf-span name
   std::int64_t iteration = -1;
   std::int64_t op = -1;
@@ -116,19 +116,19 @@ struct CpSegment {
 /// sum(category_s) == end_s - start_s exactly (modulo fp addition).
 struct CpIteration {
   std::int64_t iteration = -1;
-  double start_s = 0.0;
-  double end_s = 0.0;
-  std::array<double, kCpCategoryCount> category_s{};
-  double overlap_bound_s = 0.0;   ///< min(compute, comm) on the path
-  double pipeline_bound_s = 0.0;  ///< e2e - other - flow-shop makespan
-  std::vector<CpSegment> path;    ///< in increasing time order
+  util::SimSeconds start_s{};
+  util::SimSeconds end_s{};
+  std::array<util::SimSeconds, kCpCategoryCount> category_s{};
+  util::SimSeconds overlap_bound_s{};   ///< min(compute, comm) on the path
+  util::SimSeconds pipeline_bound_s{};  ///< e2e - other - flow-shop makespan
+  std::vector<CpSegment> path;          ///< in increasing time order
 
-  double e2e_s() const { return end_s - start_s; }
-  double category_sum_s() const;
+  util::SimSeconds e2e_s() const { return end_s - start_s; }
+  util::SimSeconds category_sum_s() const;
   /// Compute on the path: backprop + fft + quant/pack + wire/CRC.
-  double compute_s() const;
+  util::SimSeconds compute_s() const;
   /// Communication on the path: collective propagation + retry recovery.
-  double comm_s() const;
+  util::SimSeconds comm_s() const;
   /// comm_s / e2e_s (0 when the window is empty) — comparable to the
   /// fig02 `comm_share` metric on a lossless run.
   double comm_share() const;
@@ -137,26 +137,26 @@ struct CpIteration {
 /// Per-rank totals across the whole analyzed window ("flame" summary).
 struct CpRankSummary {
   std::int32_t rank = -1;
-  std::array<double, kCpCategoryCount> busy_s{};  ///< rank-local span time
-  double idle_s = 0.0;     ///< barrier idle + uncovered gaps on the rank
-  double on_path_s = 0.0;  ///< time this rank bounds the critical path
+  std::array<util::SimSeconds, kCpCategoryCount> busy_s{};  ///< rank-local span time
+  util::SimSeconds idle_s{};     ///< barrier idle + uncovered gaps on the rank
+  util::SimSeconds on_path_s{};  ///< time this rank bounds the critical path
 };
 
 struct CpAnalysis {
   std::vector<CpIteration> iterations;
   std::vector<CpRankSummary> ranks;
-  std::array<double, kCpCategoryCount> total_s{};
-  double end_s = 0.0;             ///< simulated end of the analyzed window
-  double overlap_bound_s = 0.0;   ///< sum over iterations
-  double pipeline_bound_s = 0.0;  ///< sum over iterations
+  std::array<util::SimSeconds, kCpCategoryCount> total_s{};
+  util::SimSeconds end_s{};             ///< simulated end of the analyzed window
+  util::SimSeconds overlap_bound_s{};   ///< sum over iterations
+  util::SimSeconds pipeline_bound_s{};  ///< sum over iterations
   /// Structural problems found while walking (a gap, a dangling barrier).
   /// Empty on a well-formed trace; surfaced by trace_analyze and the
   /// analysis layer's validator.
   std::vector<std::string> problems;
 
-  double e2e_s() const { return end_s; }
-  double compute_s() const;
-  double comm_s() const;
+  util::SimSeconds e2e_s() const { return end_s; }
+  util::SimSeconds compute_s() const;
+  util::SimSeconds comm_s() const;
   double comm_share() const;
 };
 
@@ -192,11 +192,11 @@ LedgerCritpath ledger_critpath_from(const CpAnalysis& analysis);
 /// every rank charges the same collective cost, so comm-on-path equals the
 /// recording rank's charged total for the iterations analyzed.
 struct CpLedgerReconcile {
-  bool compared = false;          ///< false when the run has no collectives
-  double ledger_charged_s = 0.0;  ///< sum of charged_s over collective rows
-  double path_comm_s = 0.0;       ///< collective + retry time on the path
-  double abs_diff_s = 0.0;
-  double rel_diff = 0.0;          ///< abs diff / max(ledger, path, eps)
+  bool compared = false;  ///< false when the run has no collectives
+  util::SimSeconds ledger_charged_s{};  ///< sum of charged_s over collective rows
+  util::SimSeconds path_comm_s{};       ///< collective + retry time on the path
+  util::SimSeconds abs_diff_s{};
+  double rel_diff = 0.0;  ///< abs diff / max(ledger, path, eps)
 };
 
 CpLedgerReconcile reconcile_with_ledger(const CpAnalysis& analysis, const LedgerRun& run);

@@ -51,7 +51,10 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "fftgrad/util/units.h"
 
 namespace fftgrad::telemetry {
 
@@ -59,8 +62,8 @@ namespace fftgrad::telemetry {
 /// the predicted costs without the originating NetworkModel.
 struct LedgerNetworkInfo {
   std::string name;
-  double latency_s = 0.0;
-  double bandwidth_bytes_s = 0.0;
+  util::SimSeconds latency_s{};
+  util::BytesPerSecond bandwidth_bytes_s{};
   double loss_rate = 0.0;
 };
 
@@ -84,12 +87,12 @@ struct LedgerManifest {
 struct LedgerCollective {
   const char* kind = "";  ///< "allgather", "allreduce", ... (static storage)
   std::uint64_t op = 0;   ///< collective index (or trainer iteration)
-  double bytes = 0.0;     ///< payload bytes entering the collective
-  double predicted_s = 0.0;
-  double charged_s = 0.0;
+  util::Bytes bytes{};    ///< payload entering the collective
+  util::SimSeconds predicted_s{};
+  util::SimSeconds charged_s{};
   /// Sec 3.3 paper-model communication cost (Eq. 2) for the same exchange,
   /// when the caller computed one; 0 means "not modelled".
-  double paper_model_s = 0.0;
+  util::SimSeconds paper_model_s{};
   std::uint64_t retries = 0;  ///< retransmissions observed by the recording rank
   std::uint64_t failed = 0;   ///< excluded or undeliverable contributions
 };
@@ -100,14 +103,14 @@ struct LedgerCollective {
 /// `critpath` row tied to the most recent run.
 struct LedgerCritpath {
   std::uint64_t iterations = 0;
-  double e2e_s = 0.0;
-  double compute_s = 0.0;
-  double comm_s = 0.0;
-  double comm_share = 0.0;
-  double overlap_bound_s = 0.0;
-  double pipeline_bound_s = 0.0;
-  /// (category name, seconds on the critical path), analyzer order.
-  std::vector<std::pair<std::string, double>> category_s;
+  util::SimSeconds e2e_s{};
+  util::SimSeconds compute_s{};
+  util::SimSeconds comm_s{};
+  double comm_share = 0.0;  ///< dimensionless fraction of e2e_s
+  util::SimSeconds overlap_bound_s{};
+  util::SimSeconds pipeline_bound_s{};
+  /// (category name, simulated time on the critical path), analyzer order.
+  std::vector<std::pair<std::string, util::SimSeconds>> category_s;
 };
 
 /// Per-layer reconstruction quality (alpha/rms/max over the layer's slice
@@ -121,20 +124,22 @@ struct LedgerLayerStats {
 
 struct LedgerIteration {
   std::uint64_t iteration = 0;
-  double loss = 0.0;        ///< recording rank's training loss
-  double sim_time_s = 0.0;  ///< cumulative simulated time after this step
-  // Phase wall times (seconds) of the recording rank / the modelled split.
-  double forward_s = 0.0;
-  double backward_s = 0.0;
-  double compress_s = 0.0;
-  double decompress_s = 0.0;
+  double loss = 0.0;  ///< recording rank's training loss
+  util::SimSeconds sim_time_s{};  ///< cumulative simulated time after this step
+  // Phase wall times of the recording rank / the modelled split. These are
+  // host measurements, deliberately WallSeconds: they never mix with the
+  // simulated-clock fields without an explicit conversion.
+  util::WallSeconds forward_s{};
+  util::WallSeconds backward_s{};
+  util::WallSeconds compress_s{};
+  util::WallSeconds decompress_s{};
   double grad_norm = 0.0;  ///< ||g|| before compression
   // Whole-gradient round-trip quality (RoundTripStats semantics).
   double alpha = 0.0;
   double ratio = 0.0;
   double rms_error = 0.0;
   double max_error = 0.0;
-  double wire_bytes = 0.0;           ///< compressed packet bytes this rank sent
+  util::Bytes wire_bytes{};          ///< compressed packet bytes this rank sent
   double ef_residual_norm = -1.0;    ///< <0: codec carries no residual
   std::uint64_t skipped_peers = 0;   ///< contributions skipped this step
   std::vector<LedgerLayerStats> layers;  ///< optional per-layer breakdown
@@ -219,13 +224,13 @@ class RunLedger {
   /// Rolling per-kind reconciliation state for the drift monitor plus the
   /// run-lifetime totals reported in the summary row.
   struct KindTotals {
-    double predicted_s = 0.0;
-    double charged_s = 0.0;
+    util::SimSeconds predicted_s{};
+    util::SimSeconds charged_s{};
     std::uint64_t count = 0;
     std::uint64_t retries = 0;
     std::uint64_t failed = 0;
     // Rolling window of per-iteration (predicted, charged) sums.
-    std::vector<std::pair<double, double>> window;
+    std::vector<std::pair<util::SimSeconds, util::SimSeconds>> window;
     std::size_t window_at = 0;
   };
   std::map<std::string, KindTotals> kinds_;

@@ -143,8 +143,9 @@ std::uint64_t RunLedger::begin_run(const LedgerManifest& manifest) {
       << ",\"ranks\":" << manifest.ranks << ",\"iterations\":" << manifest.iterations
       << ",\"seed\":" << manifest.seed << ",\"preset\":" << json_string(preset_tag())
       << ",\"network\":{\"name\":" << json_string(manifest.network.name)
-      << ",\"latency_s\":" << json_number(manifest.network.latency_s)
-      << ",\"bandwidth_bytes_s\":" << json_number(manifest.network.bandwidth_bytes_s)
+      << ",\"latency_s\":" << json_number(manifest.network.latency_s.to_double())
+      << ",\"bandwidth_bytes_s\":"
+      << json_number(manifest.network.bandwidth_bytes_s.to_double())
       << ",\"loss_rate\":" << json_number(manifest.network.loss_rate)
       << "},\"fault_rate\":" << json_number(manifest.fault_rate)
       << ",\"tolerances\":{\"alpha_bound\":" << json_number(tolerances_.alpha_bound)
@@ -168,8 +169,8 @@ void RunLedger::end_run() {
   bool first = true;
   for (const auto& [kind, totals] : kinds_) {
     out << (first ? "" : ",") << json_string(kind) << ":{\"count\":" << totals.count
-        << ",\"predicted_s\":" << json_number(totals.predicted_s)
-        << ",\"charged_s\":" << json_number(totals.charged_s)
+        << ",\"predicted_s\":" << json_number(totals.predicted_s.to_double())
+        << ",\"charged_s\":" << json_number(totals.charged_s.to_double())
         << ",\"retries\":" << totals.retries << ",\"failed\":" << totals.failed << "}";
     first = false;
   }
@@ -199,15 +200,17 @@ void RunLedger::record_critpath(const LedgerCritpath& row) {
   const std::uint64_t run = run_id_ != 0 ? run_id_ : next_run_id_;
   std::ostringstream out;
   out << "{\"type\":\"critpath\",\"run\":" << run << ",\"iterations\":" << row.iterations
-      << ",\"e2e_s\":" << json_number(row.e2e_s)
-      << ",\"compute_s\":" << json_number(row.compute_s)
-      << ",\"comm_s\":" << json_number(row.comm_s)
+      << ",\"e2e_s\":" << json_number(row.e2e_s.to_double())
+      << ",\"compute_s\":" << json_number(row.compute_s.to_double())
+      << ",\"comm_s\":" << json_number(row.comm_s.to_double())
       << ",\"comm_share\":" << json_number(row.comm_share)
-      << ",\"overlap_bound_s\":" << json_number(row.overlap_bound_s)
-      << ",\"pipeline_bound_s\":" << json_number(row.pipeline_bound_s) << ",\"categories\":{";
+      << ",\"overlap_bound_s\":" << json_number(row.overlap_bound_s.to_double())
+      << ",\"pipeline_bound_s\":" << json_number(row.pipeline_bound_s.to_double())
+      << ",\"categories\":{";
   bool first = true;
   for (const auto& [name, seconds] : row.category_s) {
-    out << (first ? "" : ",") << json_string(name) << ":" << json_number(seconds);
+    out << (first ? "" : ",") << json_string(name) << ":"
+        << json_number(seconds.to_double());
     first = false;
   }
   out << "}}";
@@ -281,19 +284,20 @@ void RunLedger::run_monitors_locked(const LedgerIteration& row) {
   // RetryPolicy *expected*-cost terms without per-op noise firing alerts.
   for (auto& [kind, totals] : kinds_) {
     if (totals.window.size() < tolerances_.drift_window) continue;
-    double predicted = 0.0;
-    double charged = 0.0;
+    util::SimSeconds predicted{};
+    util::SimSeconds charged{};
     for (const auto& [p, c] : totals.window) {
       predicted += p;
       charged += c;
     }
-    if (predicted <= 0.0) continue;
-    const double drift = std::fabs(charged - predicted) / predicted;
+    if (predicted <= util::SimSeconds(0.0)) continue;
+    const double drift = std::fabs((charged - predicted) / predicted);
     if (drift > tolerances_.drift_rel_tol) {
       msg.str({});
       msg << kind << ": rolling predicted-vs-charged drift " << drift << " exceeds "
           << tolerances_.drift_rel_tol << " (window " << tolerances_.drift_window
-          << ", predicted " << predicted << "s, charged " << charged << "s)";
+          << ", predicted " << predicted.to_double() << "s, charged " << charged.to_double()
+          << "s)";
       alert_locked("model_drift", row.iteration, drift, tolerances_.drift_rel_tol, msg.str());
       totals.window.clear();  // re-arm after a full fresh window, not every row
       totals.window_at = 0;
@@ -308,20 +312,23 @@ void RunLedger::end_iteration(const LedgerIteration& row) {
   std::ostringstream out;
   out << "{\"type\":\"iteration\",\"run\":" << run_id_ << ",\"iter\":" << row.iteration
       << ",\"loss\":" << json_number(row.loss)
-      << ",\"sim_time_s\":" << json_number(row.sim_time_s)
-      << ",\"phases\":{\"forward_s\":" << json_number(row.forward_s)
-      << ",\"backward_s\":" << json_number(row.backward_s)
-      << ",\"compress_s\":" << json_number(row.compress_s)
-      << ",\"decompress_s\":" << json_number(row.decompress_s) << "},\"collectives\":[";
+      << ",\"sim_time_s\":" << json_number(row.sim_time_s.to_double())
+      << ",\"phases\":{\"forward_s\":" << json_number(row.forward_s.to_double())
+      << ",\"backward_s\":" << json_number(row.backward_s.to_double())
+      << ",\"compress_s\":" << json_number(row.compress_s.to_double())
+      << ",\"decompress_s\":" << json_number(row.decompress_s.to_double())
+      << "},\"collectives\":[";
   // Per-kind, per-iteration reconciliation sums feed the drift monitor.
-  std::map<std::string, std::pair<double, double>> iteration_sums;
+  std::map<std::string, std::pair<util::SimSeconds, util::SimSeconds>> iteration_sums;
   for (std::size_t i = 0; i < pending_collectives_.size(); ++i) {
     const LedgerCollective& c = pending_collectives_[i];
     out << (i == 0 ? "" : ",") << "{\"kind\":" << json_string(c.kind) << ",\"op\":" << c.op
-        << ",\"bytes\":" << json_number(c.bytes)
-        << ",\"predicted_s\":" << json_number(c.predicted_s)
-        << ",\"charged_s\":" << json_number(c.charged_s);
-    if (c.paper_model_s > 0.0) out << ",\"paper_model_s\":" << json_number(c.paper_model_s);
+        << ",\"bytes\":" << json_number(c.bytes.to_double())
+        << ",\"predicted_s\":" << json_number(c.predicted_s.to_double())
+        << ",\"charged_s\":" << json_number(c.charged_s.to_double());
+    if (c.paper_model_s > util::SimSeconds(0.0)) {
+      out << ",\"paper_model_s\":" << json_number(c.paper_model_s.to_double());
+    }
     out << ",\"retries\":" << c.retries << ",\"failed\":" << c.failed << "}";
     KindTotals& totals = kinds_[c.kind];
     totals.predicted_s += c.predicted_s;
@@ -337,7 +344,7 @@ void RunLedger::end_iteration(const LedgerIteration& row) {
       << ",\"ratio\":" << json_number(row.ratio)
       << ",\"rms_error\":" << json_number(row.rms_error)
       << ",\"max_error\":" << json_number(row.max_error)
-      << ",\"wire_bytes\":" << json_number(row.wire_bytes) << "}"
+      << ",\"wire_bytes\":" << json_number(row.wire_bytes.to_double()) << "}"
       << ",\"grad_norm\":" << json_number(row.grad_norm);
   if (row.ef_residual_norm >= 0.0) {
     out << ",\"ef_residual_norm\":" << json_number(row.ef_residual_norm);

@@ -1,0 +1,88 @@
+// Trust-boundary tracking for values parsed from the wire.
+//
+// The recurring bug class the PR-2 fuzzers keep proving: a decoder parses
+// untrusted bytes into a typed value, and some caller uses that value —
+// an element count, a mask, a code vector — before anything checked it
+// against what the receiver *expects*. Untrusted<T> makes that a compile
+// error: every wire/frame decode entry point (core::wire::unframe_frame,
+// sparse::decode_mask, quant::unpack_codes, analysis::decode_trailer)
+// returns Untrusted<T>, and the only way to get the T out is
+//
+//   std::move(u).release(validator, what)   // validator(const T&) -> bool
+//
+// which runs the caller's semantic validation (does the element count match
+// the model? are all codes inside the codec's code space?) and throws
+// TaintError when it fails. Structural validation (bounds, CRC, magic)
+// still lives inside the decoders and throws before an Untrusted is ever
+// formed; release() is where *receiver-side expectations* are enforced.
+//
+// release_unvalidated() is the audited escape hatch for contexts whose
+// downstream logic re-validates (e.g. a fuzzer intentionally exercising the
+// raw decode). Every call site must carry a rationale string and an entry
+// in tools/fftgrad_lint.allow — the lint gate (tools/fftgrad_lint) fails
+// the build on any unallowlisted use.
+//
+// Untrusted<T> is move-only and rvalue-consumed: a decoded value cannot be
+// copied around un-validated, silently dropped ([[nodiscard]]), or released
+// twice.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace fftgrad::util {
+
+/// Thrown by Untrusted<T>::release when the caller's validator rejects the
+/// decoded value. Distinct from the decoders' std::runtime_error structural
+/// failures so tests can tell "malformed bytes" from "well-formed bytes
+/// that violate this receiver's expectations".
+class TaintError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+template <typename T>
+class [[nodiscard]] Untrusted {
+ public:
+  using value_type = T;
+
+  constexpr explicit Untrusted(T value) : value_(std::move(value)) {}
+
+  Untrusted(const Untrusted&) = delete;
+  Untrusted& operator=(const Untrusted&) = delete;
+  Untrusted(Untrusted&&) noexcept = default;
+  Untrusted& operator=(Untrusted&&) noexcept = default;
+
+  /// Validate-and-yield: runs `validate(value)`; a true result releases the
+  /// value, false throws TaintError naming `what`. A validator may also
+  /// throw its own (more specific) exception. rvalue-qualified: the wrapper
+  /// is consumed, so a value can be released at most once.
+  template <typename Validator>
+  T release(Validator&& validate, const char* what = "wire value") && {
+    if (!static_cast<bool>(std::forward<Validator>(validate)(
+            static_cast<const T&>(value_)))) {
+      throw TaintError(std::string("untrusted ") + what + ": validation rejected value");
+    }
+    return std::move(value_);
+  }
+
+  /// Escape hatch: yield without receiver-side validation. `rationale` must
+  /// say why downstream use is safe; the fftgrad_lint gate requires an
+  /// allowlist entry (with that rationale) for every call site.
+  T release_unvalidated(const char* rationale) && {
+    (void)rationale;
+    return std::move(value_);
+  }
+
+ private:
+  T value_;
+};
+
+/// Deduction helper for decoders: `return util::untrusted(std::move(v));`.
+template <typename T>
+constexpr Untrusted<T> untrusted(T value) {
+  return Untrusted<T>(std::move(value));
+}
+
+}  // namespace fftgrad::util

@@ -5,6 +5,8 @@
 
 #include <chrono>
 
+#include "fftgrad/util/units.h"
+
 namespace fftgrad::util {
 
 class WallTimer {
@@ -17,6 +19,10 @@ class WallTimer {
   double seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
+
+  /// Dimensionally-typed elapsed time: wall seconds, which cannot be mixed
+  /// into simulated-clock arithmetic without an explicit sim_from_wall().
+  WallSeconds elapsed() const { return WallSeconds(seconds()); }
 
   double milliseconds() const { return seconds() * 1e3; }
 

@@ -40,10 +40,17 @@ TEST(FuzzWire, PacketFramingNeverCrashes) {
   const auto stats =
       fftgrad::fuzz::drive(corpus, 0xf4a3e5, [&](const std::vector<std::uint8_t>& bytes) {
         try {
-          const Packet packet = wire::unframe_packet(bytes, kElements);
-          // A decoded frame must be internally consistent.
+          // A decoded frame must be internally consistent; the release
+          // validator is the consistency check.
+          const Packet packet =
+              wire::unframe_packet(bytes, kElements)
+                  .release(
+                      [&](const Packet& p) {
+                        return p.elements == kElements &&
+                               p.bytes.size() == bytes.size() - wire::kFrameHeaderBytes;
+                      },
+                      "fuzzed packet");
           ASSERT_EQ(packet.elements, kElements);
-          ASSERT_EQ(packet.bytes.size(), bytes.size() - wire::kFrameHeaderBytes);
         } catch (...) {
           ++mismatches;
           throw;
@@ -106,9 +113,14 @@ TEST(FuzzWire, AnalysisTrailerNeverCrashes) {
 
   const auto stats =
       fftgrad::fuzz::drive(corpus, 0xca05a117, [](const std::vector<std::uint8_t>& bytes) {
-        const analysis::AnalysisTrailer trailer = analysis::decode_trailer(bytes);
         // A decoded trailer must re-encode to the identical bytes: the
         // format has exactly one representation per value.
+        const analysis::AnalysisTrailer trailer =
+            analysis::decode_trailer(bytes).release(
+                [&](const analysis::AnalysisTrailer& t) {
+                  return analysis::encode_trailer(t) == bytes;
+                },
+                "fuzzed trailer");
         ASSERT_EQ(analysis::encode_trailer(trailer), bytes);
       });
   EXPECT_GT(stats.decoded, 0u);
@@ -137,9 +149,16 @@ TEST(FuzzWire, FramedTrailerNeverCrashes) {
 
   const auto stats =
       fftgrad::fuzz::drive(corpus, 0xf4a3e6, [&](const std::vector<std::uint8_t>& bytes) {
-        const wire::WireFrame frame = wire::unframe_frame(bytes, kElements);
+        const wire::WireFrame frame =
+            wire::unframe_frame(bytes, kElements)
+                .release([&](const wire::WireFrame& f) { return f.packet.elements == kElements; },
+                         "fuzzed frame");
         if (!frame.trailer.empty()) {
-          const analysis::AnalysisTrailer decoded = analysis::decode_trailer(frame.trailer);
+          const analysis::AnalysisTrailer decoded =
+              analysis::decode_trailer(frame.trailer)
+                  .release([&](const analysis::AnalysisTrailer& t) {
+                    return t.sender == trailer.sender && t.clock == trailer.clock;
+                  }, "carried trailer");
           ASSERT_EQ(decoded.sender, trailer.sender);
           ASSERT_EQ(decoded.epoch, trailer.epoch);
           ASSERT_EQ(decoded.clock, trailer.clock);
@@ -170,9 +189,12 @@ TEST(FuzzWire, MaskDecodingNeverCrashes) {
 
   const auto stats =
       fftgrad::fuzz::drive(corpus, 0xb17a945, [&](const std::vector<std::uint8_t>& bytes) {
-        const fftgrad::sparse::Bitmap mask = fftgrad::sparse::decode_mask(bytes, kBits);
+        const fftgrad::sparse::Bitmap mask =
+            fftgrad::sparse::decode_mask(bytes, kBits)
+                .release([&](const fftgrad::sparse::Bitmap& m) {
+                  return m.size() == kBits && m.count() <= kBits;
+                }, "fuzzed mask");
         ASSERT_EQ(mask.size(), kBits);
-        ASSERT_LE(mask.count(), kBits);
       });
   EXPECT_GT(stats.decoded, 0u);
   EXPECT_GT(stats.rejected, 0u);
@@ -202,7 +224,9 @@ TEST(FuzzWire, PackedCodeStreamNeverCrashes) {
         std::vector<std::uint8_t> payload(reader.remaining());
         reader.get_span<std::uint8_t>(payload);
         const std::vector<std::uint32_t> codes =
-            fftgrad::quant::unpack_codes(payload, kBitsPerCode, count);
+            fftgrad::quant::unpack_codes(payload, kBitsPerCode, count)
+                .release([&](const std::vector<std::uint32_t>& c) { return c.size() == count; },
+                         "fuzzed codes");
         ASSERT_EQ(codes.size(), count);
         for (std::uint32_t c : codes) ASSERT_LT(c, 1u << kBitsPerCode);
       });

@@ -134,14 +134,19 @@ AnalysisTrailer sample_trailer() {
 TEST(AnalysisTrailerTest, RoundTripsEveryField) {
   const AnalysisTrailer original = sample_trailer();
   const std::vector<std::uint8_t> bytes = analysis::encode_trailer(original);
-  const AnalysisTrailer decoded = analysis::decode_trailer(bytes);
+  const AnalysisTrailer decoded = analysis::decode_trailer(bytes).release(
+      [&](const AnalysisTrailer& t) { return t.sender == original.sender; },
+      "round-trip trailer");
   EXPECT_EQ(decoded.sender, original.sender);
   EXPECT_EQ(decoded.epoch, original.epoch);
   EXPECT_EQ(decoded.clock, original.clock);
 }
 
 TEST(AnalysisTrailerTest, RoundTripsAnEmptyClock) {
-  const AnalysisTrailer decoded = analysis::decode_trailer(analysis::encode_trailer({}));
+  const AnalysisTrailer decoded =
+      analysis::decode_trailer(analysis::encode_trailer({}))
+          .release([](const AnalysisTrailer& t) { return t.clock.size() == 0; },
+                   "empty trailer");
   EXPECT_EQ(decoded.sender, 0u);
   EXPECT_EQ(decoded.epoch, 0u);
   EXPECT_EQ(decoded.clock.size(), 0u);
@@ -150,7 +155,8 @@ TEST(AnalysisTrailerTest, RoundTripsAnEmptyClock) {
 TEST(AnalysisTrailerTest, RejectsEveryTruncation) {
   const std::vector<std::uint8_t> bytes = analysis::encode_trailer(sample_trailer());
   for (std::size_t len = 0; len < bytes.size(); ++len) {
-    EXPECT_THROW(analysis::decode_trailer(std::span(bytes.data(), len)), std::runtime_error)
+    EXPECT_THROW((void)analysis::decode_trailer(std::span(bytes.data(), len)),
+                 std::runtime_error)
         << "prefix of " << len << " bytes must be rejected";
   }
 }
@@ -158,7 +164,7 @@ TEST(AnalysisTrailerTest, RejectsEveryTruncation) {
 TEST(AnalysisTrailerTest, RejectsBadMagicCorruptCountAndTrailingGarbage) {
   std::vector<std::uint8_t> bad_magic = analysis::encode_trailer(sample_trailer());
   bad_magic[0] ^= 0xFF;
-  EXPECT_THROW(analysis::decode_trailer(bad_magic), std::runtime_error);
+  EXPECT_THROW((void)analysis::decode_trailer(bad_magic), std::runtime_error);
 
   // A rank count larger than the remaining payload could drive a huge
   // allocation; it must be rejected from the count alone.
@@ -166,11 +172,11 @@ TEST(AnalysisTrailerTest, RejectsBadMagicCorruptCountAndTrailingGarbage) {
   const std::uint64_t absurd = ~0ull;
   std::memcpy(huge_count.data() + 2 * sizeof(std::uint32_t) + sizeof(std::uint64_t), &absurd,
               sizeof(absurd));
-  EXPECT_THROW(analysis::decode_trailer(huge_count), std::runtime_error);
+  EXPECT_THROW((void)analysis::decode_trailer(huge_count), std::runtime_error);
 
   std::vector<std::uint8_t> padded = analysis::encode_trailer(sample_trailer());
   padded.push_back(0);
-  EXPECT_THROW(analysis::decode_trailer(padded), std::runtime_error);
+  EXPECT_THROW((void)analysis::decode_trailer(padded), std::runtime_error);
 }
 
 TEST(AnalysisTrailerTest, RidesInsideTheCollectiveFrame) {
@@ -180,17 +186,26 @@ TEST(AnalysisTrailerTest, RidesInsideTheCollectiveFrame) {
   const std::vector<std::uint8_t> trailer = analysis::encode_trailer(sample_trailer());
 
   const std::vector<std::uint8_t> frame = wire::frame_packet(packet, trailer);
-  const wire::WireFrame parsed = wire::unframe_frame(frame, packet.elements);
+  const wire::WireFrame parsed =
+      wire::unframe_frame(frame, packet.elements)
+          .release([&](const wire::WireFrame& f) { return f.packet.elements == packet.elements; },
+                   "framed packet");
   EXPECT_EQ(parsed.trailer, trailer);
   EXPECT_EQ(parsed.packet.bytes, packet.bytes);
   EXPECT_EQ(parsed.packet.elements, packet.elements);
   // The trailer-discarding wrapper sees the identical packet.
-  const Packet stripped = wire::unframe_packet(frame, packet.elements);
+  const Packet stripped =
+      wire::unframe_packet(frame, packet.elements)
+          .release([&](const Packet& p) { return p.elements == packet.elements; },
+                   "stripped packet");
   EXPECT_EQ(stripped.bytes, packet.bytes);
 
   // A Release sender attaches no trailer; the frame shape is unchanged and
   // the slot reads back empty.
-  const wire::WireFrame bare = wire::unframe_frame(wire::frame_packet(packet));
+  const wire::WireFrame bare =
+      wire::unframe_frame(wire::frame_packet(packet))
+          .release([&](const wire::WireFrame& f) { return f.packet.elements == packet.elements; },
+                   "bare frame");
   EXPECT_TRUE(bare.trailer.empty());
   EXPECT_EQ(bare.packet.bytes, packet.bytes);
 
@@ -198,7 +213,7 @@ TEST(AnalysisTrailerTest, RidesInsideTheCollectiveFrame) {
   // bits must fail the frame, not silently alter the evidence.
   std::vector<std::uint8_t> corrupted = frame;
   corrupted[wire::kFrameHeaderBytes + 2] ^= 0x10;
-  EXPECT_THROW(wire::unframe_frame(corrupted), std::runtime_error);
+  EXPECT_THROW((void)wire::unframe_frame(corrupted), std::runtime_error);
 }
 
 #if FFTGRAD_ANALYSIS
@@ -365,10 +380,10 @@ TEST(CausalityCluster, SixteenSeedChaosSoakStaysSilent) {
     plan.drop_prob = 0.04;
     plan.corrupt_prob = 0.03;
     plan.delay_prob = 0.04;
-    plan.delay_s = 5e-5;
-    plan.straggler_timeout_s = 0.05;
+    plan.delay_s = util::SimSeconds(5e-5);
+    plan.straggler_timeout_s = util::SimSeconds(0.05);
     plan.stragglers.push_back(
-        {.rank = seed % 4, .slowdown_s = 0.2, .from_op = 4, .until_op = 8});
+        {.rank = seed % 4, .slowdown_s = util::SimSeconds(0.2), .from_op = 4, .until_op = 8});
     if (seed % 2 == 1) plan.crashes.push_back({.rank = (seed + 1) % 4, .at_op = 6});
 
     comm::SimCluster cluster(comm::NetworkModel::ethernet_10g(), plan);

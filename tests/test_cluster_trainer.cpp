@@ -37,7 +37,7 @@ TEST(ClusterTrain, ReplicasStayBitIdenticalLossless) {
       [](std::size_t) { return std::make_unique<NoopCompressor>(); }, data);
   EXPECT_TRUE(result.replicas_identical);
   EXPECT_EQ(result.rank_sim_times.size(), 4u);
-  for (double t : result.rank_sim_times) EXPECT_GT(t, 0.0);
+  for (util::SimSeconds t : result.rank_sim_times) EXPECT_GT(t, util::SimSeconds(0.0));
 }
 
 TEST(ClusterTrain, ReplicasStayBitIdenticalUnderFftCompression) {

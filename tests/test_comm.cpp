@@ -15,44 +15,46 @@ namespace {
 // NetworkModel
 
 TEST(NetworkModel, P2pTimeIsLatencyPlusTransfer) {
-  NetworkModel net{"test", 1e-3, 1e6};
-  EXPECT_DOUBLE_EQ(net.p2p_time(1e6), 1e-3 + 1.0);
+  NetworkModel net{"test", util::SimSeconds(1e-3), util::BytesPerSecond(1e6)};
+  EXPECT_DOUBLE_EQ(net.p2p_time(util::Bytes(1e6)).to_double(), 1e-3 + 1.0);
 }
 
 TEST(NetworkModel, SingleRankCollectivesAreFree) {
   const NetworkModel net = NetworkModel::infiniband_fdr56();
-  EXPECT_DOUBLE_EQ(net.allgather_time(1e6, 1), 0.0);
-  EXPECT_DOUBLE_EQ(net.allreduce_time(1e6, 1), 0.0);
-  EXPECT_DOUBLE_EQ(net.broadcast_time(1e6, 1), 0.0);
+  EXPECT_DOUBLE_EQ(net.allgather_time(util::Bytes(1e6), 1).to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(net.allreduce_time(util::Bytes(1e6), 1).to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(net.broadcast_time(util::Bytes(1e6), 1).to_double(), 0.0);
 }
 
 TEST(NetworkModel, AllgatherGrowsLinearlyWithRanks) {
   // The paper's Fig 11 observation: allgather cost is ~linear in GPU count.
   const NetworkModel net = NetworkModel::infiniband_fdr56();
-  const double block = 250e6 / 8;
-  const double t8 = net.allgather_time(block, 8);
-  const double t16 = net.allgather_time(block, 16);
-  const double t32 = net.allgather_time(block, 32);
+  const util::Bytes block{250e6 / 8};
+  const util::SimSeconds t8 = net.allgather_time(block, 8);
+  const util::SimSeconds t16 = net.allgather_time(block, 16);
+  const util::SimSeconds t32 = net.allgather_time(block, 32);
   EXPECT_NEAR(t16 / t8, 15.0 / 7.0, 1e-9);
   EXPECT_NEAR(t32 / t16, 31.0 / 15.0, 1e-9);
 }
 
 TEST(NetworkModel, AllgathervGatedByLargestBlock) {
-  NetworkModel net{"test", 0.0, 1e6};
-  std::vector<double> blocks = {10.0, 1000.0, 100.0, 500.0};
-  EXPECT_DOUBLE_EQ(net.allgatherv_time(blocks), 3.0 * (1000.0 / 1e6));
+  NetworkModel net{"test", util::SimSeconds(0.0), util::BytesPerSecond(1e6)};
+  std::vector<util::Bytes> blocks = {util::Bytes(10.0), util::Bytes(1000.0),
+                                     util::Bytes(100.0), util::Bytes(500.0)};
+  EXPECT_DOUBLE_EQ(net.allgatherv_time(blocks).to_double(), 3.0 * (1000.0 / 1e6));
 }
 
 TEST(NetworkModel, AllreduceUsesChunkedRing) {
-  NetworkModel net{"test", 0.0, 1e6};
+  NetworkModel net{"test", util::SimSeconds(0.0), util::BytesPerSecond(1e6)};
   // 2(p-1) steps of m/p bytes.
-  EXPECT_DOUBLE_EQ(net.allreduce_time(8e6, 4), 2.0 * 3.0 * (2e6 / 1e6));
+  EXPECT_DOUBLE_EQ(net.allreduce_time(util::Bytes(8e6), 4).to_double(),
+                   2.0 * 3.0 * (2e6 / 1e6));
 }
 
 TEST(NetworkModel, BroadcastIsLogarithmic) {
-  NetworkModel net{"test", 0.0, 1e6};
-  EXPECT_DOUBLE_EQ(net.broadcast_time(1e6, 8), 3.0);
-  EXPECT_DOUBLE_EQ(net.broadcast_time(1e6, 9), 4.0);
+  NetworkModel net{"test", util::SimSeconds(0.0), util::BytesPerSecond(1e6)};
+  EXPECT_DOUBLE_EQ(net.broadcast_time(util::Bytes(1e6), 8).to_double(), 3.0);
+  EXPECT_DOUBLE_EQ(net.broadcast_time(util::Bytes(1e6), 9).to_double(), 4.0);
 }
 
 TEST(NetworkModel, ProfilesAreOrderedBySpeed) {
@@ -86,13 +88,13 @@ TEST(SimCluster, AllgatherDeliversEveryContribution) {
 }
 
 TEST(SimCluster, AllgatherChargesModeledTime) {
-  NetworkModel net{"test", 0.0, 1e6};
+  NetworkModel net{"test", util::SimSeconds(0.0), util::BytesPerSecond(1e6)};
   SimCluster cluster(net);
   const auto clocks = cluster.run(3, [&](RankContext& ctx) {
     std::vector<std::uint8_t> mine(1000);
     (void)ctx.allgather(mine);
   });
-  for (double t : clocks) EXPECT_NEAR(t, 2.0 * (1000.0 / 1e6), 1e-12);
+  for (util::SimSeconds t : clocks) EXPECT_NEAR(t.to_double(), 2.0 * (1000.0 / 1e6), 1e-12);
 }
 
 TEST(SimCluster, AllreduceSumsAcrossRanks) {
@@ -131,21 +133,22 @@ TEST(SimCluster, BroadcastCopiesRootData) {
 TEST(SimCluster, BarrierAlignsClocksToSlowest) {
   SimCluster cluster(NetworkModel::infiniband_fdr56());
   const auto clocks = cluster.run(4, [&](RankContext& ctx) {
-    ctx.clock().advance(static_cast<double>(ctx.rank()));  // rank r is r seconds behind
+    // rank r is r seconds behind
+    ctx.clock().advance(util::SimSeconds(static_cast<double>(ctx.rank())));
     ctx.barrier();
   });
-  for (double t : clocks) EXPECT_DOUBLE_EQ(t, 3.0);
+  for (util::SimSeconds t : clocks) EXPECT_DOUBLE_EQ(t.to_double(), 3.0);
 }
 
 TEST(SimCluster, SequentialCollectivesAccumulateTime) {
-  NetworkModel net{"test", 0.0, 1e6};
+  NetworkModel net{"test", util::SimSeconds(0.0), util::BytesPerSecond(1e6)};
   SimCluster cluster(net);
   const auto clocks = cluster.run(2, [&](RankContext& ctx) {
     std::vector<std::uint8_t> mine(1000);
     (void)ctx.allgather(mine);
     (void)ctx.allgather(mine);
   });
-  for (double t : clocks) EXPECT_NEAR(t, 2.0 * (1000.0 / 1e6), 1e-12);
+  for (util::SimSeconds t : clocks) EXPECT_NEAR(t.to_double(), 2.0 * (1000.0 / 1e6), 1e-12);
 }
 
 TEST(SimCluster, SingleRankWorks) {
@@ -156,7 +159,7 @@ TEST(SimCluster, SingleRankWorks) {
     ASSERT_EQ(gathered.size(), 1u);
     EXPECT_EQ(gathered[0], mine);
   });
-  EXPECT_DOUBLE_EQ(clocks[0], 0.0);
+  EXPECT_DOUBLE_EQ(clocks[0].to_double(), 0.0);
 }
 
 TEST(SimCluster, PropagatesRankExceptions) {

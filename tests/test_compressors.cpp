@@ -238,6 +238,23 @@ TEST(TernGrad, CompressionRatioNearSixteen) {
   EXPECT_NEAR(codec.compress(g).ratio(), 16.0, 0.1);
 }
 
+TEST(TernGrad, RejectsOutOfCodeSpaceWireValue) {
+  // Regression for a latent trust bug the Untrusted<T> refactor surfaced:
+  // the ternary code space is {0, +1, -1} but the 2-bit wire field can
+  // carry a 3, which the old decoder silently decoded as -scale. The
+  // receiver-side validator must reject it as a TaintError (well-formed
+  // bytes violating expectations), not std::runtime_error corruption.
+  TernGradCompressor codec(13);
+  std::vector<float> g = {0.5f, -0.5f, 0.25f, -0.25f};
+  Packet packet = codec.compress(g);
+  // Wire layout: uint64 element count, float scale, then the packed 2-bit
+  // codes — four codes in the byte at offset 12. Force them all to 3.
+  ASSERT_GT(packet.bytes.size(), 12u);
+  packet.bytes[12] = 0xFF;
+  std::vector<float> recon(g.size());
+  EXPECT_THROW(codec.decompress(packet, recon), fftgrad::util::TaintError);
+}
+
 // ---------------------------------------------------------------------------
 // FftCompressor
 

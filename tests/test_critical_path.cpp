@@ -29,8 +29,8 @@ CpEvent span(std::int32_t rank, const char* name, double start, double end,
   CpEvent e;
   e.rank = rank;
   e.name = name;
-  e.start_s = start;
-  e.end_s = end;
+  e.start_s = util::SimSeconds(start);
+  e.end_s = util::SimSeconds(end);
   e.iteration = iteration;
   e.op = op;
   e.peer = peer;
@@ -38,7 +38,7 @@ CpEvent span(std::int32_t rank, const char* name, double start, double end,
 }
 
 double seconds(const CpAnalysis& analysis, CpCategory category) {
-  return analysis.total_s[static_cast<std::size_t>(category)];
+  return analysis.total_s[static_cast<std::size_t>(category)].to_double();
 }
 
 // Two ranks, rank 1 slower into the barrier: the path must follow rank 1
@@ -56,15 +56,15 @@ TEST(CriticalPath, KnownPathFollowsBoundingRank) {
   const CpAnalysis analysis = analyze_critical_path(events);
   ASSERT_EQ(analysis.iterations.size(), 1u);
   const CpIteration& it = analysis.iterations[0];
-  EXPECT_DOUBLE_EQ(it.e2e_s(), 5.0);
+  EXPECT_DOUBLE_EQ(it.e2e_s().to_double(), 5.0);
   EXPECT_DOUBLE_EQ(seconds(analysis, CpCategory::kBackprop), 3.0);
   EXPECT_DOUBLE_EQ(seconds(analysis, CpCategory::kCollective), 2.0);
   EXPECT_DOUBLE_EQ(seconds(analysis, CpCategory::kBarrierIdle), 0.0);
-  EXPECT_NEAR(it.category_sum_s(), it.e2e_s(), 1e-12);
+  EXPECT_NEAR(it.category_sum_s().to_double(), it.e2e_s().to_double(), 1e-12);
   EXPECT_NEAR(it.comm_share(), 0.4, 1e-12);
   // min(compute 3, comm 2); the single-chunk pipeline cannot overlap.
-  EXPECT_DOUBLE_EQ(it.overlap_bound_s, 2.0);
-  EXPECT_DOUBLE_EQ(it.pipeline_bound_s, 0.0);
+  EXPECT_DOUBLE_EQ(it.overlap_bound_s.to_double(), 2.0);
+  EXPECT_DOUBLE_EQ(it.pipeline_bound_s.to_double(), 0.0);
 
   ASSERT_EQ(it.path.size(), 2u);
   EXPECT_EQ(it.path[0].category, CpCategory::kBackprop);
@@ -91,8 +91,8 @@ TEST(CriticalPath, StragglerWaitAttributedToAbandonedRank) {
   const CpAnalysis analysis = analyze_critical_path(events);
   ASSERT_EQ(analysis.iterations.size(), 1u);
   const CpIteration& it = analysis.iterations[0];
-  EXPECT_DOUBLE_EQ(it.e2e_s(), 2.5);
-  EXPECT_NEAR(it.category_sum_s(), it.e2e_s(), 1e-12);
+  EXPECT_DOUBLE_EQ(it.e2e_s().to_double(), 2.5);
+  EXPECT_NEAR(it.category_sum_s().to_double(), it.e2e_s().to_double(), 1e-12);
   EXPECT_DOUBLE_EQ(seconds(analysis, CpCategory::kStragglerWait), 0.5);
 
   bool found_wait = false;
@@ -101,8 +101,8 @@ TEST(CriticalPath, StragglerWaitAttributedToAbandonedRank) {
     found_wait = true;
     EXPECT_EQ(seg.rank, 1);  // charged to the abandoned straggler
     EXPECT_EQ(seg.peer, 1);
-    EXPECT_DOUBLE_EQ(seg.start_s, 1.0);
-    EXPECT_DOUBLE_EQ(seg.end_s, 1.5);
+    EXPECT_DOUBLE_EQ(seg.start_s.to_double(), 1.0);
+    EXPECT_DOUBLE_EQ(seg.end_s.to_double(), 1.5);
   }
   EXPECT_TRUE(found_wait);
   EXPECT_TRUE(analysis.problems.empty());
@@ -123,9 +123,9 @@ TEST(CriticalPath, PipelineBoundExactOnTwoLayerPipeline) {
   const CpAnalysis analysis = analyze_critical_path(events);
   ASSERT_EQ(analysis.iterations.size(), 1u);
   const CpIteration& it = analysis.iterations[0];
-  EXPECT_DOUBLE_EQ(it.e2e_s(), 13.0);
-  EXPECT_DOUBLE_EQ(it.overlap_bound_s, 5.0);
-  EXPECT_DOUBLE_EQ(it.pipeline_bound_s, 3.0);
+  EXPECT_DOUBLE_EQ(it.e2e_s().to_double(), 13.0);
+  EXPECT_DOUBLE_EQ(it.overlap_bound_s.to_double(), 5.0);
+  EXPECT_DOUBLE_EQ(it.pipeline_bound_s.to_double(), 3.0);
 }
 
 // Untracked gaps: simulated time not covered by any cp span must still be
@@ -138,8 +138,8 @@ TEST(CriticalPath, GapsBecomeUntrackedSegments) {
   const CpAnalysis analysis = analyze_critical_path(events);
   ASSERT_EQ(analysis.iterations.size(), 1u);
   const CpIteration& it = analysis.iterations[0];
-  EXPECT_DOUBLE_EQ(it.e2e_s(), 4.0);
-  EXPECT_NEAR(it.category_sum_s(), it.e2e_s(), 1e-12);
+  EXPECT_DOUBLE_EQ(it.e2e_s().to_double(), 4.0);
+  EXPECT_NEAR(it.category_sum_s().to_double(), it.e2e_s().to_double(), 1e-12);
   EXPECT_DOUBLE_EQ(seconds(analysis, CpCategory::kUntracked), 2.0);  // [0,1] and [2,3]
 }
 
@@ -220,14 +220,14 @@ core::SimComputeModel fig02_compute(double total_s) {
   // Split one iteration's modelled compute across the phases with fig02's
   // rough proportions (backprop dominates; codec stages small).
   core::SimComputeModel m;
-  m.forward_s = 0.25 * total_s;
-  m.backward_s = 0.45 * total_s;
-  m.fft_s = 0.08 * total_s;
-  m.quant_pack_s = 0.05 * total_s;
-  m.wire_crc_s = 0.04 * total_s;
-  m.inverse_fft_s = 0.06 * total_s;
-  m.dequant_s = 0.03 * total_s;
-  m.apply_s = 0.04 * total_s;
+  m.forward_s = util::SimSeconds(0.25 * total_s);
+  m.backward_s = util::SimSeconds(0.45 * total_s);
+  m.fft_s = util::SimSeconds(0.08 * total_s);
+  m.quant_pack_s = util::SimSeconds(0.05 * total_s);
+  m.wire_crc_s = util::SimSeconds(0.04 * total_s);
+  m.inverse_fft_s = util::SimSeconds(0.06 * total_s);
+  m.dequant_s = util::SimSeconds(0.03 * total_s);
+  m.apply_s = util::SimSeconds(0.04 * total_s);
   return m;
 }
 
@@ -247,7 +247,7 @@ TEST(CriticalPathIntegration, LosslessFig02StyleRunSumsAndReconciles) {
   const CpAnalysis comm_only = traced_run(cfg, nullptr);
   ASSERT_FALSE(comm_only.iterations.empty());
   const double comm_per_iter =
-      comm_only.comm_s() / static_cast<double>(comm_only.iterations.size());
+      comm_only.comm_s().to_double() / static_cast<double>(comm_only.iterations.size());
   ASSERT_GT(comm_per_iter, 0.0);
   cfg.sim_compute = fig02_compute(comm_per_iter / 0.45 - comm_per_iter);
 
@@ -261,7 +261,7 @@ TEST(CriticalPathIntegration, LosslessFig02StyleRunSumsAndReconciles) {
 
   ASSERT_GE(analysis.iterations.size(), cfg.iterations);
   for (const CpIteration& it : analysis.iterations) {
-    EXPECT_NEAR(it.category_sum_s(), it.e2e_s(), 1e-6)
+    EXPECT_NEAR(it.category_sum_s().to_double(), it.e2e_s().to_double(), 1e-6)
         << "iteration " << it.iteration << " does not tile its window";
   }
   EXPECT_TRUE(analysis.problems.empty());
@@ -280,7 +280,8 @@ TEST(CriticalPathIntegration, LosslessFig02StyleRunSumsAndReconciles) {
   const CpLedgerReconcile reconcile = reconcile_with_ledger(analysis, runs.back());
   EXPECT_TRUE(reconcile.compared);
   EXPECT_LT(reconcile.rel_diff, 1e-9)
-      << "charged " << reconcile.ledger_charged_s << " vs path " << reconcile.path_comm_s;
+      << "charged " << reconcile.ledger_charged_s.to_double() << " vs path "
+      << reconcile.path_comm_s.to_double();
   std::remove(ledger_path.c_str());
 }
 
@@ -291,14 +292,14 @@ TEST(CriticalPathIntegration, SixteenSeedDeterminism) {
   core::ClusterTrainConfig cfg;
   cfg.ranks = 4;
   cfg.iterations = 3;
-  cfg.sim_compute = core::SimComputeModel{.forward_s = 1e-4,
-                                          .backward_s = 2e-4,
-                                          .fft_s = 5e-5,
-                                          .quant_pack_s = 2e-5,
-                                          .wire_crc_s = 1e-5,
-                                          .inverse_fft_s = 4e-5,
-                                          .dequant_s = 2e-5,
-                                          .apply_s = 3e-5};
+  cfg.sim_compute = core::SimComputeModel{.forward_s = util::SimSeconds(1e-4),
+                                          .backward_s = util::SimSeconds(2e-4),
+                                          .fft_s = util::SimSeconds(5e-5),
+                                          .quant_pack_s = util::SimSeconds(2e-5),
+                                          .wire_crc_s = util::SimSeconds(1e-5),
+                                          .inverse_fft_s = util::SimSeconds(4e-5),
+                                          .dequant_s = util::SimSeconds(2e-5),
+                                          .apply_s = util::SimSeconds(3e-5)};
   for (std::uint64_t seed = 0; seed < 16; ++seed) {
     cfg.seed = seed;
     const std::string first = serialize_critpath(traced_run(cfg, nullptr));
@@ -316,19 +317,21 @@ TEST(CriticalPathIntegration, ChaosTimeAttributedToFaultedRank) {
   cfg.ranks = 4;
   cfg.iterations = 12;
   cfg.seed = 9;
-  cfg.sim_compute = core::SimComputeModel{.forward_s = 1e-4, .backward_s = 2e-4};
+  cfg.sim_compute = core::SimComputeModel{.forward_s = util::SimSeconds(1e-4),
+                                          .backward_s = util::SimSeconds(2e-4)};
 
   comm::FaultPlan plan;
   plan.seed = 2020;
   plan.drop_prob = 0.05;
-  plan.straggler_timeout_s = 0.005;
-  plan.stragglers.push_back({.rank = 2, .slowdown_s = 0.05, .from_op = 2, .until_op = 6});
+  plan.straggler_timeout_s = util::SimSeconds(0.005);
+  plan.stragglers.push_back(
+      {.rank = 2, .slowdown_s = util::SimSeconds(0.05), .from_op = 2, .until_op = 6});
 
   std::vector<CpEvent> events;
   const CpAnalysis analysis = traced_run(cfg, &plan, &events);
   ASSERT_FALSE(analysis.iterations.empty());
   for (const CpIteration& it : analysis.iterations) {
-    EXPECT_NEAR(it.category_sum_s(), it.e2e_s(), 1e-6);
+    EXPECT_NEAR(it.category_sum_s().to_double(), it.e2e_s().to_double(), 1e-6);
   }
 
   double faulted_s = 0.0;
@@ -338,7 +341,7 @@ TEST(CriticalPathIntegration, ChaosTimeAttributedToFaultedRank) {
       if (seg.category == CpCategory::kStraggle ||
           seg.category == CpCategory::kStragglerWait) {
         EXPECT_EQ(seg.rank, 2) << "fault time charged to the wrong rank";
-        faulted_s += seg.end_s - seg.start_s;
+        faulted_s += (seg.end_s - seg.start_s).to_double();
       }
       if (seg.category == CpCategory::kRetry) {
         EXPECT_GE(seg.peer, 0) << "retry segment lost its sender attribution";
@@ -375,8 +378,8 @@ TEST(CriticalPath, ReportAndDiffRender) {
 
   const LedgerCritpath row = ledger_critpath_from(analysis);
   EXPECT_EQ(row.iterations, 1u);
-  EXPECT_DOUBLE_EQ(row.e2e_s, 3.0);
-  EXPECT_DOUBLE_EQ(row.comm_s, 1.0);
+  EXPECT_DOUBLE_EQ(row.e2e_s.to_double(), 3.0);
+  EXPECT_DOUBLE_EQ(row.comm_s.to_double(), 1.0);
 }
 
 }  // namespace

@@ -62,7 +62,10 @@ TEST_P(MaskCodingRoundTrip, EncodeDecodeIsIdentity) {
   const auto [n, density] = GetParam();
   const sparse::Bitmap mask = random_mask(n, density, n + 17);
   const auto bytes = sparse::encode_mask(mask);
-  const sparse::Bitmap decoded = sparse::decode_mask(bytes, n);
+  const sparse::Bitmap decoded =
+      sparse::decode_mask(bytes, n).release(
+          [&](const sparse::Bitmap& m) { return m.count() == mask.count(); },
+          "round-trip mask");
   EXPECT_EQ(decoded, mask);
 }
 
@@ -76,18 +79,24 @@ INSTANTIATE_TEST_SUITE_P(Shapes, MaskCodingRoundTrip,
 
 TEST(MaskCoding, EmptyAndFullMasks) {
   sparse::Bitmap empty(1000);
-  EXPECT_EQ(sparse::decode_mask(sparse::encode_mask(empty), 1000), empty);
+  EXPECT_EQ(sparse::decode_mask(sparse::encode_mask(empty), 1000)
+                .release([](const sparse::Bitmap& m) { return m.count() == 0; },
+                         "empty mask"),
+            empty);
   sparse::Bitmap full(1000);
   for (std::size_t i = 0; i < 1000; ++i) full.set(i);
-  EXPECT_EQ(sparse::decode_mask(sparse::encode_mask(full), 1000), full);
+  EXPECT_EQ(sparse::decode_mask(sparse::encode_mask(full), 1000)
+                .release([](const sparse::Bitmap& m) { return m.count() == 1000; },
+                         "full mask"),
+            full);
 }
 
 TEST(MaskCoding, RejectsCorruptPayloads) {
-  EXPECT_THROW(sparse::decode_mask({}, 10), std::invalid_argument);
+  EXPECT_THROW((void)sparse::decode_mask({}, 10), std::invalid_argument);
   std::vector<std::uint8_t> bad_tag = {9, 0, 0};
-  EXPECT_THROW(sparse::decode_mask(bad_tag, 10), std::invalid_argument);
+  EXPECT_THROW((void)sparse::decode_mask(bad_tag, 10), std::invalid_argument);
   std::vector<std::uint8_t> short_bitmap = {0, 1};
-  EXPECT_THROW(sparse::decode_mask(short_bitmap, 1000), std::invalid_argument);
+  EXPECT_THROW((void)sparse::decode_mask(short_bitmap, 1000), std::invalid_argument);
 }
 
 TEST(MaskCoding, IndexEncodingBreaksTheFig6Ceiling) {
@@ -201,10 +210,12 @@ TEST(ErrorFeedback, RejectsNullInner) {
 // Parameter-server scheme
 
 TEST(ParameterServer, PushPullCostFormulas) {
-  comm::NetworkModel net{"test", 1e-4, 1e6};
-  std::vector<double> blocks = {1000.0, 2000.0, 3000.0};
-  EXPECT_DOUBLE_EQ(net.ps_push_time(blocks), 3e-4 + 6000.0 / 1e6);
-  EXPECT_DOUBLE_EQ(net.ps_pull_time(5000.0, 4), 4.0 * (1e-4 + 5000.0 / 1e6));
+  comm::NetworkModel net{"test", util::SimSeconds(1e-4), util::BytesPerSecond(1e6)};
+  std::vector<util::Bytes> blocks = {util::Bytes(1000.0), util::Bytes(2000.0),
+                                     util::Bytes(3000.0)};
+  EXPECT_DOUBLE_EQ(net.ps_push_time(blocks).to_double(), 3e-4 + 6000.0 / 1e6);
+  EXPECT_DOUBLE_EQ(net.ps_pull_time(util::Bytes(5000.0), 4).to_double(),
+                   4.0 * (1e-4 + 5000.0 / 1e6));
 }
 
 TEST(ParameterServer, TrainerProducesSameAccuracyAsBsp) {
@@ -282,14 +293,14 @@ TEST(Collectives, GatherDeliversAtRootOnly) {
 }
 
 TEST(Collectives, GatherChargesSerializedInboundAtRoot) {
-  comm::NetworkModel net{"test", 0.0, 1e6};
+  comm::NetworkModel net{"test", util::SimSeconds(0.0), util::BytesPerSecond(1e6)};
   comm::SimCluster cluster(net);
   const auto clocks = cluster.run(3, [&](comm::RankContext& ctx) {
     std::vector<std::uint8_t> mine(1000);
     (void)ctx.gather(mine, 0);
   });
   // Root absorbed 2 inbound transfers; barrier aligns everyone to it.
-  for (double t : clocks) EXPECT_NEAR(t, 2.0 * (1000.0 / 1e6), 1e-12);
+  for (util::SimSeconds t : clocks) EXPECT_NEAR(t.to_double(), 2.0 * (1000.0 / 1e6), 1e-12);
 }
 
 TEST(Collectives, ReduceScatterSumsOwnChunk) {

@@ -385,14 +385,14 @@ TEST(RangeRounding, NearestStaysWithinConfiguredRange) {
 
 TEST(Hierarchical, SingleNodeUsesIntraOnly) {
   comm::HierarchicalModel model;
-  const double t4 = model.allgather_time(1e6, 4);
-  EXPECT_DOUBLE_EQ(t4, model.intra.allgather_time(1e6, 4));
+  const util::SimSeconds t4 = model.allgather_time(util::Bytes(1e6), 4);
+  EXPECT_DOUBLE_EQ(t4.to_double(), model.intra.allgather_time(util::Bytes(1e6), 4).to_double());
 }
 
 TEST(Hierarchical, FabricKicksInBeyondOneNode) {
   comm::HierarchicalModel model;
-  const double t4 = model.allgather_time(1e6, 4);
-  const double t8 = model.allgather_time(1e6, 8);
+  const util::SimSeconds t4 = model.allgather_time(util::Bytes(1e6), 4);
+  const util::SimSeconds t8 = model.allgather_time(util::Bytes(1e6), 8);
   // Two nodes must pay the inter-node phase: noticeably more than 2x.
   EXPECT_GT(t8, 2.0 * t4);
 }
@@ -402,17 +402,18 @@ TEST(Hierarchical, MatchesPaperPcieRemark) {
   // intra-node through PCI-E": intra-node cost at 2 vs 4 ranks differs far
   // less than crossing the node boundary does.
   comm::HierarchicalModel model;
-  const double t2 = model.allgather_time(31.25e6, 2);
-  const double t4 = model.allgather_time(31.25e6, 4);
-  const double t8 = model.allgather_time(31.25e6, 8);
+  const util::SimSeconds t2 = model.allgather_time(util::Bytes(31.25e6), 2);
+  const util::SimSeconds t4 = model.allgather_time(util::Bytes(31.25e6), 4);
+  const util::SimSeconds t8 = model.allgather_time(util::Bytes(31.25e6), 8);
   EXPECT_LT(t4 / t2, 4.0);
   EXPECT_GT(t8 / t4, 2.0);
 }
 
 TEST(Hierarchical, AllreduceSingleRankFree) {
   comm::HierarchicalModel model;
-  EXPECT_DOUBLE_EQ(model.allreduce_time(1e6, 1), 0.0);
-  EXPECT_GT(model.allreduce_time(1e6, 16), model.allreduce_time(1e6, 4));
+  EXPECT_DOUBLE_EQ(model.allreduce_time(util::Bytes(1e6), 1).to_double(), 0.0);
+  EXPECT_GT(model.allreduce_time(util::Bytes(1e6), 16),
+            model.allreduce_time(util::Bytes(1e6), 4));
 }
 
 TEST(Hierarchical, NodeCountRoundsUp) {

@@ -103,13 +103,14 @@ TEST(FaultPlan, CorruptPayloadFlipsBitsDeterministically) {
 
 TEST(FaultPlan, StragglerWindowAndCrashScheduleAreHonored) {
   comm::FaultPlan plan;
-  plan.stragglers.push_back({.rank = 2, .slowdown_s = 0.5, .from_op = 3, .until_op = 6});
+  plan.stragglers.push_back(
+      {.rank = 2, .slowdown_s = util::SimSeconds(0.5), .from_op = 3, .until_op = 6});
   plan.crashes.push_back({.rank = 1, .at_op = 10});
-  EXPECT_EQ(plan.straggle_s(2, 2), 0.0);
-  EXPECT_EQ(plan.straggle_s(2, 3), 0.5);
-  EXPECT_EQ(plan.straggle_s(2, 5), 0.5);
-  EXPECT_EQ(plan.straggle_s(2, 6), 0.0);
-  EXPECT_EQ(plan.straggle_s(0, 4), 0.0);
+  EXPECT_EQ(plan.straggle_s(2, 2), util::SimSeconds(0.0));
+  EXPECT_EQ(plan.straggle_s(2, 3), util::SimSeconds(0.5));
+  EXPECT_EQ(plan.straggle_s(2, 5), util::SimSeconds(0.5));
+  EXPECT_EQ(plan.straggle_s(2, 6), util::SimSeconds(0.0));
+  EXPECT_EQ(plan.straggle_s(0, 4), util::SimSeconds(0.0));
   EXPECT_FALSE(plan.crashes_at(1, 9));
   EXPECT_TRUE(plan.crashes_at(1, 10));
   EXPECT_TRUE(plan.crashes_at(1, 11));
@@ -124,12 +125,13 @@ TEST(FaultPlan, StragglerWindowAndCrashScheduleAreHonored) {
 TEST(ResolveDelivery, CleanPlanDeliversFirstTryAtZeroCost) {
   const comm::FaultPlan plan;
   const comm::NetworkModel net = comm::NetworkModel::ethernet_1g();
-  const comm::DeliveryOutcome out = comm::resolve_delivery(plan, net, 0, 0, 1e6);
+  const comm::DeliveryOutcome out =
+      comm::resolve_delivery(plan, net, 0, 0, util::Bytes(1e6));
   EXPECT_TRUE(out.delivered);
   EXPECT_FALSE(out.corrupted);
   EXPECT_EQ(out.attempts, 1u);
-  EXPECT_EQ(out.recovery_seconds, 0.0);
-  EXPECT_EQ(out.extra_bytes, 0.0);
+  EXPECT_EQ(out.recovery_seconds, util::SimSeconds(0.0));
+  EXPECT_EQ(out.extra_bytes, util::Bytes(0.0));
 }
 
 TEST(ResolveDelivery, CertainDropExhaustsTheRetryBudget) {
@@ -138,18 +140,19 @@ TEST(ResolveDelivery, CertainDropExhaustsTheRetryBudget) {
   plan.drop_prob = 1.0;
   comm::NetworkModel net = comm::NetworkModel::ethernet_1g();
   net.retry.max_retries = 4;
-  const double bytes = 1e6;
+  const util::Bytes bytes{1e6};
   const comm::DeliveryOutcome out = comm::resolve_delivery(plan, net, 0, 0, bytes);
   EXPECT_FALSE(out.delivered);
   EXPECT_EQ(out.attempts, 1u + net.retry.max_retries);
   // Every failed attempt but the last charges one retransmission plus its
   // backoff step.
-  double expected = 0.0;
+  util::SimSeconds expected{0.0};
   for (std::size_t retry = 0; retry < net.retry.max_retries; ++retry) {
     expected += net.retry.backoff_s(retry) + net.p2p_base_time(bytes);
   }
-  EXPECT_DOUBLE_EQ(out.recovery_seconds, expected);
-  EXPECT_DOUBLE_EQ(out.extra_bytes, bytes * static_cast<double>(net.retry.max_retries));
+  EXPECT_DOUBLE_EQ(out.recovery_seconds.to_double(), expected.to_double());
+  EXPECT_DOUBLE_EQ(out.extra_bytes.to_double(),
+                   (bytes * static_cast<double>(net.retry.max_retries)).to_double());
 }
 
 TEST(ResolveDelivery, CertainCorruptionDeliversDamagedAfterRetries) {
@@ -157,11 +160,12 @@ TEST(ResolveDelivery, CertainCorruptionDeliversDamagedAfterRetries) {
   plan.seed = 5;
   plan.corrupt_prob = 1.0;
   const comm::NetworkModel net = comm::NetworkModel::ethernet_1g();
-  const comm::DeliveryOutcome out = comm::resolve_delivery(plan, net, 2, 9, 4096);
+  const comm::DeliveryOutcome out =
+      comm::resolve_delivery(plan, net, 2, 9, util::Bytes(4096));
   EXPECT_TRUE(out.delivered);
   EXPECT_TRUE(out.corrupted);
   EXPECT_EQ(out.attempts, 1u + net.retry.max_retries);
-  EXPECT_GT(out.recovery_seconds, 0.0);
+  EXPECT_GT(out.recovery_seconds, util::SimSeconds(0.0));
 }
 
 TEST(ResolveDelivery, ModerateLossUsuallyRecoversWithinBudget) {
@@ -172,7 +176,8 @@ TEST(ResolveDelivery, ModerateLossUsuallyRecoversWithinBudget) {
   std::size_t delivered = 0;
   std::size_t retransmits = 0;
   for (std::size_t op = 0; op < 200; ++op) {
-    const comm::DeliveryOutcome out = comm::resolve_delivery(plan, net, 1, op, 1000);
+    const comm::DeliveryOutcome out =
+        comm::resolve_delivery(plan, net, 1, op, util::Bytes(1000));
     delivered += out.delivered ? 1 : 0;
     retransmits += out.attempts - 1;
   }
@@ -188,9 +193,10 @@ TEST(ResolveDelivery, ModerateLossUsuallyRecoversWithinBudget) {
 TEST(NetworkModelLoss, ZeroLossRateKeepsTheBaseFormula) {
   const comm::NetworkModel net = comm::NetworkModel::infiniband_fdr56();
   EXPECT_EQ(net.loss_rate, 0.0);
-  EXPECT_DOUBLE_EQ(net.p2p_time(12345.0), net.p2p_base_time(12345.0));
+  EXPECT_DOUBLE_EQ(net.p2p_time(util::Bytes(12345.0)).to_double(),
+                   net.p2p_base_time(util::Bytes(12345.0)).to_double());
   EXPECT_DOUBLE_EQ(net.expected_sends(), 1.0);
-  EXPECT_DOUBLE_EQ(net.expected_backoff_s(), 0.0);
+  EXPECT_DOUBLE_EQ(net.expected_backoff_s().to_double(), 0.0);
 }
 
 TEST(NetworkModelLoss, LossInflatesEveryCollective) {
@@ -200,23 +206,24 @@ TEST(NetworkModelLoss, LossInflatesEveryCollective) {
   // E[sends] for a bounded geometric with p = 0.05 and 3 retries.
   const double p = 0.05;
   EXPECT_DOUBLE_EQ(lossy.expected_sends(), 1.0 + p + p * p + p * p * p);
-  EXPECT_GT(lossy.expected_backoff_s(), 0.0);
-  EXPECT_GT(lossy.p2p_time(1e6), clean.p2p_time(1e6));
-  EXPECT_GT(lossy.allgather_time(1e6, 8), clean.allgather_time(1e6, 8));
-  EXPECT_GT(lossy.allreduce_time(1e6, 8), clean.allreduce_time(1e6, 8));
-  EXPECT_GT(lossy.broadcast_time(1e6, 8), clean.broadcast_time(1e6, 8));
-  const std::vector<double> blocks(8, 1e6);
+  EXPECT_GT(lossy.expected_backoff_s(), util::SimSeconds(0.0));
+  const util::Bytes mb{1e6};
+  EXPECT_GT(lossy.p2p_time(mb), clean.p2p_time(mb));
+  EXPECT_GT(lossy.allgather_time(mb, 8), clean.allgather_time(mb, 8));
+  EXPECT_GT(lossy.allreduce_time(mb, 8), clean.allreduce_time(mb, 8));
+  EXPECT_GT(lossy.broadcast_time(mb, 8), clean.broadcast_time(mb, 8));
+  const std::vector<util::Bytes> blocks(8, mb);
   EXPECT_GT(lossy.allgatherv_time(blocks), clean.allgatherv_time(blocks));
   EXPECT_GT(lossy.ps_push_time(blocks), clean.ps_push_time(blocks));
 }
 
 TEST(NetworkModelLoss, BackoffScheduleIsExponential) {
   comm::RetryPolicy retry;
-  retry.backoff_base_s = 1e-3;
+  retry.backoff_base_s = util::SimSeconds(1e-3);
   retry.backoff_factor = 2.0;
-  EXPECT_DOUBLE_EQ(retry.backoff_s(0), 1e-3);
-  EXPECT_DOUBLE_EQ(retry.backoff_s(1), 2e-3);
-  EXPECT_DOUBLE_EQ(retry.backoff_s(2), 4e-3);
+  EXPECT_DOUBLE_EQ(retry.backoff_s(0).to_double(), 1e-3);
+  EXPECT_DOUBLE_EQ(retry.backoff_s(1).to_double(), 2e-3);
+  EXPECT_DOUBLE_EQ(retry.backoff_s(2).to_double(), 4e-3);
 }
 
 // ---------------------------------------------------------------------------
@@ -251,7 +258,7 @@ TEST(ChaosCluster, SameSeedReproducesIdenticalWeights) {
     plan.corrupt_prob = 0.03;
     plan.duplicate_prob = 0.02;
     plan.delay_prob = 0.05;
-    plan.delay_s = 1e-4;
+    plan.delay_s = util::SimSeconds(1e-4);
     comm::SimCluster cluster(comm::NetworkModel::ethernet_10g(), plan);
     nn::SyntheticDataset data({8}, 3, 32);
     return cluster_train(cluster, small_config(4, 12), mlp_factory(), noop_codec(), data);
@@ -279,10 +286,10 @@ TEST(ChaosCluster, SixteenSeededPlansNeverHangOrDiverge) {
     plan.corrupt_prob = 0.03;
     plan.duplicate_prob = 0.02;
     plan.delay_prob = 0.04;
-    plan.delay_s = 5e-5;
-    plan.straggler_timeout_s = 0.05;
+    plan.delay_s = util::SimSeconds(5e-5);
+    plan.straggler_timeout_s = util::SimSeconds(0.05);
     plan.stragglers.push_back(
-        {.rank = seed % 4, .slowdown_s = 0.2, .from_op = 6, .until_op = 12});
+        {.rank = seed % 4, .slowdown_s = util::SimSeconds(0.2), .from_op = 6, .until_op = 12});
     if (seed % 2 == 1) plan.crashes.push_back({.rank = (seed + 1) % 4, .at_op = 9});
 
     comm::SimCluster cluster(comm::NetworkModel::ethernet_10g(), plan);
@@ -366,16 +373,17 @@ TEST(ChaosCluster, StragglerTimeoutBoundsTheSimulatedClock) {
   // timeout the survivors proceed and total simulated time stays bounded.
   const auto run_with_timeout = [](double timeout_s) {
     comm::FaultPlan plan;
-    plan.stragglers.push_back({.rank = 1, .slowdown_s = 1.0, .from_op = 2, .until_op = 10});
-    plan.straggler_timeout_s = timeout_s;
+    plan.stragglers.push_back(
+        {.rank = 1, .slowdown_s = util::SimSeconds(1.0), .from_op = 2, .until_op = 10});
+    plan.straggler_timeout_s = util::SimSeconds(timeout_s);
     comm::SimCluster cluster(comm::NetworkModel::infiniband_fdr56(), plan);
     nn::SyntheticDataset data({8}, 3, 36);
     return cluster_train(cluster, small_config(4, 10), mlp_factory(), noop_codec(), data);
   };
   const ClusterTrainResult waiting = run_with_timeout(0.0);   // plain BSP: absorb it
   const ClusterTrainResult bounded = run_with_timeout(0.01);  // exclude the late rank
-  EXPECT_GT(waiting.rank_sim_times[0], 7.0);  // ~8 straggled ops x 1s
-  EXPECT_LT(bounded.rank_sim_times[0], 1.0);
+  EXPECT_GT(waiting.rank_sim_times[0], util::SimSeconds(7.0));  // ~8 straggled ops x 1s
+  EXPECT_LT(bounded.rank_sim_times[0], util::SimSeconds(1.0));
   EXPECT_GT(bounded.skipped_contributions, 0u);
   EXPECT_TRUE(bounded.replicas_identical);
   // Without a timeout nothing is excluded: same weights, slower clock.

@@ -76,7 +76,7 @@ TEST(Integration, CompressedAllgatherAveragesAcrossRealRanks) {
 
 TEST(Integration, SimClusterTimeMatchesNetworkModelFormulaForPackets) {
   const std::size_t kRanks = 3;
-  comm::NetworkModel net{"test", 0.0, 1e6};
+  comm::NetworkModel net{"test", util::SimSeconds(0.0), util::BytesPerSecond(1e6)};
   comm::SimCluster cluster(net);
   std::vector<std::size_t> packet_sizes(kRanks);
   const auto clocks = cluster.run(kRanks, [&](comm::RankContext& ctx) {
@@ -86,10 +86,12 @@ TEST(Integration, SimClusterTimeMatchesNetworkModelFormulaForPackets) {
     packet_sizes[ctx.rank()] = packet.wire_bytes();
     (void)ctx.allgather(packet.bytes);
   });
-  std::vector<double> sizes;
-  for (std::size_t s : packet_sizes) sizes.push_back(static_cast<double>(s));
-  const double expected = net.allgatherv_time(sizes);
-  for (double t : clocks) EXPECT_NEAR(t, expected, 1e-12);
+  std::vector<util::Bytes> sizes;
+  for (std::size_t s : packet_sizes) sizes.push_back(util::byte_count(s));
+  const util::SimSeconds expected = net.allgatherv_time(sizes);
+  for (util::SimSeconds t : clocks) {
+    EXPECT_NEAR(t.to_double(), expected.to_double(), 1e-12);
+  }
 }
 
 TEST(Integration, SequentialTrainerMatchesExplicitMultiRankRun) {

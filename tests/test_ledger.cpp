@@ -307,7 +307,8 @@ TEST(LedgerMonitors, ModelDriftFires) {
   RunLedger& ledger = RunLedger::global();
   ledger.begin_run({"test", "noop", 1, 4, 0, {}, 0.0});
   for (std::uint64_t i = 0; i < 2; ++i) {
-    ledger.record_collective({"allgather", i, 100.0, 1.0, 2.0, 0.0, 0, 0});
+    ledger.record_collective({"allgather", i, util::Bytes(100.0), util::SimSeconds(1.0),
+                              util::SimSeconds(2.0), util::SimSeconds(0.0), 0, 0});
     ledger.end_iteration(clean_row(i));
   }
   // |2 - 1| / 1 = 1.0 > drift_rel_tol once the 2-iteration window fills.
@@ -333,13 +334,15 @@ TEST(LedgerMonitors, QuietWindowAfterDriftAlertRearms) {
   RunLedger& ledger = RunLedger::global();
   ledger.begin_run({"test", "noop", 1, 6, 0, {}, 0.0});
   for (std::uint64_t i = 0; i < 2; ++i) {
-    ledger.record_collective({"allgather", i, 100.0, 1.0, 2.0, 0.0, 0, 0});
+    ledger.record_collective({"allgather", i, util::Bytes(100.0), util::SimSeconds(1.0),
+                              util::SimSeconds(2.0), util::SimSeconds(0.0), 0, 0});
     ledger.end_iteration(clean_row(i));
   }
   EXPECT_EQ(ledger.alerts("model_drift"), 1u);
   // Reconciling iterations refill the window without re-firing.
   for (std::uint64_t i = 2; i < 4; ++i) {
-    ledger.record_collective({"allgather", i, 100.0, 1.0, 1.0, 0.0, 0, 0});
+    ledger.record_collective({"allgather", i, util::Bytes(100.0), util::SimSeconds(1.0),
+                              util::SimSeconds(1.0), util::SimSeconds(0.0), 0, 0});
     ledger.end_iteration(clean_row(i));
   }
   EXPECT_EQ(ledger.alerts("model_drift"), 1u);
@@ -357,7 +360,9 @@ TEST(LedgerOverhead, DisabledHooksAllocateNothingAndWriteNothing) {
   // guard row *construction* with enabled(), so hook-call cost is what the
   // disabled path must keep at zero).
   const telemetry::LedgerManifest manifest;
-  const telemetry::LedgerCollective sample{"allgather", 0, 1.0, 1.0, 1.0, 0.0, 0, 0};
+  const telemetry::LedgerCollective sample{
+      "allgather", 0, util::Bytes(1.0), util::SimSeconds(1.0), util::SimSeconds(1.0),
+      util::SimSeconds(0.0), 0, 0};
   telemetry::LedgerIteration row;
 
   const std::size_t before = g_allocations.load();

@@ -13,45 +13,52 @@ PrimitiveThroughputs gpu_like() {
 
 TEST(CostModel, SecondsPerByteAggregatesEquationOne) {
   const PrimitiveThroughputs t = gpu_like();
-  const double expected =
-      2.0 / t.conversion + 1.0 / t.fft + 1.0 / t.packing + 1.0 / t.selection;
+  const double expected = 2.0 / t.conversion.to_double() + 1.0 / t.fft.to_double() +
+                          1.0 / t.packing.to_double() + 1.0 / t.selection.to_double();
   EXPECT_DOUBLE_EQ(seconds_per_byte(t), expected);
 }
 
 TEST(CostModel, CompressionCostScalesLinearlyWithMessage) {
   const PrimitiveThroughputs t = gpu_like();
-  EXPECT_DOUBLE_EQ(compression_cost(2e8, t), 2.0 * compression_cost(1e8, t));
+  EXPECT_DOUBLE_EQ(compression_cost(Bytes(2e8), t).to_double(),
+                   2.0 * compression_cost(Bytes(1e8), t).to_double());
 }
 
 TEST(CostModel, CommunicationCostDividesByRatio) {
-  EXPECT_DOUBLE_EQ(communication_cost(1e8, 1e9, 10.0), 1e8 / 1e9 / 10.0);
+  EXPECT_DOUBLE_EQ(
+      communication_cost(Bytes(1e8), BytesPerSecond(1e9), Ratio(10.0)).to_double(),
+      1e8 / 1e9 / 10.0);
 }
 
 TEST(CostModel, SavedPlusRemainingEqualsUncompressed) {
-  const double bytes = 2.5e8, tcomm = 7e9;
+  const Bytes bytes{2.5e8};
+  const BytesPerSecond tcomm{7e9};
   for (double k : {1.5, 2.0, 10.0, 30.0}) {
-    EXPECT_NEAR(saved_communication(bytes, tcomm, k) + communication_cost(bytes, tcomm, k),
-                total_time_uncompressed(bytes, tcomm), 1e-12);
+    EXPECT_NEAR((saved_communication(bytes, tcomm, Ratio(k)) +
+                 communication_cost(bytes, tcomm, Ratio(k)))
+                    .to_double(),
+                total_time_uncompressed(bytes, tcomm).to_double(), 1e-12);
   }
 }
 
 TEST(CostModel, RatioOneSavesNothing) {
-  EXPECT_DOUBLE_EQ(saved_communication(1e8, 1e9, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      saved_communication(Bytes(1e8), BytesPerSecond(1e9), Ratio(1.0)).to_double(), 0.0);
 }
 
 TEST(CostModel, MinRatioSatisfiesBreakEvenInequality) {
   const PrimitiveThroughputs t = gpu_like();
-  const double tcomm = gbps_to_bytes(10.0);
+  const BytesPerSecond tcomm = gbps_to_bytes(10.0);
   const auto k_min = min_beneficial_ratio(tcomm, t);
   ASSERT_TRUE(k_min.has_value());
   // Exactly at k_min: 2*cost_comp == saved_comm (Eq. 4 equality).
-  const double bytes = 1e8;
-  EXPECT_NEAR(2.0 * compression_cost(bytes, t),
-              saved_communication(bytes, tcomm, *k_min), 1e-9);
+  const Bytes bytes{1e8};
+  EXPECT_NEAR(2.0 * compression_cost(bytes, t).to_double(),
+              saved_communication(bytes, tcomm, *k_min).to_double(), 1e-9);
   // Just above k_min compression wins; just below it loses.
   EXPECT_LT(total_time_with_compression(bytes, tcomm, *k_min * 1.01, t),
             total_time_uncompressed(bytes, tcomm));
-  if (*k_min > 1.02) {
+  if (*k_min > Ratio(1.02)) {
     EXPECT_GT(total_time_with_compression(bytes, tcomm, *k_min * 0.99, t),
               total_time_uncompressed(bytes, tcomm));
   }
@@ -62,7 +69,7 @@ TEST(CostModel, SlowNetworkNeedsSmallRatio) {
   const PrimitiveThroughputs t = gpu_like();
   const auto k_10g = min_beneficial_ratio(gbps_to_bytes(10.0), t);
   ASSERT_TRUE(k_10g.has_value());
-  EXPECT_LT(*k_10g, 2.0);
+  EXPECT_LT(*k_10g, Ratio(2.0));
   const auto k_1g = min_beneficial_ratio(gbps_to_bytes(1.0), t);
   ASSERT_TRUE(k_1g.has_value());
   EXPECT_LT(*k_1g, *k_10g);
@@ -72,18 +79,18 @@ TEST(CostModel, FastNetworkNeedsLargeRatioOrNone) {
   const PrimitiveThroughputs t = gpu_like();
   const auto k_ib = min_beneficial_ratio(gbps_to_bytes(56.0), t);
   ASSERT_TRUE(k_ib.has_value());
-  EXPECT_GT(*k_ib, 2.0);  // markedly harder than Ethernet
+  EXPECT_GT(*k_ib, Ratio(2.0));  // markedly harder than Ethernet
   // Cripple the selection primitive: beyond some bandwidth nothing helps
   // (the paper's "no compression ratio will provide improvement" regime).
   PrimitiveThroughputs slow = t;
-  slow.selection = 2e9;
+  slow.selection = BytesPerSecond(2e9);
   const auto k_none = min_beneficial_ratio(gbps_to_bytes(56.0), slow);
   EXPECT_FALSE(k_none.has_value());
 }
 
 TEST(CostModel, MinRatioIsMonotoneInBandwidth) {
   const PrimitiveThroughputs t = gpu_like();
-  double previous = 1.0;
+  Ratio previous{1.0};
   for (double gbps : {1.0, 5.0, 10.0, 25.0, 40.0, 56.0}) {
     const auto k = min_beneficial_ratio(gbps_to_bytes(gbps), t);
     ASSERT_TRUE(k.has_value()) << gbps;
@@ -97,7 +104,7 @@ TEST(CostModel, FasterPrimitivesLowerTheBar) {
   PrimitiveThroughputs fast = gpu_like();
   fast.selection *= 3.0;
   fast.packing *= 3.0;
-  const double tcomm = gbps_to_bytes(56.0);
+  const BytesPerSecond tcomm = gbps_to_bytes(56.0);
   const auto k_slow = min_beneficial_ratio(tcomm, slow);
   const auto k_fast = min_beneficial_ratio(tcomm, fast);
   ASSERT_TRUE(k_slow.has_value());
@@ -107,15 +114,18 @@ TEST(CostModel, FasterPrimitivesLowerTheBar) {
 
 TEST(CostModel, RejectsNonPositiveInputs) {
   PrimitiveThroughputs bad = gpu_like();
-  bad.fft = 0.0;
+  bad.fft = BytesPerSecond(0.0);
   EXPECT_THROW(seconds_per_byte(bad), std::invalid_argument);
-  EXPECT_THROW(communication_cost(1e6, 0.0, 2.0), std::invalid_argument);
-  EXPECT_THROW(communication_cost(1e6, 1e9, 0.0), std::invalid_argument);
-  EXPECT_THROW(min_beneficial_ratio(-1.0, gpu_like()), std::invalid_argument);
+  EXPECT_THROW(communication_cost(Bytes(1e6), BytesPerSecond(0.0), Ratio(2.0)),
+               std::invalid_argument);
+  EXPECT_THROW(communication_cost(Bytes(1e6), BytesPerSecond(1e9), Ratio(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(min_beneficial_ratio(BytesPerSecond(-1.0), gpu_like()),
+               std::invalid_argument);
 }
 
 TEST(CostModel, GbpsConversion) {
-  EXPECT_DOUBLE_EQ(gbps_to_bytes(8.0), 1e9);
+  EXPECT_DOUBLE_EQ(gbps_to_bytes(8.0).to_double(), 1e9);
 }
 
 }  // namespace

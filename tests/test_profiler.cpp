@@ -14,8 +14,8 @@ TEST(Profiler, ReportsEveryLayerInOrder) {
   ASSERT_EQ(profiles.size(), net.layer_count());
   for (std::size_t l = 0; l < profiles.size(); ++l) {
     EXPECT_EQ(profiles[l].name, net.layer(l).name());
-    EXPECT_GE(profiles[l].forward_s, 0.0);
-    EXPECT_GE(profiles[l].backward_s, 0.0);
+    EXPECT_GE(profiles[l].forward_s.to_double(), 0.0);
+    EXPECT_GE(profiles[l].backward_s.to_double(), 0.0);
   }
 }
 
@@ -40,10 +40,10 @@ TEST(Profiler, ConvLayersDominateDenseHeadCompute) {
   std::size_t conv_params = 0, dense_params = 0;
   for (const LayerProfile& p : profiles) {
     if (p.name.rfind("conv", 0) == 0) {
-      conv_time += p.forward_s + p.backward_s;
+      conv_time += (p.forward_s + p.backward_s).to_double();
       conv_params += p.param_count;
     } else if (p.name.rfind("dense", 0) == 0) {
-      dense_time += p.forward_s + p.backward_s;
+      dense_time += (p.forward_s + p.backward_s).to_double();
       dense_params += p.param_count;
     }
   }
@@ -65,18 +65,21 @@ TEST(Profiler, CommTimeMatchesNetworkModelPerLayer) {
   bool any_comm = false;
   for (const LayerProfile& p : profiles) {
     if (p.param_count == 0) {
-      EXPECT_EQ(p.comm_s, 0.0) << p.name;
+      EXPECT_EQ(p.comm_s, util::SimSeconds(0.0)) << p.name;
     } else {
       any_comm = true;
       EXPECT_DOUBLE_EQ(
-          p.comm_s,
-          fabric.allreduce_time(static_cast<double>(p.param_count) * sizeof(float), ranks))
+          p.comm_s.to_double(),
+          fabric.allreduce_time(util::byte_count(p.param_count * sizeof(float)), ranks)
+              .to_double())
           << p.name;
     }
   }
   EXPECT_TRUE(any_comm);
   // The overload without a model leaves comm_s at zero.
-  for (const LayerProfile& p : profile_network(net, x, 1)) EXPECT_EQ(p.comm_s, 0.0);
+  for (const LayerProfile& p : profile_network(net, x, 1)) {
+    EXPECT_EQ(p.comm_s, util::SimSeconds(0.0));
+  }
 }
 
 TEST(Profiler, RejectsZeroRepeats) {

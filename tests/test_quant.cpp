@@ -324,19 +324,25 @@ TEST(PackCodes, RoundTripsExactly) {
     for (auto& c : codes) c = static_cast<std::uint32_t>(rng.next_u64() & mask);
     const auto bytes = pack_codes(codes, bits);
     EXPECT_EQ(bytes.size(), (codes.size() * static_cast<std::size_t>(bits) + 7) / 8);
-    const auto unpacked = unpack_codes(bytes, bits, codes.size());
+    const auto unpacked = unpack_codes(bytes, bits, codes.size())
+                              .release([&](const std::vector<std::uint32_t>& c) {
+                                return c.size() == codes.size();
+                              }, "round-trip codes");
     EXPECT_EQ(unpacked, codes) << "bits=" << bits;
   }
 }
 
 TEST(PackCodes, EmptyInputYieldsEmptyOutput) {
   EXPECT_TRUE(pack_codes({}, 10).empty());
-  EXPECT_TRUE(unpack_codes({}, 10, 0).empty());
+  EXPECT_TRUE(unpack_codes({}, 10, 0)
+                  .release([](const std::vector<std::uint32_t>& c) { return c.empty(); },
+                           "empty codes")
+                  .empty());
 }
 
 TEST(PackCodes, UnpackRejectsShortStream) {
   std::vector<std::uint8_t> bytes(2);
-  EXPECT_THROW(unpack_codes(bytes, 10, 3), std::invalid_argument);
+  EXPECT_THROW((void)unpack_codes(bytes, 10, 3), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------

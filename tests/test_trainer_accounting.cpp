@@ -42,8 +42,8 @@ TEST(Accounting, LosslessBspMatchesClosedForm) {
 
   // Noop: zero codec cost, every rank's block is the full 8MB gradient.
   const comm::NetworkModel& net = cfg.network;
-  const double per_iter =
-      cfg.paper_scale->compute_seconds + 3.0 * net.p2p_time(8e6);  // (p-1) ring steps
+  const double per_iter = cfg.paper_scale->compute_seconds +
+                          3.0 * net.p2p_time(util::Bytes(8e6)).to_double();  // (p-1) ring steps
   EXPECT_NEAR(result.total_sim_time_s, 2.0 * per_iter, 1e-9);
   EXPECT_NEAR(result.mean_iteration_time_s, per_iter, 1e-9);
 }
@@ -66,8 +66,8 @@ TEST(Accounting, FftCodecChargedThroughEquationOne) {
   const double codec = 2.0 * 8e6 * spb;
   const double ratio = result.epochs[0].mean_ratio;
   const double block = 8e6 / ratio;
-  const double per_iter =
-      cfg.paper_scale->compute_seconds + codec + 3.0 * cfg.network.p2p_time(block);
+  const double per_iter = cfg.paper_scale->compute_seconds + codec +
+                          3.0 * cfg.network.p2p_time(util::Bytes(block)).to_double();
   EXPECT_NEAR(result.mean_iteration_time_s, per_iter, per_iter * 0.02);
 }
 
@@ -80,8 +80,9 @@ TEST(Accounting, ParameterBroadcastFiresOnSchedule) {
   const TrainResult result = trainer.train(
       [](std::size_t) { return std::make_unique<NoopCompressor>(); }, FixedTheta(0.0), lr);
 
-  const double per_iter = cfg.paper_scale->compute_seconds + 3.0 * cfg.network.p2p_time(8e6);
-  const double bcast = cfg.network.broadcast_time(8e6, cfg.ranks);
+  const double per_iter = cfg.paper_scale->compute_seconds +
+                          3.0 * cfg.network.p2p_time(util::Bytes(8e6)).to_double();
+  const double bcast = cfg.network.broadcast_time(util::Bytes(8e6), cfg.ranks).to_double();
   EXPECT_NEAR(result.total_sim_time_s, 10.0 * per_iter + 2.0 * bcast, 1e-9);
 }
 
@@ -93,10 +94,10 @@ TEST(Accounting, ParameterServerChargesPushAndPull) {
   const TrainResult result = trainer.train(
       [](std::size_t) { return std::make_unique<NoopCompressor>(); }, FixedTheta(0.0), lr);
 
-  std::vector<double> blocks(cfg.ranks, 8e6);
+  std::vector<util::Bytes> blocks(cfg.ranks, util::Bytes(8e6));
   const double per_iter = cfg.paper_scale->compute_seconds +
-                          cfg.network.ps_push_time(blocks) +
-                          cfg.network.ps_pull_time(8e6, cfg.ranks);
+                          cfg.network.ps_push_time(blocks).to_double() +
+                          cfg.network.ps_pull_time(util::Bytes(8e6), cfg.ranks).to_double();
   EXPECT_NEAR(result.total_sim_time_s, 2.0 * per_iter, 1e-9);
 }
 

@@ -1,0 +1,515 @@
+// fftgrad_lint — the project-specific compile-time-discipline gate.
+//
+// A standalone, dependency-free (std-only, no libclang) token-level checker
+// for the invariants the dimensional-type and trust-boundary layer cannot
+// express in the type system alone:
+//
+//   wallclock-in-sim
+//     No `std::chrono` clock reads inside src/ outside the designated
+//     host-clock homes (util/timer.h, util/logging.cpp, telemetry/trace.cpp,
+//     parallel/thread_pool.cpp). Everything else that wants a duration must
+//     take a util::WallSeconds or util::SimSeconds, so a wall-clock read
+//     can never be silently charged to the simulated timeline.
+//
+//   raw-quantity-double
+//     No bare `double` seconds/bytes/bandwidth fields or parameters in the
+//     public headers of the cost-model boundary (src/comm/include,
+//     src/perfmodel/include, telemetry/ledger.h, telemetry/critical_path.h).
+//     Quantities crossing those APIs must use the util::Quantity types.
+//
+//   wire-cast-outside-wire
+//     No `reinterpret_cast` / `memcpy` in src/ outside the designated wire
+//     codec files. Byte-level reinterpretation of payload buffers is
+//     confined to the audited encode/decode sites listed (with rationale)
+//     in tools/fftgrad_lint.allow.
+//
+//   untrusted-unvalidated-release
+//     Every `Untrusted<T>` must be consumed through its validating
+//     release(); any release_unvalidated() call site needs an allowlist
+//     entry carrying a rationale.
+//
+// Matching is token-level on comment- and string-stripped sources: precise
+// enough for these rules (all four hinge on the presence of a specific
+// token in a scoped file set) and robust against the checker itself rotting
+// when code moves — there is no AST to desynchronize from.
+//
+// Usage:
+//   fftgrad_lint [--root DIR] [--allowlist FILE] [--json] [--selftest]
+//
+// Exit status: 0 clean, 1 findings (or selftest failure), 2 usage error.
+// --json prints machine-readable findings to stdout. --selftest runs every
+// detector (path scoping and allowlist disabled) over tools/lint_fixtures/
+// and requires each file's `// LINT-EXPECT: <rule>` annotations to match
+// the rules that actually fire — the gate proves it still catches the bug
+// classes before it is trusted to pass the tree.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string rule;
+  std::string file;   // repo-relative, forward slashes
+  std::size_t line;   // 1-based
+  std::string message;
+};
+
+struct AllowEntry {
+  std::string rule;
+  std::string path_suffix;
+  std::string rationale;
+  mutable bool used = false;
+};
+
+// ---------------------------------------------------------------------------
+// Source loading: strip comments and string/char literals, preserving line
+// structure so findings carry real line numbers. Handles //, /* */, "...",
+// '...' and R"delim(...)delim".
+
+std::string strip_code(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_close;  // )delim" for the active raw string
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < in.size() && in[i + 1] == '/') {
+          state = State::kLine;
+          ++i;
+        } else if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
+          state = State::kBlock;
+          ++i;
+        } else if (c == 'R' && i + 1 < in.size() && in[i + 1] == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(in[i - 1])) &&
+                               in[i - 1] != '_'))) {
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < in.size() && in[j] != '(') delim += in[j++];
+          raw_close = ")" + delim + "\"";
+          state = State::kRaw;
+          out += ' ';
+          i = j;  // at '('
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && i + 1 < in.size() && in[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out += '\n';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < in.size()) {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c == '\n') {
+          out += '\n';  // unterminated; keep line structure
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < in.size()) {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c == '\n') {
+          out += '\n';
+          state = State::kCode;
+        }
+        break;
+      case State::kRaw:
+        if (c == '\n') {
+          out += '\n';
+        } else if (in.compare(i, raw_close.size(), raw_close) == 0) {
+          state = State::kCode;
+          i += raw_close.size() - 1;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+bool is_ident(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Find `token` in `line` at identifier boundaries; npos when absent.
+/// `token` may contain "::" (treated as part of the token, boundaries apply
+/// to its outer edges).
+std::size_t find_token(const std::string& line, const std::string& token,
+                       std::size_t from = 0) {
+  for (std::size_t at = line.find(token, from); at != std::string::npos;
+       at = line.find(token, at + 1)) {
+    const bool left_ok = at == 0 || !is_ident(line[at - 1]);
+    const std::size_t end = at + token.size();
+    const bool right_ok = end >= line.size() || !is_ident(line[end]);
+    if (left_ok && right_ok) return at;
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Detectors. Each scans the stripped lines of one file and appends findings.
+// Path scoping lives in the caller (run over the tree) so --selftest can run
+// every detector on every fixture unconditionally.
+
+void detect_wallclock(const std::string& file, const std::vector<std::string>& lines,
+                      std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (find_token(lines[i], "std::chrono") != std::string::npos) {
+      findings.push_back({"wallclock-in-sim", file, i + 1,
+                          "std::chrono in simulation-charged code; measure through "
+                          "util::WallTimer (WallSeconds) and cross via sim_from_wall()"});
+    }
+  }
+}
+
+/// `double <name>` where <name> looks like a physical quantity.
+bool quantity_name(const std::string& name) {
+  static const char* suffixes[] = {"_s", "_seconds", "_bytes", "_bps", "_bits"};
+  for (const char* suffix : suffixes) {
+    const std::size_t n = std::string(suffix).size();
+    if (name.size() > n && name.compare(name.size() - n, n, suffix) == 0) return true;
+  }
+  static const char* exact[] = {"bytes", "seconds", "latency", "bandwidth", "bits"};
+  for (const char* e : exact) {
+    if (name == e) return true;
+  }
+  return false;
+}
+
+void detect_raw_double(const std::string& file, const std::vector<std::string>& lines,
+                       std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    for (std::size_t at = find_token(line, "double"); at != std::string::npos;
+         at = find_token(line, "double", at + 6)) {
+      std::size_t j = at + 6;
+      while (j < line.size() && std::isspace(static_cast<unsigned char>(line[j]))) ++j;
+      std::size_t end = j;
+      while (end < line.size() && is_ident(line[end])) ++end;
+      const std::string name = line.substr(j, end - j);
+      if (quantity_name(name)) {
+        findings.push_back({"raw-quantity-double", file, i + 1,
+                            "bare double '" + name +
+                                "' in a cost-model public header; use the dimensional "
+                                "util:: types (SimSeconds, Bytes, BytesPerSecond, ...)"});
+      }
+    }
+  }
+}
+
+void detect_wire_cast(const std::string& file, const std::vector<std::string>& lines,
+                      std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const bool cast = find_token(lines[i], "reinterpret_cast") != std::string::npos;
+    const bool copy = find_token(lines[i], "memcpy") != std::string::npos;
+    if (cast || copy) {
+      findings.push_back({"wire-cast-outside-wire", file, i + 1,
+                          std::string(cast ? "reinterpret_cast" : "memcpy") +
+                              " outside the designated wire codec files; byte-level "
+                              "reinterpretation belongs to the audited encode/decode "
+                              "sites in tools/fftgrad_lint.allow"});
+    }
+  }
+}
+
+void detect_unvalidated(const std::string& file, const std::vector<std::string>& lines,
+                        std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (find_token(lines[i], "release_unvalidated") != std::string::npos) {
+      findings.push_back({"untrusted-unvalidated-release", file, i + 1,
+                          "Untrusted<T> consumed without receiver-side validation; use "
+                          ".release(validator, what) or add an allowlist entry with a "
+                          "rationale"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tree-mode scoping.
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool in_wallclock_scope(const std::string& rel) { return starts_with(rel, "src/"); }
+
+bool in_raw_double_scope(const std::string& rel) {
+  if (starts_with(rel, "src/comm/include/")) return true;
+  if (starts_with(rel, "src/perfmodel/include/")) return true;
+  return rel == "src/telemetry/include/fftgrad/telemetry/ledger.h" ||
+         rel == "src/telemetry/include/fftgrad/telemetry/critical_path.h";
+}
+
+bool in_wire_cast_scope(const std::string& rel) { return starts_with(rel, "src/"); }
+
+bool in_unvalidated_scope(const std::string& rel) {
+  return starts_with(rel, "src/") || starts_with(rel, "tests/") ||
+         starts_with(rel, "bench/") || starts_with(rel, "examples/");
+}
+
+bool source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".h" || ext == ".hpp" || ext == ".cc";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist: `rule | path-suffix | rationale` lines, '#' comments.
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+std::vector<AllowEntry> load_allowlist(const fs::path& path, std::vector<std::string>& errors) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(path);
+  if (!in) return entries;  // absent allowlist: nothing allowed
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string text = trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    const std::size_t p1 = text.find('|');
+    const std::size_t p2 = p1 == std::string::npos ? std::string::npos : text.find('|', p1 + 1);
+    if (p2 == std::string::npos) {
+      errors.push_back(path.string() + ":" + std::to_string(lineno) +
+                       ": malformed allowlist entry (want `rule | path | rationale`)");
+      continue;
+    }
+    AllowEntry entry;
+    entry.rule = trim(text.substr(0, p1));
+    entry.path_suffix = trim(text.substr(p1 + 1, p2 - p1 - 1));
+    entry.rationale = trim(text.substr(p2 + 1));
+    if (entry.rule.empty() || entry.path_suffix.empty() || entry.rationale.empty()) {
+      errors.push_back(path.string() + ":" + std::to_string(lineno) +
+                       ": allowlist entry needs a non-empty rule, path and rationale");
+      continue;
+    }
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+bool allowed(const Finding& f, const std::vector<AllowEntry>& entries) {
+  for (const AllowEntry& e : entries) {
+    if (e.rule == f.rule && ends_with(f.file, e.path_suffix)) {
+      e.used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void run_all_detectors(const std::string& file, const std::vector<std::string>& lines,
+                       std::vector<Finding>& findings) {
+  detect_wallclock(file, lines, findings);
+  detect_raw_double(file, lines, findings);
+  detect_wire_cast(file, lines, findings);
+  detect_unvalidated(file, lines, findings);
+}
+
+int run_selftest(const fs::path& root) {
+  const fs::path fixtures = root / "tools" / "lint_fixtures";
+  if (!fs::is_directory(fixtures)) {
+    std::cerr << "fftgrad_lint: no fixture directory at " << fixtures << "\n";
+    return 1;
+  }
+  std::size_t files = 0;
+  std::size_t failures = 0;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(fixtures)) {
+    if (entry.is_regular_file() && source_file(entry.path())) paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& path : paths) {
+    ++files;
+    const std::string raw = read_file(path);
+    // Expected rules, from the raw (un-stripped) text: `// LINT-EXPECT: rule`.
+    std::multiset<std::string> expected;
+    std::istringstream in(raw);
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t at = line.find("LINT-EXPECT:");
+      if (at != std::string::npos) expected.insert(trim(line.substr(at + 12)));
+    }
+    std::vector<Finding> findings;
+    run_all_detectors(path.filename().string(), split_lines(strip_code(raw)), findings);
+    std::multiset<std::string> fired;
+    for (const Finding& f : findings) fired.insert(f.rule);
+    if (fired != expected) {
+      ++failures;
+      std::cerr << "selftest FAIL " << path.filename().string() << "\n  expected:";
+      for (const std::string& r : expected) std::cerr << " " << r;
+      std::cerr << "\n  fired:   ";
+      for (const std::string& r : fired) std::cerr << " " << r;
+      std::cerr << "\n";
+    }
+  }
+  std::cout << "fftgrad_lint selftest: " << files - failures << "/" << files
+            << " fixtures match their LINT-EXPECT annotations\n";
+  return failures == 0 && files > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path allowlist_path;
+  bool json = false;
+  bool selftest = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--selftest") {
+      selftest = true;
+    } else {
+      std::cerr << "usage: fftgrad_lint [--root DIR] [--allowlist FILE] [--json] "
+                   "[--selftest]\n";
+      return 2;
+    }
+  }
+  root = fs::absolute(root);
+  if (allowlist_path.empty()) allowlist_path = root / "tools" / "fftgrad_lint.allow";
+
+  if (selftest) return run_selftest(root);
+
+  std::vector<std::string> errors;
+  const std::vector<AllowEntry> allow = load_allowlist(allowlist_path, errors);
+
+  std::vector<Finding> findings;
+  const char* scan_roots[] = {"src", "tests", "bench", "examples"};
+  for (const char* dir : scan_roots) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !source_file(entry.path())) continue;
+      std::string rel = fs::relative(entry.path(), root).generic_string();
+      const std::vector<std::string> lines = split_lines(strip_code(read_file(entry.path())));
+      std::vector<Finding> raw;
+      if (in_wallclock_scope(rel)) detect_wallclock(rel, lines, raw);
+      if (in_raw_double_scope(rel)) detect_raw_double(rel, lines, raw);
+      if (in_wire_cast_scope(rel)) detect_wire_cast(rel, lines, raw);
+      if (in_unvalidated_scope(rel)) detect_unvalidated(rel, lines, raw);
+      for (Finding& f : raw) {
+        if (!allowed(f, allow)) findings.push_back(std::move(f));
+      }
+    }
+  }
+
+  for (const AllowEntry& e : allow) {
+    if (!e.used) {
+      errors.push_back("stale allowlist entry (matched nothing): " + e.rule + " | " +
+                       e.path_suffix);
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+
+  if (json) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      std::cout << (i == 0 ? "" : ",") << "\n  {\"rule\":\"" << json_escape(f.rule)
+                << "\",\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line
+                << ",\"message\":\"" << json_escape(f.message) << "\"}";
+    }
+    std::cout << (findings.empty() ? "]" : "\n]") << "\n";
+  } else {
+    for (const Finding& f : findings) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+    }
+  }
+  for (const std::string& e : errors) std::cerr << "fftgrad_lint: " << e << "\n";
+  if (!json) {
+    std::cout << "fftgrad_lint: " << findings.size() << " finding(s), " << errors.size()
+              << " config error(s)\n";
+  }
+  return findings.empty() && errors.empty() ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+// Seeded violation: a public cost-model header smuggling physical
+// quantities through bare doubles. Each flagged name should be a
+// util::Quantity type (SimSeconds / Bytes / BytesPerSecond).
+// LINT-EXPECT: raw-quantity-double
+// LINT-EXPECT: raw-quantity-double
+// LINT-EXPECT: raw-quantity-double
+#pragma once
+
+struct FixtureLinkModel {
+  double latency_s = 0.0;
+  double bandwidth = 0.0;
+};
+
+double fixture_transfer_time(double message_bytes);

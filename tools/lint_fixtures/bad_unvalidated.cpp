@@ -1,0 +1,13 @@
+// Seeded violation: consuming a wire-decoded value without receiver-side
+// validation. The decoded element count flows straight into an allocation
+// with nothing checking it against the model's expectation.
+// LINT-EXPECT: untrusted-unvalidated-release
+#include <cstddef>
+#include <vector>
+
+#include "fftgrad/util/taint.h"
+
+std::vector<float> fixture_alloc(fftgrad::util::Untrusted<std::size_t> wire_count) {
+  const std::size_t count = std::move(wire_count).release_unvalidated("TODO");
+  return std::vector<float>(count);
+}

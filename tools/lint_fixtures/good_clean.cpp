@@ -1,0 +1,10 @@
+// Negative control: disciplined code that must produce zero findings.
+// Mentions of the trigger tokens live only in comments and strings, which
+// the token scanner strips — "std::chrono", "reinterpret_cast", "memcpy",
+// "release_unvalidated" — and the double below is dimensionless.
+#include <string>
+
+double fixture_ratio(double numerator, double denominator) {
+  const std::string note = "no memcpy or reinterpret_cast happens here";
+  return note.empty() ? 0.0 : numerator / denominator;
+}
