@@ -9,8 +9,16 @@
 //   * one straggler — rank 5 runs 50ms/op slow for a stretch; the 10ms
 //     straggler timeout lets the survivors proceed without it instead of
 //     absorbing the full delay;
-//   * one mid-run crash — rank 2 dies at iteration 30 and never returns;
-//     the remaining 7 ranks renormalize the gradient average and finish.
+//   * one mid-run crash with recovery — rank 2 dies at iteration 30; the
+//     remaining 7 ranks renormalize the gradient average and keep going,
+//     and at op 44 the membership handshake re-admits it: the lowest live
+//     rank ships a CRC-framed state blob (params, momentum, EF residual,
+//     controller state) over the modelled network and the rejoiner replays
+//     its RNG stream, ending bit-identical to the survivors.
+//
+// The recovery controller is armed too (FFTGRAD_RECOVERY semantics, here
+// set in code), so monitor conditions would map to automatic remedies —
+// on this healthy-codec run it stays idle, which is itself the point.
 //
 // The same schedule runs once fault-free for comparison. Both runs print a
 // loss trace, and the fault counters show what the chaos actually cost.
@@ -94,36 +102,43 @@ int main() {
   plan.drop_prob = 0.02;
   plan.corrupt_prob = 0.01;
   plan.straggler_timeout_s = util::SimSeconds(0.01);
+  // The armed recovery controller adds one flag allreduce per iteration,
+  // so with it on, iteration i spans ops 2i and 2i+1 — the plan's op
+  // numbers below are 2x the iteration numbers in the story above.
   plan.stragglers.push_back(
-      {.rank = 5, .slowdown_s = util::SimSeconds(0.05), .from_op = 10, .until_op = 25});
-  plan.crashes.push_back({.rank = 2, .at_op = 30});
+      {.rank = 5, .slowdown_s = util::SimSeconds(0.05), .from_op = 20, .until_op = 50});
+  plan.crashes.push_back({.rank = 2, .at_op = 60, .rejoin_at_op = 88});
 
   telemetry::MetricsRegistry& metrics = telemetry::MetricsRegistry::global();
   metrics.reset();
   metrics.set_enabled(true);
   comm::SimCluster chaos_cluster(comm::NetworkModel::ethernet_10g(), plan);
+  core::ClusterTrainConfig chaos_cfg = cfg;
+  chaos_cfg.recovery.enabled = true;  // arm the monitor-driven remediation
   const core::ClusterTrainResult chaos =
-      core::cluster_train(chaos_cluster, cfg, model_factory, codec_factory, data);
+      core::cluster_train(chaos_cluster, chaos_cfg, model_factory, codec_factory, data);
   metrics.set_enabled(false);
 
   std::printf("8-rank BSP training, FFT codec with error feedback, %zu iterations\n",
               kIterations);
-  std::printf("chaos plan: 2%% drop, 1%% corruption, rank 5 straggles ops 10-25 "
-              "(10ms timeout), rank 2 crashes at op 30\n\n");
+  std::printf("chaos plan: 2%% drop, 1%% corruption, rank 5 straggles iters 10-25 "
+              "(10ms timeout), rank 2 crashes at iter 30 and rejoins at iter 44\n\n");
 
   std::printf("%-6s %14s %14s\n", "iter", "clean loss", "chaos loss");
   for (std::size_t i = 0; i < kIterations; i += 6) {
+    const char* note = "";
+    if (i == 30) note = "   <- rank 2 crashed; 7 survivors continue";
+    if (i == 48) note = "   <- rank 2 back since iter 44 (peer state transfer)";
     std::printf("%-6zu %14.4f %14.4f%s\n", i, clean.mean_loss_trace[i],
-                chaos.mean_loss_trace[i],
-                i == 30 ? "   <- rank 2 crashed; 7 survivors continue" : "");
+                chaos.mean_loss_trace[i], note);
   }
 
   std::printf("\nfault counters:\n");
   const char* names[] = {"fault.retransmits",       "fault.retransmit_bytes",
                          "fault.recovery_seconds",  "fault.deliveries_failed",
                          "fault.straggle_seconds",  "fault.late_contributions",
-                         "fault.rank_crashes",      "trainer.peers_skipped",
-                         "trainer.degraded_iterations"};
+                         "fault.rank_crashes",      "fault.state_transfer_bytes",
+                         "trainer.peers_skipped",   "trainer.degraded_iterations"};
   for (const char* name : names) {
     std::printf("  %-28s %12.6g\n", name, metrics.counter(name).value());
   }
@@ -135,10 +150,15 @@ int main() {
               chaos.rank_sim_times[0]);
   std::printf("%-28s %10zu %10zu\n", "crashed ranks", clean.crashed_ranks,
               chaos.crashed_ranks);
+  std::printf("%-28s %10zu %10zu\n", "rejoined ranks", clean.rejoined_ranks,
+              chaos.rejoined_ranks);
+  std::printf("%-28s %10zu %10zu\n", "remediations applied", clean.remediations,
+              chaos.remediations);
   std::printf("%-28s %10s %10s\n", "surviving replicas identical",
               clean.replicas_identical ? "yes" : "no",
               chaos.replicas_identical ? "yes" : "no");
   std::printf("\nDegradation stayed graceful: every fault became a skipped "
-              "contribution or a charged recovery, never a hang or divergence.\n");
+              "contribution, a charged recovery, or a bounded outage ended by "
+              "the rejoin handshake — never a hang or divergence.\n");
   return 0;
 }

@@ -235,6 +235,74 @@ RunDigest report_run(const LedgerRun& run, const std::string& source, bool markd
       print_table(markdown, table);
     }
   }
+  // Elastic-recovery summary: the controller's automatic remediations
+  // grouped by cause/action, and the rejoin state transfers reconciled
+  // against the network model. Printed only when the run saw either —
+  // fault-free ledgers keep the old report shape byte for byte.
+  {
+    struct RemedyAgg {
+      std::uint64_t count = 0, unrecovered = 0;
+      double cost_s = 0.0, iters_to_recover = 0.0;
+    };
+    std::vector<std::pair<std::string, RemedyAgg>> remedies;  // "cause -> action"
+    for (const JsonValue& row : run.remediations) {
+      const std::string key =
+          row.string_or("cause", "?") + " -> " + row.string_or("action", "?");
+      RemedyAgg* agg = nullptr;
+      for (auto& [name, a] : remedies) {
+        if (name == key) agg = &a;
+      }
+      if (agg == nullptr) {
+        remedies.emplace_back(key, RemedyAgg{});
+        agg = &remedies.back().second;
+      }
+      agg->count += 1;
+      agg->cost_s += number_of(row, "cost_s");
+      agg->iters_to_recover += number_of(row, "iterations_to_recover");
+      const JsonValue* recovered = row.find("recovered");
+      if (recovered != nullptr && !recovered->boolean) agg->unrecovered += 1;
+    }
+
+    double transfer_predicted = 0.0, transfer_charged = 0.0, transfer_bytes = 0.0;
+    std::uint64_t transfers = 0, transfer_failed = 0;
+    for (const JsonValue& row : run.iterations) {
+      const JsonValue* collectives = row.find("collectives");
+      if (collectives == nullptr) continue;
+      for (const JsonValue& c : collectives->array) {
+        if (c.string_or("kind", "?") != "state_transfer") continue;
+        transfers += 1;
+        transfer_predicted += number_of(c, "predicted_s");
+        transfer_charged += number_of(c, "charged_s");
+        transfer_bytes += number_of(c, "bytes");
+        transfer_failed += static_cast<std::uint64_t>(number_of(c, "failed"));
+      }
+    }
+
+    if (!remedies.empty() || transfers > 0) {
+      print_heading(markdown, "Elastic recovery");
+      if (!remedies.empty()) {
+        fftgrad::util::TableWriter table({"cause -> action", "count", "cost_s",
+                                          "mean_iters_to_recover", "unrecovered"});
+        table.set_double_format("%.6g");
+        for (const auto& [key, agg] : remedies) {
+          table.add_row({key, static_cast<long long>(agg.count), agg.cost_s,
+                         agg.iters_to_recover / static_cast<double>(agg.count),
+                         static_cast<long long>(agg.unrecovered)});
+        }
+        print_table(markdown, table);
+      }
+      if (transfers > 0) {
+        const double rel = transfer_predicted > 0.0
+                               ? std::fabs(transfer_charged - transfer_predicted) /
+                                     transfer_predicted
+                               : 0.0;
+        std::cout << "rejoin state transfers: " << transfers << " ("
+                  << transfer_bytes / 1024.0 << " KiB), predicted "
+                  << transfer_predicted << " s vs charged " << transfer_charged
+                  << " s (rel error " << rel << "), failed " << transfer_failed << "\n";
+      }
+    }
+  }
   // Critical-path row (written by the analyzer when FFTGRAD_CRITPATH is
   // set — see fftgrad/telemetry/critical_path.h). Older ledgers have none.
   if (run.critpath.kind == JsonValue::Kind::kObject) {

@@ -90,6 +90,12 @@ for preset in "${presets[@]}"; do
   # alert path.
   if [[ "$preset" == default || "$preset" == asan ]]; then
     run_step "$preset" ledger ctest --preset "$preset" -j "$jobs" -L ledger
+    # The recovery label covers the elastic-recovery subsystem: the
+    # RecoveryController action mapping and decision-state sync, atomic
+    # checkpoint retention (kill-mid-write regression), the EF re-credit
+    # fix, remediation ledger rows, and the lossless reconciliation of
+    # rejoin state transfers against the network model.
+    run_step "$preset" recovery ctest --preset "$preset" -j "$jobs" -L recovery
     # The critpath label proves the cross-rank critical-path analyzer's
     # invariants in-process (hand-built DAGs, per-category sums within
     # 1e-6 of the simulated end-to-end time, 16-seed determinism, fault

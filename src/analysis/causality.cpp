@@ -68,7 +68,7 @@ std::vector<std::uint8_t> encode_trailer(const AnalysisTrailer& trailer) {
   // Exact-size buffer written by offset (not grown by insert): the layout
   // is fixed once `ranks` is known, and GCC 12's -Wstringop-overflow
   // false-positives on growing byte-vector inserts.
-  std::vector<std::uint8_t> bytes(2 * sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t) +
+  std::vector<std::uint8_t> bytes(2 * sizeof(std::uint32_t) + 3 * sizeof(std::uint64_t) +
                                   ranks * sizeof(std::uint64_t));
   std::size_t at = 0;
   const auto put = [&bytes, &at](const auto& value) {
@@ -78,6 +78,7 @@ std::vector<std::uint8_t> encode_trailer(const AnalysisTrailer& trailer) {
   put(kTrailerMagic);
   put(trailer.sender);
   put(trailer.epoch);
+  put(trailer.view_epoch);
   put(static_cast<std::uint64_t>(ranks));
   for (std::size_t r = 0; r < ranks; ++r) put(trailer.clock.component(r));
   return bytes;
@@ -106,6 +107,7 @@ util::Untrusted<AnalysisTrailer> decode_trailer(std::span<const std::uint8_t> by
   AnalysisTrailer trailer;
   trailer.sender = get_u32();
   trailer.epoch = get_u64();
+  trailer.view_epoch = get_u64();
   const std::uint64_t ranks = get_u64();
   // Guard `ranks * 8` against a corrupted count driving a huge allocation:
   // the components must fit in what is actually left.
@@ -131,13 +133,17 @@ struct CausalityMetrics {
   telemetry::Counter& hb_checks;
   telemetry::Counter& epoch_checks;
   telemetry::Counter& agreement_checks;
+  telemetry::Counter& view_checks;
+  telemetry::Counter& membership_transitions;
 
   static CausalityMetrics& get() {
     static CausalityMetrics metrics = [] {
       telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
       return CausalityMetrics{reg.counter("analysis.hb_checks"),
                               reg.counter("analysis.epoch_checks"),
-                              reg.counter("analysis.agreement_checks")};
+                              reg.counter("analysis.agreement_checks"),
+                              reg.counter("analysis.view_checks"),
+                              reg.counter("analysis.membership_transitions")};
     }();
     return metrics;
   }
@@ -163,8 +169,10 @@ void CausalityTracker::reset(std::size_t ranks) {
   clocks_.assign(ranks, VectorClock(ranks));
   published_.assign(ranks, {});
   previous_.assign(ranks, {});
+  view_epoch_ = 0;
   std::lock_guard<std::mutex> lock(mutex_);
   exclusions_.clear();
+  views_.clear();
   agreements_.clear();
 }
 
@@ -277,6 +285,54 @@ void CausalityTracker::check_exclusion(std::size_t rank, std::size_t op,
   }
 }
 
+void CausalityTracker::check_view(std::size_t rank, std::size_t op, std::uint64_t view_epoch) {
+  if (!active()) return;
+  std::uint64_t view = view_epoch;
+  // The stale-view mutant: this rank acts on an outdated membership view
+  // (one epoch behind — or, before any membership change, a phantom one).
+  if (mutates(ProtocolMutation::kStaleViewEpoch, rank, op)) {
+    view = view_epoch > 0 ? view_epoch - 1 : 1;
+  }
+  CausalityMetrics::get().view_checks.add(1.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = views_.try_emplace(op, std::make_pair(view, rank));
+  if (inserted) return;
+  if (it->second.first != view) {
+    report_violation("view-epoch-desync",
+                     "op " + std::to_string(op) + ": rank " + std::to_string(rank) +
+                         " observes membership view " + std::to_string(view) + " but rank " +
+                         std::to_string(it->second.second) + " observed " +
+                         std::to_string(it->second.first));
+  }
+}
+
+void CausalityTracker::on_membership_change(std::uint64_t view_epoch,
+                                            const std::vector<char>& dead) {
+  if (!active()) return;
+  std::size_t live = 0;
+  for (char d : dead) live += d == 0 ? 1 : 0;
+  (void)live;  // the live count is implicit in later exclusion checks
+  view_epoch_ = view_epoch;
+  CausalityMetrics::get().membership_transitions.add(1.0);
+}
+
+void CausalityTracker::on_rejoin(std::size_t rank, const std::vector<char>& dead) {
+  if (!active()) return;
+  // Epoch-transition happens-before edge: everything the survivors did
+  // while `rank` was dead enters its causal past, so its first post-rejoin
+  // consume and publication are properly ordered instead of violations.
+  VectorClock merged(ranks_);
+  for (std::size_t r = 0; r < ranks_; ++r) {
+    if (r < dead.size() && dead[r] != 0) continue;
+    merged.join(clocks_[r]);
+  }
+  clocks_[rank].join(merged);
+  // Pre-crash publications are stale evidence: no post-rejoin consume may
+  // satisfy itself with them.
+  published_[rank] = {};
+  previous_[rank] = {};
+}
+
 void CausalityTracker::check_agreement(const char* domain, std::size_t rank, std::uint64_t index,
                                        std::uint64_t value) {
   if (!active()) return;
@@ -303,7 +359,8 @@ void CausalityTracker::check_agreement(const char* domain, std::size_t rank, std
   }
 }
 
-AnalysisTrailer CausalityTracker::make_trailer(std::size_t rank, std::size_t epoch) const {
+AnalysisTrailer CausalityTracker::make_trailer(std::size_t rank, std::size_t epoch,
+                                               std::uint64_t view_epoch) const {
   AnalysisTrailer trailer;
   if (!active()) return trailer;
   trailer.sender = static_cast<std::uint32_t>(rank);
@@ -311,13 +368,20 @@ AnalysisTrailer CausalityTracker::make_trailer(std::size_t rank, std::size_t epo
   if (mutates(ProtocolMutation::kStaleEpoch, rank, epoch) && epoch > 0) {
     trailer.epoch = epoch - 1;
   }
+  trailer.view_epoch = view_epoch;
+  // The stale-view mutant also reaches the wire: the trailer ships the
+  // outdated view so consumers catch it from the received bytes.
+  if (mutates(ProtocolMutation::kStaleViewEpoch, rank, epoch)) {
+    trailer.view_epoch = view_epoch > 0 ? view_epoch - 1 : 1;
+  }
   trailer.clock = clocks_[rank];
   return trailer;
 }
 
 void CausalityTracker::verify_trailer(std::size_t consumer, std::size_t sender,
                                       const AnalysisTrailer& trailer,
-                                      std::uint64_t expected_epoch) {
+                                      std::uint64_t expected_epoch,
+                                      std::uint64_t expected_view) {
   if (!active()) return;
   if (trailer.sender != sender) {
     report_violation("causality",
@@ -341,6 +405,15 @@ void CausalityTracker::verify_trailer(std::size_t consumer, std::size_t sender,
                          std::to_string(trailer.epoch) + " but rank " +
                          std::to_string(consumer) + " is consuming epoch " +
                          std::to_string(expected_epoch));
+  }
+  CausalityMetrics::get().view_checks.add(1.0);
+  if (trailer.view_epoch != expected_view) {
+    report_violation("view-epoch-mismatch",
+                     "trailer from rank " + std::to_string(sender) +
+                         " carries membership view " + std::to_string(trailer.view_epoch) +
+                         " but rank " + std::to_string(consumer) + " published op " +
+                         std::to_string(expected_epoch) + " under view " +
+                         std::to_string(expected_view));
   }
 }
 

@@ -41,11 +41,11 @@
 // hook compile to empty no-op stubs unless FFTGRAD_ANALYSIS is on, so
 // Release collectives pay nothing.
 //
-// Proving the detector: set_mutation() seeds one of six protocol mutants
+// Proving the detector: set_mutation() seeds one of seven protocol mutants
 // (reordered delivery, stale epoch, dropped clock join, exclusion-set
-// desync, quorum mismatch, state-hash divergence) into otherwise-correct
-// collectives; tests/test_causality.cpp asserts every mutant is flagged
-// and the clean suite reports zero violations.
+// desync, quorum mismatch, state-hash divergence, stale membership view)
+// into otherwise-correct collectives; tests/test_causality.cpp asserts
+// every mutant is flagged and the clean suite reports zero violations.
 #pragma once
 
 #include <cstddef>
@@ -117,17 +117,19 @@ class VectorClock {
 // Wire analysis trailer (always compiled).
 
 /// What a frame's analysis trailer carries: who sent it, during which
-/// collective epoch (the sender's op index), and the sender's clock at
-/// publication time.
+/// collective epoch (the sender's op index), under which membership view
+/// epoch (SimCluster's crash/rejoin counter as the sender observed it at
+/// publication), and the sender's clock at publication time.
 struct AnalysisTrailer {
   std::uint32_t sender = 0;
   std::uint64_t epoch = 0;
+  std::uint64_t view_epoch = 0;
   VectorClock clock;
 };
 
-/// Byte layout: [u32 magic "FGAT"][u32 sender][u64 epoch][u64 ranks]
-/// [u64 x ranks components]. Fixed-width little-endian PODs, matching the
-/// frame body conventions in fftgrad/core/compressor.h.
+/// Byte layout: [u32 magic "FGAT"][u32 sender][u64 epoch][u64 view_epoch]
+/// [u64 ranks][u64 x ranks components]. Fixed-width little-endian PODs,
+/// matching the frame body conventions in fftgrad/core/compressor.h.
 inline constexpr std::uint32_t kTrailerMagic = 0x46474154u;  // "FGAT"
 
 std::vector<std::uint8_t> encode_trailer(const AnalysisTrailer& trailer);
@@ -151,6 +153,7 @@ enum class ProtocolMutation : std::uint8_t {
   kDesyncExclusion,      ///< one rank computes a different exclusion set
   kQuorumMismatch,       ///< one rank disagrees on the surviving quorum
   kStateHashDivergence,  ///< one rank reports a divergent state hash
+  kStaleViewEpoch,       ///< one rank acts on (and wires) an outdated membership view
 };
 
 #if FFTGRAD_ANALYSIS
@@ -192,6 +195,24 @@ class CausalityTracker {
   void check_exclusion(std::size_t rank, std::size_t op, std::span<const char> excluded,
                        std::size_t quorum);
 
+  /// Invariant (d): every replica must report the identical membership
+  /// view epoch for `op` (SimCluster's per-release snapshot makes the true
+  /// value cluster-wide identical; a divergence means a rank acted on a
+  /// stale view). First reporter canonical, like check_exclusion.
+  void check_view(std::size_t rank, std::size_t op, std::uint64_t view_epoch);
+
+  /// Membership change (crash or rejoin): records the new view epoch as an
+  /// epoch-transition event. Called under the barrier mutex by the thread
+  /// performing the change.
+  void on_membership_change(std::uint64_t view_epoch, const std::vector<char>& dead);
+
+  /// A crashed rank was re-admitted: join its clock up to the live ranks'
+  /// merged clock (the epoch-transition happens-before edge — everything
+  /// the survivors did while it was dead is now in its causal past) and
+  /// invalidate its stale pre-crash publications. Called under the barrier
+  /// mutex while every live rank is parked in the membership handshake.
+  void on_rejoin(std::size_t rank, const std::vector<char>& dead);
+
   /// Generic cross-rank agreement: all ranks must report the same `value`
   /// for (`domain`, `index`). cluster_train feeds per-iteration state
   /// hashes through this; `domain` must be a string literal.
@@ -199,14 +220,21 @@ class CausalityTracker {
                        std::uint64_t value);
 
   /// Trailer the rank should attach to a frame it is about to publish to
-  /// collective epoch `epoch` (clock snapshot taken now).
-  AnalysisTrailer make_trailer(std::size_t rank, std::size_t epoch) const;
+  /// collective epoch `epoch` under membership view `view_epoch` (clock
+  /// snapshot taken now).
+  AnalysisTrailer make_trailer(std::size_t rank, std::size_t epoch,
+                               std::uint64_t view_epoch = 0) const;
 
   /// Re-verify a received trailer at the consumer: sender clock inside the
-  /// consumer's causal past, epoch == `expected_epoch`, sender == claimed
-  /// `sender` rank.
+  /// consumer's causal past, epoch == `expected_epoch`, membership view ==
+  /// `expected_view` (the consumer's own publication-time view for the
+  /// same op), sender == claimed `sender` rank.
   void verify_trailer(std::size_t consumer, std::size_t sender, const AnalysisTrailer& trailer,
-                      std::uint64_t expected_epoch);
+                      std::uint64_t expected_epoch, std::uint64_t expected_view = 0);
+
+  /// Latest view epoch reported through on_membership_change (0 before any
+  /// change). For tests; the checked value always travels as a parameter.
+  std::uint64_t view_epoch() const { return view_epoch_; }
 
   const VectorClock& clock(std::size_t rank) const { return clocks_[rank]; }
 
@@ -237,8 +265,12 @@ class CausalityTracker {
 
   std::mutex mutex_;  // guards the agreement maps below
   std::map<std::size_t, ExclusionRecord> exclusions_;
+  // op -> (canonical view epoch, first reporter) for check_view.
+  std::map<std::size_t, std::pair<std::uint64_t, std::size_t>> views_;
   std::map<std::pair<std::string, std::uint64_t>, std::pair<std::uint64_t, std::size_t>>
       agreements_;
+
+  std::uint64_t view_epoch_ = 0;  // written under the cluster's barrier mutex
 
   std::atomic<ProtocolMutation> mutation_{ProtocolMutation::kNone};
   std::atomic<std::size_t> mutation_rank_{0};
@@ -259,9 +291,14 @@ class CausalityTracker {
   void on_barrier_release(const std::vector<char>&) {}
   void on_consume(std::size_t, std::size_t, std::size_t) {}
   void check_exclusion(std::size_t, std::size_t, std::span<const char>, std::size_t) {}
+  void check_view(std::size_t, std::size_t, std::uint64_t) {}
+  void on_membership_change(std::uint64_t, const std::vector<char>&) {}
+  void on_rejoin(std::size_t, const std::vector<char>&) {}
   void check_agreement(const char*, std::size_t, std::uint64_t, std::uint64_t) {}
-  AnalysisTrailer make_trailer(std::size_t, std::size_t) const { return {}; }
-  void verify_trailer(std::size_t, std::size_t, const AnalysisTrailer&, std::uint64_t) {}
+  AnalysisTrailer make_trailer(std::size_t, std::size_t, std::uint64_t = 0) const { return {}; }
+  void verify_trailer(std::size_t, std::size_t, const AnalysisTrailer&, std::uint64_t,
+                      std::uint64_t = 0) {}
+  constexpr std::uint64_t view_epoch() const { return 0; }
   void set_mutation(ProtocolMutation, std::size_t, std::size_t = 0) {}
 };
 

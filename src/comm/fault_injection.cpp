@@ -57,9 +57,24 @@ util::SimSeconds FaultPlan::straggle_s(std::size_t rank, std::size_t op) const {
 
 bool FaultPlan::crashes_at(std::size_t rank, std::size_t op) const {
   for (const CrashSpec& spec : crashes) {
-    if (spec.rank == rank && op >= spec.at_op) return true;
+    if (spec.rank == rank && op >= spec.at_op && op < spec.rejoin_at_op) return true;
   }
   return false;
+}
+
+bool FaultPlan::has_recovery() const {
+  for (const CrashSpec& spec : crashes) {
+    if (spec.rejoin_at_op != std::numeric_limits<std::size_t>::max()) return true;
+  }
+  return false;
+}
+
+std::size_t FaultPlan::rejoin_op(std::size_t rank) const {
+  std::size_t earliest = std::numeric_limits<std::size_t>::max();
+  for (const CrashSpec& spec : crashes) {
+    if (spec.rank == rank && spec.rejoin_at_op < earliest) earliest = spec.rejoin_at_op;
+  }
+  return earliest;
 }
 
 void FaultPlan::corrupt_payload(std::span<std::uint8_t> payload, std::size_t sender,

@@ -42,11 +42,17 @@ struct StragglerSpec {
   std::size_t until_op = std::numeric_limits<std::size_t>::max();
 };
 
-/// Permanent rank failure: the rank dies when it reaches collective
-/// `at_op` and never participates again.
+/// Rank failure: the rank dies when it reaches collective `at_op`. With
+/// the default `rejoin_at_op` it never participates again (a permanent
+/// crash); a finite `rejoin_at_op > at_op` makes this a
+/// crash-with-recovery fate — the rank becomes eligible to rejoin the
+/// cluster once the survivors reach that op, at which point SimCluster
+/// re-admits it at the next membership barrier (see
+/// RankContext::admit_rejoins / await_rejoin).
 struct CrashSpec {
   std::size_t rank = 0;
   std::size_t at_op = 0;
+  std::size_t rejoin_at_op = std::numeric_limits<std::size_t>::max();
 };
 
 /// Transport-level fate of one packet transmission attempt.
@@ -88,8 +94,18 @@ struct FaultPlan {
   /// Straggler slowdown charged to `rank` at the entry of collective `op`.
   util::SimSeconds straggle_s(std::size_t rank, std::size_t op) const;
 
-  /// True once `rank` has reached its configured crash op.
+  /// True while `rank` is inside a configured crash window: at or past a
+  /// crash op and before the matching rejoin op (permanent crashes have no
+  /// rejoin op, so this stays true forever once reached).
   bool crashes_at(std::size_t rank, std::size_t op) const;
+
+  /// True when any crash spec carries a finite rejoin op.
+  bool has_recovery() const;
+
+  /// Earliest op at which a crashed `rank` becomes eligible to rejoin, or
+  /// SIZE_MAX when the rank has no recovery fate. Pure plan lookup — live
+  /// ranks use it to agree on admission without reading shared state.
+  std::size_t rejoin_op(std::size_t rank) const;
 
   /// Deterministically damage `payload` in place (1-4 bit flips keyed on
   /// (seed, sender, op, attempt)). No-op on an empty payload.

@@ -14,9 +14,9 @@
 //
 // Fault tolerance: a SimCluster may carry a FaultPlan (fault_injection.h).
 // Each collective then counts as one "op" per rank; at op entry the plan
-// may crash the rank (it leaves the cluster permanently; survivors'
-// barriers re-target the remaining rank count and its contributions read
-// as absent) or straggle it (extra simulated delay; with a straggler
+// may crash the rank (it leaves the cluster; survivors' barriers re-target
+// the remaining rank count and its contributions read as absent) or
+// straggle it (extra simulated delay; with a straggler
 // timeout configured, the late rank's contribution is excluded everywhere
 // and survivors proceed after the timeout instead of absorbing the full
 // delay). Inside allgather — the gradient-exchange path — every peer
@@ -27,6 +27,26 @@
 // returned as an empty (dropped) or damaged (corrupt) block for the
 // caller's checksum layer to reject. An empty FaultPlan leaves every code
 // path and every charged time bit-identical to the fault-free cluster.
+//
+// Membership epochs and elastic rejoin: the cluster view (live set +
+// monotone epoch counter) is versioned state. Every membership change — a
+// crash leaving the quorum, a recovered rank re-entering it — bumps the
+// view epoch under the barrier mutex, and each rank refreshes its cached
+// copy of the epoch from a per-release snapshot taken by whichever thread
+// performs the barrier release. Because views change only at barrier
+// releases and every rank of a barrier round reads the same snapshot, the
+// cached view is identical on all live ranks at every op — which is what
+// lets collectives cross-check it (CausalityTracker::check_view) and lets
+// the analysis trailer carry it as checked wire state. A crash spec with a
+// finite rejoin op makes the crash a bounded blip: the crashed rank's
+// thread parks in await_rejoin(), the survivors agree (pure plan + op
+// arithmetic, no shared reads) to re-admit it once they reach the rejoin
+// op, and admission runs as a two-barrier membership handshake that grows
+// the quorum, bumps the view epoch, and fast-forwards the rejoiner's op
+// index and clock to the group's. State (weights, optimizer, residuals) is
+// the trainer's business: it ships a CRC-framed blob from a designated
+// live donor through peer_transfer(), which charges real NetworkModel time
+// and reconciles exactly in the run ledger on a lossless plan.
 //
 // Concurrency analysis: the barrier mutex is an analysis::CheckedMutex
 // (owner + lock-order tracked in debug/sanitizer builds), and under the
@@ -104,6 +124,11 @@ class RankContext {
   /// Collectives completed by this rank (the FaultPlan's op coordinate).
   std::size_t op_index() const { return op_index_; }
 
+  /// The membership view epoch this rank observed at its last barrier
+  /// release (0 until the first membership change). Identical on every
+  /// live rank at the same op — see the class comment's snapshot protocol.
+  std::uint64_t view_epoch() const { return view_epoch_seen_; }
+
   /// Block until every rank arrives; aligns all clocks to the maximum
   /// (BSP semantics).
   void barrier();
@@ -134,6 +159,53 @@ class RankContext {
   /// remainder going to the last rank). All ranks must pass equal sizes.
   std::vector<float> reduce_scatter_sum(std::span<const float> data);
 
+  /// Membership handshake: re-admit every crashed rank whose plan rejoin
+  /// op has been reached. Pure plan + op-index arithmetic decides
+  /// eligibility, so all live ranks agree without touching shared state;
+  /// when nobody is eligible this is free (no barrier, no op). Otherwise
+  /// all live ranks rendezvous, the lowest live rank flips the rejoiners
+  /// back into the quorum (bumping the view epoch and syncing their op
+  /// index and clock to the group's), and a second barrier — now counting
+  /// the rejoiners — completes the epoch transition. Returns the ranks
+  /// admitted this call (identical on every live rank).
+  std::vector<std::size_t> admit_rejoins();
+
+  /// Called by a crashed rank's thread (after catching RankCrashed) when
+  /// its plan carries a rejoin op: parks until the survivors admit it via
+  /// admit_rejoins(). Returns true once re-admitted — op index, clock, and
+  /// cached view epoch are already synced to the group — or false if the
+  /// run drained (every other thread exited) before the rejoin op was
+  /// reached, in which case the rank stays dead.
+  bool await_rejoin();
+
+  /// The admission cohort of the most recent rejoin handshake (what
+  /// admit_rejoins returned to the survivors), and the handshake's state
+  /// donor — its primary, i.e. the lowest rank that was live when admission
+  /// ran. Valid from the handshake's completing barrier until the next
+  /// handshake; a just-admitted rank reads these to learn which transfers
+  /// it participates in and who serves its state.
+  const std::vector<std::size_t>& rejoin_cohort() const;
+  std::size_t rejoin_donor() const;
+
+  /// Result of a peer_transfer: `ok` is derived from the pure per-(sender,
+  /// op) delivery fate, so every rank — not just the receiver — agrees on
+  /// whether the transfer must be retried.
+  struct PeerTransferResult {
+    std::vector<std::uint8_t> bytes;  ///< payload at rank `to`; empty elsewhere
+    bool ok = true;                   ///< delivered un-corrupted
+  };
+
+  /// Point-to-point state transfer as a cluster-wide collective (all live
+  /// ranks participate; one op). Rank `from` publishes `send`; rank `to`
+  /// receives it. Both endpoints charge p2p_time(bytes); under transport
+  /// faults the receiver additionally charges the sampled retransmission
+  /// recovery, and a delivery that stays broken is returned empty/damaged
+  /// with ok=false. The ledger records a "state_transfer" row pairing the
+  /// analytic prediction with the charged cost — exactly equal on a
+  /// lossless plan.
+  PeerTransferResult peer_transfer(std::span<const std::uint8_t> send, std::size_t from,
+                                   std::size_t to);
+
  private:
   friend class SimCluster;
   RankContext(SimCluster& cluster, std::size_t rank) : cluster_(&cluster), rank_(rank) {}
@@ -146,6 +218,8 @@ class RankContext {
   SimCluster* cluster_;
   std::size_t rank_;
   std::size_t op_index_ = 0;
+  /// View epoch observed at this rank's last barrier release.
+  std::uint64_t view_epoch_seen_ = 0;
   SimClock clock_;
 };
 
@@ -164,10 +238,15 @@ class SimCluster {
   const NetworkModel& network() const { return network_; }
   const FaultPlan& faults() const { return faults_; }
 
-  /// Whether `rank` died (via its FaultPlan crash) during the last run().
+  /// Whether `rank` died (via its FaultPlan crash) during the last run()
+  /// and was not re-admitted.
   bool rank_crashed(std::size_t rank) const;
   /// Ranks that survived the last run().
   std::size_t survivors() const;
+  /// Whether `rank` was re-admitted after a crash during the last run().
+  bool rank_rejoined(std::size_t rank) const;
+  /// Current membership view epoch (bumped on every crash and rejoin).
+  std::uint64_t view_epoch() const { return view_epoch_; }
 
   /// The run's causality tracker (vector clocks + protocol invariants).
   /// A no-op stub unless FFTGRAD_ANALYSIS is compiled in; re-armed by each
@@ -208,6 +287,28 @@ class SimCluster {
   std::vector<char> dead_;
   std::vector<char> late_;
   std::vector<RankContext*> contexts_;
+
+  // Membership view: epoch counter bumped under the mutex on every crash
+  // and rejoin, plus the per-release snapshot each rank copies into its
+  // RankContext while still holding the barrier mutex (see barrier_wait).
+  std::uint64_t view_epoch_ = 0;
+  std::uint64_t view_epoch_at_release_ = 0;
+  // Rejoin handshake state (all guarded by mutex_ or the parked-peers
+  // argument in admit_rejoins): which crashed threads are parked in
+  // await_rejoin, which ranks already used their one recovery cycle, and
+  // the op index / clock the rejoiners fast-forward to.
+  std::vector<char> rejoin_waiting_;
+  std::vector<char> rejoined_;
+  std::size_t rejoin_op_slot_ = 0;
+  util::SimSeconds rejoin_clock_slot_{};
+  std::vector<std::size_t> rejoin_cohort_slot_;
+  std::size_t rejoin_donor_slot_ = 0;
+  // Drain detection: threads done with the rank fn vs threads parked in
+  // await_rejoin. When every non-parked thread has exited, no admission
+  // can ever come and the parked rejoiners are woken with a denial.
+  std::size_t exited_threads_ = 0;
+  std::size_t parked_threads_ = 0;
+  bool draining_ = false;
 
   analysis::CausalityTracker tracker_;
 };

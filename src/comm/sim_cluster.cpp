@@ -74,6 +74,8 @@ struct FaultMetrics {
   telemetry::Counter& retransmit_bytes;
   telemetry::Counter& recovery_seconds;
   telemetry::Counter& deliveries_failed;
+  telemetry::Counter& rank_rejoins;
+  telemetry::Counter& state_transfer_bytes;
 
   static FaultMetrics& get() {
     static FaultMetrics metrics = [] {
@@ -84,7 +86,9 @@ struct FaultMetrics {
                           reg.counter("fault.retransmits"),
                           reg.counter("fault.retransmit_bytes"),
                           reg.counter("fault.recovery_seconds"),
-                          reg.counter("fault.deliveries_failed")};
+                          reg.counter("fault.deliveries_failed"),
+                          reg.counter("fault.rank_rejoins"),
+                          reg.counter("fault.state_transfer_bytes")};
     }();
     return metrics;
   }
@@ -165,12 +169,17 @@ void SimCluster::barrier_wait(std::size_t rank) {
     // happens-before edge every post-barrier consume relies on.
     align_clocks_locked();
     tracker_.on_barrier_release(dead_);
+    view_epoch_at_release_ = view_epoch_;
     arrived_ = 0;
     ++generation_;
     cv_.notify_all();
   } else {
     cv_.wait(lock, [&] { return generation_ != my_generation; });
   }
+  // Refresh the cached membership view while still holding the mutex:
+  // every rank of this barrier round reads the same release snapshot, so
+  // the cached epoch is identical cluster-wide at every op.
+  contexts_[rank]->view_epoch_seen_ = view_epoch_at_release_;
   // Critical-path record: [arrival, aligned release] of this barrier round.
   // The generation is shared by every rank in the round, so the analyzer
   // can correlate arrivals and find the bounding (last) rank. A release
@@ -190,6 +199,10 @@ void SimCluster::mark_crashed(std::size_t rank) {
   if (dead_[rank] != 0) return;
   dead_[rank] = 1;
   --alive_;
+  // Membership change: the view epoch advances under the mutex; peers pick
+  // the new value up from the snapshot of their next barrier release.
+  ++view_epoch_;
+  tracker_.on_membership_change(view_epoch_, dead_);
   // The dying rank's stack (and thus anything its slots point into) is
   // about to unwind: drop the references while peers are still parked.
   byte_slots_[rank] = {};
@@ -199,6 +212,7 @@ void SimCluster::mark_crashed(std::size_t rank) {
   if (alive_ > 0 && arrived_ == alive_) {
     align_clocks_locked();
     tracker_.on_barrier_release(dead_);
+    view_epoch_at_release_ = view_epoch_;
     arrived_ = 0;
     ++generation_;
     cv_.notify_all();
@@ -213,6 +227,10 @@ std::size_t SimCluster::survivors() const {
   std::size_t count = 0;
   for (char d : dead_) count += d == 0 ? 1 : 0;
   return count;
+}
+
+bool SimCluster::rank_rejoined(std::size_t rank) const {
+  return rank < rejoined_.size() && rejoined_[rank] != 0;
 }
 
 std::vector<std::vector<std::uint8_t>> RankContext::allgather(
@@ -269,6 +287,9 @@ std::vector<std::vector<std::uint8_t>> RankContext::allgather(
     std::size_t quorum = 0;
     for (char e : effective) quorum += e == 0 ? 1 : 0;
     c.tracker_.check_exclusion(rank_, op, effective, quorum);
+    // Invariant (d): every replica observed the same membership view epoch
+    // at this op — a rank acting on a stale view is protocol divergence.
+    c.tracker_.check_view(rank_, op, view_epoch_seen_);
   }
 
   std::vector<std::vector<std::uint8_t>> gathered(c.ranks_);
@@ -394,6 +415,7 @@ void RankContext::allreduce_sum(std::span<float> data) {
   // Invariant (c) for the sum: replicas must agree on who dropped out.
   if (c.tracker_.active()) {
     c.tracker_.check_exclusion(rank_, op, {c.dead_.data(), c.dead_.size()}, live);
+    c.tracker_.check_view(rank_, op, view_epoch_seen_);
   }
   const util::Bytes bytes = util::byte_count(data.size() * sizeof(float));
   const util::SimSeconds cost_s = c.network_.allreduce_time(bytes, live);
@@ -426,6 +448,7 @@ void RankContext::broadcast(std::span<float> data, std::size_t root) {
   }
   c.float_slots_[rank_] = data;
   c.barrier_wait(rank_);
+  if (c.tracker_.active()) c.tracker_.check_view(rank_, op, view_epoch_seen_);
   if (c.dead_[root] != 0) throw std::runtime_error("broadcast: root rank crashed");
   c.tracker_.on_consume(rank_, root, op);
   cp_edge(rank_, "consume", clock_.time(), op, static_cast<std::int32_t>(root));
@@ -460,6 +483,7 @@ std::vector<std::vector<std::uint8_t>> RankContext::gather(std::span<const std::
   cp_edge(rank_, "publish", clock_.time(), op);
   c.byte_slots_[rank_] = send;
   c.barrier_wait(rank_);
+  if (c.tracker_.active()) c.tracker_.check_view(rank_, op, view_epoch_seen_);
   std::vector<std::vector<std::uint8_t>> gathered;
   util::SimSeconds cost_s{};
   util::Bytes payload = util::byte_count(send.size());
@@ -500,6 +524,7 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
   cp_edge(rank_, "publish", clock_.time(), op);
   c.float_slots_[rank_] = {const_cast<float*>(data.data()), data.size()};
   c.barrier_wait(rank_);
+  if (c.tracker_.active()) c.tracker_.check_view(rank_, op, view_epoch_seen_);
   const std::size_t n = data.size();
   const std::size_t base = n / c.ranks_;
   const std::size_t begin = rank_ * base;
@@ -532,6 +557,164 @@ std::vector<float> RankContext::reduce_scatter_sum(std::span<const float> data) 
   return chunk;
 }
 
+std::vector<std::size_t> RankContext::admit_rejoins() {
+  SimCluster& c = *cluster_;
+  if (!c.faults_.has_recovery()) return {};
+  // Eligibility is pure plan + own-op arithmetic: a rank with a recovery
+  // fate whose rejoin op has been reached deterministically crashed at its
+  // (earlier) crash op, so every live rank computes the identical set
+  // without reading shared membership state. rejoined_ is only written
+  // while all live ranks are parked inside this very handshake, so the
+  // read below is ordered by the surrounding barriers.
+  std::vector<std::size_t> eligible;
+  for (std::size_t r = 0; r < c.ranks_; ++r) {
+    if (r == rank_ || c.rejoined_[r] != 0) continue;
+    if (c.faults_.rejoin_op(r) <= op_index_) eligible.push_back(r);
+  }
+  if (eligible.empty()) return {};
+
+  // Membership barrier A: all live ranks have agreed to admit now; the
+  // rejoiners are (or will shortly be) parked in await_rejoin.
+  c.barrier_wait(rank_);
+  bool primary = true;
+  for (std::size_t q = 0; q < rank_; ++q) {
+    if (c.dead_[q] == 0) {
+      primary = false;
+      break;
+    }
+  }
+  if (primary) {
+    std::unique_lock<analysis::CheckedMutex> lock(c.mutex_);
+    // Wait for every rejoiner's thread to finish unwinding and park.
+    c.cv_.wait(lock, [&] {
+      for (std::size_t r : eligible) {
+        if (c.rejoin_waiting_[r] == 0) return false;
+      }
+      return true;
+    });
+    for (std::size_t r : eligible) {
+      c.dead_[r] = 0;
+      c.rejoined_[r] = 1;
+      ++c.alive_;
+      c.tracker_.on_rejoin(r, c.dead_);
+    }
+    ++c.view_epoch_;
+    c.tracker_.on_membership_change(c.view_epoch_, c.dead_);
+    c.rejoin_op_slot_ = op_index_;
+    c.rejoin_clock_slot_ = clock_.time();
+    c.rejoin_cohort_slot_ = eligible;
+    c.rejoin_donor_slot_ = rank_;
+    FaultMetrics::get().rank_rejoins.add(static_cast<double>(eligible.size()));
+    c.cv_.notify_all();
+  }
+  // Membership barrier B: the quorum now counts the rejoiners, whose
+  // await_rejoin arrives here after syncing op index and clock. Its
+  // release snapshot hands every rank the bumped view epoch.
+  c.barrier_wait(rank_);
+  return eligible;
+}
+
+bool RankContext::await_rejoin() {
+  SimCluster& c = *cluster_;
+  {
+    std::unique_lock<analysis::CheckedMutex> lock(c.mutex_);
+    c.rejoin_waiting_[rank_] = 1;
+    ++c.parked_threads_;
+    if (c.exited_threads_ + c.parked_threads_ == c.ranks_) c.draining_ = true;
+    c.cv_.notify_all();  // wake an admitter waiting for us to park
+    c.cv_.wait(lock, [&] { return c.dead_[rank_] == 0 || c.draining_; });
+    c.rejoin_waiting_[rank_] = 0;
+    --c.parked_threads_;
+    if (c.dead_[rank_] != 0) return false;  // run drained before our rejoin op
+    op_index_ = c.rejoin_op_slot_;
+    clock_.set_to(c.rejoin_clock_slot_);
+  }
+  c.barrier_wait(rank_);  // membership barrier B, counted in the new quorum
+  return true;
+}
+
+const std::vector<std::size_t>& RankContext::rejoin_cohort() const {
+  return cluster_->rejoin_cohort_slot_;
+}
+
+std::size_t RankContext::rejoin_donor() const { return cluster_->rejoin_donor_slot_; }
+
+RankContext::PeerTransferResult RankContext::peer_transfer(std::span<const std::uint8_t> send,
+                                                           std::size_t from, std::size_t to) {
+  static telemetry::Counter& calls =
+      telemetry::MetricsRegistry::global().counter("comm.peer_transfer.calls");
+  note_collective(calls, rank_ == from ? util::byte_count(send.size()) : util::Bytes{});
+  telemetry::TraceSpan span("peer_transfer", "comm");
+  const std::size_t op = begin_collective();
+  SimCluster& c = *cluster_;
+  if (from >= c.ranks_ || to >= c.ranks_ || from == to) {
+    throw std::invalid_argument("peer_transfer: bad endpoint ranks");
+  }
+  if (rank_ == from) {
+    c.tracker_.on_publish(rank_, op);
+    cp_edge(rank_, "publish", clock_.time(), op);
+    c.byte_slots_[rank_] = send;
+  }
+  c.barrier_wait(rank_);
+  if (c.tracker_.active()) c.tracker_.check_view(rank_, op, view_epoch_seen_);
+  if (c.dead_[from] != 0) throw std::runtime_error("peer_transfer: source rank crashed");
+  if (c.dead_[to] != 0) throw std::runtime_error("peer_transfer: destination rank crashed");
+
+  // The delivery fate is a pure function of (plan, sender, op), so every
+  // rank computes it — the receiver to charge the sampled recovery, the
+  // rest to agree on `ok` (a retry loop must be a cluster-wide decision).
+  const util::Bytes bytes = util::byte_count(c.byte_slots_[from].size());
+  const util::SimSeconds p2p_s = c.network_.p2p_time(bytes);
+  DeliveryOutcome outcome;
+  util::SimSeconds predicted_s = p2p_s;
+  if (c.faults_.has_transport_faults()) {
+    outcome = resolve_delivery(c.faults_, c.network_, from, op, bytes);
+    predicted_s += expected_recovery_s(c.faults_, c.network_, bytes);
+  }
+
+  PeerTransferResult result;
+  result.ok = outcome.delivered && !outcome.corrupted;
+  if (rank_ == to) {
+    c.tracker_.on_consume(rank_, from, op);
+    cp_edge(rank_, "consume", clock_.time(), op, static_cast<std::int32_t>(from));
+    result.bytes.assign(c.byte_slots_[from].begin(), c.byte_slots_[from].end());
+    if (!outcome.delivered) {
+      result.bytes.clear();
+    } else if (outcome.corrupted) {
+      c.faults_.corrupt_payload(result.bytes, from, op, outcome.attempts - 1);
+    }
+    util::SimSeconds t = clock_.time();
+    if (p2p_s > util::SimSeconds(0.0)) cp_span(rank_, "collective", t, t + p2p_s, op);
+    t += p2p_s;
+    if (outcome.recovery_seconds > util::SimSeconds(0.0)) {
+      cp_span(rank_, "retry", t, t + outcome.recovery_seconds, op,
+              static_cast<std::int32_t>(from));
+    }
+    clock_.advance(p2p_s + outcome.recovery_seconds);
+    FaultMetrics& fm = FaultMetrics::get();
+    fm.state_transfer_bytes.add(bytes.to_double() + outcome.extra_bytes.to_double());
+    if (outcome.attempts > 1) fm.retransmits.add(static_cast<double>(outcome.attempts - 1));
+    fm.recovery_seconds.add(outcome.recovery_seconds.to_double());
+    if (!result.ok) fm.deliveries_failed.add(1.0);
+  } else if (rank_ == from) {
+    // The donor's link is busy serializing the blob for the same time.
+    if (p2p_s > util::SimSeconds(0.0)) {
+      cp_span(rank_, "collective", clock_.time(), clock_.time() + p2p_s, op);
+    }
+    clock_.advance(p2p_s);
+  }
+  if (ledger_records(rank_)) {
+    // The recording rank reports the receiver's cost pair (computable
+    // everywhere — the fate is pure), so the row reconciles exactly on a
+    // lossless plan and in expectation under transport faults.
+    telemetry::RunLedger::global().record_collective(
+        {"state_transfer", op, bytes, predicted_s, p2p_s + outcome.recovery_seconds,
+         util::SimSeconds(0.0), outcome.attempts - 1, result.ok ? 0u : 1u});
+  }
+  c.barrier_wait(rank_);  // slots may be reused
+  return result;
+}
+
 std::vector<util::SimSeconds> SimCluster::run(
     std::size_t ranks, const std::function<void(RankContext&)>& fn) {
   if (ranks == 0) throw std::invalid_argument("SimCluster: ranks must be >= 1");
@@ -546,6 +729,17 @@ std::vector<util::SimSeconds> SimCluster::run(
   float_slots_.assign(ranks, {});
   clock_slots_.assign(ranks, util::SimSeconds{});
   dead_.assign(ranks, 0);
+  view_epoch_ = 0;
+  view_epoch_at_release_ = 0;
+  rejoin_waiting_.assign(ranks, 0);
+  rejoined_.assign(ranks, 0);
+  rejoin_op_slot_ = 0;
+  rejoin_clock_slot_ = util::SimSeconds{};
+  rejoin_cohort_slot_.clear();
+  rejoin_donor_slot_ = 0;
+  exited_threads_ = 0;
+  parked_threads_ = 0;
+  draining_ = false;
   tracker_.reset(ranks);
 
   std::vector<RankContext> contexts;
@@ -576,6 +770,15 @@ std::vector<util::SimSeconds> SimCluster::run(
       std::lock_guard<analysis::CheckedMutex> lock(mutex_);
       arrived_ = 0;
       ++generation_;
+      cv_.notify_all();
+    }
+    // Drain accounting: once every non-parked thread has exited, no
+    // admission can ever come — wake threads parked in await_rejoin so
+    // they return (denied) instead of hanging the join below.
+    std::lock_guard<analysis::CheckedMutex> lock(mutex_);
+    ++exited_threads_;
+    if (exited_threads_ + parked_threads_ == ranks_) {
+      draining_ = true;
       cv_.notify_all();
     }
   };

@@ -8,6 +8,7 @@
 
 #include "fftgrad/analysis/causality.h"
 #include "fftgrad/core/error_feedback.h"
+#include "fftgrad/core/registry.h"
 #include "fftgrad/nn/loss.h"
 #include "fftgrad/telemetry/ledger.h"
 #include "fftgrad/telemetry/metrics.h"
@@ -17,6 +18,101 @@
 #include "fftgrad/util/timer.h"
 
 namespace fftgrad::core {
+namespace {
+
+/// Bounded retries for one rejoin state transfer. The transfer fate is
+/// cluster-agreed (peer_transfer's `ok`), so every rank gives up together.
+constexpr std::size_t kRejoinTransferAttempts = 8;
+
+/// Everything a rejoining rank cannot reconstruct locally, shipped from the
+/// handshake's donor as the payload of a CRC-framed wire packet. The
+/// residuals are the donor's (the rejoiner's own were lost with its stack);
+/// they only shape what the rejoiner *sends*, so replica identity — which
+/// rests on params and momentum — is exact.
+struct RejoinState {
+  std::uint64_t iteration = 0;  ///< the iteration the survivors are entering
+  std::vector<float> params;
+  std::vector<std::vector<float>> velocity;
+  std::vector<float> residual;  ///< donor's EF residual ({} if no EF codec)
+  double theta = 0.0;           ///< donor codec's current theta
+  bool fallback_active = false;  ///< lossless-codec fallback already applied
+  std::vector<std::uint8_t> controller_state;  ///< RecoveryController sync
+  // Donor's rollback snapshot, so a rollback decided before the rejoiner's
+  // next snapshot point restores the same weights everywhere.
+  bool has_snapshot = false;
+  std::uint64_t snapshot_iteration = 0;
+  std::vector<float> snapshot_params;
+  std::vector<std::vector<float>> snapshot_velocity;
+  std::vector<float> snapshot_residual;
+};
+
+void put_floats(std::vector<std::uint8_t>& blob, std::span<const float> values) {
+  wire::put<std::uint64_t>(blob, values.size());
+  wire::put_span<float>(blob, values);
+}
+
+void put_buffers(std::vector<std::uint8_t>& blob,
+                 const std::vector<std::vector<float>>& buffers) {
+  wire::put<std::uint64_t>(blob, buffers.size());
+  for (const std::vector<float>& buffer : buffers) put_floats(blob, buffer);
+}
+
+std::vector<float> get_floats(wire::Reader& reader) {
+  std::vector<float> values(reader.get_count(sizeof(float)));
+  reader.get_span<float>(values);
+  return values;
+}
+
+std::vector<std::vector<float>> get_buffers(wire::Reader& reader) {
+  std::vector<std::vector<float>> buffers(reader.get_count(sizeof(std::uint64_t)));
+  for (std::vector<float>& buffer : buffers) buffer = get_floats(reader);
+  return buffers;
+}
+
+std::vector<std::uint8_t> serialize_rejoin_state(const RejoinState& state) {
+  std::vector<std::uint8_t> blob;
+  wire::put<std::uint64_t>(blob, state.iteration);
+  put_floats(blob, state.params);
+  put_buffers(blob, state.velocity);
+  put_floats(blob, state.residual);
+  wire::put<double>(blob, state.theta);
+  wire::put<std::uint8_t>(blob, state.fallback_active ? 1 : 0);
+  wire::put<std::uint64_t>(blob, state.controller_state.size());
+  wire::put_span<std::uint8_t>(blob, state.controller_state);
+  wire::put<std::uint8_t>(blob, state.has_snapshot ? 1 : 0);
+  if (state.has_snapshot) {
+    wire::put<std::uint64_t>(blob, state.snapshot_iteration);
+    put_floats(blob, state.snapshot_params);
+    put_buffers(blob, state.snapshot_velocity);
+    put_floats(blob, state.snapshot_residual);
+  }
+  return blob;
+}
+
+/// Throws std::runtime_error on truncation (the outer frame CRC has already
+/// rejected corruption, so this only fires on a protocol bug).
+RejoinState parse_rejoin_state(std::span<const std::uint8_t> blob) {
+  wire::Reader reader(blob);
+  RejoinState state;
+  state.iteration = reader.get<std::uint64_t>();
+  state.params = get_floats(reader);
+  state.velocity = get_buffers(reader);
+  state.residual = get_floats(reader);
+  state.theta = reader.get<double>();
+  state.fallback_active = reader.get<std::uint8_t>() != 0;
+  state.controller_state.resize(reader.get_count(1));
+  reader.get_span<std::uint8_t>(state.controller_state);
+  state.has_snapshot = reader.get<std::uint8_t>() != 0;
+  if (state.has_snapshot) {
+    state.snapshot_iteration = reader.get<std::uint64_t>();
+    state.snapshot_params = get_floats(reader);
+    state.snapshot_velocity = get_buffers(reader);
+    state.snapshot_residual = get_floats(reader);
+  }
+  return state;
+}
+
+}  // namespace
 
 ClusterTrainResult cluster_train(
     comm::SimCluster& cluster, const ClusterTrainConfig& config,
@@ -31,6 +127,7 @@ ClusterTrainResult cluster_train(
   std::vector<char> finished(config.ranks, 0);
   std::vector<std::size_t> rank_skips(config.ranks, 0);
   std::vector<std::size_t> rank_degraded(config.ranks, 0);
+  std::vector<std::size_t> rank_remediations(config.ranks, 0);
   // losses[r][i]: rank r's loss at iteration i; NaN marks iterations a
   // crashed rank never reached. Rows are disjoint per thread.
   std::vector<std::vector<double>> losses(
@@ -42,6 +139,9 @@ ClusterTrainResult cluster_train(
       telemetry::MetricsRegistry::global().counter("trainer.peers_skipped");
   telemetry::Counter& degraded_iters =
       telemetry::MetricsRegistry::global().counter("trainer.degraded_iterations");
+
+  const comm::FaultPlan& plan = cluster.faults();
+  const bool recovery_enabled = config.recovery.enabled;
 
   const auto clocks = cluster.run(config.ranks, [&](comm::RankContext& ctx) {
     const std::size_t rank = ctx.rank();
@@ -92,224 +192,451 @@ ClusterTrainResult cluster_train(
                                                   ctx.clock().time().to_double());
     };
 
-    double last_loss = 0.0;
-    for (std::size_t iter = 0; iter < config.iterations; ++iter) {
-      // Every span and causality edge this thread records during the step
-      // (including inside SimCluster's collectives) carries the iteration.
-      telemetry::ScopedIteration iteration_scope(static_cast<std::int64_t>(iter));
-      const std::size_t skips_at_entry = rank_skips[rank];
-      telemetry::LedgerIteration row;
-      util::WallSeconds forward_s{};
-      util::WallSeconds backward_s{};
-      util::WallSeconds compress_s{};
-      util::WallSeconds decompress_s{};
-      // SimCluster::run bound this thread to its rank track, so these
-      // spans land per rank on the wall timeline (and the collective's
-      // span inside allgather also lands on the simulated timeline).
-      const nn::Batch batch = dataset.sample(config.batch_per_rank, batch_rng);
-      model.zero_grad();
-      {
-        telemetry::TraceSpan span("forward", "trainer");
-        util::WallTimer timer;
-        last_loss = criterion.forward(model.forward(batch.inputs), batch.labels);
-        forward_s = timer.elapsed();
-      }
-      if (compute_model != nullptr) charge("forward", compute_model->forward_s);
-      losses[rank][iter] = last_loss;
-      {
-        telemetry::TraceSpan span("backward", "trainer");
-        util::WallTimer timer;
-        model.backward(criterion.backward());
-        model.copy_gradients(gradient);
-        backward_s = timer.elapsed();
-      }
-      if (compute_model != nullptr) charge("backward", compute_model->backward_s);
+    const auto ef_codec = [&]() {
+      return dynamic_cast<ErrorFeedbackCompressor*>(codec.get());
+    };
 
-      // Compress, allgather packets, decompress every peer, average. In
-      // analysis builds the frame carries the causality trailer (sender
-      // clock + collective epoch) so the happens-before evidence travels
-      // with the bytes and is re-verified from what actually arrived.
-      std::vector<std::uint8_t> wire;
-      {
-        telemetry::TraceSpan span("compress", "trainer");
-        util::WallTimer timer;
-        std::vector<std::uint8_t> trailer;
-        if (causality.active()) {
-          trailer =
-              analysis::encode_trailer(causality.make_trailer(rank, ctx.op_index()));
-        }
-        const Packet packet = codec->compress(gradient);
-        if (ledger_on) {
-          row.grad_norm = util::l2_norm(gradient);
-          row.ratio = packet.ratio();
-        }
-        wire = wire::frame_packet(packet, trailer);
-        compress_s = timer.elapsed();
-      }
-      if (compute_model != nullptr) {
-        charge("fft", compute_model->fft_s);
-        charge("quant_pack", compute_model->quant_pack_s);
-        charge("wire_crc", compute_model->wire_crc_s);
-      }
-      const auto gathered = ctx.allgather(wire);
+    // ---- Elastic-recovery state -------------------------------------------
+    RecoveryController recovery(config.recovery);
+    // In-memory rollback snapshot, refreshed every snapshot_every
+    // iterations at the same points on every rank.
+    struct Snapshot {
+      bool valid = false;
+      std::uint64_t iteration = 0;
+      std::vector<float> params;
+      std::vector<std::vector<float>> velocity;
+      std::vector<float> residual;
+    } snapshot;
 
-      // Unframe first (this is where the CRC rejects corrupted packets and
-      // empty blocks mark dropped/late/crashed peers), so the surviving
-      // count — and thus the renormalized average — is known before any
-      // accumulation. Every rank sees identical bytes, so every rank skips
-      // the identical peers and replicas stay bit-identical.
-      std::vector<std::optional<wire::WireFrame>> frames(gathered.size());
-      std::size_t decoded = 0;
-      for (std::size_t r = 0; r < gathered.size(); ++r) {
-        if (gathered[r].empty()) {
-          ++rank_skips[rank];
-          peers_skipped.add(1.0);
-          continue;
-        }
-        try {
-          // Receiver-side expectation on top of the structural checks: the
-          // peer's packet must describe exactly this model's element count
-          // (a TaintError here degrades like any other undecodable packet).
-          frames[r] = std::move(wire::unframe_frame(gathered[r], grad_size))
-                          .release(
-                              [&](const wire::WireFrame& frame) {
-                                return frame.packet.elements == grad_size;
-                              },
-                              "peer gradient frame");
-          ++decoded;
-        } catch (const std::exception&) {
-          ++rank_skips[rank];
-          peers_skipped.add(1.0);
-        }
+    const auto take_snapshot = [&](std::uint64_t iter) {
+      snapshot.valid = true;
+      snapshot.iteration = iter;
+      snapshot.params.resize(grad_size);
+      model.copy_params(snapshot.params);
+      snapshot.velocity = optimizer.velocity();
+      if (const auto* ef = ef_codec()) {
+        snapshot.residual.assign(ef->residual().begin(), ef->residual().end());
       }
+    };
+    const auto restore_snapshot = [&]() {
+      if (!snapshot.valid) return;  // nothing captured yet (consistent everywhere)
+      model.set_params(snapshot.params);
+      optimizer.set_velocity(snapshot.velocity);
+      if (auto* ef = ef_codec(); ef != nullptr && !snapshot.residual.empty()) {
+        ef->set_residual(snapshot.residual);
+      }
+    };
 
-      // Re-verify the received causality trailers: the sender's publish
-      // must happen-before this read and carry this collective's epoch.
-      // A trailer that survived the CRC but fails to parse is itself a
-      // protocol violation, not a degradation case.
-      if (causality.active()) {
-        const std::uint64_t epoch = ctx.op_index() - 1;  // the allgather above
-        for (std::size_t r = 0; r < frames.size(); ++r) {
-          if (!frames[r] || frames[r]->trailer.empty()) continue;
-          try {
-            // The trailer must claim the sender slot it arrived in and
-            // carry one clock component per cluster rank; anything else is
-            // a protocol violation reported below.
-            const analysis::AnalysisTrailer trailer =
-                std::move(analysis::decode_trailer(frames[r]->trailer))
-                    .release(
-                        [&](const analysis::AnalysisTrailer& t) {
-                          return t.sender == r && t.clock.size() == config.ranks;
-                        },
-                        "causality trailer");
-            causality.verify_trailer(rank, r, trailer, epoch);
-          } catch (const std::exception& error) {
-            analysis::report_violation("causality", std::string("iteration ") +
-                                                        std::to_string(iter) +
-                                                        ": undecodable analysis trailer "
-                                                        "from rank " +
-                                                        std::to_string(r) + ": " +
-                                                        error.what());
+    // Donor side of the rejoin handshake: pack the full replica state the
+    // rejoiner needs into one CRC-framed packet.
+    const auto make_rejoin_blob = [&](std::uint64_t iter) {
+      RejoinState state;
+      state.iteration = iter;
+      state.params.resize(grad_size);
+      model.copy_params(state.params);
+      state.velocity = optimizer.velocity();
+      if (const auto* ef = ef_codec()) {
+        state.residual.assign(ef->residual().begin(), ef->residual().end());
+      }
+      state.theta = codec->theta();
+      state.fallback_active = recovery.fallback_active();
+      if (recovery_enabled) state.controller_state = recovery.save_decision_state();
+      state.has_snapshot = snapshot.valid;
+      if (snapshot.valid) {
+        state.snapshot_iteration = snapshot.iteration;
+        state.snapshot_params = snapshot.params;
+        state.snapshot_velocity = snapshot.velocity;
+        state.snapshot_residual = snapshot.residual;
+      }
+      Packet packet;
+      packet.bytes = serialize_rejoin_state(state);
+      packet.elements = grad_size;
+      return wire::frame_packet(packet);
+    };
+
+    // One peer_transfer per cohort member, donor -> rejoiner, with a
+    // bounded cluster-agreed retry loop. All live ranks (including the
+    // just-admitted cohort) participate in every transfer op; when this
+    // rank is the receiver the framed blob lands in `received`.
+    const auto run_transfers = [&](const std::vector<std::size_t>& cohort,
+                                   std::uint64_t iter,
+                                   std::vector<std::uint8_t>* received) {
+      const std::size_t donor = ctx.rejoin_donor();
+      std::vector<std::uint8_t> blob;
+      if (rank == donor) blob = make_rejoin_blob(iter);
+      for (std::size_t r : cohort) {
+        bool delivered = false;
+        for (std::size_t attempt = 0;
+             attempt < kRejoinTransferAttempts && !delivered; ++attempt) {
+          auto transfer = ctx.peer_transfer(blob, donor, r);
+          delivered = transfer.ok;
+          if (delivered && r == rank && received != nullptr) {
+            *received = std::move(transfer.bytes);
           }
         }
+        if (!delivered) {
+          // The fate is cluster-agreed, so every rank throws together and
+          // the run fails loudly instead of diverging.
+          throw std::runtime_error("cluster_train: rejoin state transfer to rank " +
+                                   std::to_string(r) + " failed after " +
+                                   std::to_string(kRejoinTransferAttempts) + " attempts");
+        }
       }
+    };
 
-      std::fill(averaged.begin(), averaged.end(), 0.0f);
-      if (decoded > 0) {
-        const float inv_decoded = 1.0f / static_cast<float>(decoded);
-        telemetry::TraceSpan span("decompress", "trainer");
-        util::WallTimer timer;
-        for (std::size_t r = 0; r < frames.size(); ++r) {
-          if (!frames[r]) continue;
-          try {
-            codec->decompress(frames[r]->packet, reconstructed);
-          } catch (const std::exception&) {
-            // Payload passed the CRC but the codec still rejected it
-            // (vanishingly rare); drop the contribution, keep the step.
+    // Receiver side: install the donor's state and fast-forward the local
+    // batch stream to the group's iteration. Returns that iteration.
+    const auto restore_from_blob = [&](const std::vector<std::uint8_t>& framed) {
+      const wire::WireFrame frame =
+          std::move(wire::unframe_frame(framed, grad_size))
+              .release(
+                  [&](const wire::WireFrame& f) { return f.packet.elements == grad_size; },
+                  "rejoin state frame");
+      const RejoinState state = parse_rejoin_state(frame.packet.bytes);
+      model.set_params(state.params);
+      optimizer.set_velocity(state.velocity);
+      if (state.fallback_active) {
+        codec = make_compressor("none");
+      } else {
+        codec->set_theta(state.theta);
+      }
+      if (auto* ef = ef_codec(); ef != nullptr && !state.residual.empty()) {
+        ef->set_residual(state.residual);
+      }
+      if (recovery_enabled) recovery.load_decision_state(state.controller_state);
+      snapshot.valid = state.has_snapshot;
+      if (state.has_snapshot) {
+        snapshot.iteration = state.snapshot_iteration;
+        snapshot.params = state.snapshot_params;
+        snapshot.velocity = state.snapshot_velocity;
+        snapshot.residual = state.snapshot_residual;
+      }
+      // Replay the private batch stream: an uninterrupted run would have
+      // drawn exactly `iteration` batches before this point.
+      batch_rng = util::Rng(config.seed * 7919 + rank);
+      for (std::uint64_t i = 0; i < state.iteration; ++i) {
+        (void)dataset.sample(config.batch_per_rank, batch_rng);
+      }
+      return static_cast<std::size_t>(state.iteration);
+    };
+
+    double last_loss = 0.0;
+
+    const auto train_loop = [&](std::size_t from) {
+      for (std::size_t iter = from; iter < config.iterations; ++iter) {
+        // Every span and causality edge this thread records during the step
+        // (including inside SimCluster's collectives) carries the iteration.
+        telemetry::ScopedIteration iteration_scope(static_cast<std::int64_t>(iter));
+
+        // Membership service point: re-admit any recovered rank whose
+        // rejoin op has been reached, then ship it state from the donor.
+        if (plan.has_recovery()) {
+          const std::vector<std::size_t> admitted = ctx.admit_rejoins();
+          if (!admitted.empty()) run_transfers(admitted, iter, nullptr);
+        }
+        if (recovery_enabled && iter % config.recovery.snapshot_every == 0) {
+          take_snapshot(iter);
+        }
+
+        const std::size_t skips_at_entry = rank_skips[rank];
+        telemetry::LedgerIteration row;
+        util::WallSeconds forward_s{};
+        util::WallSeconds backward_s{};
+        util::WallSeconds compress_s{};
+        util::WallSeconds decompress_s{};
+        // SimCluster::run bound this thread to its rank track, so these
+        // spans land per rank on the wall timeline (and the collective's
+        // span inside allgather also lands on the simulated timeline).
+        const nn::Batch batch = dataset.sample(config.batch_per_rank, batch_rng);
+        model.zero_grad();
+        {
+          telemetry::TraceSpan span("forward", "trainer");
+          util::WallTimer timer;
+          last_loss = criterion.forward(model.forward(batch.inputs), batch.labels);
+          forward_s = timer.elapsed();
+        }
+        if (compute_model != nullptr) charge("forward", compute_model->forward_s);
+        losses[rank][iter] = last_loss;
+        {
+          telemetry::TraceSpan span("backward", "trainer");
+          util::WallTimer timer;
+          model.backward(criterion.backward());
+          model.copy_gradients(gradient);
+          backward_s = timer.elapsed();
+        }
+        if (compute_model != nullptr) charge("backward", compute_model->backward_s);
+
+        // Compress, allgather packets, decompress every peer, average. In
+        // analysis builds the frame carries the causality trailer (sender
+        // clock, collective epoch, and membership view epoch) so the
+        // happens-before and membership evidence travels with the bytes
+        // and is re-verified from what actually arrived.
+        Packet packet;
+        std::vector<std::uint8_t> wire;
+        // The membership view this rank publishes under; captured before
+        // the exchange because a crash *during* the allgather advances the
+        // live view, while every peer's trailer was encoded under this one.
+        const std::uint64_t publish_view = ctx.view_epoch();
+        {
+          telemetry::TraceSpan span("compress", "trainer");
+          util::WallTimer timer;
+          std::vector<std::uint8_t> trailer;
+          if (causality.active()) {
+            trailer = analysis::encode_trailer(
+                causality.make_trailer(rank, ctx.op_index(), publish_view));
+          }
+          packet = codec->compress(gradient);
+          if (ledger_on || recovery_enabled) {
+            row.grad_norm = util::l2_norm(gradient);
+            row.ratio = packet.ratio();
+          }
+          wire = wire::frame_packet(packet, trailer);
+          compress_s = timer.elapsed();
+        }
+        if (compute_model != nullptr) {
+          charge("fft", compute_model->fft_s);
+          charge("quant_pack", compute_model->quant_pack_s);
+          charge("wire_crc", compute_model->wire_crc_s);
+        }
+        const auto gathered = ctx.allgather(wire);
+
+        // Unframe first (this is where the CRC rejects corrupted packets and
+        // empty blocks mark dropped/late/crashed peers), so the surviving
+        // count — and thus the renormalized average — is known before any
+        // accumulation. Every rank sees identical bytes, so every rank skips
+        // the identical peers and replicas stay bit-identical.
+        std::vector<std::optional<wire::WireFrame>> frames(gathered.size());
+        std::size_t decoded = 0;
+        for (std::size_t r = 0; r < gathered.size(); ++r) {
+          if (gathered[r].empty()) {
             ++rank_skips[rank];
             peers_skipped.add(1.0);
             continue;
           }
-          if (ledger_on && r == rank) {
-            // Round-trip quality of this rank's own gradient: the block it
-            // sent came back through the full compress/wire/decompress
-            // path, so (gradient, reconstructed) is exactly the paper's
-            // Assumption-3.2 pair.
-            const std::span<const float> truth(gradient);
-            const std::span<const float> recon(reconstructed);
-            row.alpha = util::relative_error_alpha(truth, recon);
-            row.rms_error = util::rms_error(truth, recon);
-            for (std::size_t i = 0; i < grad_size; ++i) {
-              row.max_error = std::max(
-                  row.max_error, static_cast<double>(std::fabs(gradient[i] - reconstructed[i])));
+          try {
+            // Receiver-side expectation on top of the structural checks: the
+            // peer's packet must describe exactly this model's element count
+            // (a TaintError here degrades like any other undecodable packet).
+            frames[r] = std::move(wire::unframe_frame(gathered[r], grad_size))
+                            .release(
+                                [&](const wire::WireFrame& frame) {
+                                  return frame.packet.elements == grad_size;
+                                },
+                                "peer gradient frame");
+            ++decoded;
+          } catch (const std::exception&) {
+            ++rank_skips[rank];
+            peers_skipped.add(1.0);
+          }
+        }
+
+        // Degraded-mode EF aging fix: when the cluster excluded this rank's
+        // *own* contribution (transport drop, straggler timeout), the
+        // delivered part of the corrected gradient is lost in flight —
+        // re-credit it into the residual so excluded iterations delay
+        // information instead of destroying it.
+        if (!frames[rank]) {
+          if (auto* ef = ef_codec()) ef->recredit_undelivered(packet);
+        }
+
+        // Re-verify the received causality trailers: the sender's publish
+        // must happen-before this read, carry this collective's epoch, and
+        // carry the membership view every rank published under. A trailer
+        // that survived the CRC but fails to parse is itself a protocol
+        // violation, not a degradation case.
+        if (causality.active()) {
+          const std::uint64_t epoch = ctx.op_index() - 1;  // the allgather above
+          for (std::size_t r = 0; r < frames.size(); ++r) {
+            if (!frames[r] || frames[r]->trailer.empty()) continue;
+            try {
+              // The trailer must claim the sender slot it arrived in and
+              // carry one clock component per cluster rank; anything else is
+              // a protocol violation reported below.
+              const analysis::AnalysisTrailer trailer =
+                  std::move(analysis::decode_trailer(frames[r]->trailer))
+                      .release(
+                          [&](const analysis::AnalysisTrailer& t) {
+                            return t.sender == r && t.clock.size() == config.ranks;
+                          },
+                          "causality trailer");
+              causality.verify_trailer(rank, r, trailer, epoch, publish_view);
+            } catch (const std::exception& error) {
+              analysis::report_violation("causality", std::string("iteration ") +
+                                                          std::to_string(iter) +
+                                                          ": undecodable analysis trailer "
+                                                          "from rank " +
+                                                          std::to_string(r) + ": " +
+                                                          error.what());
             }
-            row.layers.reserve(layout.size());
-            for (const nn::ParamSegment& seg : layout) {
-              row.layers.push_back(
-                  {seg.name,
-                   util::relative_error_alpha(truth.subspan(seg.offset, seg.count),
-                                              recon.subspan(seg.offset, seg.count)),
-                   util::rms_error(truth.subspan(seg.offset, seg.count),
-                                   recon.subspan(seg.offset, seg.count)),
-                   0.0});
-              for (std::size_t i = seg.offset; i < seg.offset + seg.count; ++i) {
-                row.layers.back().max_error =
-                    std::max(row.layers.back().max_error,
-                             static_cast<double>(std::fabs(gradient[i] - reconstructed[i])));
+          }
+        }
+
+        std::fill(averaged.begin(), averaged.end(), 0.0f);
+        if (decoded > 0) {
+          const float inv_decoded = 1.0f / static_cast<float>(decoded);
+          telemetry::TraceSpan span("decompress", "trainer");
+          util::WallTimer timer;
+          for (std::size_t r = 0; r < frames.size(); ++r) {
+            if (!frames[r]) continue;
+            try {
+              codec->decompress(frames[r]->packet, reconstructed);
+            } catch (const std::exception&) {
+              // Payload passed the CRC but the codec still rejected it
+              // (vanishingly rare); drop the contribution, keep the step.
+              ++rank_skips[rank];
+              peers_skipped.add(1.0);
+              continue;
+            }
+            if (ledger_on && r == rank) {
+              // Round-trip quality of this rank's own gradient: the block it
+              // sent came back through the full compress/wire/decompress
+              // path, so (gradient, reconstructed) is exactly the paper's
+              // Assumption-3.2 pair.
+              const std::span<const float> truth(gradient);
+              const std::span<const float> recon(reconstructed);
+              row.alpha = util::relative_error_alpha(truth, recon);
+              row.rms_error = util::rms_error(truth, recon);
+              for (std::size_t i = 0; i < grad_size; ++i) {
+                row.max_error = std::max(
+                    row.max_error,
+                    static_cast<double>(std::fabs(gradient[i] - reconstructed[i])));
+              }
+              row.layers.reserve(layout.size());
+              for (const nn::ParamSegment& seg : layout) {
+                row.layers.push_back(
+                    {seg.name,
+                     util::relative_error_alpha(truth.subspan(seg.offset, seg.count),
+                                                recon.subspan(seg.offset, seg.count)),
+                     util::rms_error(truth.subspan(seg.offset, seg.count),
+                                     recon.subspan(seg.offset, seg.count)),
+                     0.0});
+                for (std::size_t i = seg.offset; i < seg.offset + seg.count; ++i) {
+                  row.layers.back().max_error =
+                      std::max(row.layers.back().max_error,
+                               static_cast<double>(std::fabs(gradient[i] - reconstructed[i])));
+                }
               }
             }
+            for (std::size_t i = 0; i < grad_size; ++i) {
+              averaged[i] += reconstructed[i] * inv_decoded;
+            }
           }
-          for (std::size_t i = 0; i < grad_size; ++i) {
-            averaged[i] += reconstructed[i] * inv_decoded;
+          decompress_s = timer.elapsed();
+        }
+        if (compute_model != nullptr && decoded > 0) {
+          charge("inverse_fft", compute_model->inverse_fft_s);
+          charge("dequant", compute_model->dequant_s);
+        }
+        if (decoded < gathered.size()) {
+          ++rank_degraded[rank];
+          degraded_iters.add(1.0);
+        }
+
+        if (decoded > 0) {
+          {
+            telemetry::TraceSpan apply_span("apply", "trainer");
+            model.set_gradients(averaged);
+            optimizer.step(model, config.learning_rate);
+          }
+          if (compute_model != nullptr) charge("apply", compute_model->apply_s);
+        }
+
+        // Cross-rank state-hash agreement: surviving replicas must hold
+        // bit-identical parameters after every step, so a logical race is
+        // caught at the iteration that caused it rather than as mysterious
+        // end-of-run divergence. `reconstructed` is dead until the next
+        // decompress, so it doubles as the hash scratch buffer.
+        if (causality.active()) {
+          model.copy_params(reconstructed);
+          const std::uint32_t hash = util::crc32(std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(reconstructed.data()),
+              reconstructed.size() * sizeof(float)));
+          causality.check_agreement("trainer.state_hash", rank, iter, hash);
+        }
+
+        if (ledger_on) {
+          row.iteration = iter;
+          row.loss = last_loss;
+          row.sim_time_s = ctx.clock().time();
+          row.forward_s = forward_s;
+          row.backward_s = backward_s;
+          row.compress_s = compress_s;
+          row.decompress_s = decompress_s;
+          row.wire_bytes = util::byte_count(wire.size());
+          row.skipped_peers = rank_skips[rank] - skips_at_entry;
+          if (const auto* ef = ef_codec()) {
+            row.ef_residual_norm = util::l2_norm(ef->residual());
+          }
+          ledger.end_iteration(row);
+        }
+
+        // Monitor-driven remediation: OR every live rank's local condition
+        // flags through a real (modelled) collective so the remedy decision
+        // is identical everywhere, then apply it before the next step.
+        if (recovery_enabled) {
+          double residual_norm = -1.0;
+          if (const auto* ef = ef_codec()) residual_norm = util::l2_norm(ef->residual());
+          float flags[4] = {
+              std::isfinite(row.grad_norm) ? 0.0f : 1.0f,
+              std::isfinite(last_loss) ? 0.0f : 1.0f,
+              (row.ratio > 0.0 && row.ratio < config.recovery.min_ratio) ? 1.0f : 0.0f,
+              (residual_norm >= 0.0 && std::isfinite(row.grad_norm) &&
+               residual_norm > config.recovery.residual_growth_factor * row.grad_norm &&
+               residual_norm > 0.0)
+                  ? 1.0f
+                  : 0.0f};
+          ctx.allreduce_sum(flags);
+          RecoverySignals signals;
+          signals.nan_gradient = flags[0] > 0.5f;
+          signals.nonfinite_loss = flags[1] > 0.5f;
+          signals.ratio_collapse = flags[2] > 0.5f;
+          signals.residual_growth = flags[3] > 0.5f;
+          for (RemedyAction action : recovery.step(iter, signals)) {
+            switch (action) {
+              case RemedyAction::kRollback:
+                restore_snapshot();
+                break;
+              case RemedyAction::kCodecFallback:
+                codec = make_compressor("none");
+                break;
+              case RemedyAction::kThetaRelax:
+                codec->set_theta(codec->theta() * config.recovery.theta_relax_factor);
+                break;
+              case RemedyAction::kNone:
+                break;
+            }
+          }
+          if (ledger_on) {
+            for (const telemetry::LedgerRemediation& remedy : recovery.drain_closed()) {
+              ledger.record_remediation(remedy);
+            }
           }
         }
-        decompress_s = timer.elapsed();
       }
-      if (compute_model != nullptr && decoded > 0) {
-        charge("inverse_fft", compute_model->inverse_fft_s);
-        charge("dequant", compute_model->dequant_s);
-      }
-      if (decoded < gathered.size()) {
-        ++rank_degraded[rank];
-        degraded_iters.add(1.0);
-      }
+    };
 
-      if (decoded > 0) {
-        {
-          telemetry::TraceSpan apply_span("apply", "trainer");
-          model.set_gradients(averaged);
-          optimizer.step(model, config.learning_rate);
-        }
-        if (compute_model != nullptr) charge("apply", compute_model->apply_s);
+    // The BSP loop, wrapped in the crash/rejoin protocol: a planned crash
+    // with a recovery fate parks this thread until the survivors re-admit
+    // it, then restores replica state from the donor's blob and re-enters
+    // the loop at the group's iteration. A crash without a recovery fate
+    // propagates to SimCluster::run's handler as before.
+    std::size_t start_iter = 0;
+    for (;;) {
+      try {
+        train_loop(start_iter);
+        break;
+      } catch (const comm::RankCrashed&) {
+        if (plan.rejoin_op(rank) == std::numeric_limits<std::size_t>::max()) throw;
+        if (!ctx.await_rejoin()) return;  // run drained first: the rank stays dead
+        std::vector<std::uint8_t> blob;
+        run_transfers(ctx.rejoin_cohort(), 0, &blob);
+        start_iter = restore_from_blob(blob);
       }
+    }
 
-      // Cross-rank state-hash agreement: surviving replicas must hold
-      // bit-identical parameters after every step, so a logical race is
-      // caught at the iteration that caused it rather than as mysterious
-      // end-of-run divergence. `reconstructed` is dead until the next
-      // decompress, so it doubles as the hash scratch buffer.
-      if (causality.active()) {
-        model.copy_params(reconstructed);
-        const std::uint32_t hash = util::crc32(std::span<const std::uint8_t>(
-            reinterpret_cast<const std::uint8_t*>(reconstructed.data()),
-            reconstructed.size() * sizeof(float)));
-        causality.check_agreement("trainer.state_hash", rank, iter, hash);
-      }
-
-      if (ledger_on) {
-        row.iteration = iter;
-        row.loss = last_loss;
-        row.sim_time_s = ctx.clock().time();
-        row.forward_s = forward_s;
-        row.backward_s = backward_s;
-        row.compress_s = compress_s;
-        row.decompress_s = decompress_s;
-        row.wire_bytes = util::byte_count(wire.size());
-        row.skipped_peers = rank_skips[rank] - skips_at_entry;
-        if (const auto* ef = dynamic_cast<const ErrorFeedbackCompressor*>(codec.get())) {
-          row.ef_residual_norm = util::l2_norm(ef->residual());
-        }
-        ledger.end_iteration(row);
+    if (recovery_enabled && ledger_on) {
+      for (const telemetry::LedgerRemediation& remedy : recovery.finish(config.iterations)) {
+        ledger.record_remediation(remedy);
       }
     }
     if (ledger_on) ledger.end_run();
@@ -321,6 +648,7 @@ ClusterTrainResult cluster_train(
       final_params[rank] = std::move(params);
       final_losses[rank] = last_loss;
       finished[rank] = 1;
+      rank_remediations[rank] = recovery.remediations_total();
     }
   });
 
@@ -328,13 +656,19 @@ ClusterTrainResult cluster_train(
 
   // Result aggregation over the ranks that survived to the end. A crashed
   // rank never reaches the result block above, so `finished` doubles as
-  // the survivor mask even if the cluster carried no FaultPlan.
+  // the survivor mask even if the cluster carried no FaultPlan. Canonical
+  // per-rank counts come from a never-crashed survivor when one exists: a
+  // rejoined rank completed the run but missed the iterations it was dead
+  // for, so its skip/degraded counts understate the cluster's.
   std::size_t first_survivor = config.ranks;
+  std::size_t canonical = config.ranks;
   std::size_t survivors = 0;
   double loss = 0.0;
   for (std::size_t r = 0; r < config.ranks; ++r) {
+    if (cluster.rank_rejoined(r)) ++result.rejoined_ranks;
     if (finished[r] == 0) continue;
     if (first_survivor == config.ranks) first_survivor = r;
+    if (canonical == config.ranks && !cluster.rank_rejoined(r)) canonical = r;
     ++survivors;
     loss += final_losses[r];
   }
@@ -343,10 +677,12 @@ ClusterTrainResult cluster_train(
     result.replicas_identical = false;
     return result;
   }
+  if (canonical == config.ranks) canonical = first_survivor;
   // Every rank observes the identical skip set (faults are keyed by
   // sender), so one survivor's counts are the canonical per-rank view.
-  result.skipped_contributions = rank_skips[first_survivor];
-  result.degraded_iterations = rank_degraded[first_survivor];
+  result.skipped_contributions = rank_skips[canonical];
+  result.degraded_iterations = rank_degraded[canonical];
+  result.remediations = rank_remediations[canonical];
   result.final_params = final_params[first_survivor];
   result.replicas_identical = true;
   for (std::size_t r = first_survivor + 1; r < config.ranks; ++r) {

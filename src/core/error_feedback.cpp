@@ -34,6 +34,18 @@ void ErrorFeedbackCompressor::decompress(const Packet& packet, std::span<float> 
   inner_->decompress(packet, out);
 }
 
+void ErrorFeedbackCompressor::recredit_undelivered(const Packet& packet) {
+  if (residual_.size() != packet.elements) {
+    throw std::invalid_argument("ErrorFeedbackCompressor: re-credit size mismatch");
+  }
+  std::vector<float> delivered(packet.elements);
+  inner_->decompress(packet, delivered);
+  // residual + delivered == corrected: exactly the pre-compress state.
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    residual_[i] += delivered[i];
+  }
+}
+
 void ErrorFeedbackCompressor::set_residual(std::span<const float> residual) {
   residual_.assign(residual.begin(), residual.end());
 }

@@ -20,6 +20,7 @@
 
 #include "fftgrad/comm/sim_cluster.h"
 #include "fftgrad/core/compressor.h"
+#include "fftgrad/core/recovery.h"
 #include "fftgrad/nn/dataset.h"
 #include "fftgrad/nn/network.h"
 #include "fftgrad/nn/optimizer.h"
@@ -58,6 +59,12 @@ struct ClusterTrainConfig {
   /// When set, each phase charges the modelled seconds to the rank's
   /// simulated clock (and emits the matching "cp" leaf span).
   std::optional<SimComputeModel> sim_compute;
+  /// Monitor-driven automatic remediation (fftgrad/core/recovery.h).
+  /// Disabled by default, in which case the collective op stream is
+  /// bit-identical to a build without the recovery layer; when enabled,
+  /// each iteration adds one small flag allreduce so every rank applies
+  /// the identical remedy at the identical iteration.
+  RecoveryPolicy recovery{};
 };
 
 struct ClusterTrainResult {
@@ -67,7 +74,9 @@ struct ClusterTrainResult {
   double mean_loss_last_iteration = 0.0;
 
   // Fault-tolerance bookkeeping (all zero on a fault-free cluster).
-  std::size_t crashed_ranks = 0;        ///< ranks lost to FaultPlan crashes
+  std::size_t crashed_ranks = 0;        ///< ranks lost to crashes and not recovered
+  std::size_t rejoined_ranks = 0;       ///< ranks that crashed and were re-admitted
+  std::size_t remediations = 0;         ///< recovery-controller actions applied
   std::size_t skipped_contributions = 0;  ///< peer packets missing or undecodable
   std::size_t degraded_iterations = 0;  ///< iterations averaged over < all ranks
   /// Mean training loss per iteration, averaged over the ranks that were
@@ -87,9 +96,25 @@ struct ClusterTrainResult {
 /// step and the gradient average is renormalized over the contributions
 /// that did decode; every rank skips the identical set, so surviving
 /// replicas stay bit-identical. Each rank's own error-feedback residual
-/// (if its codec carries one) is untouched by a skipped peer, so the
-/// information loss is bounded to the faulted packets themselves. An
-/// iteration where nothing decodes applies no update.
+/// (if its codec carries one) is untouched by a skipped peer, and when the
+/// excluded packet is the rank's *own*, its delivered part is re-credited
+/// into the residual (recredit_undelivered) so excluded iterations delay
+/// information instead of destroying it. An iteration where nothing
+/// decodes applies no update.
+///
+/// Elastic recovery: a CrashSpec with a finite rejoin_at_op turns the
+/// crash into a bounded outage — at each iteration top the survivors
+/// admit any rank whose rejoin op has been reached (SimCluster's
+/// membership handshake) and the handshake's donor (its lowest live rank)
+/// ships the rejoiner a CRC-framed state blob (params, momentum, EF
+/// residual, codec/theta state, recovery-controller decision state, and
+/// the current rollback snapshot) through peer_transfer, charged at real
+/// NetworkModel cost. The rejoiner replays its batch-RNG stream to the
+/// group's iteration and re-enters the BSP loop; from then on it is
+/// bit-identical to the other replicas. When config.recovery is enabled,
+/// the RecoveryController additionally maps monitor conditions to
+/// automatic remedies (rollback / lossless-codec fallback / theta
+/// relaxation), each recorded as a ledger `remediation` row.
 ClusterTrainResult cluster_train(
     comm::SimCluster& cluster, const ClusterTrainConfig& config,
     const std::function<nn::Network()>& model_factory,

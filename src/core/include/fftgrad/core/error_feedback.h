@@ -45,6 +45,15 @@ class ErrorFeedbackCompressor : public GradientCompressor {
   /// Drop the carried residual (e.g. at a learning-rate boundary).
   void reset();
 
+  /// Degraded-mode re-credit: compress() already moved the delivered part
+  /// of the corrected gradient out of the residual on the assumption the
+  /// packet reaches the peers. When the cluster then excluded this rank's
+  /// contribution (transport drop after retries, straggler timeout), that
+  /// delivered part is lost in flight — add it back so the residual again
+  /// carries everything the peers have not seen. Without this, excluded
+  /// iterations age information out of the feedback loop permanently.
+  void recredit_undelivered(const Packet& packet);
+
   GradientCompressor& inner() { return *inner_; }
 
  private:

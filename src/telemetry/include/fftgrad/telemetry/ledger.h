@@ -113,6 +113,20 @@ struct LedgerCritpath {
   std::vector<std::pair<std::string, util::SimSeconds>> category_s;
 };
 
+/// One automatic remediation taken by a recovery controller (see
+/// fftgrad/core/recovery.h): which monitor condition caused it, what action
+/// was applied, what it cost in simulated time, and how many iterations the
+/// condition took to clear. Recorded as a `remediation` row when the
+/// condition clears (or at end of run with recovered=false).
+struct LedgerRemediation {
+  std::uint64_t iteration = 0;  ///< iteration the action was applied
+  std::string cause;            ///< monitor name ("nan_gradient", ...)
+  std::string action;           ///< "rollback" | "codec_fallback" | "theta_relax"
+  util::SimSeconds cost_s{};    ///< simulated time spent executing the remedy
+  std::uint64_t iterations_to_recover = 0;  ///< applied -> signal cleared
+  bool recovered = false;       ///< the signal cleared before the run ended
+};
+
 /// Per-layer reconstruction quality (alpha/rms/max over the layer's slice
 /// of the flat gradient; the wire ratio does not decompose per layer).
 struct LedgerLayerStats {
@@ -191,6 +205,9 @@ class RunLedger {
   /// Write the iteration row (with the buffered collectives) and run the
   /// health monitors on it.
   void end_iteration(const LedgerIteration& row);
+  /// Write a `remediation` row and bump the per-action count reported in
+  /// the summary row (and the `ledger.remediations.<action>` counter).
+  void record_remediation(const LedgerRemediation& row);
 
   /// Alerts fired since the current run began (all monitors / one monitor).
   std::size_t alerts_total() const;
@@ -220,6 +237,7 @@ class RunLedger {
   std::uint64_t rows_this_run_ = 0;
   std::vector<LedgerCollective> pending_collectives_;
   std::map<std::string, std::size_t> alert_counts_;
+  std::map<std::string, std::size_t> remediation_counts_;
 
   /// Rolling per-kind reconciliation state for the drift monitor plus the
   /// run-lifetime totals reported in the summary row.
@@ -266,6 +284,7 @@ struct LedgerRun {
   JsonValue manifest;
   std::vector<JsonValue> iterations;
   std::vector<JsonValue> alerts;
+  std::vector<JsonValue> remediations;  ///< recovery-controller actions
   JsonValue summary;   ///< kNull when the run was cut off before end_run()
   JsonValue critpath;  ///< kNull when no critical-path row was recorded
 };

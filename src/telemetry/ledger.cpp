@@ -134,6 +134,7 @@ std::uint64_t RunLedger::begin_run(const LedgerManifest& manifest) {
   rows_this_run_ = 0;
   pending_collectives_.clear();
   alert_counts_.clear();
+  remediation_counts_.clear();
   kinds_.clear();
 
   std::ostringstream out;
@@ -180,10 +181,34 @@ void RunLedger::end_run() {
     out << (first ? "" : ",") << json_string(monitor) << ":" << count;
     first = false;
   }
+  out << "},\"remediations\":{";
+  first = true;
+  for (const auto& [action, count] : remediation_counts_) {
+    out << (first ? "" : ",") << json_string(action) << ":" << count;
+    first = false;
+  }
   out << "}}";
   write_line_locked(out.str());
   std::fflush(static_cast<std::FILE*>(file_));
   run_id_ = 0;
+}
+
+void RunLedger::record_remediation(const LedgerRemediation& row) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++remediation_counts_[row.action];
+  MetricsRegistry::global().counter("ledger.remediations." + row.action).add(1.0);
+  util::log_warn() << "ledger: remediation [" << row.cause << " -> " << row.action
+                   << "] applied at iteration " << row.iteration << ", "
+                   << (row.recovered ? "recovered after " : "not recovered within ")
+                   << row.iterations_to_recover << " iteration(s)";
+  std::ostringstream out;
+  out << "{\"type\":\"remediation\",\"run\":" << run_id_ << ",\"iter\":" << row.iteration
+      << ",\"cause\":" << json_string(row.cause) << ",\"action\":" << json_string(row.action)
+      << ",\"cost_s\":" << json_number(row.cost_s.to_double())
+      << ",\"iterations_to_recover\":" << row.iterations_to_recover
+      << ",\"recovered\":" << (row.recovered ? "true" : "false") << "}";
+  write_line_locked(out.str());
 }
 
 void RunLedger::record_collective(const LedgerCollective& sample) {

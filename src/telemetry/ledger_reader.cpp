@@ -260,6 +260,8 @@ std::vector<LedgerRun> read_ledger_file(const std::string& path) {
       runs.back().iterations.push_back(std::move(row));
     } else if (type == "alert") {
       runs.back().alerts.push_back(std::move(row));
+    } else if (type == "remediation") {
+      runs.back().remediations.push_back(std::move(row));
     } else if (type == "summary") {
       runs.back().summary = std::move(row);
     } else if (type == "critpath") {
@@ -356,6 +358,13 @@ std::vector<std::string> validate_ledger(const std::vector<LedgerRun>& runs) {
     for (const JsonValue& alert : run.alerts) {
       if (!is_string(alert.find("monitor")) || !is_number(alert.find("iter"))) {
         complain(i, "alert row missing 'monitor'/'iter'");
+      }
+    }
+    for (const JsonValue& remediation : run.remediations) {
+      if (!is_string(remediation.find("cause")) || !is_string(remediation.find("action")) ||
+          !is_number(remediation.find("iter")) || !is_number(remediation.find("cost_s")) ||
+          !is_number(remediation.find("iterations_to_recover"))) {
+        complain(i, "remediation row missing cause/action/iter/cost_s/iterations_to_recover");
       }
     }
     if (run.summary.kind == JsonValue::Kind::kObject) {

@@ -142,6 +142,18 @@ TEST(AnalysisTrailerTest, RoundTripsEveryField) {
   EXPECT_EQ(decoded.clock, original.clock);
 }
 
+TEST(AnalysisTrailerTest, RoundTripsTheMembershipViewEpoch) {
+  AnalysisTrailer original = sample_trailer();
+  original.view_epoch = 7;
+  const AnalysisTrailer decoded =
+      analysis::decode_trailer(analysis::encode_trailer(original))
+          .release([](const AnalysisTrailer& t) { return t.view_epoch == 7; },
+                   "view-epoch trailer");
+  EXPECT_EQ(decoded.view_epoch, 7u);
+  EXPECT_EQ(decoded.epoch, original.epoch);
+  EXPECT_EQ(decoded.clock, original.clock);
+}
+
 TEST(AnalysisTrailerTest, RoundTripsAnEmptyClock) {
   const AnalysisTrailer decoded =
       analysis::decode_trailer(analysis::encode_trailer({}))
@@ -170,7 +182,7 @@ TEST(AnalysisTrailerTest, RejectsBadMagicCorruptCountAndTrailingGarbage) {
   // allocation; it must be rejected from the count alone.
   std::vector<std::uint8_t> huge_count = analysis::encode_trailer(sample_trailer());
   const std::uint64_t absurd = ~0ull;
-  std::memcpy(huge_count.data() + 2 * sizeof(std::uint32_t) + sizeof(std::uint64_t), &absurd,
+  std::memcpy(huge_count.data() + 2 * sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t), &absurd,
               sizeof(absurd));
   EXPECT_THROW((void)analysis::decode_trailer(huge_count), std::runtime_error);
 
@@ -284,6 +296,62 @@ TEST(CausalityTracker, TrailerVerificationChecksSenderClockAndEpoch) {
   EXPECT_EQ(capture.count(), 3u);
 }
 
+TEST(CausalityTracker, ViewEpochMismatchInATrailerIsAViolation) {
+  ViolationCapture capture;
+  analysis::CausalityTracker tracker;
+  tracker.reset(2);
+  tracker.on_publish(0, 0);
+  tracker.on_barrier_release(std::vector<char>(2, 0));
+
+  const AnalysisTrailer current = tracker.make_trailer(0, 0, 3);
+  tracker.verify_trailer(1, 0, current, 0, 3);
+  EXPECT_EQ(capture.count(), 0u);
+  // A sender publishing under a stale membership view is exactly the bug
+  // class the epoch protocol exists to catch.
+  tracker.verify_trailer(1, 0, current, 0, 4);
+  EXPECT_EQ(capture.count(), 1u);
+}
+
+TEST(CausalityTracker, DivergentViewsAtOneCollectiveAreAViolation) {
+  ViolationCapture capture;
+  analysis::CausalityTracker tracker;
+  tracker.reset(3);
+  tracker.check_view(0, 5, 2);
+  tracker.check_view(1, 5, 2);  // agrees with the first reporter
+  EXPECT_EQ(capture.count(), 0u);
+  tracker.check_view(2, 5, 1);  // entered op 5 under an older view
+  EXPECT_EQ(capture.count(), 1u);
+  // A different collective starts a fresh canonical view.
+  tracker.check_view(2, 6, 3);
+  tracker.check_view(0, 6, 3);
+  EXPECT_EQ(capture.count(), 1u);
+}
+
+TEST(CausalityTracker, RejoinJoinsTheSurvivorsClocksWithoutAViolation) {
+  ViolationCapture capture;
+  analysis::CausalityTracker tracker;
+  tracker.reset(3);
+  tracker.on_publish(0, 0);
+  tracker.on_publish(1, 0);
+  std::vector<char> dead(3, 0);
+  dead[2] = 1;
+  tracker.on_barrier_release(dead);
+  // Readmission: the rejoiner's clock is joined with the live merge, so
+  // the survivors' history is in its causal past and its next consume of
+  // their publications is clean.
+  dead[2] = 0;
+  tracker.on_rejoin(2, dead);
+  tracker.on_membership_change(1, dead);
+  EXPECT_TRUE(tracker.clock(0).included_in(tracker.clock(2)));
+  tracker.on_publish(0, 1);
+  tracker.on_publish(1, 1);
+  tracker.on_publish(2, 1);
+  tracker.on_barrier_release(dead);
+  tracker.on_consume(2, 0, 1);
+  tracker.on_consume(0, 2, 1);
+  EXPECT_EQ(capture.count(), 0u);
+}
+
 TEST(CausalityTracker, CrashedRanksAreLeftOutOfTheBarrierMerge) {
   ViolationCapture capture;
   analysis::CausalityTracker tracker;
@@ -366,6 +434,28 @@ TEST(CausalityCluster, FlagsQuorumMismatch) {
 
 TEST(CausalityCluster, FlagsStateHashDivergence) {
   EXPECT_GT(violations_under_mutation(analysis::ProtocolMutation::kStateHashDivergence, 2), 0u);
+}
+
+TEST(CausalityCluster, FlagsStaleViewEpoch) {
+  EXPECT_GT(violations_under_mutation(analysis::ProtocolMutation::kStaleViewEpoch, 1), 0u);
+}
+
+TEST(CausalityCluster, CrashAndRejoinReportsZeroViolations) {
+  // ISSUE acceptance (b): the membership change — crash, epoch bump,
+  // rejoin handshake, state transfer, second epoch bump — is a *checked*
+  // happens-before event, not a violation. The mutant test above proves
+  // the same machinery fires when a rank really does desync its view.
+  ViolationCapture capture;
+  comm::FaultPlan plan;
+  plan.crashes.push_back({.rank = 2, .at_op = 4, .rejoin_at_op = 9});
+  comm::SimCluster cluster(comm::NetworkModel::ethernet_10g(), plan);
+  nn::SyntheticDataset data({8}, 3, 31);
+  const ClusterTrainResult result =
+      cluster_train(cluster, small_config(4, 14), mlp_factory(), noop_codec(), data);
+  EXPECT_EQ(result.rejoined_ranks, 1u);
+  EXPECT_EQ(result.crashed_ranks, 0u);
+  EXPECT_TRUE(result.replicas_identical);
+  EXPECT_EQ(capture.count(), 0u);
 }
 
 TEST(CausalityCluster, SixteenSeedChaosSoakStaysSilent) {
