@@ -3,20 +3,22 @@
 #
 #   scripts/check.sh [options] [jobs]
 #
-#   --preset NAME   check only NAME (default | asan | tsan | analyze);
-#                   repeatable
+#   --preset NAME   check only NAME (default | asan | tsan | analyze |
+#                   thread-safety); repeatable
 #   --fuzz          additionally run the wire-format fuzz targets (-L fuzz)
 #                   as their own reported step under every checked preset
 #   jobs            parallel build/test jobs (default: all cores)
 #
 # Without options, one invocation covers the whole matrix: the Release
 # build, the address/UB-sanitized build, the thread-sanitized build with
-# the correctness-analysis instrumentation compiled in, and the static-
+# the correctness-analysis instrumentation compiled in, the static-
 # analysis gate (GCC -fanalyzer + -Wconversion -Wshadow as errors over the
-# first-party libraries; the `analyze` preset builds no tests). Ends with a
-# one-line-per-step pass/fail table; exit status is non-zero if any step
-# failed (every step still runs, so one broken preset does not hide
-# another).
+# first-party libraries; the `analyze` preset builds no tests), and the
+# Clang Thread Safety Analysis gate (the `thread-safety` preset plus the
+# seeded annotation-mutant matrix; reported SKIP on hosts without clang++,
+# since GCC cannot run the analysis). Ends with a one-line-per-step
+# pass/fail table; exit status is non-zero if any step failed (every step
+# still runs, so one broken preset does not hide another).
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,7 +46,7 @@ while [[ $# -gt 0 ]]; do
       ;;
   esac
 done
-[[ ${#presets[@]} -gt 0 ]] || presets=(default asan tsan analyze)
+[[ ${#presets[@]} -gt 0 ]] || presets=(default asan tsan analyze thread-safety)
 [[ -n "$jobs" ]] || jobs="$(nproc)"
 
 results=()   # "preset<TAB>step<TAB>status" rows for the summary table
@@ -53,7 +55,7 @@ failed=0
 note() {
   local preset="$1" step="$2" status="$3"
   results+=("${preset}	${step}	${status}")
-  [[ "$status" == PASS ]] || failed=1
+  [[ "$status" == PASS || "$status" == SKIP ]] || failed=1
 }
 
 run_step() {
@@ -69,6 +71,22 @@ run_step() {
 }
 
 for preset in "${presets[@]}"; do
+  # The thread-safety preset is driven end to end by its gate script (it
+  # owns the configure/build plus the annotation-mutant matrix) and is the
+  # one step allowed to SKIP: exit 3 means clang++ is not installed here.
+  if [[ "$preset" == thread-safety ]]; then
+    echo "==> ${preset}: gate"
+    scripts/thread_safety_check.sh "$jobs"
+    rc=$?
+    if [[ "$rc" == 0 ]]; then
+      note "$preset" gate PASS
+    elif [[ "$rc" == 3 ]]; then
+      note "$preset" gate SKIP
+    else
+      note "$preset" gate FAIL
+    fi
+    continue
+  fi
   run_step "$preset" configure cmake --preset "$preset" || continue
   run_step "$preset" build cmake --build --preset "$preset" -j "$jobs" || continue
   # The analyze preset is a compile-time gate: -fanalyzer findings surface
@@ -115,6 +133,10 @@ for preset in "${presets[@]}"; do
     # tree scan against the audited allowlist. Gating: a finding or a
     # stale allowlist entry fails the default preset.
     run_step "$preset" lint scripts/lint_units.sh build
+    # Suppression audit: every tsan.supp entry must carry a rationale
+    # comment and still match something tracked; stale or bare entries
+    # fail so the suppression file cannot quietly grow holes.
+    run_step "$preset" tsan-supp scripts/check_tsan_supp.sh
   fi
   if [[ "$run_fuzz" == 1 ]]; then
     run_step "$preset" fuzz ctest --preset "$preset" -j "$jobs" -L fuzz

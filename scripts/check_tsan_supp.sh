@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# tsan.supp audit: every ThreadSanitizer suppression must carry a rationale
+# and still refer to something that exists in the tree.
+#
+#   scripts/check_tsan_supp.sh [suppression-file]
+#
+# Rules enforced per suppression line (`type:pattern`):
+#
+#   1. Rationale: the line must be immediately preceded by a comment line.
+#      A suppression silences a data-race/deadlock report for every future
+#      run, so the "why this is safe" must live next to it, not in a
+#      commit message.
+#
+#   2. Liveness: the pattern (wildcards stripped) must still match a
+#      tracked filename or tracked-file content. A suppression whose
+#      subject was deleted or renamed is a stale hole in the sanitizer
+#      and fails the audit.
+#
+#   3. Specificity: a pattern that is empty or only wildcards (`race:*`)
+#      would blanket-silence the sanitizer and fails outright.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+supp_file="${1:-tsan.supp}"
+[[ -f "$supp_file" ]] || { echo "check_tsan_supp: no ${supp_file}; nothing to audit"; exit 0; }
+
+failed=0
+checked=0
+prev_was_comment=0
+lineno=0
+while IFS= read -r line || [[ -n "$line" ]]; do
+  lineno=$((lineno + 1))
+  # Blank lines end a rationale block; comments start/extend one.
+  if [[ -z "${line//[[:space:]]/}" ]]; then
+    prev_was_comment=0
+    continue
+  fi
+  if [[ "$line" =~ ^[[:space:]]*# ]]; then
+    prev_was_comment=1
+    continue
+  fi
+
+  checked=$((checked + 1))
+  if [[ "$prev_was_comment" != 1 ]]; then
+    echo "check_tsan_supp: ${supp_file}:${lineno}: suppression without a rationale comment: ${line}" >&2
+    failed=1
+  fi
+  prev_was_comment=0
+
+  if [[ "$line" != *:* ]]; then
+    echo "check_tsan_supp: ${supp_file}:${lineno}: malformed suppression (no type:pattern): ${line}" >&2
+    failed=1
+    continue
+  fi
+  pattern="${line#*:}"
+  needle="${pattern//\*/}"
+  if [[ -z "${needle//[[:space:]]/}" ]]; then
+    echo "check_tsan_supp: ${supp_file}:${lineno}: wildcard-only pattern blankets the sanitizer: ${line}" >&2
+    failed=1
+    continue
+  fi
+  # Live if the stripped pattern names a tracked file (basename match) or
+  # appears in tracked first-party sources.
+  if git ls-files -- src tests tools examples | grep -Fq "$needle" ||
+     git grep -Fq -- "$needle" src tests tools examples 2>/dev/null; then
+    :
+  else
+    echo "check_tsan_supp: ${supp_file}:${lineno}: stale suppression — '${needle}' matches nothing tracked: ${line}" >&2
+    failed=1
+  fi
+done < "$supp_file"
+
+if [[ "$failed" != 0 ]]; then
+  echo "check_tsan_supp: FAIL — fix rationale/liveness above" >&2
+  exit 1
+fi
+echo "check_tsan_supp: PASS — ${checked} suppression(s), each with rationale and a live subject"

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Clang Thread Safety Analysis gate.
+#
+#   scripts/thread_safety_check.sh [jobs]
+#
+# Two stages:
+#
+#   1. Build the `thread-safety` CMake preset: every first-party library
+#      compiled by clang++ with -Werror=thread-safety -Wthread-safety-beta,
+#      so any lock-discipline violation the annotations can express is a
+#      hard compile error.
+#
+#   2. Mutant matrix over tools/ts_mutants/ts_mutants.cpp: the base file
+#      must compile clean, and each FFTGRAD_TS_MUTANT_* definition —
+#      unguarded read, unguarded write, lockless REQUIRES call, EXCLUDES
+#      re-entry, use-after-early-release — must FAIL to compile. A mutant
+#      that compiles means the gate has stopped detecting that bug class,
+#      and this script fails.
+#
+# FFTGRAD_CLANGXX names the clang++ binary (default: `clang++` on PATH) —
+# set it on hosts that only install versioned binaries (clang++-16 etc.).
+#
+# Exit codes (scripts/check.sh maps 3 to a SKIP row):
+#   0  both stages pass
+#   3  clang++ not installed — the gate cannot run here (GCC has no
+#      -Wthread-safety); annotations still compile away under GCC
+#   *  gate failure
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-$(nproc)}"
+clangxx="${FFTGRAD_CLANGXX:-clang++}"
+
+if ! command -v "$clangxx" >/dev/null 2>&1; then
+  echo "thread_safety_check: ${clangxx} not found; Clang Thread Safety Analysis" >&2
+  echo "thread_safety_check: unavailable on this host — skipping (exit 3)." >&2
+  echo "thread_safety_check: (set FFTGRAD_CLANGXX to a versioned clang++ binary)" >&2
+  exit 3
+fi
+
+echo "==> thread-safety: preset build (${clangxx} -Werror=thread-safety)"
+cmake --preset thread-safety -DCMAKE_CXX_COMPILER="$clangxx" || exit 1
+cmake --build --preset thread-safety -j "$jobs" || exit 1
+
+mutant_tu="tools/ts_mutants/ts_mutants.cpp"
+compile=("$clangxx" -fsyntax-only -std=c++20 -Isrc/util/include
+         -Werror=thread-safety -Wthread-safety-beta)
+
+echo "==> thread-safety: mutant matrix over ${mutant_tu}"
+if ! "${compile[@]}" "$mutant_tu"; then
+  echo "thread_safety_check: FAIL — base mutant TU does not compile clean" >&2
+  exit 1
+fi
+echo "    base: clean (as required)"
+
+mutants=(
+  FFTGRAD_TS_MUTANT_UNGUARDED_READ
+  FFTGRAD_TS_MUTANT_UNGUARDED_WRITE
+  FFTGRAD_TS_MUTANT_REQUIRES_LOCKLESS
+  FFTGRAD_TS_MUTANT_EXCLUDES_VIOLATION
+  FFTGRAD_TS_MUTANT_EARLY_RELEASE
+)
+failed=0
+for mutant in "${mutants[@]}"; do
+  if "${compile[@]}" "-D${mutant}" "$mutant_tu" 2>/dev/null; then
+    echo "    ${mutant}: COMPILED — gate no longer detects this bug class" >&2
+    failed=1
+  else
+    echo "    ${mutant}: rejected (as required)"
+  fi
+done
+
+if [[ "$failed" != 0 ]]; then
+  echo "thread_safety_check: FAIL — at least one seeded mutant was accepted" >&2
+  exit 1
+fi
+echo "thread_safety_check: PASS — build clean, all ${#mutants[@]} mutants rejected"

@@ -145,7 +145,10 @@ void CheckedMutex::note_acquired() {
   t_held.push(this);
 }
 
-void CheckedMutex::lock() {
+// The three methods below implement the locking primitive itself, so their
+// bodies are exempt from the static analysis (the capability they acquire
+// or release is `*this`; the wrapped std::mutex is unannotated).
+FFTGRAD_NO_THREAD_SAFETY_ANALYSIS void CheckedMutex::lock() {
   // Register order edges before blocking, so a genuine deadlock is still
   // reported (by whichever thread closed the cycle) instead of hanging
   // silently.
@@ -167,7 +170,7 @@ void CheckedMutex::lock() {
   note_acquired();
 }
 
-bool CheckedMutex::try_lock() {
+FFTGRAD_NO_THREAD_SAFETY_ANALYSIS bool CheckedMutex::try_lock() {
   // try_lock cannot deadlock, so no order edge is recorded — a failed
   // speculative probe under an inverted order is legal.
   if (!mutex_.try_lock()) return false;
@@ -175,7 +178,7 @@ bool CheckedMutex::try_lock() {
   return true;
 }
 
-void CheckedMutex::unlock() {
+FFTGRAD_NO_THREAD_SAFETY_ANALYSIS void CheckedMutex::unlock() {
   if (!held_by_current_thread()) {
     report_violation("mutex-misuse",
                      std::string("unlock of '") + name_ + "' by a thread that does not hold it");

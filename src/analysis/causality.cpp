@@ -170,7 +170,7 @@ void CausalityTracker::reset(std::size_t ranks) {
   published_.assign(ranks, {});
   previous_.assign(ranks, {});
   view_epoch_ = 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   exclusions_.clear();
   views_.clear();
   agreements_.clear();
@@ -264,7 +264,7 @@ void CausalityTracker::check_exclusion(std::size_t rank, std::size_t op,
   if (mutates(ProtocolMutation::kQuorumMismatch, rank, op)) ++quorum_view;
 
   CausalityMetrics::get().agreement_checks.add(1.0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   auto [it, inserted] = exclusions_.try_emplace(op, ExclusionRecord{view, quorum_view, rank});
   if (inserted) return;
   const ExclusionRecord& canonical = it->second;
@@ -294,7 +294,7 @@ void CausalityTracker::check_view(std::size_t rank, std::size_t op, std::uint64_
     view = view_epoch > 0 ? view_epoch - 1 : 1;
   }
   CausalityMetrics::get().view_checks.add(1.0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   auto [it, inserted] = views_.try_emplace(op, std::make_pair(view, rank));
   if (inserted) return;
   if (it->second.first != view) {
@@ -342,7 +342,7 @@ void CausalityTracker::check_agreement(const char* domain, std::size_t rank, std
     view ^= 0x1;
   }
   CausalityMetrics::get().agreement_checks.add(1.0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   auto [it, inserted] =
       agreements_.try_emplace({std::string(domain), index}, std::make_pair(view, rank));
   if (inserted) return;

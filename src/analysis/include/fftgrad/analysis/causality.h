@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "fftgrad/util/taint.h"
+#include "fftgrad/util/thread_annotations.h"
 
 #include "fftgrad/analysis/check.h"
 #include "fftgrad/analysis/config.h"
@@ -62,7 +63,8 @@
 #if FFTGRAD_ANALYSIS
 #include <atomic>
 #include <map>
-#include <mutex>
+
+#include "fftgrad/util/annotated_mutex.h"
 #endif
 
 namespace fftgrad::analysis {
@@ -263,14 +265,16 @@ class CausalityTracker {
   std::vector<Publication> published_;
   std::vector<Publication> previous_;
 
-  std::mutex mutex_;  // guards the agreement maps below
-  std::map<std::size_t, ExclusionRecord> exclusions_;
+  util::Mutex mutex_;  // guards the agreement maps below
+  std::map<std::size_t, ExclusionRecord> exclusions_ FFTGRAD_GUARDED_BY(mutex_);
   // op -> (canonical view epoch, first reporter) for check_view.
-  std::map<std::size_t, std::pair<std::uint64_t, std::size_t>> views_;
+  std::map<std::size_t, std::pair<std::uint64_t, std::size_t>> views_ FFTGRAD_GUARDED_BY(mutex_);
   std::map<std::pair<std::string, std::uint64_t>, std::pair<std::uint64_t, std::size_t>>
-      agreements_;
+      agreements_ FFTGRAD_GUARDED_BY(mutex_);
 
-  std::uint64_t view_epoch_ = 0;  // written under the cluster's barrier mutex
+  // DELIBERATELY not GUARDED_BY: written under the *cluster's* barrier
+  // mutex (a capability this header cannot name) and read barrier-ordered.
+  std::uint64_t view_epoch_ = 0;
 
   std::atomic<ProtocolMutation> mutation_{ProtocolMutation::kNone};
   std::atomic<std::size_t> mutation_rank_{0};

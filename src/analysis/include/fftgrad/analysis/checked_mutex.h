@@ -14,6 +14,13 @@
 // extra state. Code holding a CheckedMutex across a condition wait must use
 // std::condition_variable_any (the native-handle-free variant), since
 // CheckedMutex is not std::mutex itself.
+//
+// Both branches are a Clang Thread Safety CAPABILITY with annotated
+// lock/try_lock/unlock, so GUARDED_BY/REQUIRES written against a
+// CheckedMutex member is enforced by the `thread-safety` preset in every
+// build mode's class shape. Use the guards in fftgrad/util/annotated_mutex.h
+// (util::LockGuard / util::UniqueLock) rather than the std:: ones — the
+// std guards are not scoped capabilities, so the analysis cannot see them.
 #pragma once
 
 #include <atomic>
@@ -22,12 +29,13 @@
 #include <thread>
 
 #include "fftgrad/analysis/config.h"
+#include "fftgrad/util/thread_annotations.h"
 
 namespace fftgrad::analysis {
 
 #if FFTGRAD_ANALYSIS
 
-class CheckedMutex {
+class FFTGRAD_CAPABILITY("mutex") CheckedMutex {
  public:
   /// `name` must have static storage; it labels violation diagnostics.
   explicit CheckedMutex(const char* name = "mutex");
@@ -36,9 +44,9 @@ class CheckedMutex {
   CheckedMutex(const CheckedMutex&) = delete;
   CheckedMutex& operator=(const CheckedMutex&) = delete;
 
-  void lock();
-  bool try_lock();
-  void unlock();
+  void lock() FFTGRAD_ACQUIRE();
+  bool try_lock() FFTGRAD_TRY_ACQUIRE(true);
+  void unlock() FFTGRAD_RELEASE();
 
   bool held_by_current_thread() const {
     return owner_.load(std::memory_order_relaxed) == std::this_thread::get_id();
@@ -65,16 +73,18 @@ void reset_lock_order_graph();
 
 #else  // !FFTGRAD_ANALYSIS
 
-class CheckedMutex {
+class FFTGRAD_CAPABILITY("mutex") CheckedMutex {
  public:
   explicit CheckedMutex(const char* = "mutex") {}
 
   CheckedMutex(const CheckedMutex&) = delete;
   CheckedMutex& operator=(const CheckedMutex&) = delete;
 
-  void lock() { mutex_.lock(); }
-  bool try_lock() { return mutex_.try_lock(); }
-  void unlock() { mutex_.unlock(); }
+  void lock() FFTGRAD_ACQUIRE() FFTGRAD_NO_THREAD_SAFETY_ANALYSIS { mutex_.lock(); }
+  bool try_lock() FFTGRAD_TRY_ACQUIRE(true) FFTGRAD_NO_THREAD_SAFETY_ANALYSIS {
+    return mutex_.try_lock();
+  }
+  void unlock() FFTGRAD_RELEASE() FFTGRAD_NO_THREAD_SAFETY_ANALYSIS { mutex_.unlock(); }
 
  private:
   std::mutex mutex_;

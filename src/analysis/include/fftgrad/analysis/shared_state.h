@@ -16,13 +16,14 @@
 // and sync() is a no-op.
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fftgrad/analysis/check.h"
 #include "fftgrad/analysis/config.h"
+#include "fftgrad/util/annotated_mutex.h"
+#include "fftgrad/util/thread_annotations.h"
 
 namespace fftgrad::analysis {
 
@@ -55,7 +56,7 @@ class SharedState {
   /// Declare a synchronization point (threads joined, barrier passed,
   /// ownership handed off): accessor history restarts from here.
   void sync() {
-    std::lock_guard<std::mutex> lock(track_mutex_);
+    util::LockGuard<util::Mutex> lock(track_mutex_);
     accessors_.clear();
   }
 
@@ -72,7 +73,7 @@ class SharedState {
 
   void note_access(bool write) const {
     const std::thread::id self = std::this_thread::get_id();
-    std::lock_guard<std::mutex> lock(track_mutex_);
+    util::LockGuard<util::Mutex> lock(track_mutex_);
     bool seen_self = false;
     for (Accessor& a : accessors_) {
       if (a.thread == self) {
@@ -95,8 +96,8 @@ class SharedState {
 
   T value_{};
   const char* name_;
-  mutable std::mutex track_mutex_;
-  mutable std::vector<Accessor> accessors_;
+  mutable util::Mutex track_mutex_;
+  mutable std::vector<Accessor> accessors_ FFTGRAD_GUARDED_BY(track_mutex_);
 };
 
 #else  // !FFTGRAD_ANALYSIS

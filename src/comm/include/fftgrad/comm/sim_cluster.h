@@ -89,6 +89,8 @@
 #include "fftgrad/analysis/checked_mutex.h"
 #include "fftgrad/comm/fault_injection.h"
 #include "fftgrad/comm/network_model.h"
+#include "fftgrad/util/annotated_mutex.h"
+#include "fftgrad/util/thread_annotations.h"
 
 namespace fftgrad::comm {
 
@@ -239,14 +241,16 @@ class SimCluster {
   const FaultPlan& faults() const { return faults_; }
 
   /// Whether `rank` died (via its FaultPlan crash) during the last run()
-  /// and was not re-admitted.
-  bool rank_crashed(std::size_t rank) const;
+  /// and was not re-admitted. Safe to call from a monitor thread mid-run:
+  /// the membership accessors below take the barrier mutex, so they always
+  /// observe a consistent membership state, never a half-applied change.
+  bool rank_crashed(std::size_t rank) const FFTGRAD_EXCLUDES(mutex_);
   /// Ranks that survived the last run().
-  std::size_t survivors() const;
+  std::size_t survivors() const FFTGRAD_EXCLUDES(mutex_);
   /// Whether `rank` was re-admitted after a crash during the last run().
-  bool rank_rejoined(std::size_t rank) const;
+  bool rank_rejoined(std::size_t rank) const FFTGRAD_EXCLUDES(mutex_);
   /// Current membership view epoch (bumped on every crash and rejoin).
-  std::uint64_t view_epoch() const { return view_epoch_; }
+  std::uint64_t view_epoch() const FFTGRAD_EXCLUDES(mutex_);
 
   /// The run's causality tracker (vector clocks + protocol invariants).
   /// A no-op stub unless FFTGRAD_ANALYSIS is compiled in; re-armed by each
@@ -259,30 +263,42 @@ class SimCluster {
 
   /// `rank` identifies the arriving rank; it seeds the stress-mode arrival
   /// jitter and is otherwise unused.
-  void barrier_wait(std::size_t rank);
-  void align_clocks_locked();
+  void barrier_wait(std::size_t rank) FFTGRAD_EXCLUDES(mutex_);
+  void align_clocks_locked() FFTGRAD_REQUIRES(mutex_);
   /// Permanently remove `rank` from the cluster: clears its slots, shrinks
   /// the barrier quorum, and releases peers already waiting on it.
-  void mark_crashed(std::size_t rank);
+  void mark_crashed(std::size_t rank) FFTGRAD_EXCLUDES(mutex_);
 
   NetworkModel network_;
   FaultPlan faults_;
   std::size_t ranks_ = 0;
 
-  analysis::CheckedMutex mutex_{"SimCluster.barrier_mutex"};
+  // mutable: the const membership accessors above lock it so monitor
+  // threads can poll membership mid-run.
+  mutable analysis::CheckedMutex mutex_{"SimCluster.barrier_mutex"};
   // condition_variable_any: CheckedMutex is Lockable but not std::mutex.
   std::condition_variable_any cv_;
-  std::size_t arrived_ = 0;
-  std::size_t alive_ = 0;
-  std::uint64_t generation_ = 0;
+  std::size_t arrived_ FFTGRAD_GUARDED_BY(mutex_) = 0;
+  std::size_t alive_ FFTGRAD_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ FFTGRAD_GUARDED_BY(mutex_) = 0;
 
   // Collective exchange slots, indexed by rank.
+  //
+  // DELIBERATELY UNANNOTATED: these (and the other "barrier-ordered"
+  // members below) are written before a barrier and read after one — the
+  // happens-before edge is the barrier round, not a critical section, so
+  // GUARDED_BY would be a false claim and the analysis would force
+  // pointless locking. A wrong annotation is worse than none; the ordering
+  // argument lives in the comments and is exercised by the tsan preset.
   std::vector<std::span<const std::uint8_t>> byte_slots_;
   std::vector<std::span<float>> float_slots_;
   // Entry-time clocks published before a collective's first barrier, for
   // the straggler-timeout deadline; dead/late flags for the current op.
   // All are written before a barrier and read after one (or under the
   // barrier mutex), which is what makes the plain vectors race-free.
+  // dead_ is barrier-ordered on the rank threads' hot path but every
+  // *write* happens under mutex_, so the locked accessors above can also
+  // read it consistently from outside the cohort.
   std::vector<util::SimSeconds> clock_slots_;
   std::vector<char> dead_;
   std::vector<char> late_;
@@ -291,24 +307,25 @@ class SimCluster {
   // Membership view: epoch counter bumped under the mutex on every crash
   // and rejoin, plus the per-release snapshot each rank copies into its
   // RankContext while still holding the barrier mutex (see barrier_wait).
-  std::uint64_t view_epoch_ = 0;
-  std::uint64_t view_epoch_at_release_ = 0;
-  // Rejoin handshake state (all guarded by mutex_ or the parked-peers
-  // argument in admit_rejoins): which crashed threads are parked in
+  std::uint64_t view_epoch_ FFTGRAD_GUARDED_BY(mutex_) = 0;
+  std::uint64_t view_epoch_at_release_ FFTGRAD_GUARDED_BY(mutex_) = 0;
+  // Rejoin handshake state: which crashed threads are parked in
   // await_rejoin, which ranks already used their one recovery cycle, and
-  // the op index / clock the rejoiners fast-forward to.
-  std::vector<char> rejoin_waiting_;
+  // the op index / clock the rejoiners fast-forward to. The handshake
+  // fields are mutex-guarded; rejoined_ and the cohort/donor slots are
+  // barrier-ordered (read by survivors after membership barrier B).
+  std::vector<char> rejoin_waiting_ FFTGRAD_GUARDED_BY(mutex_);
   std::vector<char> rejoined_;
-  std::size_t rejoin_op_slot_ = 0;
-  util::SimSeconds rejoin_clock_slot_{};
+  std::size_t rejoin_op_slot_ FFTGRAD_GUARDED_BY(mutex_) = 0;
+  util::SimSeconds rejoin_clock_slot_ FFTGRAD_GUARDED_BY(mutex_){};
   std::vector<std::size_t> rejoin_cohort_slot_;
   std::size_t rejoin_donor_slot_ = 0;
   // Drain detection: threads done with the rank fn vs threads parked in
   // await_rejoin. When every non-parked thread has exited, no admission
   // can ever come and the parked rejoiners are woken with a denial.
-  std::size_t exited_threads_ = 0;
-  std::size_t parked_threads_ = 0;
-  bool draining_ = false;
+  std::size_t exited_threads_ FFTGRAD_GUARDED_BY(mutex_) = 0;
+  std::size_t parked_threads_ FFTGRAD_GUARDED_BY(mutex_) = 0;
+  bool draining_ FFTGRAD_GUARDED_BY(mutex_) = false;
 
   analysis::CausalityTracker tracker_;
 };

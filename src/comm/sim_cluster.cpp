@@ -4,11 +4,11 @@
 #include <cstring>
 #include <exception>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "fftgrad/analysis/schedule_stress.h"
+#include "fftgrad/util/annotated_mutex.h"
 #include "fftgrad/telemetry/ledger.h"
 #include "fftgrad/telemetry/metrics.h"
 #include "fftgrad/telemetry/trace.h"
@@ -159,7 +159,7 @@ void SimCluster::barrier_wait(std::size_t rank) {
     const std::uint64_t yields = analysis::stress_pick(rank * 0x9e3779b9u, 8);
     for (std::uint64_t i = 0; i < yields; ++i) std::this_thread::yield();
   }
-  std::unique_lock<analysis::CheckedMutex> lock(mutex_);
+  util::UniqueLock<analysis::CheckedMutex> lock(mutex_);
   const util::SimSeconds entry_s = contexts_[rank]->clock().time();
   const std::uint64_t my_generation = generation_;
   if (++arrived_ == alive_) {
@@ -174,7 +174,10 @@ void SimCluster::barrier_wait(std::size_t rank) {
     ++generation_;
     cv_.notify_all();
   } else {
-    cv_.wait(lock, [&] { return generation_ != my_generation; });
+    // Manual wait loop (not wait(lock, pred)): the predicate lambda would
+    // be analyzed as a separate function with no capability, while the
+    // loop keeps the guarded read of generation_ in this annotated scope.
+    while (generation_ == my_generation) cv_.wait(lock);
   }
   // Refresh the cached membership view while still holding the mutex:
   // every rank of this barrier round reads the same release snapshot, so
@@ -195,7 +198,7 @@ void SimCluster::barrier_wait(std::size_t rank) {
 }
 
 void SimCluster::mark_crashed(std::size_t rank) {
-  std::lock_guard<analysis::CheckedMutex> lock(mutex_);
+  util::LockGuard<analysis::CheckedMutex> lock(mutex_);
   if (dead_[rank] != 0) return;
   dead_[rank] = 1;
   --alive_;
@@ -219,18 +222,32 @@ void SimCluster::mark_crashed(std::size_t rank) {
   }
 }
 
+// The four membership accessors lock the barrier mutex: every membership
+// *write* (mark_crashed, the admit_rejoins handshake, run()'s reset)
+// happens under it, so a monitor thread polling these mid-run observes
+// each membership transition atomically instead of racing the writer.
+// Rank threads never call them on the collective hot path, so the extra
+// acquire is off the simulated critical path.
 bool SimCluster::rank_crashed(std::size_t rank) const {
+  util::LockGuard<analysis::CheckedMutex> lock(mutex_);
   return rank < dead_.size() && dead_[rank] != 0;
 }
 
 std::size_t SimCluster::survivors() const {
+  util::LockGuard<analysis::CheckedMutex> lock(mutex_);
   std::size_t count = 0;
   for (char d : dead_) count += d == 0 ? 1 : 0;
   return count;
 }
 
 bool SimCluster::rank_rejoined(std::size_t rank) const {
+  util::LockGuard<analysis::CheckedMutex> lock(mutex_);
   return rank < rejoined_.size() && rejoined_[rank] != 0;
+}
+
+std::uint64_t SimCluster::view_epoch() const {
+  util::LockGuard<analysis::CheckedMutex> lock(mutex_);
+  return view_epoch_;
 }
 
 std::vector<std::vector<std::uint8_t>> RankContext::allgather(
@@ -584,14 +601,21 @@ std::vector<std::size_t> RankContext::admit_rejoins() {
     }
   }
   if (primary) {
-    std::unique_lock<analysis::CheckedMutex> lock(c.mutex_);
+    util::UniqueLock<analysis::CheckedMutex> lock(c.mutex_);
     // Wait for every rejoiner's thread to finish unwinding and park.
-    c.cv_.wait(lock, [&] {
+    // (Manual wait loop so the guarded reads of rejoin_waiting_ stay in
+    // this annotated scope rather than an opaque predicate lambda.)
+    for (;;) {
+      bool all_parked = true;
       for (std::size_t r : eligible) {
-        if (c.rejoin_waiting_[r] == 0) return false;
+        if (c.rejoin_waiting_[r] == 0) {
+          all_parked = false;
+          break;
+        }
       }
-      return true;
-    });
+      if (all_parked) break;
+      c.cv_.wait(lock);
+    }
     for (std::size_t r : eligible) {
       c.dead_[r] = 0;
       c.rejoined_[r] = 1;
@@ -617,12 +641,12 @@ std::vector<std::size_t> RankContext::admit_rejoins() {
 bool RankContext::await_rejoin() {
   SimCluster& c = *cluster_;
   {
-    std::unique_lock<analysis::CheckedMutex> lock(c.mutex_);
+    util::UniqueLock<analysis::CheckedMutex> lock(c.mutex_);
     c.rejoin_waiting_[rank_] = 1;
     ++c.parked_threads_;
     if (c.exited_threads_ + c.parked_threads_ == c.ranks_) c.draining_ = true;
     c.cv_.notify_all();  // wake an admitter waiting for us to park
-    c.cv_.wait(lock, [&] { return c.dead_[rank_] == 0 || c.draining_; });
+    while (c.dead_[rank_] != 0 && !c.draining_) c.cv_.wait(lock);
     c.rejoin_waiting_[rank_] = 0;
     --c.parked_threads_;
     if (c.dead_[rank_] != 0) return false;  // run drained before our rejoin op
@@ -722,25 +746,32 @@ std::vector<util::SimSeconds> SimCluster::run(
   // fresh trace process.
   if (telemetry::Tracer::global().enabled()) telemetry::Tracer::global().begin_sim_session();
   ranks_ = ranks;
-  alive_ = ranks;
-  arrived_ = 0;
-  generation_ = 0;
   byte_slots_.assign(ranks, {});
   float_slots_.assign(ranks, {});
   clock_slots_.assign(ranks, util::SimSeconds{});
-  dead_.assign(ranks, 0);
-  view_epoch_ = 0;
-  view_epoch_at_release_ = 0;
-  rejoin_waiting_.assign(ranks, 0);
-  rejoined_.assign(ranks, 0);
-  rejoin_op_slot_ = 0;
-  rejoin_clock_slot_ = util::SimSeconds{};
   rejoin_cohort_slot_.clear();
   rejoin_donor_slot_ = 0;
-  exited_threads_ = 0;
-  parked_threads_ = 0;
-  draining_ = false;
   tracker_.reset(ranks);
+  {
+    // No rank threads exist yet, but a monitor thread from a previous run
+    // may still be polling the membership accessors, and the guarded
+    // members must be written under their capability anyway. One
+    // uncontended acquire per run.
+    util::LockGuard<analysis::CheckedMutex> lock(mutex_);
+    alive_ = ranks;
+    arrived_ = 0;
+    generation_ = 0;
+    dead_.assign(ranks, 0);
+    view_epoch_ = 0;
+    view_epoch_at_release_ = 0;
+    rejoin_waiting_.assign(ranks, 0);
+    rejoined_.assign(ranks, 0);
+    rejoin_op_slot_ = 0;
+    rejoin_clock_slot_ = util::SimSeconds{};
+    exited_threads_ = 0;
+    parked_threads_ = 0;
+    draining_ = false;
+  }
 
   std::vector<RankContext> contexts;
   contexts.reserve(ranks);
@@ -749,7 +780,7 @@ std::vector<util::SimSeconds> SimCluster::run(
   for (auto& ctx : contexts) contexts_.push_back(&ctx);
 
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  util::Mutex error_mutex;
 
   auto body = [&](std::size_t r) {
     try {
@@ -761,13 +792,13 @@ std::vector<util::SimSeconds> SimCluster::run(
       // quorum and released its peers; survivors keep training.
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        util::LockGuard<util::Mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
       // Release peers waiting in the barrier so the cluster drains instead
       // of deadlocking; they will observe mismatched state and finish or
       // fail on their own.
-      std::lock_guard<analysis::CheckedMutex> lock(mutex_);
+      util::LockGuard<analysis::CheckedMutex> lock(mutex_);
       arrived_ = 0;
       ++generation_;
       cv_.notify_all();
@@ -775,7 +806,7 @@ std::vector<util::SimSeconds> SimCluster::run(
     // Drain accounting: once every non-parked thread has exited, no
     // admission can ever come — wake threads parked in await_rejoin so
     // they return (denied) instead of hanging the join below.
-    std::lock_guard<analysis::CheckedMutex> lock(mutex_);
+    util::LockGuard<analysis::CheckedMutex> lock(mutex_);
     ++exited_threads_;
     if (exited_threads_ + parked_threads_ == ranks_) {
       draining_ = true;

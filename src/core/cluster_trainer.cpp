@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 
@@ -13,6 +12,7 @@
 #include "fftgrad/telemetry/ledger.h"
 #include "fftgrad/telemetry/metrics.h"
 #include "fftgrad/telemetry/trace.h"
+#include "fftgrad/util/annotated_mutex.h"
 #include "fftgrad/util/crc32.h"
 #include "fftgrad/util/stats.h"
 #include "fftgrad/util/timer.h"
@@ -133,7 +133,7 @@ ClusterTrainResult cluster_train(
   std::vector<std::vector<double>> losses(
       config.ranks,
       std::vector<double>(config.iterations, std::numeric_limits<double>::quiet_NaN()));
-  std::mutex result_mutex;
+  util::Mutex result_mutex;
 
   telemetry::Counter& peers_skipped =
       telemetry::MetricsRegistry::global().counter("trainer.peers_skipped");
@@ -644,7 +644,7 @@ ClusterTrainResult cluster_train(
     std::vector<float> params(grad_size);
     model.copy_params(params);
     {
-      std::lock_guard<std::mutex> lock(result_mutex);
+      util::LockGuard<util::Mutex> lock(result_mutex);
       final_params[rank] = std::move(params);
       final_losses[rank] = last_loss;
       finished[rank] = 1;

@@ -12,6 +12,12 @@
 // first one whose blob deserializes (CRC-valid); torn or corrupted files
 // are skipped, which is what turns kill -9 during save() into "resume from
 // the previous epoch" instead of "resume fails".
+//
+// Thread contract: single-threaded by design — each rank owns its private
+// store rooted at a per-rank directory, so no two threads ever touch the
+// same instance (crash-safety above is against *process* death, not
+// concurrent callers). It intentionally carries no mutex or thread-safety
+// annotations; sharing an instance across threads is a caller bug.
 #pragma once
 
 #include <cstddef>

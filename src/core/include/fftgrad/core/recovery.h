@@ -26,6 +26,13 @@
 // flags it is fed. Ranks that feed identical flag sequences (the trainer
 // allreduces the per-rank observations first) take identical actions at
 // identical iterations, so replicas stay bit-identical through any remedy.
+//
+// Thread contract: single-threaded by design — one controller instance per
+// rank, driven only from that rank's training loop. It holds no mutex and
+// carries no thread-safety annotations on purpose: adding a lock would
+// misrepresent the model (cross-rank agreement comes from feeding identical
+// inputs, not from sharing the instance). Do not share one controller
+// between threads.
 #pragma once
 
 #include <cstdint>

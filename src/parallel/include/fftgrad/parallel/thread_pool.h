@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fftgrad/analysis/checked_mutex.h"
+#include "fftgrad/util/thread_annotations.h"
 
 namespace fftgrad::parallel {
 
@@ -48,15 +49,16 @@ class ThreadPool {
  private:
   void worker_loop();
   /// Remove and return the next task. FIFO normally; a seeded permutation
-  /// pick under schedule stress. Requires queue_mutex_ held.
-  std::packaged_task<void()> take_task_locked();
+  /// pick under schedule stress. Requires queue_mutex_ held (enforced
+  /// statically by the annotation, at runtime by FFTGRAD_ASSERT_HELD).
+  std::packaged_task<void()> take_task_locked() FFTGRAD_REQUIRES(queue_mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
   analysis::CheckedMutex queue_mutex_{"ThreadPool.queue_mutex"};
+  std::deque<std::packaged_task<void()>> queue_ FFTGRAD_GUARDED_BY(queue_mutex_);
   // condition_variable_any: CheckedMutex is Lockable but not std::mutex.
   std::condition_variable_any cv_;
-  bool stopping_ = false;
+  bool stopping_ FFTGRAD_GUARDED_BY(queue_mutex_) = false;
 };
 
 }  // namespace fftgrad::parallel

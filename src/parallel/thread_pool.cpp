@@ -6,6 +6,7 @@
 
 #include "fftgrad/analysis/schedule_stress.h"
 #include "fftgrad/telemetry/metrics.h"
+#include "fftgrad/util/annotated_mutex.h"
 
 namespace fftgrad::parallel {
 namespace {
@@ -38,7 +39,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<analysis::CheckedMutex> lock(queue_mutex_);
+    util::LockGuard<analysis::CheckedMutex> lock(queue_mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -63,7 +64,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard<analysis::CheckedMutex> lock(queue_mutex_);
+    util::LockGuard<analysis::CheckedMutex> lock(queue_mutex_);
     queue_.push_back(std::move(packaged));
     PoolMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
   }
@@ -95,8 +96,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<analysis::CheckedMutex> lock(queue_mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::UniqueLock<analysis::CheckedMutex> lock(queue_mutex_);
+      // Manual wait loop (not wait(lock, pred)): the predicate lambda would
+      // be analyzed as a separate function with no capability, while the
+      // loop keeps the guarded reads inside this annotated scope.
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = take_task_locked();
     }

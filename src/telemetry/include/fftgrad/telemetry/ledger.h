@@ -48,12 +48,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "fftgrad/util/annotated_mutex.h"
+#include "fftgrad/util/thread_annotations.h"
 #include "fftgrad/util/units.h"
 
 namespace fftgrad::telemetry {
@@ -220,24 +221,25 @@ class RunLedger {
  private:
   RunLedger() = default;
 
-  void write_line_locked(const std::string& line);
+  void write_line_locked(const std::string& line) FFTGRAD_REQUIRES(mutex_);
   void alert_locked(const char* monitor, std::uint64_t iteration, double value,
-                    double bound, const std::string& message);
-  void run_monitors_locked(const LedgerIteration& row);
+                    double bound, const std::string& message) FFTGRAD_REQUIRES(mutex_);
+  void run_monitors_locked(const LedgerIteration& row) FFTGRAD_REQUIRES(mutex_);
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  void* file_ = nullptr;  ///< std::FILE*, kept opaque in the header
-  std::size_t bytes_written_ = 0;
-  LedgerTolerances tolerances_;
-  bool abort_on_alert_ = true;
+  mutable util::Mutex mutex_;
+  void* file_ FFTGRAD_PT_GUARDED_BY(mutex_) FFTGRAD_GUARDED_BY(mutex_) =
+      nullptr;  ///< std::FILE*, kept opaque in the header
+  std::size_t bytes_written_ FFTGRAD_GUARDED_BY(mutex_) = 0;
+  LedgerTolerances tolerances_ FFTGRAD_GUARDED_BY(mutex_);
+  bool abort_on_alert_ FFTGRAD_GUARDED_BY(mutex_) = true;
 
-  std::uint64_t next_run_id_ = 0;
-  std::uint64_t run_id_ = 0;  ///< 0: no run open
-  std::uint64_t rows_this_run_ = 0;
-  std::vector<LedgerCollective> pending_collectives_;
-  std::map<std::string, std::size_t> alert_counts_;
-  std::map<std::string, std::size_t> remediation_counts_;
+  std::uint64_t next_run_id_ FFTGRAD_GUARDED_BY(mutex_) = 0;
+  std::uint64_t run_id_ FFTGRAD_GUARDED_BY(mutex_) = 0;  ///< 0: no run open
+  std::uint64_t rows_this_run_ FFTGRAD_GUARDED_BY(mutex_) = 0;
+  std::vector<LedgerCollective> pending_collectives_ FFTGRAD_GUARDED_BY(mutex_);
+  std::map<std::string, std::size_t> alert_counts_ FFTGRAD_GUARDED_BY(mutex_);
+  std::map<std::string, std::size_t> remediation_counts_ FFTGRAD_GUARDED_BY(mutex_);
 
   /// Rolling per-kind reconciliation state for the drift monitor plus the
   /// run-lifetime totals reported in the summary row.
@@ -251,7 +253,7 @@ class RunLedger {
     std::vector<std::pair<util::SimSeconds, util::SimSeconds>> window;
     std::size_t window_at = 0;
   };
-  std::map<std::string, KindTotals> kinds_;
+  std::map<std::string, KindTotals> kinds_ FFTGRAD_GUARDED_BY(mutex_);
 };
 
 // ---------------------------------------------------------------------------

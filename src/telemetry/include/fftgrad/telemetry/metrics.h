@@ -53,9 +53,11 @@
 #include <atomic>
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "fftgrad/util/annotated_mutex.h"
+#include "fftgrad/util/thread_annotations.h"
 
 namespace fftgrad::telemetry {
 
@@ -121,8 +123,8 @@ class Histogram {
   std::vector<double> sorted_samples() const;
 
   const std::atomic<bool>& enabled_;
-  mutable std::mutex mutex_;
-  std::vector<double> samples_;
+  mutable util::Mutex mutex_;
+  std::vector<double> samples_ FFTGRAD_GUARDED_BY(mutex_);
 };
 
 class MetricsRegistry {
@@ -152,12 +154,15 @@ class MetricsRegistry {
   MetricsRegistry() = default;
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
+  // Reader/writer split: lookup-or-create mutates the maps (exclusive);
+  // reset() and to_json() only traverse them (shared) — the per-metric
+  // state they touch is atomic or behind the Histogram's own mutex.
+  mutable util::SharedMutex mutex_;
   // std::map: stable addresses are required anyway (values are
   // heap-allocated), and ordered iteration gives deterministic JSON.
-  std::map<std::string, Counter*> counters_;
-  std::map<std::string, Gauge*> gauges_;
-  std::map<std::string, Histogram*> histograms_;
+  std::map<std::string, Counter*> counters_ FFTGRAD_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge*> gauges_ FFTGRAD_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram*> histograms_ FFTGRAD_GUARDED_BY(mutex_);
 };
 
 }  // namespace fftgrad::telemetry

@@ -82,7 +82,7 @@ RunLedger& RunLedger::global() {
 }
 
 bool RunLedger::open(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   if (file_ != nullptr) return true;  // already open
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -96,7 +96,7 @@ bool RunLedger::open(const std::string& path) {
 }
 
 void RunLedger::close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   enabled_.store(false, std::memory_order_relaxed);
   if (file_ == nullptr) return;
   std::fclose(static_cast<std::FILE*>(file_));
@@ -104,18 +104,18 @@ void RunLedger::close() {
 }
 
 void RunLedger::set_tolerances(const LedgerTolerances& tolerances) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   tolerances_ = tolerances;
   if (tolerances_.drift_window == 0) tolerances_.drift_window = 1;
 }
 
 LedgerTolerances RunLedger::tolerances() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   return tolerances_;
 }
 
 void RunLedger::set_abort_on_alert(bool abort_on_alert) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   abort_on_alert_ = abort_on_alert;
 }
 
@@ -129,7 +129,7 @@ void RunLedger::write_line_locked(const std::string& line) {
 
 std::uint64_t RunLedger::begin_run(const LedgerManifest& manifest) {
   if (!enabled()) return 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   run_id_ = ++next_run_id_;
   rows_this_run_ = 0;
   pending_collectives_.clear();
@@ -161,7 +161,7 @@ std::uint64_t RunLedger::begin_run(const LedgerManifest& manifest) {
 
 void RunLedger::end_run() {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   if (run_id_ == 0) return;
 
   std::ostringstream out;
@@ -195,7 +195,7 @@ void RunLedger::end_run() {
 
 void RunLedger::record_remediation(const LedgerRemediation& row) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   ++remediation_counts_[row.action];
   MetricsRegistry::global().counter("ledger.remediations." + row.action).add(1.0);
   util::log_warn() << "ledger: remediation [" << row.cause << " -> " << row.action
@@ -213,13 +213,13 @@ void RunLedger::record_remediation(const LedgerRemediation& row) {
 
 void RunLedger::record_collective(const LedgerCollective& sample) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   pending_collectives_.push_back(sample);
 }
 
 void RunLedger::record_critpath(const LedgerCritpath& row) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   // The analyzer runs after end_run() closed the run; attribute the row to
   // the most recently opened run either way.
   const std::uint64_t run = run_id_ != 0 ? run_id_ : next_run_id_;
@@ -332,7 +332,7 @@ void RunLedger::run_monitors_locked(const LedgerIteration& row) {
 
 void RunLedger::end_iteration(const LedgerIteration& row) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
 
   std::ostringstream out;
   out << "{\"type\":\"iteration\",\"run\":" << run_id_ << ",\"iter\":" << row.iteration
@@ -405,20 +405,20 @@ void RunLedger::end_iteration(const LedgerIteration& row) {
 }
 
 std::size_t RunLedger::alerts_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& [monitor, count] : alert_counts_) total += count;
   return total;
 }
 
 std::size_t RunLedger::alerts(const std::string& monitor) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   const auto it = alert_counts_.find(monitor);
   return it == alert_counts_.end() ? 0 : it->second;
 }
 
 std::size_t RunLedger::bytes_written() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   return bytes_written_;
 }
 

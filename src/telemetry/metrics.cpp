@@ -48,24 +48,24 @@ void Gauge::set(double value) {
 
 void Histogram::observe(double value) {
   if (!enabled_.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   samples_.push_back(value);
 }
 
 void Histogram::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   samples_.clear();
 }
 
 std::size_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::Mutex> lock(mutex_);
   return samples_.size();
 }
 
 std::vector<double> Histogram::sorted_samples() const {
   std::vector<double> sorted;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard<util::Mutex> lock(mutex_);
     sorted = samples_;
   }
   std::sort(sorted.begin(), sorted.end());
@@ -115,35 +115,35 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::SharedMutex> lock(mutex_);
   Counter*& slot = counters_[name];
   if (slot == nullptr) slot = new Counter(enabled_);  // lives forever
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::SharedMutex> lock(mutex_);
   Gauge*& slot = gauges_[name];
   if (slot == nullptr) slot = new Gauge(enabled_);  // lives forever
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard<util::SharedMutex> lock(mutex_);
   Histogram*& slot = histograms_[name];
   if (slot == nullptr) slot = new Histogram(enabled_);  // lives forever
   return *slot;
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::SharedLockGuard<util::SharedMutex> lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::SharedLockGuard<util::SharedMutex> lock(mutex_);
   std::ostringstream out;
   out << "{\n  \"counters\": {";
   bool first = true;

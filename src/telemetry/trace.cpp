@@ -5,9 +5,9 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "fftgrad/util/annotated_mutex.h"
 #include "fftgrad/util/logging.h"
 
 namespace fftgrad::telemetry {
@@ -25,15 +25,19 @@ struct ThreadBuffer {
   };
 
   std::uint32_t index = 0;
+  // DELIBERATELY not GUARDED_BY(chunks_mutex): the owning thread reads
+  // `chunks` lock-free in push() — single-writer discipline, with only
+  // growth and the exporter's pointer snapshot taking the mutex — so a
+  // GUARDED_BY claim would be false.
   std::vector<std::unique_ptr<Chunk>> chunks;
-  std::mutex chunks_mutex;
+  util::Mutex chunks_mutex;
   std::atomic<std::size_t> count{0};
 
   void push(const SpanRecord& record) {
     const std::size_t at = count.load(std::memory_order_relaxed);
     const std::size_t chunk = at / kChunkSize;
     if (chunk >= chunks.size()) {
-      std::lock_guard<std::mutex> lock(chunks_mutex);
+      util::LockGuard<util::Mutex> lock(chunks_mutex);
       chunks.push_back(std::make_unique<Chunk>());
     }
     chunks[chunk]->records[at % kChunkSize] = record;
@@ -48,7 +52,7 @@ struct ThreadBuffer {
     // released, but the Chunk objects themselves stay put until clear().
     std::vector<Chunk*> chunk_ptrs;
     {
-      std::lock_guard<std::mutex> lock(chunks_mutex);
+      util::LockGuard<util::Mutex> lock(chunks_mutex);
       chunk_ptrs.reserve(chunks.size());
       for (auto& c : chunks) chunk_ptrs.push_back(c.get());
     }
@@ -75,12 +79,12 @@ thread_local ThreadState t_state;
 /// cached thread_local pointers and exporter snapshots stay valid for the
 /// process lifetime.
 struct BufferRegistry {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  util::Mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers FFTGRAD_GUARDED_BY(mutex);
 
   ThreadBuffer& buffer_for_current_thread() {
     if (t_state.buffer == nullptr) {
-      std::lock_guard<std::mutex> lock(mutex);
+      util::LockGuard<util::Mutex> lock(mutex);
       buffers.push_back(std::make_unique<ThreadBuffer>());
       buffers.back()->index = static_cast<std::uint32_t>(buffers.size() - 1);
       t_state.buffer = buffers.back().get();
@@ -89,7 +93,7 @@ struct BufferRegistry {
   }
 
   std::vector<ThreadBuffer*> all() {
-    std::lock_guard<std::mutex> lock(mutex);
+    util::LockGuard<util::Mutex> lock(mutex);
     std::vector<ThreadBuffer*> out;
     for (auto& b : buffers) out.push_back(b.get());
     return out;
@@ -217,7 +221,7 @@ std::vector<SpanRecord> Tracer::snapshot() const {
 
 void Tracer::clear() {
   for (ThreadBuffer* buffer : registry().all()) {
-    std::lock_guard<std::mutex> lock(buffer->chunks_mutex);
+    util::LockGuard<util::Mutex> lock(buffer->chunks_mutex);
     buffer->count.store(0, std::memory_order_release);
     buffer->chunks.clear();
   }

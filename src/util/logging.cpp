@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
-#include <mutex>
+
+#include "fftgrad/util/annotated_mutex.h"
 
 namespace fftgrad::util {
 namespace {
@@ -32,7 +33,7 @@ std::atomic<LogLevel>& level_atomic() {
   return level;
 }
 
-std::mutex g_io_mutex;
+Mutex g_io_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -64,7 +65,7 @@ void log_line(LogLevel level, std::string_view message) {
   char stamp[32];
   std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%S", &tm_utc);
 
-  std::lock_guard<std::mutex> lock(g_io_mutex);
+  LockGuard<Mutex> lock(g_io_mutex);
   std::fprintf(stderr, "[%s.%03dZ] %s %.*s\n", stamp, static_cast<int>(millis), level_tag(level),
                static_cast<int>(message.size()), message.data());
 }

@@ -24,6 +24,7 @@
 #include "fftgrad/comm/network_model.h"
 #include "fftgrad/comm/sim_cluster.h"
 #include "fftgrad/parallel/thread_pool.h"
+#include "fftgrad/util/annotated_mutex.h"
 
 namespace {
 
@@ -193,7 +194,101 @@ TEST(ScheduleStress, ScopeSetsAndRestoresSeed) {
   EXPECT_EQ(analysis::schedule_stress_seed(), 0u);
 }
 
+// The util:: guards are the project's scoped capabilities; these tests pin
+// their runtime semantics against CheckedMutex's owner tracking (the static
+// side — that dropping a guard annotation breaks the build — is proven by
+// the mutant matrix in scripts/thread_safety_check.sh).
+
+TEST(AnnotatedGuards, LockGuardHoldsCheckedMutexForExactlyItsScope) {
+  analysis::CheckedMutex mutex("test.guard_scope");
+  EXPECT_FALSE(mutex.held_by_current_thread());
+  {
+    fftgrad::util::LockGuard<analysis::CheckedMutex> lock(mutex);
+    EXPECT_TRUE(mutex.held_by_current_thread());
+    std::thread([&] { EXPECT_FALSE(mutex.held_by_current_thread()); }).join();
+  }
+  EXPECT_FALSE(mutex.held_by_current_thread());
+}
+
+TEST(AnnotatedGuards, UniqueLockEarlyReleaseAndRelockTrackOwnership) {
+  ViolationCapture capture;
+  analysis::CheckedMutex mutex("test.unique_lock");
+  {
+    fftgrad::util::UniqueLock<analysis::CheckedMutex> lock(mutex);
+    EXPECT_TRUE(lock.owns_lock());
+    EXPECT_TRUE(mutex.held_by_current_thread());
+
+    lock.unlock();
+    EXPECT_FALSE(lock.owns_lock());
+    EXPECT_FALSE(mutex.held_by_current_thread());
+    // Released for real: another thread can take and drop it.
+    std::thread([&] {
+      EXPECT_TRUE(mutex.try_lock());
+      mutex.unlock();
+    }).join();
+
+    lock.lock();
+    EXPECT_TRUE(lock.owns_lock());
+    EXPECT_TRUE(mutex.held_by_current_thread());
+  }
+  // The destructor released the re-taken lock; no double-unlock report.
+  EXPECT_FALSE(mutex.held_by_current_thread());
+  EXPECT_EQ(capture.count(), 0u);
+}
+
+TEST(AnnotatedGuards, UniqueLockDestructorSkipsReleaseAfterEarlyUnlock) {
+  ViolationCapture capture;
+  analysis::CheckedMutex mutex("test.unique_lock_early");
+  {
+    fftgrad::util::UniqueLock<analysis::CheckedMutex> lock(mutex);
+    lock.unlock();
+  }  // owns_ is false: the destructor must not unlock again
+  EXPECT_EQ(capture.count(), 0u);
+  // Still lockable — the mutex was left in a consistent state.
+  EXPECT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
 #endif  // FFTGRAD_ANALYSIS
+
+TEST(AnnotatedGuards, SharedLockGuardAdmitsConcurrentReadersExcludesWriter) {
+  fftgrad::util::SharedMutex mutex;
+  std::atomic<int> readers{0};
+  std::atomic<bool> release{false};
+
+  std::thread r1([&] {
+    fftgrad::util::SharedLockGuard<fftgrad::util::SharedMutex> lock(mutex);
+    readers.fetch_add(1);
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::thread r2([&] {
+    fftgrad::util::SharedLockGuard<fftgrad::util::SharedMutex> lock(mutex);
+    readers.fetch_add(1);
+    while (!release.load()) std::this_thread::yield();
+  });
+
+  // Both readers hold the shared capability at once...
+  while (readers.load() < 2) std::this_thread::yield();
+  // ...which excludes an exclusive acquisition.
+  EXPECT_FALSE(mutex.try_lock());
+  release.store(true);
+  r1.join();
+  r2.join();
+
+  // Readers gone: the writer path opens up.
+  EXPECT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(AnnotatedGuards, MutexWrapperExcludesSecondOwner) {
+  fftgrad::util::Mutex mutex;
+  {
+    fftgrad::util::LockGuard<fftgrad::util::Mutex> lock(mutex);
+    std::thread([&] { EXPECT_FALSE(mutex.try_lock()); }).join();
+  }
+  EXPECT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
 
 /// Execution order of 8 gated tasks on a single-worker pool under `seed`.
 /// The worker is parked on a gate task while the queue fills, so every

@@ -13,9 +13,12 @@
 //     uninterrupted run's weights bit-for-bit.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "fftgrad/comm/fault_injection.h"
@@ -416,6 +419,53 @@ TEST(ChaosCluster, TransportCountersAccumulate) {
 
 // ---------------------------------------------------------------------------
 // Crash-and-rejoin: elastic recovery through the membership protocol
+
+TEST(ChaosCluster, MonitorThreadObservesMembershipWithoutRacing) {
+  // Lock-discipline regression (tsan preset): SimCluster's membership
+  // accessors — rank_crashed(), survivors(), rank_rejoined(), view_epoch()
+  // — used to read dead_/rejoined_/view_epoch_ without the barrier mutex,
+  // racing with the membership writes a crash or rejoin performs. They now
+  // lock, so an external monitor thread may poll them concurrently with a
+  // live run. This test IS that monitor: under -fsanitize=thread any
+  // regression to unguarded reads is a hard failure, and the epoch
+  // observations must be monotone (each membership change bumps the view).
+  comm::FaultPlan plan;
+  plan.crashes.push_back({.rank = 1, .at_op = 6, .rejoin_at_op = 14});
+  plan.crashes.push_back({.rank = 3, .at_op = 10});
+  comm::SimCluster cluster(comm::NetworkModel::infiniband_fdr56(), plan);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> saw_crash{false};
+  std::atomic<bool> monotone{true};
+  std::thread monitor([&] {
+    std::uint64_t last_epoch = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t epoch = cluster.view_epoch();
+      if (epoch < last_epoch) monotone.store(false, std::memory_order_relaxed);
+      last_epoch = epoch;
+      if (cluster.rank_crashed(3)) saw_crash.store(true, std::memory_order_relaxed);
+      (void)cluster.survivors();
+      (void)cluster.rank_rejoined(1);
+      std::this_thread::yield();
+    }
+  });
+
+  nn::SyntheticDataset data({8}, 3, 41);
+  const ClusterTrainResult result =
+      cluster_train(cluster, small_config(4, 20), mlp_factory(), noop_codec(), data);
+  stop.store(true, std::memory_order_release);
+  monitor.join();
+
+  EXPECT_TRUE(monotone.load());
+  EXPECT_TRUE(saw_crash.load());  // rank 3's crash is terminal and visible
+  EXPECT_TRUE(cluster.rank_crashed(3));
+  EXPECT_TRUE(cluster.rank_rejoined(1));
+  EXPECT_EQ(cluster.survivors(), 3u);
+  EXPECT_GE(cluster.view_epoch(), 3u);  // crash, crash, rejoin: >= 3 bumps
+  EXPECT_EQ(result.crashed_ranks, 1u);
+  EXPECT_EQ(result.rejoined_ranks, 1u);
+  EXPECT_TRUE(result.replicas_identical);
+}
 
 TEST(ChaosRejoin, CrashAndRejoinConvergesWithinTwoPercent) {
   // ISSUE acceptance (a): a 4-rank run with a crash at iteration k and a

@@ -28,6 +28,30 @@
 //     release(); any release_unvalidated() call site needs an allowlist
 //     entry carrying a rationale.
 //
+//   unannotated-mutex
+//     No bare `std::mutex` / `std::shared_mutex` (or their recursive/timed
+//     variants, or the std:: lock guards) in src/ outside the annotated
+//     wrapper homes (util/annotated_mutex.h, analysis/checked_mutex.h and
+//     its lock-order graph). Shared state must sit behind util::Mutex,
+//     util::SharedMutex, or analysis::CheckedMutex so Clang Thread Safety
+//     Analysis (the `thread-safety` preset) can see every acquisition.
+//
+//   unordered-iteration-ordered-output
+//     No `std::unordered_map` / `std::unordered_set` in the layers whose
+//     iteration order reaches deterministic output (telemetry exporters,
+//     comm protocol state, analysis trackers, core trainers). Hash-table
+//     iteration order varies across libstdc++ versions and seeds, which
+//     silently breaks bit-identical replicas and golden-file tests; use
+//     std::map / std::set (or sort before emitting).
+//
+//   nondeterminism-source
+//     No C PRNGs (`rand`, `srand`, `rand_r`, `drand48`, `lrand48`), no
+//     `std::random_device`, and no pointer-as-entropy
+//     (`reinterpret_cast` to `uintptr_t`/`intptr_t`) in src/. Everything
+//     stochastic must draw from an explicitly seeded engine so identical
+//     seeds give identical runs; genuine uses (e.g. a stress-schedule
+//     salt) carry an allowlist rationale.
+//
 // Matching is token-level on comment- and string-stripped sources: precise
 // enough for these rules (all four hinge on the presence of a specific
 // token in a scoped file set) and robust against the checker itself rotting
@@ -271,6 +295,82 @@ void detect_unvalidated(const std::string& file, const std::vector<std::string>&
   }
 }
 
+void detect_unannotated_mutex(const std::string& file, const std::vector<std::string>& lines,
+                              std::vector<Finding>& findings) {
+  // The std:: guards are flagged alongside the mutex types: a std::lock_guard
+  // over an annotated mutex compiles, but the scoped acquisition is invisible
+  // to the thread-safety analysis.
+  static const char* tokens[] = {"std::mutex",      "std::shared_mutex",
+                                 "std::recursive_mutex", "std::timed_mutex",
+                                 "std::lock_guard", "std::unique_lock",
+                                 "std::scoped_lock", "std::shared_lock"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const char* token : tokens) {
+      if (find_token(lines[i], token) != std::string::npos) {
+        findings.push_back({"unannotated-mutex", file, i + 1,
+                            std::string(token) +
+                                " is invisible to Clang Thread Safety Analysis; use "
+                                "util::Mutex/util::SharedMutex with util::LockGuard/"
+                                "UniqueLock/SharedLockGuard, or analysis::CheckedMutex"});
+        break;  // one finding per line, whichever token hit first
+      }
+    }
+  }
+}
+
+void detect_unordered_iteration(const std::string& file, const std::vector<std::string>& lines,
+                                std::vector<Finding>& findings) {
+  static const char* tokens[] = {"std::unordered_map", "std::unordered_set",
+                                 "std::unordered_multimap", "std::unordered_multiset"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const char* token : tokens) {
+      if (find_token(lines[i], token) != std::string::npos) {
+        findings.push_back({"unordered-iteration-ordered-output", file, i + 1,
+                            std::string(token) +
+                                " in a layer whose iteration order reaches deterministic "
+                                "output (exports, protocol agreement, replica state); use "
+                                "std::map/std::set or sort before emitting"});
+        break;
+      }
+    }
+  }
+}
+
+void detect_nondeterminism(const std::string& file, const std::vector<std::string>& lines,
+                           std::vector<Finding>& findings) {
+  static const char* prngs[] = {"rand", "srand", "rand_r", "drand48", "lrand48",
+                                "std::random_device", "random_device"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const char* hit = nullptr;
+    for (const char* token : prngs) {
+      if (find_token(line, token) != std::string::npos) {
+        hit = token;
+        break;
+      }
+    }
+    if (hit != nullptr) {
+      findings.push_back({"nondeterminism-source", file, i + 1,
+                          std::string(hit) +
+                              " draws entropy outside the seeded-engine discipline; use an "
+                              "explicitly seeded engine (util::SplitMix/std::mt19937_64) so "
+                              "identical seeds replay identical runs"});
+      continue;
+    }
+    // Pointer-as-entropy: a pointer value laundered through an integer on
+    // one line. Addresses vary per run under ASLR, so anything derived from
+    // them (hashes, salts, tie-breaks) de-determinizes the run.
+    if (find_token(line, "reinterpret_cast") != std::string::npos &&
+        (line.find("uintptr_t") != std::string::npos ||
+         line.find("intptr_t") != std::string::npos)) {
+      findings.push_back({"nondeterminism-source", file, i + 1,
+                          "pointer laundered to an integer; addresses vary per run (ASLR), "
+                          "so values derived from them are nondeterministic — key on a "
+                          "stable id instead, or allowlist with a rationale"});
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Tree-mode scoping.
 
@@ -298,6 +398,19 @@ bool in_unvalidated_scope(const std::string& rel) {
   return starts_with(rel, "src/") || starts_with(rel, "tests/") ||
          starts_with(rel, "bench/") || starts_with(rel, "examples/");
 }
+
+// Product code only: tests/benches may use bare std primitives freely.
+bool in_unannotated_mutex_scope(const std::string& rel) { return starts_with(rel, "src/"); }
+
+// Layers whose container iteration order reaches deterministic output:
+// telemetry (JSON/trace exports), comm (protocol agreement), analysis
+// (violation reports keyed by iteration), core (replica state).
+bool in_unordered_scope(const std::string& rel) {
+  return starts_with(rel, "src/telemetry/") || starts_with(rel, "src/comm/") ||
+         starts_with(rel, "src/analysis/") || starts_with(rel, "src/core/");
+}
+
+bool in_nondeterminism_scope(const std::string& rel) { return starts_with(rel, "src/"); }
 
 bool source_file(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -363,19 +476,239 @@ bool allowed(const Finding& f, const std::vector<AllowEntry>& entries) {
   return false;
 }
 
+/// Full JSON string escaping. The original version handled only quotes,
+/// backslashes and newlines, so a tab or carriage return in a message (or a
+/// control character smuggled into a filename) produced output no strict
+/// JSON parser would accept. Every control character below 0x20 must be
+/// escaped per RFC 8259; the named shorthands keep the common ones readable.
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
+}
+
+/// Render findings as a JSON array — the single emitter behind --json and
+/// the selftest's round-trip check, so the two can never drift apart.
+std::string render_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "" : ",") << "\n  {\"rule\":\"" << json_escape(f.rule)
+        << "\",\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line
+        << ",\"message\":\"" << json_escape(f.message) << "\"}";
+  }
+  out << (findings.empty() ? "]" : "\n]") << "\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Strict mini JSON parser, used only by the selftest to prove --json output
+// round-trips: parse(render(findings)) must reproduce the findings exactly,
+// including quotes, backslashes and control characters in file names and
+// messages. Supports exactly the shape render_json emits (an array of flat
+// objects with string/number values) and rejects everything malformed.
+
+struct JsonParser {
+  const std::string& text;
+  std::size_t at = 0;
+  bool ok = true;
+
+  explicit JsonParser(const std::string& t) : text(t) {}
+
+  void skip_ws() {
+    while (at < text.size() && (text[at] == ' ' || text[at] == '\n' || text[at] == '\t' ||
+                                text[at] == '\r')) {
+      ++at;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (at < text.size() && text[at] == c) {
+      ++at;
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) return out;
+    while (at < text.size() && text[at] != '"') {
+      char c = text[at++];
+      if (c != '\\') {
+        // Strict: raw control characters are invalid inside JSON strings.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          ok = false;
+          return out;
+        }
+        out += c;
+        continue;
+      }
+      if (at >= text.size()) {
+        ok = false;
+        return out;
+      }
+      const char esc = text[at++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (at + 4 > text.size()) {
+            ok = false;
+            return out;
+          }
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text[at++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              ok = false;
+              return out;
+            }
+          }
+          if (code > 0x7f) {  // the emitter only \u-escapes control bytes
+            ok = false;
+            return out;
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default: ok = false; return out;
+      }
+    }
+    if (!consume('"')) ok = false;
+    return out;
+  }
+
+  std::size_t parse_number() {
+    skip_ws();
+    std::size_t value = 0;
+    bool any = false;
+    while (at < text.size() && text[at] >= '0' && text[at] <= '9') {
+      value = value * 10 + static_cast<std::size_t>(text[at++] - '0');
+      any = true;
+    }
+    if (!any) ok = false;
+    return value;
+  }
+
+  std::vector<Finding> parse_findings() {
+    std::vector<Finding> out;
+    if (!consume('[')) return out;
+    skip_ws();
+    if (at < text.size() && text[at] == ']') {
+      ++at;
+      return out;
+    }
+    do {
+      Finding f;
+      if (!consume('{')) return out;
+      for (int field = 0; field < 4; ++field) {
+        if (field > 0 && !consume(',')) return out;
+        skip_ws();
+        const std::string key = parse_string();
+        if (!ok || !consume(':')) return out;
+        if (key == "rule") {
+          f.rule = parse_string();
+        } else if (key == "file") {
+          f.file = parse_string();
+        } else if (key == "message") {
+          f.message = parse_string();
+        } else if (key == "line") {
+          f.line = parse_number();
+        } else {
+          ok = false;
+          return out;
+        }
+        if (!ok) return out;
+      }
+      if (!consume('}')) return out;
+      out.push_back(std::move(f));
+      skip_ws();
+    } while (at < text.size() && text[at] == ',' && ++at != 0);
+    if (!consume(']')) ok = false;
+    skip_ws();
+    if (at != text.size()) ok = false;  // trailing garbage
+    return out;
+  }
+};
+
+/// Selftest leg for the --json emitter: findings whose file and message
+/// carry quotes, backslashes, tabs and raw control bytes must survive a
+/// render -> strict-parse round trip byte-for-byte. (Adversarial file
+/// names reach the emitter for real: fixture and allowlist paths are
+/// user-controlled.)
+int selftest_json_roundtrip() {
+  std::vector<Finding> nasty;
+  nasty.push_back({"wire-cast-outside-wire", "src/weird \"quoted\" name.cpp", 7,
+                   "message with \"quotes\", a back\\slash and a\ttab"});
+  nasty.push_back({"nondeterminism-source", "src\\windows\\style.cpp", 123,
+                   std::string("control bytes: \n\r\b\f and \x01\x1f") + " end"});
+  nasty.push_back({"unannotated-mutex", "src/plain.cpp", 1, "plain message"});
+
+  const std::string rendered = render_json(nasty);
+  JsonParser parser(rendered);
+  const std::vector<Finding> parsed = parser.parse_findings();
+  if (!parser.ok) {
+    std::cerr << "selftest FAIL json-roundtrip: emitted JSON does not parse strictly:\n"
+              << rendered;
+    return 1;
+  }
+  if (parsed.size() != nasty.size()) {
+    std::cerr << "selftest FAIL json-roundtrip: " << parsed.size() << " of " << nasty.size()
+              << " findings survived the round trip\n";
+    return 1;
+  }
+  for (std::size_t i = 0; i < nasty.size(); ++i) {
+    if (parsed[i].rule != nasty[i].rule || parsed[i].file != nasty[i].file ||
+        parsed[i].line != nasty[i].line || parsed[i].message != nasty[i].message) {
+      std::cerr << "selftest FAIL json-roundtrip: finding " << i
+                << " mutated in transit (file '" << parsed[i].file << "', message '"
+                << parsed[i].message << "')\n";
+      return 1;
+    }
+  }
+  // The empty array must also be well-formed.
+  const std::string empty = render_json({});
+  JsonParser empty_parser(empty);
+  if (!empty_parser.parse_findings().empty() || !empty_parser.ok) {
+    std::cerr << "selftest FAIL json-roundtrip: empty findings render malformed: " << empty;
+    return 1;
+  }
+  return 0;
 }
 
 void run_all_detectors(const std::string& file, const std::vector<std::string>& lines,
@@ -384,6 +717,9 @@ void run_all_detectors(const std::string& file, const std::vector<std::string>& 
   detect_raw_double(file, lines, findings);
   detect_wire_cast(file, lines, findings);
   detect_unvalidated(file, lines, findings);
+  detect_unannotated_mutex(file, lines, findings);
+  detect_unordered_iteration(file, lines, findings);
+  detect_nondeterminism(file, lines, findings);
 }
 
 int run_selftest(const fs::path& root) {
@@ -423,8 +759,9 @@ int run_selftest(const fs::path& root) {
       std::cerr << "\n";
     }
   }
+  failures += static_cast<std::size_t>(selftest_json_roundtrip());
   std::cout << "fftgrad_lint selftest: " << files - failures << "/" << files
-            << " fixtures match their LINT-EXPECT annotations\n";
+            << " fixtures match their LINT-EXPECT annotations (+ json round-trip)\n";
   return failures == 0 && files > 0 ? 0 : 1;
 }
 
@@ -473,6 +810,9 @@ int main(int argc, char** argv) {
       if (in_raw_double_scope(rel)) detect_raw_double(rel, lines, raw);
       if (in_wire_cast_scope(rel)) detect_wire_cast(rel, lines, raw);
       if (in_unvalidated_scope(rel)) detect_unvalidated(rel, lines, raw);
+      if (in_unannotated_mutex_scope(rel)) detect_unannotated_mutex(rel, lines, raw);
+      if (in_unordered_scope(rel)) detect_unordered_iteration(rel, lines, raw);
+      if (in_nondeterminism_scope(rel)) detect_nondeterminism(rel, lines, raw);
       for (Finding& f : raw) {
         if (!allowed(f, allow)) findings.push_back(std::move(f));
       }
@@ -493,14 +833,7 @@ int main(int argc, char** argv) {
   });
 
   if (json) {
-    std::cout << "[";
-    for (std::size_t i = 0; i < findings.size(); ++i) {
-      const Finding& f = findings[i];
-      std::cout << (i == 0 ? "" : ",") << "\n  {\"rule\":\"" << json_escape(f.rule)
-                << "\",\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line
-                << ",\"message\":\"" << json_escape(f.message) << "\"}";
-    }
-    std::cout << (findings.empty() ? "]" : "\n]") << "\n";
+    std::cout << render_json(findings);
   } else {
     for (const Finding& f : findings) {
       std::cout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";

@@ -1,0 +1,20 @@
+// Selftest fixture: entropy drawn outside the seeded-engine discipline.
+// Note the pointer-laundering line legitimately fires two rules — it is a
+// reinterpret_cast (wire-cast-outside-wire) whose integer target makes it
+// an address-derived value source (nondeterminism-source).
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+
+unsigned jittery_pick(void* who, unsigned bound) {
+  // LINT-EXPECT: nondeterminism-source
+  // LINT-EXPECT: wire-cast-outside-wire
+  const auto salt = reinterpret_cast<std::uintptr_t>(who);
+  std::srand(static_cast<unsigned>(salt));  // LINT-EXPECT: nondeterminism-source
+  return static_cast<unsigned>(std::rand()) % bound;  // LINT-EXPECT: nondeterminism-source
+}
+
+std::uint64_t fresh_seed() {
+  std::random_device entropy;  // LINT-EXPECT: nondeterminism-source
+  return entropy();
+}

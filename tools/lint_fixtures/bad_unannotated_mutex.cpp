@@ -1,0 +1,21 @@
+// Selftest fixture: bare std:: lock primitives. They compile fine, but the
+// thread-safety preset cannot see their acquisitions, so guarded state
+// behind them is silently unanalyzed.
+#include <mutex>
+#include <shared_mutex>
+
+struct Queue {
+  std::mutex mutex;  // LINT-EXPECT: unannotated-mutex
+  std::shared_mutex table_mutex;  // LINT-EXPECT: unannotated-mutex
+  int depth = 0;
+
+  void bump() {
+    std::lock_guard<std::mutex> lock(mutex);  // LINT-EXPECT: unannotated-mutex
+    ++depth;
+  }
+
+  int read() {
+    std::shared_lock<std::shared_mutex> lock(table_mutex);  // LINT-EXPECT: unannotated-mutex
+    return depth;
+  }
+};

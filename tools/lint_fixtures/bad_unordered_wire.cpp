@@ -1,0 +1,19 @@
+// Selftest fixture: hash-table iteration feeding ordered output. The
+// iteration order of an unordered container varies across libstdc++
+// versions and hash seeds, so anything emitted from it (JSON exports,
+// protocol agreement values) silently loses determinism.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Export {
+  std::unordered_map<std::string, double> totals;  // LINT-EXPECT: unordered-iteration-ordered-output
+  std::unordered_set<std::string> kinds;  // LINT-EXPECT: unordered-iteration-ordered-output
+
+  std::string to_json() const {
+    std::string out = "{";
+    for (const auto& [name, value] : totals) out += name + ",";
+    out += "}";
+    return out;
+  }
+};

@@ -1,0 +1,29 @@
+// Negative fixture: the annotated-wrapper idiom passes all three
+// concurrency/determinism rules, and trigger tokens appearing only in
+// comments or string literals — "std::mutex", "std::lock_guard", "rand",
+// "std::unordered_map", "std::random_device" — are stripped before
+// matching and must not fire.
+#include <cstdint>
+#include <string>
+
+namespace util {
+struct Mutex {
+  void lock();
+  void unlock();
+};
+template <typename MutexT>
+struct LockGuard {
+  explicit LockGuard(MutexT& m);
+};
+}  // namespace util
+
+struct Guarded {
+  util::Mutex mutex;
+  int depth = 0;
+
+  int bump() {
+    util::LockGuard<util::Mutex> lock(mutex);
+    const std::string note = "no std::mutex, rand() or std::unordered_map here";
+    return ++depth + static_cast<int>(note.size());
+  }
+};

@@ -1,0 +1,133 @@
+// Thread-safety annotation mutants: proof that the `thread-safety` preset
+// gate actually bites.
+//
+// The base translation unit follows the project's lock discipline exactly
+// and must compile clean under
+//
+//   clang++ -fsyntax-only -std=c++20 -Isrc/util/include
+//       -Werror=thread-safety -Wthread-safety-beta tools/ts_mutants/ts_mutants.cpp
+//
+// Each FFTGRAD_TS_MUTANT_* macro then re-introduces one classic locking
+// bug. scripts/thread_safety_check.sh compiles the file once per mutant
+// and FAILS THE GATE if any mutant is accepted — i.e. if the annotations
+// or the -Werror=thread-safety wiring ever stop detecting that class of
+// bug, the check notices, not a reviewer.
+//
+//   UNGUARDED_READ      read a GUARDED_BY field with no lock held
+//   UNGUARDED_WRITE     write a GUARDED_BY field with no lock held
+//   REQUIRES_LOCKLESS   call a REQUIRES(mutex) helper without the lock
+//   EXCLUDES_VIOLATION  call an EXCLUDES(mutex) API while holding it
+//   EARLY_RELEASE       touch guarded state after UniqueLock::unlock()
+//
+// This file is a fixture for the gate, not part of any build target; it
+// is compiled with -fsyntax-only only.
+#include <cstdint>
+
+#include "fftgrad/util/annotated_mutex.h"
+#include "fftgrad/util/thread_annotations.h"
+
+namespace {
+
+using fftgrad::util::LockGuard;
+using fftgrad::util::Mutex;
+using fftgrad::util::SharedLockGuard;
+using fftgrad::util::SharedMutex;
+using fftgrad::util::UniqueLock;
+
+// A miniature of the shapes used across src/: one exclusive mutex guarding
+// a counter, a REQUIRES helper, and an EXCLUDES public API.
+class Counter {
+ public:
+  void increment() FFTGRAD_EXCLUDES(mutex_) {
+    LockGuard<Mutex> lock(mutex_);
+    bump_locked();
+  }
+
+  std::uint64_t value() const FFTGRAD_EXCLUDES(mutex_) {
+    LockGuard<Mutex> lock(mutex_);
+    return count_;
+  }
+
+  void reset() FFTGRAD_EXCLUDES(mutex_) {
+    UniqueLock<Mutex> lock(mutex_);
+    count_ = 0;
+    lock.unlock();
+    // Lock correctly released before the (unguarded) epoch note.
+    ++resets_observed_;
+  }
+
+#if defined(FFTGRAD_TS_MUTANT_UNGUARDED_READ)
+  // MUTANT: guarded read with no lock — must fail under -Werror=thread-safety.
+  std::uint64_t peek() const { return count_; }
+#endif
+
+#if defined(FFTGRAD_TS_MUTANT_UNGUARDED_WRITE)
+  // MUTANT: guarded write with no lock — must fail under -Werror=thread-safety.
+  void poke(std::uint64_t v) { count_ = v; }
+#endif
+
+#if defined(FFTGRAD_TS_MUTANT_REQUIRES_LOCKLESS)
+  // MUTANT: REQUIRES helper invoked lockless — must fail.
+  void bump_unlocked() { bump_locked(); }
+#endif
+
+#if defined(FFTGRAD_TS_MUTANT_EXCLUDES_VIOLATION)
+  // MUTANT: re-entering an EXCLUDES(mutex_) API while holding mutex_ —
+  // a self-deadlock the analysis must reject.
+  void double_bump() FFTGRAD_EXCLUDES(mutex_) {
+    LockGuard<Mutex> lock(mutex_);
+    increment();
+  }
+#endif
+
+#if defined(FFTGRAD_TS_MUTANT_EARLY_RELEASE)
+  // MUTANT: guarded access after UniqueLock::unlock() — must fail.
+  std::uint64_t drain() FFTGRAD_EXCLUDES(mutex_) {
+    UniqueLock<Mutex> lock(mutex_);
+    const std::uint64_t seen = count_;
+    lock.unlock();
+    count_ = 0;
+    return seen;
+  }
+#endif
+
+ private:
+  void bump_locked() FFTGRAD_REQUIRES(mutex_) { ++count_; }
+
+  mutable Mutex mutex_;
+  std::uint64_t count_ FFTGRAD_GUARDED_BY(mutex_) = 0;
+  std::uint64_t resets_observed_ = 0;  // deliberately unguarded: single-writer stat
+};
+
+// Reader/writer shape: shared lock for reads, exclusive for writes
+// (the MetricsRegistry idiom).
+class Snapshot {
+ public:
+  void publish(std::uint64_t v) FFTGRAD_EXCLUDES(mutex_) {
+    LockGuard<SharedMutex> lock(mutex_);
+    value_ = v;
+  }
+
+  std::uint64_t read() const FFTGRAD_EXCLUDES(mutex_) {
+    SharedLockGuard<SharedMutex> lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable SharedMutex mutex_;
+  std::uint64_t value_ FFTGRAD_GUARDED_BY(mutex_) = 0;
+};
+
+// Keep every declaration odr-used so the base compile exercises the bodies.
+std::uint64_t exercise() {
+  Counter c;
+  c.increment();
+  c.reset();
+  Snapshot s;
+  s.publish(c.value());
+  return s.read();
+}
+
+}  // namespace
+
+int main() { return exercise() == 0 ? 0 : 1; }
