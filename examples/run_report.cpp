@@ -10,16 +10,29 @@
 // compares final loss, total simulated time, and mean alpha between the
 // first run and each later one.
 //
+// With --profile <file.folded> (output of FFTGRAD_PROFILE=1, see
+// fftgrad/telemetry/profiler.h) a `Hot paths` section is appended: the
+// ranked host self-time table plus a cross-reference of host self-time
+// shares against the simulated critical-path categories of the first
+// ledger run (when one carries a critpath row). --check-profile
+// additionally validates the folded file — parseable, at least one
+// sample, render/parse round-trip stable — and fails the exit status when
+// it is not; the profile can also be inspected standalone, with no ledger
+// arguments at all.
+//
 // Exit status: 0 on success, 1 on unreadable/invalid input. Schema
 // problems found by validate_ledger are printed but only warn — a
 // truncated run (no summary row) still reports its surviving prefix.
+#include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "fftgrad/telemetry/ledger.h"
+#include "fftgrad/telemetry/profiler.h"
 #include "fftgrad/util/table.h"
 
 namespace {
@@ -331,24 +344,188 @@ RunDigest report_run(const LedgerRun& run, const std::string& source, bool markd
   return digest;
 }
 
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buffer[4096];
+  for (;;) {
+    const std::size_t got = std::fread(buffer, 1, sizeof(buffer), f);
+    if (got == 0) break;
+    out.append(buffer, got);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool contains(const std::string& text, const char* needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+/// Coarse mapping of a sample's span onto the critical-path analyzer's
+/// simulated categories (fftgrad/telemetry/critical_path.h), so host
+/// self-time shares line up row-by-row with the simulated shares. Order
+/// matters: codec sub-stages like fft.pack belong to the packing bucket
+/// even though their name also says "fft".
+std::string critpath_category_for(const fftgrad::telemetry::FoldedStack& stack) {
+  std::string span;
+  span.reserve(stack.span.size());
+  for (char c : stack.span) {
+    span += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (span.empty()) return "other";
+  if (contains(span, "crc") || contains(span, "wire") || contains(span, "encode") ||
+      contains(span, "decode")) {
+    return "wire_crc";
+  }
+  if (contains(span, "quant") || contains(span, "pack") || contains(span, "fp16") ||
+      contains(span, "lowpass") || contains(span, "topk")) {
+    return "quant_pack";
+  }
+  if (contains(span, "fft")) return "fft";
+  if (span == "forward" || span == "backward" || span == "apply") return "backprop";
+  if (contains(span, "allgather") || contains(span, "allreduce") ||
+      contains(span, "broadcast") || contains(span, "gather") ||
+      contains(span, "barrier") || contains(span, "collective")) {
+    return "collective";
+  }
+  return "other";
+}
+
+/// The `Hot paths` section: ranked host self-time plus the cross-reference
+/// against the first run's simulated critical-path categories. Returns the
+/// process exit status (non-zero only in --check-profile mode).
+int report_profile(const std::string& path, bool markdown, bool check,
+                   const std::vector<RunDigest>& digests) {
+  using fftgrad::telemetry::FoldedStack;
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "run_report: cannot read profile '" << path << "'\n";
+    return 1;
+  }
+  std::vector<FoldedStack> stacks;
+  std::string error;
+  if (!fftgrad::telemetry::parse_folded(text, stacks, &error)) {
+    std::cerr << "run_report: invalid folded profile '" << path << "': " << error << "\n";
+    return 1;
+  }
+  std::uint64_t total = 0;
+  for (const FoldedStack& stack : stacks) total += stack.count;
+  if (check) {
+    if (total == 0) {
+      std::cerr << "run_report: profile check failed: '" << path << "' has no samples\n";
+      return 1;
+    }
+    // Canonical render must survive its own parser byte-for-byte.
+    const std::string rendered = fftgrad::telemetry::render_folded(stacks);
+    std::vector<FoldedStack> reparsed;
+    if (!fftgrad::telemetry::parse_folded(rendered, reparsed, &error) ||
+        fftgrad::telemetry::render_folded(reparsed) != rendered) {
+      std::cerr << "run_report: profile check failed: folded round-trip mismatch ("
+                << (error.empty() ? "re-render differs" : error) << ")\n";
+      return 1;
+    }
+  }
+
+  print_heading(markdown, "Hot paths (host self-time)");
+  std::cout << stacks.size() << " folded stacks, " << total << " samples from " << path
+            << "\n";
+  const std::vector<fftgrad::telemetry::HotPath> ranked =
+      fftgrad::telemetry::hot_paths_from(stacks);
+  {
+    fftgrad::util::TableWriter table(
+        {"function", "self", "self%", "total%", "top span", "simd candidate"});
+    table.set_double_format("%.1f");
+    const std::size_t rows = ranked.size() < 15 ? ranked.size() : 15;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const fftgrad::telemetry::HotPath& hot = ranked[i];
+      table.add_row({hot.symbol, static_cast<long long>(hot.self_samples), hot.self_pct,
+                     hot.total_pct, hot.top_span.empty() ? "-" : hot.top_span,
+                     hot.simd_hint.empty() ? "-" : hot.simd_hint});
+    }
+    print_table(markdown, table);
+  }
+
+  // Host share per simulated category, next to the critical-path share of
+  // the first reported run (zeros when no run carried a critpath row).
+  // Divergence between the columns is the point: host-heavy / sim-light
+  // categories are where ROADMAP item 1's SIMD work pays off on the host
+  // without the simulation predicting it.
+  std::vector<std::pair<std::string, std::uint64_t>> by_category;
+  for (const FoldedStack& stack : stacks) {
+    const std::string category = critpath_category_for(stack);
+    bool found = false;
+    for (auto& [name, count] : by_category) {
+      if (name == category) {
+        count += stack.count;
+        found = true;
+      }
+    }
+    if (!found) by_category.emplace_back(category, stack.count);
+  }
+  print_heading(markdown, "Host self-time vs simulated critical path");
+  const double* e2e =
+      digests.empty() ? nullptr : find_metric(digests[0].metrics, "critpath.e2e_s");
+  fftgrad::util::TableWriter table(
+      {"category", "host_samples", "host_share", "critpath_share"});
+  table.set_double_format("%.3f");
+  for (const auto& [name, count] : by_category) {
+    double sim_share = 0.0;
+    if (e2e != nullptr && *e2e > 0.0) {
+      const double* on_path = find_metric(digests[0].metrics, "critpath.categories." + name);
+      if (on_path != nullptr) sim_share = *on_path / *e2e;
+    }
+    table.add_row({name, static_cast<long long>(count),
+                   total > 0 ? static_cast<double>(count) / static_cast<double>(total) : 0.0,
+                   sim_share});
+  }
+  print_table(markdown, table);
+  if (e2e == nullptr) {
+    std::cout << "(no ledger critpath row to cross-reference — pass a ledger recorded "
+                 "with FFTGRAD_CRITPATH)\n";
+  }
+  if (check) {
+    std::cout << "profile check passed: " << stacks.size() << " stacks, " << total
+              << " samples, round-trip stable\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool markdown = false;
+  bool check_profile = false;
+  std::string profile_path;
   std::vector<std::string> paths;
+  const char* usage =
+      "usage: run_report [--markdown] [--profile <file.folded>] [--check-profile] "
+      "[<ledger.jsonl> ...]\n";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--markdown" || arg == "-m") {
       markdown = true;
+    } else if (arg == "--profile") {
+      if (i + 1 >= argc) {
+        std::cerr << "run_report: --profile needs a folded-stack file argument\n";
+        return 1;
+      }
+      profile_path = argv[++i];
+    } else if (arg == "--check-profile") {
+      check_profile = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: run_report [--markdown] <ledger.jsonl> [more.jsonl ...]\n";
+      std::cout << usage;
       return 0;
     } else {
       paths.push_back(arg);
     }
   }
-  if (paths.empty()) {
-    std::cerr << "usage: run_report [--markdown] <ledger.jsonl> [more.jsonl ...]\n";
+  if (check_profile && profile_path.empty()) {
+    std::cerr << "run_report: --check-profile needs --profile <file.folded>\n";
+    return 1;
+  }
+  if (paths.empty() && profile_path.empty()) {
+    std::cerr << usage;
     return 1;
   }
 
@@ -415,6 +592,10 @@ int main(int argc, char** argv) {
         std::cout << "added (only in " << digests[i].source << "): " << key << "\n";
       }
     }
+  }
+
+  if (!profile_path.empty()) {
+    return report_profile(profile_path, markdown, check_profile, digests);
   }
   return 0;
 }

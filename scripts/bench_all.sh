@@ -5,7 +5,7 @@
 #   scripts/bench_all.sh [build-dir] [out.json]
 #
 # build-dir defaults to `build` (the default preset); out.json defaults to
-# $FFTGRAD_BENCH_OUT, then BENCH_pr8.json. Each bench writes
+# $FFTGRAD_BENCH_OUT, then BENCH_pr10.json. Each bench writes
 # BENCH_<name>.json into a temp dir via FFTGRAD_BENCH_JSON; every file is
 # stamped with provenance (git sha, preset, UTC timestamp, host — see
 # bench::json_meta()), and the merged file carries the same header plus
@@ -23,9 +23,10 @@ fi
 # (Fig 11), end-to-end throughput (Fig 14 / Table 2), weak scaling (Fig 16),
 # plus the primitive microbenchmarks, the PS-vs-BSP extension, and the
 # elastic-recovery overhead bench (time-to-rejoin vs model size and the
-# fault-free armed/disarmed tax) so the bench_diff gate covers substrate
-# speed, scheme scaling, and the recovery layer's fault-free path too.
-benches=(bench_fig02_layerwise bench_fig11_allgather bench_fig14_table2_e2e bench_fig16_weak_scaling bench_micro_primitives bench_ps_vs_bsp bench_recovery_overhead)
+# fault-free armed/disarmed tax), and the profiler overhead bench (the
+# disabled-path span cost and the sampling tax, so the bench_diff gate
+# holds the observability layer to its own cost contract).
+benches=(bench_fig02_layerwise bench_fig11_allgather bench_fig14_table2_e2e bench_fig16_weak_scaling bench_micro_primitives bench_ps_vs_bsp bench_recovery_overhead bench_profiler_overhead)
 
 json_dir="$(mktemp -d)"
 trap 'rm -rf "$json_dir"' EXIT
@@ -44,7 +45,7 @@ done
 
 # Output snapshot: second argument or $FFTGRAD_BENCH_OUT (bench_diff gates
 # candidate snapshots against the committed baseline of the same name).
-out="${2:-${FFTGRAD_BENCH_OUT:-BENCH_pr8.json}}"
+out="${2:-${FFTGRAD_BENCH_OUT:-BENCH_pr10.json}}"
 {
   printf '{\n  "git_sha": "%s",\n  "preset": "%s",\n  "generated_utc": "%s",\n  "benches": [\n' \
     "$FFTGRAD_GIT_SHA" "$FFTGRAD_PRESET" "$(date -u +%Y-%m-%dT%H:%M:%SZ)"

@@ -122,6 +122,14 @@ for preset in "${presets[@]}"; do
     run_step "$preset" critpath ctest --preset "$preset" -j "$jobs" -L critpath
     build_dir="build"; [[ "$preset" == asan ]] && build_dir="build-asan"
     run_step "$preset" critpath-e2e scripts/critpath_gate.sh "$build_dir"
+    # The profile label covers the host-time sampling profiler: folded
+    # grammar round trip, hot-path ranking, the disabled-path
+    # zero-allocation contract, SIGPROF span attribution, and multi-rank
+    # rank attribution. The gate script then runs chaos_training under
+    # FFTGRAD_PROFILE=1 and validates the folded output + hot-path report
+    # end to end through run_report --check-profile.
+    run_step "$preset" profile ctest --preset "$preset" -j "$jobs" -L profile
+    run_step "$preset" profile-e2e scripts/profile_gate.sh "$build_dir"
   fi
   # Perf-trajectory gate: bench_diff must fire on an injected slowdown
   # (selftest) and pass the committed BENCH_*.json baseline against

@@ -11,6 +11,7 @@
 #include "fftgrad/util/annotated_mutex.h"
 #include "fftgrad/telemetry/ledger.h"
 #include "fftgrad/telemetry/metrics.h"
+#include "fftgrad/telemetry/profiler.h"
 #include "fftgrad/telemetry/trace.h"
 
 namespace fftgrad::comm {
@@ -784,6 +785,7 @@ std::vector<util::SimSeconds> SimCluster::run(
 
   auto body = [&](std::size_t r) {
     try {
+      telemetry::Profiler::register_current_thread();
       telemetry::ScopedRank bind(static_cast<std::int32_t>(r),
                                  contexts[r].clock().time_ptr());
       fn(contexts[r]);

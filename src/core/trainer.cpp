@@ -331,20 +331,33 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
         const nn::Batch batch = dataset_.sample(config_.batch_per_rank, rank_rngs[r]);
         model_.zero_grad();
         util::WallTimer forward_timer;
-        const tensor::Tensor logits = model_.forward(batch.inputs);
-        loss_sum += criterion.forward(logits, batch.labels) / static_cast<double>(config_.ranks);
+        {
+          telemetry::TraceSpan span("forward", "trainer");
+          const tensor::Tensor logits = model_.forward(batch.inputs);
+          loss_sum +=
+              criterion.forward(logits, batch.labels) / static_cast<double>(config_.ranks);
+        }
         const double forward_s = forward_timer.seconds();
         util::WallTimer backward_timer;
-        model_.backward(criterion.backward());
-        model_.copy_gradients(rank_grad);
+        {
+          telemetry::TraceSpan span("backward", "trainer");
+          model_.backward(criterion.backward());
+          model_.copy_gradients(rank_grad);
+        }
         const double backward_s = backward_timer.seconds();
         const double compute_s = compute_timer.seconds();
 
         util::WallTimer compress_timer;
-        const Packet packet = compressors[r]->compress(rank_grad);
+        const Packet packet = [&] {
+          telemetry::TraceSpan span("compress", "trainer");
+          return compressors[r]->compress(rank_grad);
+        }();
         const double compress_s = compress_timer.seconds();
         util::WallTimer decompress_timer;
-        compressors[r]->decompress(packet, rank_recon);
+        {
+          telemetry::TraceSpan span("decompress", "trainer");
+          compressors[r]->decompress(packet, rank_recon);
+        }
         const double decompress_s = decompress_timer.seconds();
         const double codec_s = compress_s + decompress_s;
 
@@ -404,8 +417,11 @@ TrainResult DistributedTrainer::train(const CompressorFactory& factory,
       }
 
       // Every replica applies the same averaged reconstructed gradient.
-      model_.set_gradients(mean_recon);
-      optimizer.step(model_, static_cast<float>(lr));
+      {
+        telemetry::TraceSpan span("apply", "trainer");
+        model_.set_gradients(mean_recon);
+        optimizer.step(model_, static_cast<float>(lr));
+      }
 
       const util::Bytes params_wire{raw_bytes * wire_scale};
       util::SimSeconds comm_s{};

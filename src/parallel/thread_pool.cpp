@@ -6,6 +6,7 @@
 
 #include "fftgrad/analysis/schedule_stress.h"
 #include "fftgrad/telemetry/metrics.h"
+#include "fftgrad/telemetry/profiler.h"
 #include "fftgrad/util/annotated_mutex.h"
 
 namespace fftgrad::parallel {
@@ -93,6 +94,8 @@ std::packaged_task<void()> ThreadPool::take_task_locked() {
 }
 
 void ThreadPool::worker_loop() {
+  // One relaxed load when the host-time profiler was never configured.
+  telemetry::Profiler::register_current_thread();
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -48,6 +48,11 @@
 //       (categories: backprop, fft, quant_pack, wire_crc, collective,
 //        retry, straggle, straggler_wait, barrier_idle, untracked — see
 //        fftgrad/telemetry/critical_path.h)
+//   profile.samples           host-time stack samples captured       [count]
+//   profile.dropped           samples lost to full rings             [count]
+//   profile.truncated         stacks deeper than the capture limit   [count]
+//   profile.threads           threads registered for sampling        [count]
+//   profile.hz                configured SIGPROF sampling rate       [Hz]
 #pragma once
 
 #include <atomic>

@@ -16,6 +16,14 @@
 //                           FFTGRAD_LEDGER_DRIFT_WINDOW, and
 //                           FFTGRAD_LEDGER_RESIDUAL_FACTOR (see
 //                           LedgerTolerances for defaults).
+//   FFTGRAD_PROFILE=1       enable the host-time sampling profiler; write
+//                           folded stacks (flamegraph input) plus a
+//                           hot-path report at exit. A value other than
+//                           0/1 doubles as the output path. Rate from
+//                           FFTGRAD_PROFILE_HZ (default 97), output path
+//                           from FFTGRAD_PROFILE_OUT (default
+//                           profile.folded; report at <out>.report.txt).
+//                           See fftgrad/telemetry/profiler.h.
 // With none of the variables set, telemetry stays disabled and every
 // TraceSpan / metric update / ledger hook is a single relaxed atomic check.
 #pragma once

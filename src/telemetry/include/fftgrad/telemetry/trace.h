@@ -27,6 +27,19 @@
 
 namespace fftgrad::telemetry {
 
+namespace detail {
+/// Combined span-hook mask, read once (relaxed) by every TraceSpan. Each
+/// bit is a consumer that wants span open/close callouts: the tracer
+/// records timestamps, the host-time profiler mirrors the span stack for
+/// sample attribution. Folding both into a single atomic preserves the
+/// cost contract — a span with every consumer off is still exactly one
+/// relaxed load. Maintained by Tracer::set_enabled and Profiler
+/// start/stop.
+inline constexpr std::uint32_t kSpanHookTrace = 1u;
+inline constexpr std::uint32_t kSpanHookProfile = 2u;
+extern std::atomic<std::uint32_t> g_span_hooks;
+}  // namespace detail
+
 /// One completed span. sim_* < 0 means "no simulated timestamp"; a zero
 /// wall_end_ns means the record is simulated-timeline-only (emitted via
 /// Tracer::record_sim_span).
@@ -55,7 +68,8 @@ class Tracer {
   /// threads, so export after a SimCluster run sees every rank's spans.
   static Tracer& global();
 
-  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  /// Also maintains the shared span-hook mask (detail::g_span_hooks).
+  void set_enabled(bool enabled);
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Append a finished span to the calling thread's buffer.
@@ -125,7 +139,8 @@ class TraceSpan {
   const char* category_;
   std::uint64_t wall_start_ns_ = 0;
   double sim_start_s_ = -1.0;
-  bool armed_ = false;
+  bool armed_ = false;   ///< tracer hook: record a SpanRecord at close
+  bool pushed_ = false;  ///< profiler hook: pop the mirrored span at close
 };
 
 /// Tags every span the calling thread records (including spans opened by

@@ -1,0 +1,94 @@
+// Shared internals of the host-time sampling profiler: the sample layout,
+// the per-thread SPSC ring, and the per-thread state the SIGPROF handler
+// reads. Split from profiler.cpp so the async-signal-safe code can live in
+// its own translation unit (profiler_signal.cpp), which fftgrad_lint's
+// `async-signal-unsafe-call` rule audits token-by-token — no allocation,
+// stdio, locks, logging, or exceptions may appear there.
+//
+// Everything in this header must stay usable from a signal handler:
+// constant-initializable thread_local state (no TLS guard check on
+// access), lock-free atomics, fixed-size arrays, no owning containers.
+#pragma once
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+
+namespace fftgrad::telemetry::prof {
+
+/// Deepest stack captured per sample (leaf-first). Deeper frames are
+/// counted in g_stacks_truncated instead of silently vanishing.
+inline constexpr std::uint32_t kMaxFrames = 32;
+
+/// Frames backtrace() sees above the interrupted code: the handler itself
+/// and the kernel's signal-return trampoline (__restore_rt on Linux).
+inline constexpr std::uint32_t kHandlerFrames = 2;
+
+/// Span-stack depth mirrored for attribution. Spans nested deeper than
+/// this keep counting (push/pop stay balanced) but attribute to the
+/// deepest stored ancestor.
+inline constexpr std::uint32_t kMaxSpanDepth = 16;
+
+/// Slots per thread ring; power of two so head % capacity stays cheap.
+/// At the default 97 Hz of process CPU time this is minutes of headroom
+/// between collector drains; overflow drops samples (counted), never
+/// blocks the handler.
+inline constexpr std::uint64_t kRingCapacity = 4096;
+
+/// One stack sample, written by the handler, read by the collector.
+struct Sample {
+  void* pcs[kMaxFrames];  ///< program counters, leaf-first
+  std::uint32_t frames = 0;
+  std::int32_t rank = -1;             ///< logical rank bound via ScopedRank
+  const char* span_name = nullptr;    ///< innermost active span (literal)
+  const char* span_category = nullptr;
+};
+
+/// Single-producer single-consumer ring: the producer is the SIGPROF
+/// handler running *on the owning thread*, the consumer is the collector
+/// thread. head/tail are monotonic; (head - tail) is the fill level.
+struct SampleRing {
+  Sample slots[kRingCapacity];
+  std::atomic<std::uint64_t> head{0};     ///< written by the handler
+  std::atomic<std::uint64_t> tail{0};     ///< written by the collector
+  std::atomic<std::uint64_t> dropped{0};  ///< samples lost to a full ring
+};
+
+/// Per-thread state the handler reads. The span stack and rank are plain
+/// (non-atomic) fields: they are only ever written by the owning thread,
+/// and the handler runs on that same thread, so std::atomic_signal_fence
+/// ordering is sufficient. `ring` is atomic because the profiler installs
+/// it from another thread at start().
+struct ThreadProfState {
+  std::atomic<SampleRing*> ring{nullptr};
+  std::uint32_t registered = 0;  ///< set once by register_current_thread()
+  std::int32_t rank = -1;
+  std::uint32_t depth = 0;
+  const char* span_names[kMaxSpanDepth] = {};
+  const char* span_categories[kMaxSpanDepth] = {};
+};
+
+// --- implemented in profiler_signal.cpp (the audited TU) -------------------
+
+/// The calling thread's profiler state (constant-initialized thread_local).
+ThreadProfState& thread_state();
+
+/// Span-stack maintenance, called from TraceSpan when the profile span
+/// hook is armed. Owning-thread only; async-signal-safe.
+void push_span(const char* name, const char* category);
+void pop_span();
+
+/// Mirror the ScopedRank binding for sample attribution. Owning-thread
+/// only; cheap enough to call unconditionally.
+void set_rank(std::int32_t rank);
+
+/// The SIGPROF handler. Installed once by Profiler::start() and left in
+/// place forever (restoring a disposition while a signal is in flight
+/// races with the default action, which terminates the process).
+void sigprof_handler(int signum, siginfo_t* info, void* context);
+
+/// Process-wide sample accounting, updated by the handler.
+extern std::atomic<std::uint64_t> g_samples_taken;
+extern std::atomic<std::uint64_t> g_stacks_truncated;
+
+}  // namespace fftgrad::telemetry::prof

@@ -1,0 +1,129 @@
+// The async-signal-safe half of the host-time sampling profiler.
+//
+// Everything in this TU may run inside the SIGPROF handler, which can
+// interrupt *any* code on the signaled thread — including the allocator,
+// stdio, or a lock acquisition already in progress. The discipline here is
+// therefore absolute and machine-checked (fftgrad_lint rule
+// `async-signal-unsafe-call` is scoped to exactly this file and its shared
+// header): no allocation, no stdio, no locks, no logging, no exceptions.
+// Only plain loads/stores on the thread's own state, lock-free atomics,
+// errno save/restore, and backtrace() — which Profiler::start() primes
+// once outside signal context, because its first call may load libgcc.
+//
+// Visibility model: the span stack and rank are written by the owning
+// thread and read by the handler *on that same thread*, so compiler-only
+// std::atomic_signal_fence ordering suffices; no cross-thread atomics are
+// needed for them. The ring's head/tail use real acquire/release because
+// the consumer (the collector) is another thread.
+#include "profiler_internal.h"
+
+#include <cerrno>
+
+#if defined(__linux__)
+#include <execinfo.h>
+#include <ucontext.h>
+#endif
+
+namespace fftgrad::telemetry::prof {
+namespace {
+
+// Constant-initialized POD: access compiles to a TLS-relative load with no
+// guard call, which keeps it safe to touch from the handler.
+thread_local ThreadProfState t_prof;
+
+/// Program counter of the interrupted instruction, from the kernel's
+/// saved register context. This is the true leaf — backtrace() from inside
+/// the handler starts at the handler's own frames.
+void* leaf_pc(void* context_raw) {
+#if defined(__linux__) && defined(__x86_64__)
+  ucontext_t* uc = static_cast<ucontext_t*>(context_raw);
+  return reinterpret_cast<void*>(uc->uc_mcontext.gregs[REG_RIP]);
+#elif defined(__linux__) && defined(__aarch64__)
+  ucontext_t* uc = static_cast<ucontext_t*>(context_raw);
+  return reinterpret_cast<void*>(uc->uc_mcontext.pc);
+#else
+  (void)context_raw;
+  return nullptr;
+#endif
+}
+
+}  // namespace
+
+std::atomic<std::uint64_t> g_samples_taken{0};
+std::atomic<std::uint64_t> g_stacks_truncated{0};
+
+ThreadProfState& thread_state() { return t_prof; }
+
+void push_span(const char* name, const char* category) {
+  ThreadProfState& st = t_prof;
+  const std::uint32_t depth = st.depth;
+  if (depth < kMaxSpanDepth) {
+    st.span_names[depth] = name;
+    st.span_categories[depth] = category;
+  }
+  // The slot must be fully written before the handler can consider the
+  // level live; the fence stops the compiler reordering the depth store.
+  std::atomic_signal_fence(std::memory_order_release);
+  st.depth = depth + 1;
+}
+
+void pop_span() {
+  ThreadProfState& st = t_prof;
+  if (st.depth == 0) return;  // unbalanced pop: hooks toggled mid-span
+  st.depth = st.depth - 1;
+  std::atomic_signal_fence(std::memory_order_release);
+}
+
+void set_rank(std::int32_t rank) { t_prof.rank = rank; }
+
+void sigprof_handler(int /*signum*/, siginfo_t* /*info*/, void* context) {
+  const int saved_errno = errno;
+  ThreadProfState& st = t_prof;
+  SampleRing* const ring = st.ring.load(std::memory_order_relaxed);
+  if (ring != nullptr) {
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = ring->tail.load(std::memory_order_acquire);
+    if (head - tail >= kRingCapacity) {
+      ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      Sample& s = ring->slots[head % kRingCapacity];
+      // Pair of the release fence in push_span/pop_span: re-read depth
+      // after the fence so the slot contents it gates are visible.
+      std::atomic_signal_fence(std::memory_order_acquire);
+      const std::uint32_t depth = st.depth < kMaxSpanDepth ? st.depth : kMaxSpanDepth;
+      if (depth > 0) {
+        s.span_name = st.span_names[depth - 1];
+        s.span_category = st.span_categories[depth - 1];
+      } else {
+        s.span_name = nullptr;
+        s.span_category = nullptr;
+      }
+      s.rank = st.rank;
+      std::uint32_t frames = 0;
+#if defined(__linux__)
+      void* const leaf = leaf_pc(context);
+      if (leaf != nullptr) s.pcs[frames++] = leaf;
+      void* raw[kMaxFrames + kHandlerFrames];
+      const int captured = backtrace(raw, static_cast<int>(kMaxFrames + kHandlerFrames));
+      for (int i = static_cast<int>(kHandlerFrames);
+           i < captured && frames < kMaxFrames; ++i) {
+        // backtrace's first post-trampoline entry is often the leaf again
+        // (the signal frame's return address); keep one copy.
+        if (frames == 1 && raw[i] == leaf) continue;
+        s.pcs[frames++] = raw[i];
+      }
+      if (captured >= static_cast<int>(kMaxFrames + kHandlerFrames)) {
+        g_stacks_truncated.fetch_add(1, std::memory_order_relaxed);
+      }
+#else
+      (void)context;
+#endif
+      s.frames = frames;
+      ring->head.store(head + 1, std::memory_order_release);
+      g_samples_taken.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  errno = saved_errno;
+}
+
+}  // namespace fftgrad::telemetry::prof

@@ -7,6 +7,7 @@
 
 #include "fftgrad/telemetry/critical_path.h"
 #include "fftgrad/telemetry/ledger.h"
+#include "fftgrad/telemetry/profiler.h"
 #include "fftgrad/util/logging.h"
 
 namespace fftgrad::telemetry {
@@ -25,6 +26,33 @@ std::string& metrics_path() {
 std::string& critpath_path() {
   static std::string path;
   return path;
+}
+
+std::string& profile_out_path() {
+  static std::string path;
+  return path;
+}
+
+/// FFTGRAD_PROFILE: stop the sampler, write the folded stacks to
+/// FFTGRAD_PROFILE_OUT and the hot-path report next to it, and publish the
+/// profile.* gauges. Must run before export_configured() (so the gauges
+/// land in the metrics JSON) and before the ledger closes.
+void finalize_profiler_configured() {
+  if (profile_out_path().empty()) return;
+  Profiler& profiler = Profiler::global();
+  profiler.stop();
+  const std::string& out = profile_out_path();
+  profiler.write_folded(out);
+  const std::string report = profiler.render_report();
+  const std::string report_path = out + ".report.txt";
+  std::FILE* f = std::fopen(report_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fwrite(report.data(), 1, report.size(), f);
+    std::fclose(f);
+  } else {
+    util::log_warn() << "telemetry: cannot write hot-path report to '" << report_path << "'";
+  }
+  util::log_info() << "telemetry: profile to " << out << " (report: " << report_path << ")";
 }
 
 /// FFTGRAD_CRITPATH=<path>: at exit, run the critical-path analyzer over
@@ -80,7 +108,11 @@ void init_from_env() {
     const char* metrics = std::getenv("FFTGRAD_METRICS");
     const char* ledger = std::getenv("FFTGRAD_LEDGER");
     const char* critpath = std::getenv("FFTGRAD_CRITPATH");
-    if (trace == nullptr && metrics == nullptr && ledger == nullptr && critpath == nullptr) {
+    const char* profile = std::getenv("FFTGRAD_PROFILE");
+    const bool profile_on =
+        profile != nullptr && *profile != '\0' && std::string(profile) != "0";
+    if (trace == nullptr && metrics == nullptr && ledger == nullptr && critpath == nullptr &&
+        !profile_on) {
       return;
     }
     if (trace != nullptr && *trace != '\0') {
@@ -107,6 +139,22 @@ void init_from_env() {
         util::log_info() << "telemetry: metrics to " << metrics_path();
       }
     }
+    if (profile_on) {
+      // FFTGRAD_PROFILE=1 uses the FFTGRAD_PROFILE_OUT path (default
+      // profile.folded); any other non-zero value doubles as the path.
+      const char* out = std::getenv("FFTGRAD_PROFILE_OUT");
+      if (out != nullptr && *out != '\0') {
+        profile_out_path() = out;
+      } else if (std::string(profile) != "1") {
+        profile_out_path() = profile;
+      } else {
+        profile_out_path() = "profile.folded";
+      }
+      MetricsRegistry::global().set_enabled(true);
+      const int hz = static_cast<int>(env_double(
+          "FFTGRAD_PROFILE_HZ", static_cast<double>(Profiler::kDefaultHz)));
+      if (!Profiler::global().start(hz)) profile_out_path().clear();
+    }
     if (ledger != nullptr && *ledger != '\0') {
       RunLedger& run_ledger = RunLedger::global();
       LedgerTolerances tolerances;
@@ -125,6 +173,7 @@ void init_from_env() {
       }
     }
     std::atexit([] {
+      finalize_profiler_configured();
       analyze_critpath_configured();
       export_configured();
       RunLedger::global().close();

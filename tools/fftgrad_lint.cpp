@@ -52,6 +52,18 @@
 //     seeds give identical runs; genuine uses (e.g. a stress-schedule
 //     salt) carry an allowlist rationale.
 //
+//   async-signal-unsafe-call
+//     The SIGPROF handler TU (src/telemetry/profiler_signal.cpp and its
+//     shared header profiler_internal.h) may contain no allocation
+//     (malloc/new/make_unique), no stdio (printf/fopen/std::cout), no
+//     locks (std:: or the annotated util:: wrappers — a lock held by the
+//     interrupted thread self-deadlocks the handler), no logging, and no
+//     `throw`. The handler can interrupt any code on the signaled thread,
+//     including the allocator mid-malloc; only lock-free atomics, plain
+//     thread-local stores, errno save/restore, and the primed backtrace()
+//     are legal there. This is the machine-checked half of the profiler's
+//     signal-safety contract (see DESIGN.md "Host-time profiling").
+//
 // Matching is token-level on comment- and string-stripped sources: precise
 // enough for these rules (all four hinge on the presence of a specific
 // token in a scoped file set) and robust against the checker itself rotting
@@ -371,6 +383,43 @@ void detect_nondeterminism(const std::string& file, const std::vector<std::strin
   }
 }
 
+void detect_async_signal_unsafe(const std::string& file,
+                                const std::vector<std::string>& lines,
+                                std::vector<Finding>& findings) {
+  // Anything on this list can deadlock, corrupt state, or allocate when
+  // called from a signal handler that interrupted the same facility. The
+  // util::/analysis:: lock wrappers are forbidden alongside the std::
+  // primitives: annotation does not make a lock signal-safe.
+  static const char* tokens[] = {
+      // allocation
+      "malloc", "calloc", "realloc", "free", "new", "delete", "make_unique",
+      "make_shared",
+      // stdio
+      "printf", "fprintf", "sprintf", "snprintf", "vprintf", "vfprintf", "puts",
+      "fputs", "fputc", "fwrite", "fopen", "fclose", "std::cout", "std::cerr",
+      "std::clog",
+      // locks (std:: and the project wrappers)
+      "std::mutex", "std::shared_mutex", "std::recursive_mutex", "std::timed_mutex",
+      "std::lock_guard", "std::unique_lock", "std::scoped_lock", "std::shared_lock",
+      "util::Mutex", "util::SharedMutex", "util::LockGuard", "util::UniqueLock",
+      "util::SharedLockGuard", "CheckedMutex", "pthread_mutex_lock",
+      "pthread_mutex_unlock",
+      // logging and exceptions
+      "log_debug", "log_info", "log_warn", "log_error", "throw"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const char* token : tokens) {
+      if (find_token(lines[i], token) != std::string::npos) {
+        findings.push_back({"async-signal-unsafe-call", file, i + 1,
+                            std::string(token) +
+                                " is not async-signal-safe; the SIGPROF handler TU may "
+                                "only use lock-free atomics, plain thread-local stores, "
+                                "errno save/restore and the primed backtrace()"});
+        break;  // one finding per line, whichever token hit first
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Tree-mode scoping.
 
@@ -411,6 +460,13 @@ bool in_unordered_scope(const std::string& rel) {
 }
 
 bool in_nondeterminism_scope(const std::string& rel) { return starts_with(rel, "src/"); }
+
+// Exactly the signal-handler TU and its shared header: the one place in
+// the tree where code must be async-signal-safe.
+bool in_signal_tu_scope(const std::string& rel) {
+  return rel == "src/telemetry/profiler_signal.cpp" ||
+         rel == "src/telemetry/profiler_internal.h";
+}
 
 bool source_file(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -720,6 +776,7 @@ void run_all_detectors(const std::string& file, const std::vector<std::string>& 
   detect_unannotated_mutex(file, lines, findings);
   detect_unordered_iteration(file, lines, findings);
   detect_nondeterminism(file, lines, findings);
+  detect_async_signal_unsafe(file, lines, findings);
 }
 
 int run_selftest(const fs::path& root) {
@@ -813,6 +870,7 @@ int main(int argc, char** argv) {
       if (in_unannotated_mutex_scope(rel)) detect_unannotated_mutex(rel, lines, raw);
       if (in_unordered_scope(rel)) detect_unordered_iteration(rel, lines, raw);
       if (in_nondeterminism_scope(rel)) detect_nondeterminism(rel, lines, raw);
+      if (in_signal_tu_scope(rel)) detect_async_signal_unsafe(rel, lines, raw);
       for (Finding& f : raw) {
         if (!allowed(f, allow)) findings.push_back(std::move(f));
       }

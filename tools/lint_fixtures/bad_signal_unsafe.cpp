@@ -1,0 +1,24 @@
+// Selftest fixture: every call class the async-signal-unsafe-call rule
+// forbids inside the SIGPROF handler TU — allocation, stdio, locks (which
+// also fire unannotated-mutex), raw new/delete, and throw. A handler that
+// interrupts the allocator and then calls malloc deadlocks or corrupts the
+// heap; a lock already held by the interrupted thread self-deadlocks.
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+std::mutex g_handler_mutex;  // LINT-EXPECT: unannotated-mutex
+// LINT-EXPECT: async-signal-unsafe-call
+
+void mock_handler(int /*signum*/) {
+  void* block = std::malloc(64);  // LINT-EXPECT: async-signal-unsafe-call
+  std::printf("sampling\n");      // LINT-EXPECT: async-signal-unsafe-call
+  std::free(block);               // LINT-EXPECT: async-signal-unsafe-call
+  {
+    std::lock_guard<std::mutex> lock(g_handler_mutex);  // LINT-EXPECT: unannotated-mutex
+    // LINT-EXPECT: async-signal-unsafe-call
+  }
+  int* counters = new int[4];  // LINT-EXPECT: async-signal-unsafe-call
+  delete[] counters;           // LINT-EXPECT: async-signal-unsafe-call
+  if (counters == nullptr) throw 1;  // LINT-EXPECT: async-signal-unsafe-call
+}

@@ -1,21 +1,27 @@
 // Selftest fixture: bare std:: lock primitives. They compile fine, but the
 // thread-safety preset cannot see their acquisitions, so guarded state
-// behind them is silently unanalyzed.
+// behind them is silently unanalyzed. (In selftest mode every detector
+// runs unscoped, so each lock line also fires async-signal-unsafe-call —
+// locks are forbidden outright in the signal-handler TU.)
 #include <mutex>
 #include <shared_mutex>
 
 struct Queue {
   std::mutex mutex;  // LINT-EXPECT: unannotated-mutex
+  // LINT-EXPECT: async-signal-unsafe-call
   std::shared_mutex table_mutex;  // LINT-EXPECT: unannotated-mutex
+  // LINT-EXPECT: async-signal-unsafe-call
   int depth = 0;
 
   void bump() {
     std::lock_guard<std::mutex> lock(mutex);  // LINT-EXPECT: unannotated-mutex
+    // LINT-EXPECT: async-signal-unsafe-call
     ++depth;
   }
 
   int read() {
     std::shared_lock<std::shared_mutex> lock(table_mutex);  // LINT-EXPECT: unannotated-mutex
+    // LINT-EXPECT: async-signal-unsafe-call
     return depth;
   }
 };

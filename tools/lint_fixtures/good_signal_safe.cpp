@@ -1,0 +1,33 @@
+// Negative fixture: the shape of code that IS legal in the signal-handler
+// TU — lock-free atomics, plain thread-local stores on constant-initialized
+// state, and errno save/restore. Zero findings expected from every rule:
+// nothing here allocates, locks, does IO, logs, or throws, and forbidden
+// tokens like "malloc", "printf" or "std::lock_guard" appearing only in
+// this comment are stripped before matching.
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+
+namespace {
+
+struct Ring {
+  std::uint64_t slots[64] = {};
+  std::atomic<std::uint64_t> head{0};
+  std::atomic<std::uint64_t> tail{0};
+};
+
+thread_local Ring t_ring;
+
+}  // namespace
+
+void mock_handler(int /*signum*/) {
+  const int saved_errno = errno;
+  const std::uint64_t head = t_ring.head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = t_ring.tail.load(std::memory_order_acquire);
+  if (head - tail < 64) {
+    t_ring.slots[head % 64] = head;
+    std::atomic_signal_fence(std::memory_order_release);
+    t_ring.head.store(head + 1, std::memory_order_release);
+  }
+  errno = saved_errno;
+}
